@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the reference executors themselves.
+
+Not a paper figure: keeps an eye on the Python-side throughput of the
+three execution modes so regressions in the hot paths are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction, fuse, run_fused_tree, run_incremental, run_unfused
+from repro.symbolic import exp, var
+
+
+def _attention_cascade():
+    P, V, m, t = var("P"), var("V"), var("m"), var("t")
+    return Cascade(
+        "attention",
+        ("P", "V"),
+        (
+            Reduction("m", "max", P),
+            Reduction("t", "sum", exp(P - m)),
+            Reduction("O", "sum", exp(P - m) / t * V),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return {
+        "P": rng.normal(size=(4096, 1)),
+        "V": rng.normal(size=(4096, 64)),
+    }
+
+
+@pytest.fixture(scope="module")
+def fused():
+    return fuse(_attention_cascade())
+
+
+def test_unfused_chain(benchmark, fused, data):
+    benchmark(run_unfused, fused.cascade, data)
+
+
+def test_fused_tree(benchmark, fused, data):
+    benchmark(run_fused_tree, fused, data, 8)
+
+
+def test_incremental_chunked(benchmark, fused, data):
+    benchmark(run_incremental, fused, data, 256)

@@ -1,0 +1,27 @@
+"""Figure 5c: MoE routing performance on A10 (configs R1-R8).
+
+Paper claims: RedFuser delivers ~1.7x over Dynamo and ~6.6x over TVM.
+"""
+
+from conftest import write_result
+
+from repro.harness import fig5c_moe, relative_summary, speedup_table
+
+
+def _rows():
+    return fig5c_moe("A10")
+
+
+def test_fig5c_claims():
+    rows = _rows()
+    assert relative_summary(rows, "redfuser", "dynamo") > 1.3
+    assert relative_summary(rows, "redfuser", "tvm") > 2.5
+    assert all(row["redfuser_speedup"] > 1.0 for row in rows)
+
+
+def test_fig5c_benchmark(benchmark):
+    rows = benchmark(_rows)
+    write_result(
+        "fig5c_moe",
+        speedup_table(rows, "Figure 5c: MoE routing on A10 (speedup vs Eager)"),
+    )

@@ -1,0 +1,28 @@
+"""Figure 5d: FP8 PerToken Quant+GEMM on H800 (configs Q1-Q10).
+
+Paper claims: RedFuser reaches ~3.4x over Dynamo and ~12.1x over TVM
+(TVM lacks the FP8 tensor-core path entirely).
+"""
+
+from conftest import write_result
+
+from repro.harness import fig5d_quant_gemm, relative_summary, speedup_table
+
+
+def _rows():
+    return fig5d_quant_gemm("H800")
+
+
+def test_fig5d_claims():
+    rows = _rows()
+    assert relative_summary(rows, "redfuser", "dynamo") > 1.8
+    assert relative_summary(rows, "redfuser", "tvm") > 8.0
+    assert all(row["redfuser_speedup"] > 1.0 for row in rows)
+
+
+def test_fig5d_benchmark(benchmark):
+    rows = benchmark(_rows)
+    write_result(
+        "fig5d_quant_gemm",
+        speedup_table(rows, "Figure 5d: FP8 Quant+GEMM on H800 (speedup vs Eager)"),
+    )

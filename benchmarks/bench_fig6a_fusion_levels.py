@@ -1,0 +1,40 @@
+"""Figure 6a: safe-softmax latency by fusion level (1K-8K inputs).
+
+Paper claims: every fusion level beats unfused, with the ordering
+intra-block < inter-block ~= intra-warp < intra-thread.
+"""
+
+from conftest import write_result
+
+from repro.harness import fig6a_fusion_levels, series_table
+
+
+def _rows():
+    return fig6a_fusion_levels("A10")
+
+
+def test_fig6a_ordering():
+    for row in _rows():
+        block = row["intra-block_speedup"]
+        warp = row["intra-warp_speedup"]
+        inter = row["inter-block_speedup"]
+        thread = row["intra-thread_speedup"]
+        assert min(block, warp, inter, thread) > 1.0  # all beat unfused
+        assert block > warp > thread  # intra-block best, intra-thread worst
+        assert block > inter > thread
+        assert abs(inter - warp) / warp < 0.25  # inter-block ~= intra-warp
+
+
+def test_fig6a_benchmark(benchmark):
+    rows = benchmark(_rows)
+    columns = [
+        "n",
+        "intra-thread_speedup",
+        "intra-warp_speedup",
+        "intra-block_speedup",
+        "inter-block_speedup",
+    ]
+    write_result(
+        "fig6a_fusion_levels",
+        series_table(rows, columns, "Figure 6a: fusion-level speedup vs unfused"),
+    )

@@ -1,0 +1,39 @@
+"""Figure 7: loads of the dependent result d_K by fusion level.
+
+Unfused execution re-loads d_K L0 times; fusing at level k reduces this
+to L_k loads (L4 = 1 for inter-block).
+"""
+
+from conftest import write_result
+
+from repro.gpusim.levels import level_sizes
+from repro.harness import fig7_access_counts, series_table
+
+
+def _rows():
+    return fig7_access_counts(4096)
+
+
+def test_fig7_counts():
+    rows = {r["strategy"]: r["dk_loads"] for r in _rows()}
+    sizes = level_sizes(4096)
+    assert rows["unfused"] == 4096
+    assert rows["intra-thread"] == sizes[1]
+    assert rows["intra-warp"] == sizes[2]
+    assert rows["intra-block"] == sizes[3]
+    assert rows["inter-block"] == 1
+    assert (
+        rows["unfused"]
+        > rows["intra-thread"]
+        > rows["intra-warp"]
+        > rows["intra-block"]
+        > rows["inter-block"]
+    )
+
+
+def test_fig7_benchmark(benchmark):
+    rows = benchmark(_rows)
+    write_result(
+        "fig7_access_counts",
+        series_table(rows, ["strategy", "dk_loads"], "Figure 7: d_K load counts"),
+    )

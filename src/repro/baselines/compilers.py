@@ -1,0 +1,183 @@
+"""Baseline compiler models (paper §5.1).
+
+Each baseline turns an :class:`OpGraph` into a sequence of simulated
+kernels.  The systems differ in exactly the two dimensions that matter
+on real hardware — which intermediates round-trip through global memory
+(fusion capability) and generated-code quality (efficiency constants):
+
+* **PyTorch Eager** — one library kernel per operator; every
+  intermediate is materialized.  GEMMs hit cuBLAS (high efficiency);
+  pointwise/reduction kernels are bandwidth-bound ATen kernels.
+* **PyTorch Dynamo (Inductor)** — pointwise chains fuse with at most
+  one trailing reduction into a Triton kernel; GEMMs stay on cuBLAS.
+  This is the documented Inductor fusion model: it cannot fuse *across*
+  a reduction boundary, so cascaded reductions still materialize their
+  inputs (the limitation §2.3 describes).
+* **TVM (default pipeline, no CUTLASS/FlashInfer)** — injective ops
+  fuse into their producer; GEMMs come from the default schedule
+  templates without tensor cores (the paper disables the CUTLASS
+  backend), which is the dominant cost on tensor-core GPUs.
+* **Hand-optimized (FlashAttention2 / FlashMLA)** — single fused kernel
+  with expert-tuned efficiency, modelled on the same traffic as
+  RedFuser's fused kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..gpusim.kernel import KernelSpec, Program
+from ..workloads.opgraph import KernelGroup, LogicalOp, OpGraph
+
+#: Efficiency model per system.
+EAGER_GEMM = dict(
+    compute_efficiency=0.80, memory_efficiency=0.85, overlap=0.9, launch_factor=3.0
+)
+EAGER_MEM = dict(
+    compute_efficiency=0.50, memory_efficiency=0.80, overlap=0.5, launch_factor=3.0
+)
+INDUCTOR_MEM = dict(
+    compute_efficiency=0.50, memory_efficiency=0.75, overlap=0.5, launch_factor=1.5
+)
+INDUCTOR_GEMM = dict(
+    compute_efficiency=0.80, memory_efficiency=0.85, overlap=0.9, launch_factor=1.5
+)
+TVM_GEMM = dict(
+    compute_efficiency=0.40, memory_efficiency=0.70, overlap=0.6, launch_factor=1.2
+)
+TVM_MEM = dict(
+    compute_efficiency=0.40, memory_efficiency=0.55, overlap=0.4, launch_factor=1.2
+)
+
+_THREADS = 256
+_WORK_PER_THREAD = 8
+
+
+def _grid_for(elems: float) -> int:
+    return max(1, math.ceil(elems / (_THREADS * _WORK_PER_THREAD)))
+
+
+def _kernel_from_group(
+    graph: OpGraph,
+    group: KernelGroup,
+    name: str,
+    quality: dict,
+    tensor_gemm: bool,
+    fp8_ok: bool = True,
+) -> KernelSpec:
+    reads, writes = group.io(graph)
+    bytes_read = sum(t.nbytes for t in reads)
+    bytes_written = sum(t.nbytes for t in writes)
+    # kernels parallelize over the largest tensor they touch (reductions
+    # read far more elements than they write)
+    elems = max(
+        (t.elems for t in list(reads) + list(writes)), default=1.0
+    )
+    dtype = "fp8" if (group.fp8 and tensor_gemm and fp8_ok) else "fp16"
+    return KernelSpec(
+        name=name,
+        grid=_grid_for(elems),
+        threads_per_cta=_THREADS,
+        smem_bytes=16 * 1024,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        flops=group.flops,
+        tensor_cores=group.has_gemm and tensor_gemm,
+        dtype=dtype,
+        **quality,
+    )
+
+
+def compile_eager(graph: OpGraph) -> Program:
+    """One kernel per operator (library dispatch)."""
+    program = Program(name=f"{graph.name}_eager")
+    for op in graph.ops:
+        group = KernelGroup([op])
+        quality = EAGER_GEMM if op.kind == "gemm" else EAGER_MEM
+        program.add(
+            _kernel_from_group(graph, group, op.name, quality, tensor_gemm=True)
+        )
+    return program
+
+
+def compile_inductor(graph: OpGraph) -> Program:
+    """Pointwise fusion with one trailing reduction (Triton codegen)."""
+    program = Program(name=f"{graph.name}_inductor")
+    pending: List[LogicalOp] = []
+
+    def flush():
+        if not pending:
+            return
+        group = KernelGroup(list(pending))
+        name = "+".join(op.name for op in pending)
+        program.add(
+            _kernel_from_group(graph, group, name, INDUCTOR_MEM, tensor_gemm=True)
+        )
+        pending.clear()
+
+    for op in graph.ops:
+        if op.kind == "gemm":
+            flush()
+            # Inductor falls back to fp16 matmul templates for fp8 inputs
+            program.add(
+                _kernel_from_group(
+                    graph,
+                    KernelGroup([op]),
+                    op.name,
+                    INDUCTOR_GEMM,
+                    tensor_gemm=True,
+                    fp8_ok=False,
+                )
+            )
+        elif op.kind in ("reduction", "topk"):
+            # a reduction joins the current pointwise chain, then closes it
+            pending.append(op)
+            flush()
+        else:
+            pending.append(op)
+    flush()
+    return program
+
+
+def compile_tvm(graph: OpGraph) -> Program:
+    """Default TVM pipeline: injective-into-producer fusion, no tensor cores."""
+    program = Program(name=f"{graph.name}_tvm")
+    pending: List[LogicalOp] = []
+
+    def flush():
+        if not pending:
+            return
+        group = KernelGroup(list(pending))
+        name = "+".join(op.name for op in pending)
+        quality = TVM_GEMM if group.has_gemm else TVM_MEM
+        program.add(
+            _kernel_from_group(graph, group, name, quality, tensor_gemm=False)
+        )
+        pending.clear()
+
+    for op in graph.ops:
+        if op.kind in ("gemm", "reduction", "topk"):
+            flush()
+            pending.append(op)
+        else:
+            # injective op fuses into its producer's kernel
+            pending.append(op)
+            flush()
+    flush()
+    return program
+
+
+def expert_fused_program(name: str, fused: Program) -> Program:
+    """Hand-optimized kernel from a fixed-configuration fused program.
+
+    FlashAttention/FlashMLA are special cases of the fused form (§6):
+    expert code quality, but one hand-chosen tile configuration
+    ((128, 128) per Appendix A.4) instead of RedFuser's auto-tuning.
+    The caller passes the fixed-config program; this stamps the name.
+    """
+    program = Program(name=name)
+    for kernel in fused.kernels:
+        program.add(kernel.with_(name=f"{name}:{kernel.name}"))
+    return program

@@ -1,0 +1,33 @@
+"""Code generation: lowering, tensorization, kernel profiling, tuning."""
+
+from .autotune import TuneResult, autotune
+from .kernels import estimate_kernel
+from .lower import (
+    CodegenSpec,
+    ElementLayout,
+    GemmProducer,
+    LoweringError,
+    lower_multi_segment,
+    lower_single_segment,
+)
+from .tensorize import (
+    TileConfig,
+    tensorize_multi_segment,
+    tensorize_single_segment,
+)
+
+__all__ = [
+    "TuneResult",
+    "autotune",
+    "estimate_kernel",
+    "CodegenSpec",
+    "ElementLayout",
+    "GemmProducer",
+    "LoweringError",
+    "lower_multi_segment",
+    "lower_single_segment",
+    "TileConfig",
+    "tensorize_multi_segment",
+    "tensorize_single_segment",
+    "estimate_kernel",
+]

@@ -1,0 +1,148 @@
+"""Auto-tuning (paper §4.4): empirical search over tile parameters.
+
+RedFuser tunes block tile sizes, threads per block, software-pipeline
+depth, and (for the Multi-Segment strategy) the number of segments.  The
+search space is enumerated, each candidate is lowered to real tile
+programs, profiled by :mod:`repro.codegen.kernels`, and costed on the
+target GPU; the fastest feasible configuration wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..gpusim.costmodel import ResourceError, kernel_latency
+from ..gpusim.kernel import KernelSpec, Program
+from ..gpusim.specs import GPUSpec
+from .kernels import estimate_kernel
+from .lower import CodegenSpec, LoweringError
+from .tensorize import TileConfig, tensorize_multi_segment, tensorize_single_segment
+
+DEFAULT_BLK_ROWS = (64, 128, 256)
+DEFAULT_BLK_LEN = (32, 64, 128)
+DEFAULT_THREADS = (128, 256)
+DEFAULT_PIPELINE = (1, 2, 3)
+DEFAULT_SEGMENTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Best configuration found by the tuner."""
+
+    config: TileConfig
+    num_segments: int
+    latency: float
+    program: Program
+    candidates_tried: int
+
+    @property
+    def strategy(self) -> str:
+        return "multi-segment" if self.num_segments > 1 else "single-segment"
+
+
+def _divisors_only(values: Sequence[int], bound: int) -> List[int]:
+    return [v for v in values if v <= bound and bound % v == 0]
+
+
+def autotune(
+    spec: CodegenSpec,
+    gpu: GPUSpec,
+    blk_rows: Sequence[int] = DEFAULT_BLK_ROWS,
+    blk_len: Sequence[int] = DEFAULT_BLK_LEN,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    pipeline: Sequence[int] = DEFAULT_PIPELINE,
+    segments: Sequence[int] = DEFAULT_SEGMENTS,
+    dtype: str = "fp16",
+    instances: int = 1,
+) -> TuneResult:
+    """Search the §4.4 parameter space; return the fastest candidate.
+
+    ``instances`` replicates the kernel across independent problem
+    instances (batch * heads) so candidates are ranked at the grid scale
+    they will actually run at — tile choices that only pay off at full
+    occupancy are invisible at instance scale.
+    """
+    best: Optional[TuneResult] = None
+    tried = 0
+    for rows_tile in _divisors_only(blk_rows, spec.rows) or [spec.rows]:
+        for len_tile in _divisors_only(blk_len, spec.length) or [spec.length]:
+            for n_threads in threads:
+                for depth in pipeline:
+                    for n_seg in segments:
+                        if spec.length % (n_seg * len_tile) != 0 and n_seg > 1:
+                            continue
+                        config = TileConfig(
+                            blk_rows=min(rows_tile, spec.rows),
+                            blk_len=min(len_tile, spec.length),
+                            threads=n_threads,
+                            pipeline_depth=depth,
+                        )
+                        program = _lower_candidate(
+                            spec, config, n_seg, dtype, depth, n_threads, instances
+                        )
+                        if program is None:
+                            continue
+                        tried += 1
+                        try:
+                            latency = sum(
+                                kernel_latency(gpu, k) for k in program.kernels
+                            )
+                        except ResourceError:
+                            continue
+                        if best is None or latency < best.latency:
+                            best = TuneResult(
+                                config=config,
+                                num_segments=n_seg,
+                                latency=latency,
+                                program=program,
+                                candidates_tried=tried,
+                            )
+    if best is None:
+        raise LoweringError("no feasible configuration found")
+    return TuneResult(
+        config=best.config,
+        num_segments=best.num_segments,
+        latency=best.latency,
+        program=best.program,
+        candidates_tried=tried,
+    )
+
+
+def _lower_candidate(
+    spec: CodegenSpec,
+    config: TileConfig,
+    n_seg: int,
+    dtype: str,
+    depth: int,
+    n_threads: int,
+    instances: int = 1,
+) -> Optional[Program]:
+    try:
+        if n_seg == 1:
+            tp = tensorize_single_segment(spec, config)
+            kernels = [
+                estimate_kernel(tp, n_threads, depth, dtype)
+            ]
+        else:
+            partial, combine = tensorize_multi_segment(spec, config, n_seg)
+            kernels = [
+                estimate_kernel(partial, n_threads, depth, dtype),
+                estimate_kernel(combine, n_threads, 1, dtype),
+            ]
+    except (LoweringError, ValueError):
+        return None
+    program = Program(
+        name=f"{spec.fused.cascade.name}[{config.blk_rows}x{config.blk_len}/{n_seg}]"
+    )
+    for kernel in kernels:
+        if instances > 1:
+            kernel = kernel.with_(
+                grid=kernel.grid * instances,
+                bytes_read=kernel.bytes_read * instances,
+                bytes_written=kernel.bytes_written * instances,
+                flops=kernel.flops * instances,
+            )
+        program.add(kernel)
+    return program

@@ -1,0 +1,493 @@
+"""Lowering of fused cascades to scalar IR (paper §4.3, Fig. 12a/13a).
+
+The emitter realizes the three-step reduction template of Appendix A.4:
+
+1. **store previous result** — only for reductions whose output is
+   reused by a later correction (``pmax_prev``/``psum_prev``);
+2. **apply correction** — multiply/add the accumulated partial by
+   ``H(prev deps)^-1 ⊗ H(new deps)`` — only for reductions with
+   dependencies;
+3. **perform reduction** — fold in the fresh contribution G ⊗ H.
+
+Two strategies (paper §4.3):
+
+* **Single-Segment** — the whole axis streams through one incremental
+  loop; O(1) state, no inter-block combine.
+* **Multi-Segment** — the axis splits into ``num_segments`` parts
+  processed independently (extra ``split`` grid dimension in the partial
+  kernel), then a combine kernel merges partials with Eq. 11 (Fig. 13a).
+
+The first loop iteration is peeled as the seed step: it performs step 3
+only, because before any element has been processed every accumulator
+holds the ⊕-identity and H of it may be non-invertible (Appendix A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.fused import NEW_SUFFIX, PREV_SUFFIX, FusedCascade, FusedReduction
+from ..ir.scalar import Function, FunctionBuilder, load
+from ..symbolic import Const, Expr, var
+
+
+class LoweringError(RuntimeError):
+    """The cascade is outside the class supported by the scalar emitter."""
+
+
+@dataclass(frozen=True)
+class ElementLayout:
+    """How one element variable is stored in memory.
+
+    * ``per_row=True`` — shape (rows, length): a distinct stream per
+      output row (attention's P, quant's A rows, softmax's x);
+    * ``per_row=False`` — shape (length, width): shared across rows
+      (attention's V, quant's W).
+    """
+
+    name: str
+    width: int = 1
+    per_row: bool = True
+
+
+@dataclass(frozen=True)
+class GemmProducer:
+    """A prologue GEMM producing one element variable.
+
+    ``target[r, l] = sum_d lhs[r, d] * rhs[l, d]`` — the QK^T of
+    attention (Fig. 11 reduction 1), fused into the main loop.
+    """
+
+    target: str
+    lhs: str
+    rhs: str
+    inner_dim: int
+
+
+@dataclass(frozen=True)
+class CodegenSpec:
+    """Everything the emitter needs besides the fused cascade."""
+
+    fused: FusedCascade
+    rows: int
+    length: int
+    layouts: Tuple[ElementLayout, ...]
+    producer: Optional[GemmProducer] = None
+
+    def layout(self, name: str) -> ElementLayout:
+        for lay in self.layouts:
+            if lay.name == name:
+                return lay
+        raise KeyError(name)
+
+    def reduction_width(self, fr: FusedReduction) -> int:
+        """Output width of a reduction = widest element var in its F."""
+        names = fr.reduction.fn.free_vars()
+        widths = [
+            lay.width for lay in self.layouts if lay.name in names
+        ]
+        return max(widths, default=1)
+
+
+def _check_supported(spec: CodegenSpec) -> None:
+    multi_term_names = set()
+    for fr in spec.fused:
+        if fr.is_topk:
+            raise LoweringError(
+                "top-k carriers are lowered by the tile backend, not the "
+                "scalar emitter"
+            )
+        if fr.is_multi_term:
+            multi_term_names.add(fr.reduction.name)
+        elif multi_term_names & set(fr.dep_names):
+            raise LoweringError(
+                "a single-term reduction cannot depend on a multi-term "
+                "output (it is only materialized in the epilogue)"
+            )
+    for lay in spec.layouts:
+        if lay.per_row and lay.width != 1:
+            raise LoweringError("per-row element vars must have width 1")
+
+
+def _element_load(spec: CodegenSpec, name: str, r: Expr, l: Expr, d: Expr) -> Expr:
+    lay = spec.layout(name)
+    if lay.per_row:
+        return load(name, r, l)
+    if lay.width == 1:
+        return load(name, l, 0)
+    return load(name, l, d)
+
+
+def _reused_by_later(spec: CodegenSpec, index: int) -> bool:
+    """Does any later reduction's H reference this output? (step-1 test)."""
+    name = spec.fused.reductions[index].reduction.name
+    for later in spec.fused.reductions[index + 1 :]:
+        if later.h is not None and name in later.h.free_vars():
+            return True
+        for term in later.terms:
+            if name in term.h.free_vars():
+                return True
+    return False
+
+
+class _ChainEmitter:
+    """Emits the per-element seed / update statement groups."""
+
+    def __init__(self, spec: CodegenSpec, fb: FunctionBuilder, row: Expr):
+        self.spec = spec
+        self.fb = fb
+        self.row = row
+
+    def state_ref(self, fr: FusedReduction, d: Expr) -> Tuple[str, tuple]:
+        name = fr.reduction.name
+        if self.spec.reduction_width(fr) > 1:
+            return name, (self.row, d)
+        return name, (self.row,)
+
+    def _subst_contrib(self, fr: FusedReduction, l: Expr, d: Expr) -> Expr:
+        """gh with element vars → loads and deps → state buffers."""
+        mapping: Dict[str, Expr] = {}
+        for lay in self.spec.layouts:
+            mapping[lay.name] = _element_load(self.spec, lay.name, self.row, l, d)
+        for dep in fr.dep_names:
+            mapping[dep] = load(dep, self.row)
+        return fr.gh.substitute(mapping)
+
+    def _subst_ratio(self, fr: FusedReduction) -> Expr:
+        mapping: Dict[str, Expr] = {}
+        for dep in fr.dep_names:
+            mapping[dep + PREV_SUFFIX] = load(dep + "_prev", self.row)
+            mapping[dep + NEW_SUFFIX] = load(dep, self.row)
+        return fr.h_ratio.substitute(mapping)
+
+    def emit_seed(self, l: Expr) -> None:
+        """Step 3 only — the peeled first iteration (Appendix A.1: H of
+        an identity-valued state may be non-invertible, so the seed
+        carries no correction)."""
+        for fr in self.spec.fused:
+            self._emit_reduce_step(fr, l)
+
+    def emit_update(self, l: Expr) -> None:
+        """Full three-step template for one element (Fig. 12a)."""
+        for index, fr in enumerate(self.spec.fused):
+            name = fr.reduction.name
+            if _reused_by_later(self.spec, index):
+                # step 1: store previous result
+                self.fb.store(name + "_prev", (self.row,), load(name, self.row))
+            if fr.needs_correction:
+                # step 2: apply correction
+                ratio = self._subst_ratio(fr)
+                width = self.spec.reduction_width(fr)
+                if width > 1:
+                    d = var("d")
+                    with self.fb.loop("d", width):
+                        target = load(name, self.row, d)
+                        self.fb.store(
+                            name,
+                            (self.row, d),
+                            fr.otimes.apply_sym(target, ratio),
+                        )
+                else:
+                    self.fb.store(
+                        name,
+                        (self.row,),
+                        fr.otimes.apply_sym(load(name, self.row), ratio),
+                    )
+            # step 3: perform reduction
+            self._emit_reduce_step(fr, l)
+
+    def _emit_reduce_step(self, fr: FusedReduction, l: Expr) -> None:
+        name = fr.reduction.name
+        width = self.spec.reduction_width(fr)
+        if fr.is_multi_term:
+            # dependency-free running accumulators; materialization is a
+            # final epilogue handled by the caller.
+            for j, term in enumerate(fr.terms):
+                mapping = {
+                    lay.name: _element_load(self.spec, lay.name, self.row, l, var("d"))
+                    for lay in self.spec.layouts
+                }
+                self.fb.reduce(
+                    f"{name}_acc{j}", (self.row,), "sum", term.g.substitute(mapping)
+                )
+            return
+        if width > 1:
+            d = var("d")
+            with self.fb.loop("d", width):
+                self.fb.reduce(
+                    name,
+                    (self.row, d),
+                    fr.reduction.op_name,
+                    self._subst_contrib(fr, l, d),
+                )
+        else:
+            self.fb.reduce(
+                name,
+                (self.row,),
+                fr.reduction.op_name,
+                self._subst_contrib(fr, l, var("d")),
+            )
+
+
+def _declare_buffers(spec: CodegenSpec, fb: FunctionBuilder) -> None:
+    producer = spec.producer
+    for lay in spec.layouts:
+        if producer is not None and lay.name == producer.target:
+            fb.buffer(lay.name, (spec.rows, spec.length))
+            continue
+        if lay.per_row:
+            fb.input_buffer(lay.name, (spec.rows, spec.length))
+        else:
+            fb.input_buffer(lay.name, (spec.length, lay.width))
+    if producer is not None:
+        fb.input_buffer(producer.lhs, (spec.rows, producer.inner_dim))
+        fb.input_buffer(producer.rhs, (spec.length, producer.inner_dim))
+
+
+def _declare_state(spec: CodegenSpec, fb: FunctionBuilder) -> None:
+    for index, fr in enumerate(spec.fused):
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        if fr.is_multi_term:
+            for j, _ in enumerate(fr.terms):
+                fb.buffer(f"{name}_acc{j}", (spec.rows,))
+            fb.output_buffer(name, (spec.rows,))
+            continue
+        shape = (spec.rows, width) if width > 1 else (spec.rows,)
+        fb.output_buffer(name, shape)
+        if _reused_by_later(spec, index):
+            fb.buffer(name + "_prev", (spec.rows,))
+
+
+def _emit_producer(spec: CodegenSpec, fb: FunctionBuilder, r: Expr, l: Expr) -> None:
+    producer = spec.producer
+    if producer is None:
+        return
+    d = var("pd")
+    with fb.loop("pd", producer.inner_dim):
+        fb.reduce(
+            producer.target,
+            (r, l),
+            "sum",
+            load(producer.lhs, r, d) * load(producer.rhs, l, d),
+        )
+
+
+def _emit_multi_term_epilogue(spec: CodegenSpec, fb: FunctionBuilder, r: Expr) -> None:
+    """Materialize multi-term outputs d = Σ_j h_j(D) * ĝ_j."""
+    for fr in spec.fused:
+        if not fr.is_multi_term:
+            continue
+        name = fr.reduction.name
+        total: Optional[Expr] = None
+        for j, term in enumerate(fr.terms):
+            dep_map = {dep: load(dep, r) for dep in fr.dep_names}
+            piece = term.h.substitute(dep_map) * load(f"{name}_acc{j}", r)
+            total = piece if total is None else total + piece
+        fb.store(name, (r,), total)
+
+
+def lower_single_segment(spec: CodegenSpec) -> Function:
+    """Emit the Single-Segment strategy (incremental, Fig. 12a)."""
+    _check_supported(spec)
+    fb = FunctionBuilder(f"{spec.fused.cascade.name}_single_segment")
+    _declare_buffers(spec, fb)
+    _declare_state(spec, fb)
+    r, l = var("r"), var("l")
+    zero = Const(0.0)
+
+    with fb.loop("r", spec.rows):
+        emitter = _ChainEmitter(spec, fb, r)
+        # peeled seed iteration (l = 0)
+        _emit_producer(spec, fb, r, zero)
+        emitter.emit_seed(zero)
+        with fb.loop("l", spec.length, start=1):
+            _emit_producer(spec, fb, r, l)
+            emitter.emit_update(l)
+        _emit_multi_term_epilogue(spec, fb, r)
+    return fb.build()
+
+
+def lower_multi_segment(
+    spec: CodegenSpec, num_segments: int
+) -> Tuple[Function, Function]:
+    """Emit the Multi-Segment strategy: partial + combine (Fig. 13a)."""
+    _check_supported(spec)
+    for fr in spec.fused:
+        if fr.is_multi_term:
+            raise LoweringError(
+                "multi-term reductions use the single-segment emitter "
+                "(their accumulators already combine without correction)"
+            )
+    if num_segments < 2:
+        raise LoweringError("multi-segment strategy needs num_segments >= 2")
+    if spec.length % num_segments != 0:
+        raise LoweringError("length must divide evenly into segments")
+    seg_len = spec.length // num_segments
+
+    # ---- partial kernel --------------------------------------------------
+    fb = FunctionBuilder(f"{spec.fused.cascade.name}_partial")
+    _declare_buffers(spec, fb)
+    r, s, l = var("r"), var("split"), var("l")
+    for index, fr in enumerate(spec.fused):
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        shape = (
+            (spec.rows, num_segments, width)
+            if width > 1
+            else (spec.rows, num_segments)
+        )
+        fb.output_buffer(name + "_part", shape)
+        if _reused_by_later(spec, index):
+            fb.buffer(name + "_part_prev", (spec.rows, num_segments))
+
+    with fb.loop("r", spec.rows):
+        with fb.loop("split", num_segments):
+            emitter = _PartialEmitter(spec, fb, r, s, seg_len)
+            offset0 = s * seg_len
+            _emit_producer_at(spec, fb, r, offset0)
+            emitter.emit_seed(offset0)
+            with fb.loop("l", seg_len, start=1):
+                offset = s * seg_len + l
+                _emit_producer_at(spec, fb, r, offset)
+                emitter.emit_update(offset)
+    partial = fb.build()
+
+    # ---- combine kernel (Eq. 11 / Fig. 13a) ------------------------------
+    cb = FunctionBuilder(f"{spec.fused.cascade.name}_combine")
+    for fr in spec.fused:
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        shape = (
+            (spec.rows, num_segments, width)
+            if width > 1
+            else (spec.rows, num_segments)
+        )
+        cb.input_buffer(name + "_part", shape)
+        cb.output_buffer(name, (spec.rows, width) if width > 1 else (spec.rows,))
+    with cb.loop("r", spec.rows):
+        for fr in spec.fused:
+            name = fr.reduction.name
+            width = spec.reduction_width(fr)
+            with cb.loop("split", num_segments):
+                ratio = _combine_ratio(fr, r, s)
+                if width > 1:
+                    d = var("d")
+                    with cb.loop("d", width):
+                        child = load(name + "_part", r, s, d)
+                        value = (
+                            child
+                            if ratio is None
+                            else fr.otimes.apply_sym(child, ratio)
+                        )
+                        cb.reduce(name, (r, d), fr.reduction.op_name, value)
+                else:
+                    child = load(name + "_part", r, s)
+                    value = (
+                        child if ratio is None else fr.otimes.apply_sym(child, ratio)
+                    )
+                    cb.reduce(name, (r,), fr.reduction.op_name, value)
+    combine = cb.build()
+    return partial, combine
+
+
+def _combine_ratio(fr: FusedReduction, r: Expr, s: Expr) -> Optional[Expr]:
+    """Child correction H(child deps)^-1 ⊗ H(final deps) for Eq. 11."""
+    if not fr.needs_correction:
+        return None
+    mapping: Dict[str, Expr] = {}
+    for dep in fr.dep_names:
+        mapping[dep + PREV_SUFFIX] = load(dep + "_part", r, s)
+        mapping[dep + NEW_SUFFIX] = load(dep, r)
+    return fr.h_ratio.substitute(mapping)
+
+
+def _emit_producer_at(spec: CodegenSpec, fb: FunctionBuilder, r: Expr, offset: Expr):
+    producer = spec.producer
+    if producer is None:
+        return
+    d = var("pd")
+    with fb.loop("pd", producer.inner_dim):
+        fb.reduce(
+            producer.target,
+            (r, offset),
+            "sum",
+            load(producer.lhs, r, d) * load(producer.rhs, offset, d),
+        )
+
+
+class _PartialEmitter(_ChainEmitter):
+    """Chain emitter writing per-(row, split) partial state buffers."""
+
+    def __init__(self, spec, fb, row, split, seg_len):
+        super().__init__(spec, fb, row)
+        self.split = split
+        self.seg_len = seg_len
+
+    def _subst_contrib(self, fr, l, d):
+        mapping: Dict[str, Expr] = {}
+        for lay in self.spec.layouts:
+            mapping[lay.name] = _element_load(self.spec, lay.name, self.row, l, d)
+        for dep in fr.dep_names:
+            mapping[dep] = load(dep + "_part", self.row, self.split)
+        return fr.gh.substitute(mapping)
+
+    def _subst_ratio(self, fr):
+        mapping: Dict[str, Expr] = {}
+        for dep in fr.dep_names:
+            mapping[dep + PREV_SUFFIX] = load(
+                dep + "_part_prev", self.row, self.split
+            )
+            mapping[dep + NEW_SUFFIX] = load(dep + "_part", self.row, self.split)
+        return fr.h_ratio.substitute(mapping)
+
+    def emit_update(self, l):
+        for index, fr in enumerate(self.spec.fused):
+            name = fr.reduction.name
+            if _reused_by_later(self.spec, index):
+                self.fb.store(
+                    name + "_part_prev",
+                    (self.row, self.split),
+                    load(name + "_part", self.row, self.split),
+                )
+            if fr.needs_correction:
+                ratio = self._subst_ratio(fr)
+                width = self.spec.reduction_width(fr)
+                if width > 1:
+                    d = var("d")
+                    with self.fb.loop("d", width):
+                        target = load(name + "_part", self.row, self.split, d)
+                        self.fb.store(
+                            name + "_part",
+                            (self.row, self.split, d),
+                            fr.otimes.apply_sym(target, ratio),
+                        )
+                else:
+                    target = load(name + "_part", self.row, self.split)
+                    self.fb.store(
+                        name + "_part",
+                        (self.row, self.split),
+                        fr.otimes.apply_sym(target, ratio),
+                    )
+            self._emit_reduce_step(fr, l)
+
+    def _emit_reduce_step(self, fr, l):
+        name = fr.reduction.name
+        width = self.spec.reduction_width(fr)
+        if width > 1:
+            d = var("d")
+            with self.fb.loop("d", width):
+                self.fb.reduce(
+                    name + "_part",
+                    (self.row, self.split, d),
+                    fr.reduction.op_name,
+                    self._subst_contrib(fr, l, d),
+                )
+        else:
+            self.fb.reduce(
+                name + "_part",
+                (self.row, self.split),
+                fr.reduction.op_name,
+                self._subst_contrib(fr, l, var("d")),
+            )

@@ -1,0 +1,586 @@
+"""Tensorization: fused cascades → tile-level IR (paper §4.4).
+
+The three stages of §4.4 are realized as:
+
+* **Blockization** — the row axis splits into ``blk_rows`` tiles bound
+  to ``blockIdx.x``; the cascade axis streams through a ``ForStage``
+  software-pipeline loop of ``blk_len`` elements per stage;
+* **Block-level buffer management** — global inputs are staged into
+  ``shared`` tiles via explicit ``copy``; accumulator state lives in
+  ``fragment`` tiles compacted to the block's footprint;
+* **Conversion to TileOp** — each reduction's three-step template maps
+  onto ``copy`` (store previous), ``parallel`` (apply correction) and
+  ``reduce``/``gemm`` (perform reduction).  A vector-valued reduction
+  whose fresh contribution factors as ``weight(x, d) * V`` lowers to
+  ``parallel`` (weights tile) + ``gemm`` — which is exactly how
+  FlashAttention's PV product appears in Fig. 12b.
+
+``tensorize_multi_segment`` adds the ``blockIdx.y`` split dimension and
+emits the separate combine kernel of Fig. 13b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.fused import NEW_SUFFIX, PREV_SUFFIX, FusedReduction
+from ..ir.scalar import Load, load
+from ..ir.tile import (
+    Copy,
+    Fill,
+    ForStage,
+    Gemm,
+    Parallel,
+    Reduce,
+    TileBuffer,
+    TileOp,
+    TileProgram,
+    tile,
+)
+from ..symbolic import Binary, Const, Expr, Var, var
+from .lower import CodegenSpec, LoweringError, _reused_by_later
+
+_STATE_INITS = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Auto-tunable tile parameters (§4.4's search space)."""
+
+    blk_rows: int = 128
+    blk_len: int = 128
+    threads: int = 256
+    pipeline_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.blk_rows < 1 or self.blk_len < 1:
+            raise ValueError("tile sizes must be positive")
+
+
+def _seed_init(spec: CodegenSpec, fr: FusedReduction) -> float:
+    """Identity seed for a state fragment.
+
+    Abs-max style reductions (G >= 0 everywhere) seed with 0 instead of
+    -inf so that the very first correction ratio is well defined — the
+    tile template, like Fig. 12b, does not peel the first stage.
+    """
+    init = _STATE_INITS[fr.reduction.op_name]
+    if fr.reduction.op_name == "max" and _is_nonnegative(fr.gh):
+        return 0.0
+    return init
+
+
+def _is_nonnegative(e: Expr) -> bool:
+    from ..symbolic.expr import Unary
+
+    if isinstance(e, Unary) and e.op in ("abs", "exp", "sqrt"):
+        return True
+    if isinstance(e, Binary) and e.op == "mul" and e.lhs == e.rhs:
+        return True
+    return False
+
+
+def _split_vector_factor(gh: Expr, vector_name: str) -> Optional[Expr]:
+    """If ``gh == weight * Var(vector)``, return the weight expression."""
+    from ..symbolic.simplify import _split_factors, _product
+    from ..symbolic import simplify
+
+    num, den = _split_factors(gh)
+    target = Var(vector_name)
+    if num.count(target) != 1 or target in den:
+        return None
+    num = [f for f in num if f != target]
+    weight = _product(num)  # Const(1.0) when no other factors remain
+    if den:
+        weight = Binary("div", weight, _product(den))
+    return simplify(weight)
+
+
+class _TileEmitter:
+    """Shared machinery for single- and multi-segment tile programs."""
+
+    def __init__(self, spec: CodegenSpec, config: TileConfig, splits: int = 1):
+        if spec.rows % config.blk_rows != 0:
+            raise LoweringError("rows must divide into blk_rows tiles")
+        seg_len = spec.length // splits
+        if spec.length % splits != 0 or seg_len % config.blk_len != 0:
+            raise LoweringError("length must divide into splits * blk_len tiles")
+        for fr in spec.fused:
+            if fr.is_topk or fr.is_multi_term:
+                raise LoweringError(
+                    "the tile backend lowers single-term scalar chains "
+                    "(attention / softmax / quant class)"
+                )
+        self.spec = spec
+        self.config = config
+        self.splits = splits
+        self.seg_len = seg_len
+        self.stages = seg_len // config.blk_len
+        self.row_blocks = spec.rows // config.blk_rows
+        self.buffers: List[TileBuffer] = []
+        self.body: List[TileOp] = []
+
+    # -- buffer declaration -------------------------------------------------
+    def declare(self) -> None:
+        spec, cfg = self.spec, self.config
+        producer = spec.producer
+        for lay in spec.layouts:
+            if producer is not None and lay.name == producer.target:
+                continue  # produced on-chip, never touches global memory
+            shape = (
+                (spec.rows, spec.length)
+                if lay.per_row
+                else (spec.length, lay.width)
+            )
+            self.buffers.append(TileBuffer(lay.name, shape, "global", 2))
+            shared_shape = (
+                (cfg.blk_rows, cfg.blk_len)
+                if lay.per_row
+                else (cfg.blk_len, lay.width)
+            )
+            self.buffers.append(
+                TileBuffer(lay.name + "_shared", shared_shape, "shared", 2)
+            )
+        if producer is not None:
+            self.buffers.append(
+                TileBuffer(producer.lhs, (spec.rows, producer.inner_dim), "global", 2)
+            )
+            self.buffers.append(
+                TileBuffer(producer.rhs, (spec.length, producer.inner_dim), "global", 2)
+            )
+            self.buffers.append(
+                TileBuffer(
+                    producer.lhs + "_shared",
+                    (cfg.blk_rows, producer.inner_dim),
+                    "shared",
+                    2,
+                )
+            )
+            self.buffers.append(
+                TileBuffer(
+                    producer.rhs + "_shared",
+                    (cfg.blk_len, producer.inner_dim),
+                    "shared",
+                    2,
+                )
+            )
+            self.buffers.append(
+                TileBuffer(
+                    producer.target + "_frag", (cfg.blk_rows, cfg.blk_len), "fragment"
+                )
+            )
+        for index, fr in enumerate(spec.fused):
+            name = fr.reduction.name
+            width = spec.reduction_width(fr)
+            self.buffers.append(
+                TileBuffer(f"{name}_frag", (cfg.blk_rows, width), "fragment")
+            )
+            if _reused_by_later(spec, index):
+                self.buffers.append(
+                    TileBuffer(f"{name}_frag_prev", (cfg.blk_rows, 1), "fragment")
+                )
+            if self._weight_tile_needed(fr):
+                self.buffers.append(
+                    TileBuffer(
+                        f"{name}_w", (cfg.blk_rows, cfg.blk_len), "fragment"
+                    )
+                )
+
+    def _weight_tile_needed(self, fr: FusedReduction) -> bool:
+        if self.spec.reduction_width(fr) > 1:
+            return True
+        return fr.gh != Var(self._per_row_element())
+
+    def _per_row_element(self) -> str:
+        for lay in self.spec.layouts:
+            if lay.per_row:
+                return lay.name
+        raise LoweringError("the tile backend needs one per-row element var")
+
+    # -- body ---------------------------------------------------------------
+    def emit_body(self, bx: Expr, stage_offset: Expr) -> None:
+        spec, cfg = self.spec, self.config
+        producer = spec.producer
+        for fr in spec.fused:
+            self.body.append(
+                Fill(
+                    tile(
+                        f"{fr.reduction.name}_frag",
+                        (0, cfg.blk_rows),
+                        (0, spec.reduction_width(fr)),
+                    ),
+                    _seed_init(spec, fr),
+                )
+            )
+        if producer is not None:
+            self.body.append(
+                Copy(
+                    tile(
+                        producer.lhs,
+                        (bx * cfg.blk_rows, cfg.blk_rows),
+                        (0, producer.inner_dim),
+                    ),
+                    tile(
+                        producer.lhs + "_shared",
+                        (0, cfg.blk_rows),
+                        (0, producer.inner_dim),
+                    ),
+                )
+            )
+
+        stage = var("stage")
+        offset = stage_offset + stage * cfg.blk_len
+        stage_body: List[TileOp] = []
+        for lay in spec.layouts:
+            if producer is not None and lay.name == producer.target:
+                continue
+            if lay.per_row:
+                stage_body.append(
+                    Copy(
+                        tile(
+                            lay.name,
+                            (bx * cfg.blk_rows, cfg.blk_rows),
+                            (offset, cfg.blk_len),
+                        ),
+                        tile(
+                            lay.name + "_shared", (0, cfg.blk_rows), (0, cfg.blk_len)
+                        ),
+                    )
+                )
+            else:
+                stage_body.append(
+                    Copy(
+                        tile(lay.name, (offset, cfg.blk_len), (0, lay.width)),
+                        tile(
+                            lay.name + "_shared", (0, cfg.blk_len), (0, lay.width)
+                        ),
+                    )
+                )
+        if producer is not None:
+            stage_body.append(
+                Copy(
+                    tile(producer.rhs, (offset, cfg.blk_len), (0, producer.inner_dim)),
+                    tile(
+                        producer.rhs + "_shared",
+                        (0, cfg.blk_len),
+                        (0, producer.inner_dim),
+                    ),
+                )
+            )
+            stage_body.append(
+                Fill(
+                    tile(
+                        producer.target + "_frag", (0, cfg.blk_rows), (0, cfg.blk_len)
+                    ),
+                    0.0,
+                )
+            )
+            stage_body.append(
+                Gemm(
+                    tile(
+                        producer.lhs + "_shared",
+                        (0, cfg.blk_rows),
+                        (0, producer.inner_dim),
+                    ),
+                    tile(
+                        producer.rhs + "_shared",
+                        (0, cfg.blk_len),
+                        (0, producer.inner_dim),
+                    ),
+                    tile(
+                        producer.target + "_frag", (0, cfg.blk_rows), (0, cfg.blk_len)
+                    ),
+                )
+            )
+        for index, fr in enumerate(spec.fused):
+            stage_body.extend(self._reduction_ops(fr, index))
+        self.body.append(ForStage("stage", self.stages, tuple(stage_body)))
+
+    def _element_tile_load(self, name: str, i: Expr, j: Expr, d: Expr) -> Expr:
+        lay = self.spec.layout(name)
+        producer = self.spec.producer
+        if producer is not None and name == producer.target:
+            return load(producer.target + "_frag", i, j)
+        if lay.per_row:
+            return load(name + "_shared", i, j)
+        if lay.width == 1:
+            return load(name + "_shared", j, 0)
+        return load(name + "_shared", j, d)
+
+    def _contrib_expr(self, fr: FusedReduction, i: Expr, j: Expr, d: Expr) -> Expr:
+        mapping: Dict[str, Expr] = {}
+        for lay in self.spec.layouts:
+            mapping[lay.name] = self._element_tile_load(lay.name, i, j, d)
+        for dep in fr.dep_names:
+            mapping[dep] = load(dep + "_frag", i, 0)
+        return fr.gh.substitute(mapping)
+
+    def _ratio_expr(self, fr: FusedReduction, i: Expr) -> Expr:
+        mapping: Dict[str, Expr] = {}
+        for dep in fr.dep_names:
+            mapping[dep + PREV_SUFFIX] = load(dep + "_frag_prev", i, 0)
+            mapping[dep + NEW_SUFFIX] = load(dep + "_frag", i, 0)
+        return fr.h_ratio.substitute(mapping)
+
+    def _reduction_ops(self, fr: FusedReduction, index: int) -> List[TileOp]:
+        spec, cfg = self.spec, self.config
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        i, j, d = var("i"), var("j"), var("d")
+        ops: List[TileOp] = []
+
+        if _reused_by_later(spec, index):
+            ops.append(
+                Copy(
+                    tile(f"{name}_frag", (0, cfg.blk_rows), (0, 1)),
+                    tile(f"{name}_frag_prev", (0, cfg.blk_rows), (0, 1)),
+                )
+            )
+        if fr.needs_correction:
+            ratio = self._ratio_expr(fr, i)
+            target_width = width
+            value = _apply(fr, load(f"{name}_frag", i, d), ratio)
+            ops.append(
+                Parallel(
+                    f"{name}_frag",
+                    (i, d),
+                    value,
+                    ("i", "d"),
+                    (cfg.blk_rows, target_width),
+                )
+            )
+
+        if width > 1:
+            vector_name = self._vector_element(fr)
+            weight = _split_vector_factor(fr.gh, vector_name)
+            if weight is None:
+                raise LoweringError(
+                    f"vector reduction {name!r} does not factor as weight * "
+                    f"{vector_name}"
+                )
+            mapping: Dict[str, Expr] = {}
+            for lay in spec.layouts:
+                mapping[lay.name] = self._element_tile_load(lay.name, i, j, d)
+            for dep in fr.dep_names:
+                mapping[dep] = load(dep + "_frag", i, 0)
+            ops.append(
+                Parallel(
+                    f"{name}_w",
+                    (i, j),
+                    weight.substitute(mapping),
+                    ("i", "j"),
+                    (cfg.blk_rows, cfg.blk_len),
+                )
+            )
+            ops.append(
+                Gemm(
+                    tile(f"{name}_w", (0, cfg.blk_rows), (0, cfg.blk_len)),
+                    tile(vector_name + "_shared", (0, cfg.blk_len), (0, width)),
+                    tile(f"{name}_frag", (0, cfg.blk_rows), (0, width)),
+                    transpose_b=False,
+                )
+            )
+            return ops
+
+        if self._weight_tile_needed(fr):
+            ops.append(
+                Parallel(
+                    f"{name}_w",
+                    (i, j),
+                    self._contrib_expr(fr, i, j, d),
+                    ("i", "j"),
+                    (cfg.blk_rows, cfg.blk_len),
+                )
+            )
+            src = tile(f"{name}_w", (0, cfg.blk_rows), (0, cfg.blk_len))
+        else:
+            producer = spec.producer
+            src_name = (
+                producer.target + "_frag"
+                if producer is not None and self._per_row_element() == producer.target
+                else self._per_row_element() + "_shared"
+            )
+            src = tile(src_name, (0, cfg.blk_rows), (0, cfg.blk_len))
+        ops.append(
+            Reduce(
+                src,
+                tile(f"{name}_frag", (0, cfg.blk_rows), (0, 1)),
+                axis=1,
+                op=fr.reduction.op_name,
+            )
+        )
+        return ops
+
+    def _vector_element(self, fr: FusedReduction) -> str:
+        names = fr.reduction.fn.free_vars()
+        for lay in self.spec.layouts:
+            if lay.width > 1 and lay.name in names:
+                return lay.name
+        raise LoweringError("vector reduction without a wide element var")
+
+
+def _apply(fr: FusedReduction, a: Expr, b: Expr) -> Expr:
+    return fr.otimes.apply_sym(a, b)
+
+
+def tensorize_single_segment(
+    spec: CodegenSpec, config: TileConfig = TileConfig()
+) -> TileProgram:
+    """Single-Segment strategy as a tile program (Fig. 12b)."""
+    emitter = _TileEmitter(spec, config, splits=1)
+    emitter.declare()
+    bx = var("bx")
+    for fr in spec.fused:
+        width = spec.reduction_width(fr)
+        emitter.buffers.append(
+            TileBuffer(fr.reduction.name, (spec.rows, width), "global", 2)
+        )
+    emitter.emit_body(bx, stage_offset=Const(0.0))
+    cfg = config
+    for fr in spec.fused:
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        emitter.body.append(
+            Copy(
+                tile(f"{name}_frag", (0, cfg.blk_rows), (0, width)),
+                tile(name, (bx * cfg.blk_rows, cfg.blk_rows), (0, width)),
+            )
+        )
+    return TileProgram(
+        name=f"{spec.fused.cascade.name}_tile_single",
+        buffers=tuple(emitter.buffers),
+        grid=(("bx", emitter.row_blocks),),
+        body=tuple(emitter.body),
+    )
+
+
+def tensorize_multi_segment(
+    spec: CodegenSpec, config: TileConfig = TileConfig(), splits: int = 2
+) -> Tuple[TileProgram, TileProgram]:
+    """Multi-Segment strategy: partial + combine kernels (Fig. 13b)."""
+    if splits < 2:
+        raise LoweringError("multi-segment needs splits >= 2")
+    emitter = _TileEmitter(spec, config, splits=splits)
+    emitter.declare()
+    bx, by = var("bx"), var("by")
+    for fr in spec.fused:
+        width = spec.reduction_width(fr)
+        emitter.buffers.append(
+            TileBuffer(
+                fr.reduction.name + "_part", (spec.rows, width, splits), "global"
+            )
+        )
+    emitter.emit_body(bx, stage_offset=by * emitter.seg_len)
+    cfg = config
+    for fr in spec.fused:
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        i, d = var("i"), var("d")
+        emitter.body.append(
+            Parallel(
+                name + "_part",
+                (bx * cfg.blk_rows + i, d, by),
+                load(name + "_frag", i, d),
+                ("i", "d"),
+                (cfg.blk_rows, width),
+            )
+        )
+    partial = TileProgram(
+        name=f"{spec.fused.cascade.name}_tile_partial",
+        buffers=tuple(emitter.buffers),
+        grid=(("bx", emitter.row_blocks), ("by", splits)),
+        body=tuple(emitter.body),
+    )
+
+    # -- combine kernel (Fig. 13b) ------------------------------------------
+    # The combine reads small per-split partials; fine row tiles keep its
+    # grid wide enough to matter on the occupancy model.
+    combine_rows = cfg.blk_rows
+    for candidate in (16, 32, 64):
+        if candidate <= cfg.blk_rows and spec.rows % candidate == 0:
+            combine_rows = candidate
+            break
+    buffers: List[TileBuffer] = []
+    body: List[TileOp] = []
+    i, d, k = var("i"), var("d"), var("k")
+    for index, fr in enumerate(spec.fused):
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        buffers.append(
+            TileBuffer(name + "_part", (spec.rows, width, splits), "global")
+        )
+        buffers.append(TileBuffer(name, (spec.rows, width), "global"))
+        buffers.append(
+            TileBuffer(name + "_pfrag", (combine_rows, width, splits), "fragment")
+        )
+        if fr.needs_correction:
+            # corrected partials live in their own tile: later reductions'
+            # ratios must read the *original* partial dependency values
+            buffers.append(
+                TileBuffer(name + "_cfrag", (combine_rows, width, splits), "fragment")
+            )
+        buffers.append(TileBuffer(name + "_frag", (combine_rows, width), "fragment"))
+    for fr in spec.fused:
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        body.append(
+            Copy(
+                tile(
+                    name + "_part",
+                    (bx * combine_rows, combine_rows),
+                    (0, width),
+                    (0, splits),
+                ),
+                tile(name + "_pfrag", (0, combine_rows), (0, width), (0, splits)),
+            )
+        )
+        body.append(
+            Fill(
+                tile(name + "_frag", (0, combine_rows), (0, width)),
+                _STATE_INITS[fr.reduction.op_name],
+            )
+        )
+    for fr in spec.fused:
+        name = fr.reduction.name
+        width = spec.reduction_width(fr)
+        reduce_src = name + "_pfrag"
+        if fr.needs_correction:
+            mapping: Dict[str, Expr] = {}
+            for dep in fr.dep_names:
+                mapping[dep + PREV_SUFFIX] = load(dep + "_pfrag", i, 0, k)
+                mapping[dep + NEW_SUFFIX] = load(dep + "_frag", i, 0)
+            ratio = fr.h_ratio.substitute(mapping)
+            body.append(
+                Parallel(
+                    name + "_cfrag",
+                    (i, d, k),
+                    _apply(fr, load(name + "_pfrag", i, d, k), ratio),
+                    ("i", "d", "k"),
+                    (combine_rows, width, splits),
+                )
+            )
+            reduce_src = name + "_cfrag"
+        body.append(
+            Reduce(
+                tile(reduce_src, (0, combine_rows), (0, width), (0, splits)),
+                tile(name + "_frag", (0, combine_rows), (0, width)),
+                axis=2,
+                op=fr.reduction.op_name,
+            )
+        )
+        body.append(
+            Copy(
+                tile(name + "_frag", (0, combine_rows), (0, width)),
+                tile(name, (bx * combine_rows, combine_rows), (0, width)),
+            )
+        )
+    combine = TileProgram(
+        name=f"{spec.fused.cascade.name}_tile_combine",
+        buffers=tuple(buffers),
+        grid=(("bx", spec.rows // combine_rows),),
+        body=tuple(body),
+    )
+    return partial, combine

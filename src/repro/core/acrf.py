@@ -1,0 +1,242 @@
+"""Automatic Cascaded Reductions Fusion (ACRF) — Algorithm 1 of the paper.
+
+Given a reduction's mapping function F_i(x[l], d_i) and its reduction
+operator R_i, ACRF:
+
+1. determines the compatible combine operator ⊗_i by Table 1 lookup;
+2. selects a fixed point (x0, d0) such that F_i(x0, d0) is invertible
+   under ⊗_i;
+3. checks the decomposability identity (Eq. 23)
+   ``F(x,d) ⊗ F(x0,d0) == F(x,d0) ⊗ F(x0,d)`` by randomized sampling;
+4. extracts ``G(x) = F(x, d0)`` (Eq. 24) and
+   ``H(d) = F(x0, d) ⊗ F(x0, d0)^-1`` (Eq. 25).
+
+This module also implements a documented extension: when the single-term
+decomposition fails but R_i is a summation, F is distributively expanded
+into additive terms (e.g. ``(x - m)^2 -> x^2 - 2mx + m^2``) and each
+term is decomposed independently; the linear reduction then distributes
+over the terms.  This is what makes the paper's variance and
+moment-of-inertia workloads (Appendix A.6) fusable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..symbolic import (
+    Const,
+    EquivalenceUndecided,
+    Expr,
+    count_nodes,
+    numeric_equivalent,
+    simplify,
+)
+from ..symbolic.expand import expand_terms
+from .ops import CombineOp, compatible_combine
+from .spec import Cascade, Reduction
+
+
+class NotFusableError(RuntimeError):
+    """Raised when ACRF cannot decompose a reduction's mapping function."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """One decomposed product term: F_term(x, d) == g(x) ⊗ h(d)."""
+
+    g: Expr
+    h: Expr
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Result of ACRF for one reduction.
+
+    ``terms`` has exactly one entry for directly-decomposable functions;
+    multi-term decompositions (sum reductions only) have several.
+    """
+
+    otimes: CombineOp
+    terms: Tuple[Term, ...]
+
+    @property
+    def g(self) -> Expr:
+        if len(self.terms) != 1:
+            raise ValueError("multi-term decomposition has no single G")
+        return self.terms[0].g
+
+    @property
+    def h(self) -> Expr:
+        if len(self.terms) != 1:
+            raise ValueError("multi-term decomposition has no single H")
+        return self.terms[0].h
+
+    @property
+    def is_multi_term(self) -> bool:
+        return len(self.terms) > 1
+
+
+#: Fill values tried (in order) when searching for a fixed point.  "Nice"
+#: points like 0/1 are tried first so that the extracted G/H come out in
+#: their cleanest closed form (e.g. H(m) = exp(-m) for safe softmax).
+_X_FILLS = (0.0, 1.0, -1.0, 2.0, 0.5, 1.3717, -0.6181)
+_D_FILLS = (0.0, 1.0, -1.0, 2.0, 0.5, 0.7337, -0.4123)
+
+
+def _check_identity(
+    fn: Expr,
+    x_vars: Sequence[str],
+    d_vars: Sequence[str],
+    otimes: CombineOp,
+    x0: Dict[str, float],
+    d0: Dict[str, float],
+) -> bool:
+    """Test the Eq. 23 decomposability identity at the given fixed point."""
+    f_x_d = fn
+    f_x_d0 = fn.substitute({k: Const(v) for k, v in d0.items()})
+    f_x0_d = fn.substitute({k: Const(v) for k, v in x0.items()})
+    f_x0_d0 = f_x0_d.substitute({k: Const(v) for k, v in d0.items()})
+    lhs = otimes.apply_sym(f_x_d, f_x0_d0)
+    rhs = otimes.apply_sym(f_x_d0, f_x0_d)
+    try:
+        return numeric_equivalent(lhs, rhs, rtol=1e-6, atol=1e-8)
+    except EquivalenceUndecided:
+        return False
+
+
+def _fixed_point_value(fn: Expr, x0: Dict[str, float], d0: Dict[str, float]):
+    env = dict(x0)
+    env.update(d0)
+    with np.errstate(all="ignore"):
+        value = fn.evaluate(env)
+    return value
+
+
+def decompose_single(
+    fn: Expr,
+    x_vars: Sequence[str],
+    d_vars: Sequence[str],
+    otimes: CombineOp,
+) -> Optional[Term]:
+    """Try the single-term (Eq. 23–25) decomposition; None on failure."""
+    d_vars = [d for d in d_vars if d in fn.free_vars()]
+    if not d_vars:
+        # No dependency: F is already G; H is the ⊗-identity.
+        return Term(g=simplify(fn), h=otimes.identity_sym())
+
+    x_active = [x for x in x_vars if x in fn.free_vars()]
+    candidates = []
+    for x_fill in _X_FILLS:
+        for d_fill in _D_FILLS:
+            x0 = {x: x_fill for x in x_active}
+            d0 = {d: d_fill for d in d_vars}
+            value = _fixed_point_value(fn, x0, d0)
+            if not np.all(np.isfinite(np.asarray(value, dtype=float))):
+                continue
+            if otimes.name == "mul" and np.any(np.asarray(value) == 0.0):
+                continue
+            candidates.append((x0, d0, float(np.asarray(value).reshape(-1)[0])))
+
+    for x0, d0, c0 in candidates:
+        if not _check_identity(fn, x_active, d_vars, otimes, x0, d0):
+            # Eq. 23 is fixed-point independent when F is decomposable;
+            # a single well-posed failure is conclusive.  We still allow
+            # a couple of retries to guard against degenerate points.
+            continue
+        g = simplify(fn.substitute({k: Const(v) for k, v in d0.items()}))
+        f_x0_d = fn.substitute({k: Const(v) for k, v in x0.items()})
+        h = simplify(otimes.apply_sym(f_x0_d, otimes.inverse_sym(Const(c0))))
+        if not h.free_vars():
+            h = otimes.identity_sym()
+        if _verify_term(fn, g, h, otimes):
+            return Term(g=g, h=h)
+    return None
+
+
+def _verify_term(fn: Expr, g: Expr, h: Expr, otimes: CombineOp) -> bool:
+    """Sanity check G ⊗ H == F on random samples."""
+    try:
+        return numeric_equivalent(
+            otimes.apply_sym(g, h), fn, rtol=1e-6, atol=1e-8, seed=3
+        )
+    except EquivalenceUndecided:
+        return False
+
+
+def decompose(
+    fn: Expr,
+    x_vars: Sequence[str],
+    d_vars: Sequence[str],
+    reduction_name: str,
+) -> Decomposition:
+    """Run ACRF on one reduction; raises :class:`NotFusableError`."""
+    otimes = compatible_combine(reduction_name)
+
+    term = decompose_single(fn, x_vars, d_vars, otimes)
+    if term is not None:
+        return Decomposition(otimes=otimes, terms=(term,))
+
+    if reduction_name == "sum":
+        terms = _decompose_multi(fn, x_vars, d_vars, otimes)
+        if terms is not None:
+            return Decomposition(otimes=otimes, terms=tuple(terms))
+
+    raise NotFusableError(
+        f"F = {fn!r} is not decomposable as G(x) {otimes.name} H(d)"
+    )
+
+
+def _decompose_multi(
+    fn: Expr,
+    x_vars: Sequence[str],
+    d_vars: Sequence[str],
+    otimes: CombineOp,
+) -> Optional[List[Term]]:
+    raw_terms = expand_terms(fn)
+    if len(raw_terms) < 2:
+        return None
+    terms: List[Term] = []
+    for raw in raw_terms:
+        term = decompose_single(simplify(raw), x_vars, d_vars, otimes)
+        if term is None:
+            return None
+        terms.append(term)
+    return _merge_like_terms(terms)
+
+
+def _merge_like_terms(terms: List[Term]) -> List[Term]:
+    """Merge terms that share the same g (their h factors add)."""
+    merged: List[Term] = []
+    for term in terms:
+        for i, existing in enumerate(merged):
+            if existing.g == term.g:
+                merged[i] = Term(
+                    g=existing.g,
+                    h=simplify(Const(0.0) + existing.h + term.h),
+                )
+                break
+        else:
+            merged.append(term)
+    return merged
+
+
+def analyze_cascade(cascade: Cascade) -> List[Optional[Decomposition]]:
+    """Run ACRF on every reduction of a cascade.
+
+    Returns one :class:`Decomposition` per reduction (``None`` for top-k
+    reductions, whose carrier needs no G/H per Eq. 35–38).  Raises
+    :class:`NotFusableError` if any scalar reduction fails.
+    """
+    results: List[Optional[Decomposition]] = []
+    for i, red in enumerate(cascade.reductions):
+        if red.is_topk:
+            results.append(None)
+            continue
+        deps = cascade.deps_of(i)
+        results.append(
+            decompose(red.fn, cascade.element_vars, deps, red.op_name)
+        )
+    return results

@@ -1,0 +1,294 @@
+"""Reference executors for cascaded reductions.
+
+Three execution modes, matching §3 of the paper:
+
+* :func:`run_unfused` — the chain of reduction trees (Eq. 1): each
+  reduction makes a full pass over the inputs using the *final* outputs
+  of its predecessors.
+* :func:`run_fused_tree` — the fused reduction tree (Eq. 6 + Eq. 11):
+  the input is partitioned into segments; each segment computes local
+  partials in one pass, and partials are merged level by level with the
+  correction factors H(prev)^-1 ⊗ H(new).
+* :func:`run_incremental` — the incremental computation form
+  (Eq. 15/16): partials are updated in a stream, one chunk at a time,
+  with O(1) state.
+
+All three are numerically comparable; the fused/incremental modes use
+the simplified combined terms from :mod:`repro.core.fused`, so they are
+*more* numerically robust than naive evaluation would be (this is the
+online-softmax property).
+
+The merge of two partial states (:func:`merge_states`) is the single
+primitive from which both the tree combine and the streaming update are
+built — folding it left-to-right gives Eq. 15/16, folding it over a
+balanced tree gives Eq. 11; associativity of the underlying monoids
+makes every fold shape agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .fused import FusedCascade, FusedReduction
+from .ops import TopK, TopKState
+from .spec import Cascade, normalize_inputs
+
+Value = Union[np.ndarray, TopKState]
+
+
+@dataclass
+class ScalarState:
+    """Partial result of a single-term reduction: just its value d̂."""
+
+    value: np.ndarray
+
+
+@dataclass
+class MultiTermState:
+    """Partial result of a multi-term reduction.
+
+    Carries the dependency-free running accumulators ĝ_j together with
+    the materialized value d̂ (recomputed whenever dependencies change).
+    """
+
+    accumulators: List[np.ndarray]
+    value: np.ndarray
+
+
+State = Union[ScalarState, MultiTermState, TopKState]
+
+
+def _value_of(state: State) -> Value:
+    if isinstance(state, (ScalarState, MultiTermState)):
+        return state.value
+    return state
+
+
+def state_values(states: Mapping[str, State]) -> Dict[str, Value]:
+    """Plain output values (d_i) of a partial-state dictionary."""
+    return {name: _value_of(state) for name, state in states.items()}
+
+
+def _elementwise(expr, values, length: int, element_vars) -> np.ndarray:
+    """Normalize an evaluated mapping function to shape (length, w).
+
+    Expressions that reference no element variable (e.g. a constant g_j
+    term of a multi-term decomposition) evaluate to a scalar or (w,)
+    vector; they contribute the same value at every position, so they
+    are broadcast across the rows before reduction.
+    """
+    arr = np.asarray(values, dtype=float)
+    if not (expr.free_vars() & set(element_vars)):
+        arr = np.atleast_1d(arr)
+        arr = np.broadcast_to(arr, (length, arr.shape[-1]))
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# unfused chain (Eq. 1)
+# ---------------------------------------------------------------------------
+def run_unfused(
+    cascade: Cascade,
+    inputs: Mapping[str, np.ndarray],
+    base_index: int = 0,
+) -> Dict[str, Value]:
+    """Execute the cascade as a chain of full-pass reductions."""
+    arrays = normalize_inputs(cascade, dict(inputs))
+    length = next(iter(arrays.values())).shape[0]
+    env: Dict[str, np.ndarray] = dict(arrays)
+    outputs: Dict[str, Value] = {}
+    for red in cascade.reductions:
+        values = _elementwise(red.fn, red.fn.evaluate(env), length, cascade.element_vars)
+        if red.is_topk:
+            values = np.asarray(values, dtype=float)
+            if values.ndim == 2:
+                if values.shape[1] != 1:
+                    raise ValueError("top-k reductions require width-1 inputs")
+                values = values[:, 0]
+            outputs[red.name] = red.op.from_array(values, base_index)
+        else:
+            result = np.atleast_1d(np.asarray(red.op.reduce(values, 0)))
+            outputs[red.name] = result
+            env[red.name] = result
+    return outputs
+
+
+# ---------------------------------------------------------------------------
+# segment-local partials (Eq. 6)
+# ---------------------------------------------------------------------------
+def compute_segment_state(
+    fused: FusedCascade,
+    inputs: Mapping[str, np.ndarray],
+    base_index: int = 0,
+) -> Dict[str, State]:
+    """First-level partials d̂¹ for one contiguous segment.
+
+    Per Eq. 6 the segment runs the chain locally, with every mapping
+    function already in its G ⊗ H form and dependencies taken from the
+    *segment-local* outputs of preceding reductions.
+    """
+    arrays = normalize_inputs(fused.cascade, dict(inputs))
+    length = next(iter(arrays.values())).shape[0]
+    element_vars = fused.cascade.element_vars
+    env: Dict[str, np.ndarray] = dict(arrays)
+    states: Dict[str, State] = {}
+    for fr in fused:
+        red = fr.reduction
+        if fr.is_topk:
+            values = np.asarray(red.fn.evaluate(env), dtype=float)
+            if values.ndim == 2:
+                values = values[:, 0]
+            states[red.name] = red.op.from_array(values, base_index)
+            continue
+        if fr.is_multi_term:
+            accumulators = [
+                np.atleast_1d(
+                    np.sum(
+                        _elementwise(term.g, term.eval_g(env), length, element_vars),
+                        axis=0,
+                    )
+                )
+                for term in fr.terms
+            ]
+            value = np.atleast_1d(fr.multi_term_value(accumulators, env))
+            states[red.name] = MultiTermState(accumulators=accumulators, value=value)
+            env[red.name] = value
+            continue
+        values = _elementwise(fr.gh, fr.eval_gh(env), length, element_vars)
+        value = np.atleast_1d(np.asarray(red.op.reduce(values, 0)))
+        states[red.name] = ScalarState(value=value)
+        env[red.name] = value
+    return states
+
+
+# ---------------------------------------------------------------------------
+# partial-state merge (Eq. 11 for one child / Eq. 15)
+# ---------------------------------------------------------------------------
+def merge_states(
+    fused: FusedCascade,
+    left: Mapping[str, State],
+    right: Mapping[str, State],
+) -> Dict[str, State]:
+    """Merge two partial states into one.
+
+    For each reduction in dependency order:
+
+    * top-k carriers merge by the TopK monoid (no correction, H = e);
+    * multi-term accumulators add; the value is re-materialized with
+      the *new* dependency values;
+    * single-term reductions apply Eq. 15:
+      ``d̂_new = (d̂_left ⊗ ratio_left) ⊕ (d̂_right ⊗ ratio_right)``
+      where ``ratio_side = H(deps_side)^-1 ⊗ H(deps_new)``.
+    """
+    left_vals = state_values(left)
+    right_vals = state_values(right)
+    new_states: Dict[str, State] = {}
+    new_vals: Dict[str, Value] = {}
+    for fr in fused:
+        name = fr.reduction.name
+        if fr.is_topk:
+            merged = fr.reduction.op.combine(left[name], right[name])
+            new_states[name] = merged
+            new_vals[name] = merged
+            continue
+        if fr.is_multi_term:
+            accumulators = [
+                la + ra
+                for la, ra in zip(left[name].accumulators, right[name].accumulators)
+            ]
+            value = np.atleast_1d(fr.multi_term_value(accumulators, new_vals))
+            new_states[name] = MultiTermState(accumulators=accumulators, value=value)
+            new_vals[name] = value
+            continue
+
+        lv, rv = left_vals[name], right_vals[name]
+        if fr.needs_correction:
+            lv = fr.otimes.apply_num(lv, fr.eval_ratio(left_vals, new_vals))
+            rv = fr.otimes.apply_num(rv, fr.eval_ratio(right_vals, new_vals))
+        value = np.atleast_1d(fr.reduction.op.combine(lv, rv))
+        new_states[name] = ScalarState(value=value)
+        new_vals[name] = value
+    return new_states
+
+
+def _segment_bounds(length: int, num_segments: int) -> List[range]:
+    if num_segments < 1:
+        raise ValueError("num_segments must be >= 1")
+    num_segments = min(num_segments, length)
+    bounds = np.linspace(0, length, num_segments + 1).astype(int)
+    return [range(bounds[i], bounds[i + 1]) for i in range(num_segments)]
+
+
+def _slice_inputs(
+    cascade: Cascade, arrays: Mapping[str, np.ndarray], rows: range
+) -> Dict[str, np.ndarray]:
+    return {name: arrays[name][rows.start : rows.stop] for name in cascade.element_vars}
+
+
+# ---------------------------------------------------------------------------
+# fused reduction tree (Eq. 6 + Eq. 11)
+# ---------------------------------------------------------------------------
+def run_fused_tree(
+    fused: FusedCascade,
+    inputs: Mapping[str, np.ndarray],
+    num_segments: int = 4,
+    branching: Optional[int] = 2,
+) -> Dict[str, Value]:
+    """Execute the fused cascade as a reduction tree.
+
+    The input is split into ``num_segments`` contiguous segments whose
+    local partials (Eq. 6) are merged up a ``branching``-ary tree
+    (Eq. 11).  ``branching=None`` merges all segments in one level, the
+    inter-block combine of the Multi-Segment strategy.
+    """
+    arrays = normalize_inputs(fused.cascade, dict(inputs))
+    length = next(iter(arrays.values())).shape[0]
+    segments = _segment_bounds(length, num_segments)
+    states = [
+        compute_segment_state(
+            fused, _slice_inputs(fused.cascade, arrays, rows), rows.start
+        )
+        for rows in segments
+    ]
+    if branching is None or branching < 2:
+        branching = len(states)
+    while len(states) > 1:
+        grouped: List[Dict[str, State]] = []
+        for start in range(0, len(states), branching):
+            group = states[start : start + branching]
+            merged = group[0]
+            for other in group[1:]:
+                merged = merge_states(fused, merged, other)
+            grouped.append(merged)
+        states = grouped
+    return state_values(states[0])
+
+
+# ---------------------------------------------------------------------------
+# incremental streaming (Eq. 15/16)
+# ---------------------------------------------------------------------------
+def run_incremental(
+    fused: FusedCascade,
+    inputs: Mapping[str, np.ndarray],
+    chunk_len: int = 1,
+) -> Dict[str, Value]:
+    """Execute the fused cascade as a stream with O(1) state.
+
+    Each chunk seeds a local partial (Eq. 6) that is folded into the
+    running state (Eq. 15; chunk_len=1 gives exactly Eq. 16).
+    """
+    if chunk_len < 1:
+        raise ValueError("chunk_len must be >= 1")
+    arrays = normalize_inputs(fused.cascade, dict(inputs))
+    length = next(iter(arrays.values())).shape[0]
+    state: Optional[Dict[str, State]] = None
+    for start in range(0, length, chunk_len):
+        rows = range(start, min(start + chunk_len, length))
+        chunk = compute_segment_state(
+            fused, _slice_inputs(fused.cascade, arrays, rows), rows.start
+        )
+        state = chunk if state is None else merge_states(fused, state, chunk)
+    return state_values(state)

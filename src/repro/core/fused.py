@@ -1,0 +1,202 @@
+"""Fused forms of cascaded reductions (paper §3.2–3.3).
+
+A :class:`FusedCascade` packages, per reduction, everything the fused
+executors and the code generator need:
+
+* ``gh`` — the simplified product G(x) ⊗ H(d), i.e. the "fresh
+  contribution" term of the incremental update (Eq. 16).  Simplifying
+  the product *before* evaluation is what makes the executor
+  numerically safe (``exp(P - m̂)`` instead of ``exp(P) * exp(-m̂)``).
+* ``h_ratio`` — the correction factor H(d_prev)^-1 ⊗ H(d_new)
+  appearing in Eq. 11/15/16, as a single simplified expression over
+  ``<dep>__prev`` / ``<dep>__new`` variables (``exp(m̂_prev - m̂_new)``
+  for safe softmax — the online-softmax rescale).
+* for multi-term decompositions (sum reductions whose F needed
+  distributive expansion), the per-term ``g_j``/``h_j`` pairs; their
+  accumulators are dependency-free running sums that need no correction.
+
+Numeric evaluation of the correction factor applies the Appendix A.1
+reversibility repair: samples where the ratio is undefined (H(prev) not
+invertible) fall back to H(new) alone, i.e. H'(prev) = e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..symbolic import Expr, Var, make_evaluator, simplify
+from .acrf import Decomposition, analyze_cascade
+from .ops import CombineOp
+from .spec import Cascade, Reduction
+
+PREV_SUFFIX = "__prev"
+NEW_SUFFIX = "__new"
+
+
+def _rename(e: Expr, names, suffix: str) -> Expr:
+    return e.substitute({n: Var(n + suffix) for n in names})
+
+
+@dataclass
+class FusedTerm:
+    """One decomposed term with compiled evaluators."""
+
+    g: Expr
+    h: Expr
+    eval_g: Callable = field(repr=False)
+    eval_h: Callable = field(repr=False)
+
+
+@dataclass
+class FusedReduction:
+    """A reduction together with its ACRF decomposition artifacts."""
+
+    reduction: Reduction
+    dep_names: Tuple[str, ...]
+    decomposition: Optional[Decomposition]
+    gh: Optional[Expr] = None
+    h: Optional[Expr] = None
+    h_ratio: Optional[Expr] = None
+    terms: Tuple[FusedTerm, ...] = ()
+    _eval_gh: Optional[Callable] = field(default=None, repr=False)
+    _eval_h_ratio: Optional[Callable] = field(default=None, repr=False)
+    _eval_h_new: Optional[Callable] = field(default=None, repr=False)
+
+    @property
+    def is_topk(self) -> bool:
+        return self.reduction.is_topk
+
+    @property
+    def is_multi_term(self) -> bool:
+        return self.decomposition is not None and self.decomposition.is_multi_term
+
+    @property
+    def otimes(self) -> Optional[CombineOp]:
+        return None if self.decomposition is None else self.decomposition.otimes
+
+    @property
+    def needs_correction(self) -> bool:
+        """True when merging partials requires a correction factor.
+
+        Dependency-free reductions (H = e) and top-k carriers (H = e per
+        Eq. 35–38) combine directly; multi-term accumulators are raw
+        running sums that also combine directly.
+        """
+        if self.is_topk or self.is_multi_term:
+            return False
+        return bool(self.h is not None and self.h.free_vars())
+
+    def eval_gh(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Evaluate G ⊗ H — the fresh-contribution term (Eq. 16)."""
+        return self._eval_gh(env)
+
+    def eval_ratio(
+        self,
+        prev_vals: Mapping[str, np.ndarray],
+        new_vals: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Correction factor H(prev)^-1 ⊗ H(new), with A.1 repair."""
+        env: Dict[str, np.ndarray] = {}
+        for name in self.dep_names:
+            env[name + PREV_SUFFIX] = prev_vals[name]
+            env[name + NEW_SUFFIX] = new_vals[name]
+        with np.errstate(all="ignore"):
+            ratio = np.asarray(self._eval_h_ratio(env), dtype=float)
+        bad = ~np.isfinite(ratio)
+        if np.any(bad):
+            with np.errstate(all="ignore"):
+                fallback = np.asarray(self._eval_h_new(env), dtype=float)
+            ratio = np.where(bad, fallback, ratio)
+        return ratio
+
+    def multi_term_value(
+        self,
+        accumulators: List[np.ndarray],
+        dep_vals: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Materialize d̂ = Σ_j h_j(D̂) * ĝ_j from raw accumulators."""
+        env = dict(dep_vals)
+        total = None
+        for term, acc in zip(self.terms, accumulators):
+            contribution = np.multiply(term.eval_h(env), acc)
+            total = contribution if total is None else total + contribution
+        return total
+
+
+@dataclass
+class FusedCascade:
+    """All fused reductions of a cascade, in dependency order."""
+
+    cascade: Cascade
+    reductions: Tuple[FusedReduction, ...]
+
+    def __iter__(self):
+        return iter(self.reductions)
+
+    def __getitem__(self, index: int) -> FusedReduction:
+        return self.reductions[index]
+
+    @property
+    def needs_correction_count(self) -> int:
+        return sum(1 for fr in self.reductions if fr.needs_correction)
+
+
+def fuse(cascade: Cascade) -> FusedCascade:
+    """Run ACRF on every reduction and build the fused artifacts.
+
+    Raises :class:`~repro.core.acrf.NotFusableError` when any scalar
+    reduction fails the decomposability analysis.
+    """
+    decompositions = analyze_cascade(cascade)
+    fused: List[FusedReduction] = []
+    for i, (red, decomp) in enumerate(zip(cascade.reductions, decompositions)):
+        dep_names = cascade.deps_of(i)
+        if decomp is None:  # top-k
+            fused.append(
+                FusedReduction(reduction=red, dep_names=dep_names, decomposition=None)
+            )
+            continue
+        if decomp.is_multi_term:
+            terms = tuple(
+                FusedTerm(
+                    g=t.g,
+                    h=t.h,
+                    eval_g=make_evaluator(t.g),
+                    eval_h=make_evaluator(t.h),
+                )
+                for t in decomp.terms
+            )
+            fused.append(
+                FusedReduction(
+                    reduction=red,
+                    dep_names=dep_names,
+                    decomposition=decomp,
+                    terms=terms,
+                )
+            )
+            continue
+
+        otimes = decomp.otimes
+        h = decomp.h
+        active_deps = tuple(n for n in dep_names if n in h.free_vars())
+        gh = simplify(otimes.apply_sym(decomp.g, h))
+        h_prev = _rename(h, active_deps, PREV_SUFFIX)
+        h_new = _rename(h, active_deps, NEW_SUFFIX)
+        h_ratio = simplify(otimes.apply_sym(otimes.inverse_sym(h_prev), h_new))
+        fused.append(
+            FusedReduction(
+                reduction=red,
+                dep_names=dep_names,
+                decomposition=decomp,
+                gh=gh,
+                h=h,
+                h_ratio=h_ratio,
+                _eval_gh=make_evaluator(gh),
+                _eval_h_ratio=make_evaluator(h_ratio),
+                _eval_h_new=make_evaluator(h_new),
+            )
+        )
+    return FusedCascade(cascade=cascade, reductions=tuple(fused))

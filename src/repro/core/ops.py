@@ -1,0 +1,207 @@
+"""Reduction (⊕) and combine (⊗) operators as commutative monoids.
+
+This module encodes Table 1 of the paper: every supported reduction
+operation R_i, its underlying associative/commutative operator ⊕_i, and
+the compatible combine operator ⊗_i over which ⊕_i distributes.  It also
+implements the reversibility repair of Appendix A.1: when an ⊗-inverse
+does not exist (e.g. 1/0 under multiplication), the identity element e
+is substituted, which keeps the fused expression (Eq. 28) well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..symbolic import Binary, Const, Expr, Unary, as_expr
+
+
+@dataclass(frozen=True)
+class CombineOp:
+    """A commutative monoid (S, ⊗) with partial inverses.
+
+    Only ``+`` and ``*`` occur in machine-learning reductions (Table 1),
+    and both form commutative monoids over the reals with identity 0/1.
+    ``*`` has no inverse at 0; :meth:`guarded_inverse_num` applies the
+    Appendix A.1 repair there.
+    """
+
+    name: str
+    identity: float
+
+    def apply_sym(self, a: Expr, b: Expr) -> Expr:
+        return Binary("add" if self.name == "add" else "mul", as_expr(a), as_expr(b))
+
+    def inverse_sym(self, e: Expr) -> Expr:
+        if self.name == "add":
+            return Unary("neg", as_expr(e))
+        return Binary("div", Const(1.0), as_expr(e))
+
+    def identity_sym(self) -> Expr:
+        return Const(self.identity)
+
+    def apply_num(self, a, b):
+        return np.add(a, b) if self.name == "add" else np.multiply(a, b)
+
+    def inverse_num(self, value):
+        if self.name == "add":
+            return np.negative(value)
+        with np.errstate(divide="ignore"):
+            return np.divide(1.0, value)
+
+    def guarded_inverse_num(self, value):
+        """⊗-inverse with the Appendix A.1 repair at non-invertible points."""
+        if self.name == "add":
+            return np.negative(value)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv = np.divide(1.0, value)
+        return np.where(np.asarray(value) == 0.0, self.identity, inv)
+
+    def is_invertible_num(self, value) -> bool:
+        if self.name == "add":
+            return bool(np.all(np.isfinite(value)))
+        return bool(np.all(np.asarray(value) != 0.0)) and bool(
+            np.all(np.isfinite(value))
+        )
+
+
+OTIMES_ADD = CombineOp("add", 0.0)
+OTIMES_MUL = CombineOp("mul", 1.0)
+
+_COMBINE_BY_NAME = {"add": OTIMES_ADD, "mul": OTIMES_MUL}
+
+
+def combine_op(name: str) -> CombineOp:
+    """Look up a combine operator by name (``"add"`` or ``"mul"``)."""
+    return _COMBINE_BY_NAME[name]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A reduction operation R_i with associative/commutative ⊕_i.
+
+    ``identity`` is the ⊕-identity used to initialize accumulators;
+    ``reduce`` collapses an array along an axis; ``combine`` merges two
+    partial results (the operation at internal reduction-tree nodes).
+    """
+
+    name: str
+    identity: float
+    combine_num: Callable = field(compare=False)
+    reduce_num: Callable = field(compare=False)
+
+    def combine(self, a, b):
+        return self.combine_num(a, b)
+
+    def reduce(self, array, axis=0):
+        return self.reduce_num(array, axis)
+
+
+SUM = ReduceOp("sum", 0.0, np.add, lambda a, ax: np.sum(a, axis=ax))
+PROD = ReduceOp("prod", 1.0, np.multiply, lambda a, ax: np.prod(a, axis=ax))
+MAX = ReduceOp("max", -np.inf, np.maximum, lambda a, ax: np.max(a, axis=ax))
+MIN = ReduceOp("min", np.inf, np.minimum, lambda a, ax: np.min(a, axis=ax))
+
+_REDUCE_BY_NAME = {"sum": SUM, "prod": PROD, "max": MAX, "min": MIN}
+
+
+def reduce_op(name: str) -> ReduceOp:
+    """Look up a scalar reduction operator by name."""
+    if name == "topk":
+        raise ValueError("use TopK(k) for top-k reductions")
+    return _REDUCE_BY_NAME[name]
+
+
+#: Table 1 of the paper: ⊕_i → compatible ⊗_i.
+#: max/min-style reductions pair with +, sum/prod-style with *.
+TABLE1: Dict[str, CombineOp] = {
+    "max": OTIMES_ADD,
+    "min": OTIMES_ADD,
+    "topk": OTIMES_ADD,
+    "argmax": OTIMES_ADD,
+    "argmin": OTIMES_ADD,
+    "sum": OTIMES_MUL,
+    "prod": OTIMES_MUL,
+}
+
+
+def compatible_combine(reduction_name: str) -> CombineOp:
+    """Determine ⊗_i from ⊕_i by Table 1 lookup (ACRF step 1)."""
+    try:
+        return TABLE1[reduction_name]
+    except KeyError:
+        raise ValueError(
+            f"reduction {reduction_name!r} has no Table 1 entry; "
+            "cascaded fusion is not supported for it"
+        ) from None
+
+
+def distributes_over(oplus: ReduceOp, otimes: CombineOp) -> bool:
+    """Check the distributivity condition (Eq. 5) numerically.
+
+    The Table 1 pairings all satisfy it by construction; this is the
+    defensive check RedFuser runs before accepting a fusion.
+    """
+    rng = np.random.default_rng(7)
+    for _ in range(64):
+        s1, s2, s3 = rng.uniform(-4, 4, size=3)
+        lhs = otimes.apply_num(oplus.combine(s1, s2), s3)
+        rhs = oplus.combine(otimes.apply_num(s1, s3), otimes.apply_num(s2, s3))
+        if not np.allclose(lhs, rhs, rtol=1e-9, atol=1e-12):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class TopK:
+    """Top-k reduction with a (values, indices) carrier.
+
+    The carrier of a top-k reduction is a sorted length-k vector rather
+    than a scalar; ⊕ is "merge two candidate lists and keep the k
+    largest".  Per Table 1 its compatible ⊗ is ``+`` (shifting every
+    candidate by the same amount preserves the selection), and per
+    Eq. 35-38 its H is the additive identity, so top-k needs no
+    correction terms.
+    """
+
+    k: int
+    name: str = "topk"
+    identity: float = -np.inf
+
+    def empty(self) -> "TopKState":
+        return TopKState(
+            values=np.full(self.k, -np.inf), indices=np.full(self.k, -1, dtype=np.int64)
+        )
+
+    def from_array(self, values: np.ndarray, base_index: int = 0) -> "TopKState":
+        """Reduce a 1-D array into a top-k state."""
+        values = np.asarray(values, dtype=float)
+        k = min(self.k, values.shape[0])
+        order = np.argsort(values, kind="stable")[::-1][:k]
+        state = self.empty()
+        state.values[:k] = values[order]
+        state.indices[:k] = order + base_index
+        return state
+
+    def combine(self, a: "TopKState", b: "TopKState") -> "TopKState":
+        values = np.concatenate([a.values, b.values])
+        indices = np.concatenate([a.indices, b.indices])
+        order = np.argsort(values, kind="stable")[::-1][: self.k]
+        return TopKState(values=values[order], indices=indices[order])
+
+    def shift(self, state: "TopKState", delta: float) -> "TopKState":
+        """Apply ⊗=+ to the carrier (shift all candidate values)."""
+        return TopKState(values=state.values + delta, indices=state.indices.copy())
+
+
+@dataclass
+class TopKState:
+    """Sorted top-k candidates (descending) with their source indices."""
+
+    values: np.ndarray
+    indices: np.ndarray
+
+    def valid(self) -> np.ndarray:
+        return self.indices >= 0

@@ -1,0 +1,156 @@
+"""Formal specification of cascaded reductions (paper §3.1, Eq. 1).
+
+A :class:`Cascade` is *I* reduction operations over per-position inputs
+X[l] (the ``element_vars``): the i-th reduction computes
+
+    d_i = R_i over l of F_i(X[l], D_i)
+
+where ``D_i`` are the outputs of the preceding i-1 reductions.  F_i is a
+symbolic expression over the element variables and previous output
+names; the reduction operator R_i is one of Table 1 (sum/prod/max/min)
+or top-k with its (values, indices) carrier.
+
+Conventions used by all executors:
+
+* every element-variable array is 2-D of shape ``(L0, w)`` where ``w``
+  is the per-position width (1 for scalars, e.g. head_dim for the V rows
+  of attention); 1-D arrays are auto-promoted to ``(L0, 1)``;
+* reduction outputs are 1-D of shape ``(w,)`` (top-k outputs are
+  :class:`~repro.core.ops.TopKState`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..symbolic import Expr
+from .ops import ReduceOp, TopK, reduce_op
+
+SCALAR_REDUCTIONS = ("sum", "prod", "max", "min")
+
+
+class SpecError(ValueError):
+    """Raised when a cascade specification is malformed."""
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """One reduction stage: output name, R_i, and mapping function F_i."""
+
+    name: str
+    op_name: str
+    fn: Expr
+    topk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op_name == "topk":
+            if not self.topk or self.topk < 1:
+                raise SpecError(f"reduction {self.name!r}: topk requires k >= 1")
+        elif self.op_name not in SCALAR_REDUCTIONS:
+            raise SpecError(
+                f"reduction {self.name!r}: unknown operator {self.op_name!r}"
+            )
+
+    @property
+    def is_topk(self) -> bool:
+        return self.op_name == "topk"
+
+    @property
+    def op(self):
+        """The ⊕ monoid (a :class:`ReduceOp`, or :class:`TopK` carrier)."""
+        if self.is_topk:
+            return TopK(self.topk)
+        return reduce_op(self.op_name)
+
+
+@dataclass(frozen=True)
+class Cascade:
+    """An ordered chain of data-dependent reductions over shared inputs."""
+
+    name: str
+    element_vars: Tuple[str, ...]
+    reductions: Tuple[Reduction, ...]
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.reductions:
+            raise SpecError("cascade needs at least one reduction")
+        seen = set(self.element_vars)
+        if len(seen) != len(self.element_vars):
+            raise SpecError("duplicate element variable names")
+        outputs = []
+        for red in self.reductions:
+            if red.name in seen or red.name in outputs:
+                raise SpecError(f"duplicate name {red.name!r}")
+            allowed = seen | set(outputs)
+            extra = red.fn.free_vars() - allowed
+            if extra:
+                raise SpecError(
+                    f"reduction {red.name!r} uses undefined names {sorted(extra)}"
+                )
+            topk_deps = {
+                r.name for r in self.reductions if r.is_topk
+            } & red.fn.free_vars()
+            if topk_deps:
+                raise SpecError(
+                    f"reduction {red.name!r} depends on top-k output(s) "
+                    f"{sorted(topk_deps)}; top-k carriers are terminal"
+                )
+            outputs.append(red.name)
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.reductions)
+
+    def deps_of(self, index: int) -> Tuple[str, ...]:
+        """Names of earlier outputs that reduction ``index`` references."""
+        fn_vars = self.reductions[index].fn.free_vars()
+        return tuple(
+            r.name for r in self.reductions[:index] if r.name in fn_vars
+        )
+
+    def reduction(self, name: str) -> Reduction:
+        for red in self.reductions:
+            if red.name == name:
+                return red
+        raise KeyError(name)
+
+    def depth(self) -> int:
+        """Length of the longest dependency chain among the reductions."""
+        depths: Dict[str, int] = {}
+        for i, red in enumerate(self.reductions):
+            deps = self.deps_of(i)
+            depths[red.name] = 1 + max((depths[d] for d in deps), default=0)
+        return max(depths.values())
+
+
+def normalize_inputs(
+    cascade: Cascade, inputs: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Validate and promote element arrays to the canonical (L0, w) shape."""
+    missing = set(cascade.element_vars) - set(inputs)
+    if missing:
+        raise SpecError(f"missing element inputs {sorted(missing)}")
+    normalized: Dict[str, np.ndarray] = {}
+    length = None
+    for name in cascade.element_vars:
+        arr = np.asarray(inputs[name], dtype=float)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            raise SpecError(f"input {name!r} must be 1-D or 2-D, got {arr.ndim}-D")
+        if length is None:
+            length = arr.shape[0]
+        elif arr.shape[0] != length:
+            raise SpecError(
+                f"input {name!r} has length {arr.shape[0]}, expected {length}"
+            )
+        normalized[name] = arr
+    if length == 0:
+        raise SpecError("cascade inputs must be non-empty")
+    return normalized

@@ -1,0 +1,50 @@
+"""Analytical GPU simulator: the hardware substrate for all benchmarks."""
+
+from .costmodel import (
+    Occupancy,
+    ResourceError,
+    breakdown,
+    kernel_latency,
+    occupancy,
+    program_latency,
+    speedup,
+    waves_per_sm,
+)
+from .kernel import KernelSpec, Program
+from .levels import (
+    LEVEL_NAMES,
+    LevelLatency,
+    SweepPoint,
+    incremental_sweep,
+    level_sizes,
+    memory_access_counts,
+    softmax_fusion_level_latency,
+)
+from .specs import A10, A100, GPUS, H800, MI308X, GPUSpec, gpu
+
+__all__ = [
+    "Occupancy",
+    "ResourceError",
+    "breakdown",
+    "kernel_latency",
+    "occupancy",
+    "program_latency",
+    "speedup",
+    "waves_per_sm",
+    "KernelSpec",
+    "Program",
+    "LEVEL_NAMES",
+    "LevelLatency",
+    "SweepPoint",
+    "incremental_sweep",
+    "level_sizes",
+    "memory_access_counts",
+    "softmax_fusion_level_latency",
+    "A10",
+    "A100",
+    "GPUS",
+    "H800",
+    "MI308X",
+    "GPUSpec",
+    "gpu",
+]

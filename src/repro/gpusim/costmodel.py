@@ -1,0 +1,128 @@
+"""Analytical latency model for simulated kernels.
+
+The model follows the classical roofline-with-occupancy formulation:
+
+* occupancy — how many CTAs fit on one SM given shared-memory,
+  thread and register footprints;
+* per-wave time — the resident CTA set on one SM takes
+  ``max(Tc, Tm) + (1 - overlap) * min(Tc, Tm)`` where Tc/Tm are the
+  compute and memory times of that CTA set against the SM's share of
+  the machine;
+* wave quantization — the kernel completes in ``ceil(waves)`` waves,
+  which is what produces the integer-waves-per-SM local optima the
+  paper observes in Figure 6b;
+* a fixed launch overhead and one memory-latency ramp per kernel.
+
+Only ratios of latencies are ever reported, mirroring the paper's
+normalized plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .kernel import KernelSpec, Program
+from .specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy of a kernel on a device."""
+
+    ctas_per_sm: int
+    limited_by: str
+
+    @property
+    def feasible(self) -> bool:
+        return self.ctas_per_sm >= 1
+
+
+def occupancy(gpu: GPUSpec, kernel: KernelSpec) -> Occupancy:
+    """CTAs resident per SM, with the limiting resource."""
+    limits = {
+        "smem": gpu.smem_per_sm // max(kernel.smem_bytes, 1),
+        "threads": gpu.max_threads_per_sm // max(kernel.threads_per_cta, 1),
+        "regs": gpu.regs_per_sm
+        // max(kernel.regs_per_thread * kernel.threads_per_cta, 1),
+        "ctas": gpu.max_ctas_per_sm,
+    }
+    resource, value = min(limits.items(), key=lambda item: item[1])
+    return Occupancy(ctas_per_sm=int(value), limited_by=resource)
+
+
+def waves_per_sm(gpu: GPUSpec, kernel: KernelSpec) -> float:
+    """Fractional number of CTA waves needed to drain the grid."""
+    occ = occupancy(gpu, kernel)
+    if not occ.feasible:
+        return math.inf
+    return kernel.grid / (gpu.num_sms * occ.ctas_per_sm)
+
+
+def kernel_latency(gpu: GPUSpec, kernel: KernelSpec) -> float:
+    """Estimated execution latency of one kernel, in seconds."""
+    occ = occupancy(gpu, kernel)
+    if not occ.feasible:
+        raise ResourceError(
+            f"kernel {kernel.name!r} does not fit on {gpu.name}: "
+            f"{kernel.smem_bytes} B smem vs {gpu.smem_per_sm} B per SM"
+        )
+    waves = kernel.grid / (gpu.num_sms * occ.ctas_per_sm)
+
+    flops_per_cta = kernel.flops / kernel.grid
+    bytes_per_cta = kernel.total_bytes / kernel.grid
+
+    peak = gpu.peak_flops(kernel.dtype, kernel.tensor_cores)
+    sm_flops = peak * kernel.compute_efficiency / gpu.num_sms
+    sm_bw = gpu.mem_bw * kernel.memory_efficiency / gpu.num_sms
+    # An underutilized grid still draws more than its proportional share
+    # of DRAM bandwidth (up to ~3x: one SM's LSU/MSHR limit), while
+    # compute units belong to the CTA alone and get no such boost.
+    if kernel.grid < gpu.num_sms * occ.ctas_per_sm:
+        boost = min(3.0, gpu.num_sms * occ.ctas_per_sm / kernel.grid)
+        sm_bw *= boost
+
+    resident = occ.ctas_per_sm
+    compute_time = flops_per_cta * resident / sm_flops
+    memory_time = bytes_per_cta * resident / sm_bw
+    wave_time = max(compute_time, memory_time) + (1.0 - kernel.overlap) * min(
+        compute_time, memory_time
+    )
+    ramp = gpu.mem_latency_ns * 1e-9
+    launch = gpu.launch_overhead_s * kernel.launch_factor
+    return launch + ramp + math.ceil(waves) * wave_time
+
+
+class ResourceError(RuntimeError):
+    """A kernel exceeds the device's per-SM resources."""
+
+
+def program_latency(gpu: GPUSpec, program: Program) -> float:
+    """Latency of a dependent kernel sequence (kernels serialize)."""
+    return sum(kernel_latency(gpu, k) for k in program.kernels)
+
+
+def speedup(gpu: GPUSpec, baseline: Program, candidate: Program) -> float:
+    """baseline latency / candidate latency (>1 means candidate wins)."""
+    return program_latency(gpu, baseline) / program_latency(gpu, candidate)
+
+
+def breakdown(gpu: GPUSpec, program: Program) -> List[dict]:
+    """Per-kernel diagnostic rows (for reports and debugging)."""
+    rows = []
+    for kernel in program.kernels:
+        occ = occupancy(gpu, kernel)
+        rows.append(
+            {
+                "kernel": kernel.name,
+                "grid": kernel.grid,
+                "ctas_per_sm": occ.ctas_per_sm,
+                "limited_by": occ.limited_by,
+                "waves": waves_per_sm(gpu, kernel),
+                "bytes": kernel.total_bytes,
+                "flops": kernel.flops,
+                "latency": kernel_latency(gpu, kernel),
+            }
+        )
+    return rows

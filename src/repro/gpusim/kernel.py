@@ -1,0 +1,75 @@
+"""Kernel descriptors consumed by the analytical cost model.
+
+A :class:`KernelSpec` captures the first-principles quantities that
+separate fused from unfused execution on a real GPU: how many bytes
+cross the global-memory bus, how many FLOPs execute on which unit, how
+many thread blocks launch with what occupancy footprint, and how well
+the schedule overlaps memory with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One GPU kernel launch."""
+
+    name: str
+    grid: int  # number of CTAs
+    threads_per_cta: int = 256
+    smem_bytes: int = 16 * 1024  # per CTA
+    regs_per_thread: int = 64
+    bytes_read: float = 0.0  # total global-memory reads
+    bytes_written: float = 0.0
+    flops: float = 0.0  # total floating-point operations
+    tensor_cores: bool = False
+    dtype: str = "fp16"  # throughput class for tensor-core math
+    compute_efficiency: float = 0.7  # fraction of peak FLOPs achieved
+    memory_efficiency: float = 0.8  # fraction of peak bandwidth achieved
+    overlap: float = 0.8  # fraction of min(Tc, Tm) hidden by pipelining
+    launch_factor: float = 1.0  # host-side dispatch cost, in launch units
+
+    def __post_init__(self) -> None:
+        if self.grid < 1:
+            raise ValueError("grid must be >= 1")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise ValueError("memory_efficiency must be in (0, 1]")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValueError("overlap must be in [0, 1]")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def with_(self, **changes) -> "KernelSpec":
+        """Return a modified copy (dataclasses.replace sugar)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class Program:
+    """A dependent sequence of kernels implementing one workload."""
+
+    name: str
+    kernels: List[KernelSpec] = field(default_factory=list)
+
+    def add(self, kernel: KernelSpec) -> "Program":
+        self.kernels.append(kernel)
+        return self
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(k.total_bytes for k in self.kernels)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(k.flops for k in self.kernels)

@@ -1,0 +1,210 @@
+"""Fusion-level and incremental-mode latency models (§5.3, §5.4, Fig. 7).
+
+These reproduce the two analysis experiments of the paper:
+
+* **Figure 6a / Figure 7** — fusing a safe-softmax cascade at the four
+  levels of the GPU reduction hierarchy (intra-thread, intra-warp,
+  intra-block, inter-block).  Fusion at level k corrects L_k partial
+  results (linear overhead in L_k) but the deeper independent subtree
+  gives better memory/compute overlap; inter-block fusion needs no
+  correction but a second kernel and no overlap.
+* **Figure 6b** — incremental vs non-incremental computation across
+  parallelism (waves per SM).  Non-incremental execution must cache a
+  whole kv-segment of intermediates in shared memory, capping the
+  feasible segment length; incremental execution pays a per-element
+  correction but admits any segment length, unlocking the
+  integer-waves-per-SM sweet spots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .specs import GPUSpec
+
+#: Reduction-hierarchy geometry for the level model.
+ELEMENTS_PER_THREAD = 4
+WARP_SIZE = 32
+THREADS_PER_BLOCK = 256
+
+#: Names of the four fusion strategies of §5.3, by level k.
+LEVEL_NAMES = {1: "intra-thread", 2: "intra-warp", 3: "intra-block", 4: "inter-block"}
+
+#: Fraction of min(Tc, Tm) hidden by the independent subtrees at each
+#: fusion level (§5.3's analysis: deeper subtree (3) = longer
+#: computation paths = better latency hiding; inter-block has a strict
+#: dependency and hides nothing).
+LEVEL_OVERLAP = {1: 0.10, 2: 0.55, 3: 0.90, 4: 0.0}
+
+#: Cost (flops) of one correction: a rescale is an exp plus several
+#: multiply-adds and the extra register traffic of the store-previous /
+#: correct / reduce template (Fig. 12a), in flop-equivalents.
+CORRECTION_FLOPS = 80.0
+BASE_FLOPS_PER_ELEMENT = 8.0
+BYTES_PER_ELEMENT = 4.0  # fp32 inputs
+
+
+def level_sizes(n: int) -> Dict[int, int]:
+    """L_0..L_4 of the reduction tree for an n-element row (§4.3)."""
+    l1 = max(n // ELEMENTS_PER_THREAD, 1)
+    l2 = max(l1 // WARP_SIZE, 1)
+    l3 = max(l1 // THREADS_PER_BLOCK, 1)
+    return {0: n, 1: l1, 2: l2, 3: l3, 4: 1}
+
+
+def memory_access_counts(n: int, fusion_level: Optional[int]) -> int:
+    """Times the dependent result d_K is loaded while computing F_i.
+
+    Figure 7: without fusion d_K is re-loaded L_0 times; fusing at
+    level k reduces this to L_k accesses.
+    """
+    sizes = level_sizes(n)
+    if fusion_level is None:
+        return sizes[0]
+    if fusion_level not in LEVEL_NAMES:
+        raise ValueError(f"fusion level must be 1..4, got {fusion_level}")
+    return sizes[fusion_level]
+
+
+@dataclass(frozen=True)
+class LevelLatency:
+    """Latency of one fusion strategy on the safe-softmax microbench."""
+
+    strategy: str
+    latency: float
+    corrections: int
+    kernels: int
+
+
+def softmax_fusion_level_latency(
+    gpu: GPUSpec,
+    n: int,
+    rows: int = 4096,
+    fusion_level: Optional[int] = None,
+) -> LevelLatency:
+    """Latency of safe softmax (max + sum-exp) fused at a given level.
+
+    ``fusion_level=None`` models the unfused chain: two kernels, each
+    re-reading the input row (the redundant-memory-access bottleneck of
+    §1), with no cross-reduction overlap.
+    """
+    sizes = level_sizes(n)
+    total_elements = float(rows) * n
+    base_compute = total_elements * BASE_FLOPS_PER_ELEMENT
+    read_bytes = total_elements * BYTES_PER_ELEMENT
+
+    eff_bw = gpu.mem_bw * 0.80
+    eff_flops = gpu.fp32_flops * 0.50
+    ramp = gpu.mem_latency_ns * 1e-9
+
+    if fusion_level is None:
+        # Two dependent kernels; each re-reads the inputs.
+        per_kernel_mem = read_bytes / eff_bw
+        per_kernel_compute = 0.5 * base_compute / eff_flops
+        kernel_time = max(per_kernel_mem, per_kernel_compute) + min(
+            per_kernel_mem, per_kernel_compute
+        )
+        latency = 2 * (gpu.launch_overhead_s + ramp + kernel_time)
+        return LevelLatency("unfused", latency, corrections=0, kernels=2)
+
+    overlap = LEVEL_OVERLAP[fusion_level]
+    corrections = rows * sizes[fusion_level] if fusion_level < 4 else 0
+    compute = (base_compute + corrections * CORRECTION_FLOPS) / eff_flops
+    memory = read_bytes / eff_bw
+    kernel_time = max(memory, compute) + (1.0 - overlap) * min(memory, compute)
+    kernels = 2 if fusion_level == 4 else 1
+    latency = kernels * (gpu.launch_overhead_s + ramp) + kernel_time
+    if fusion_level == 4:
+        # Combine kernel reads one partial per CTA of the first kernel.
+        combine_bytes = rows * sizes[3] * BYTES_PER_ELEMENT * 2
+        latency += combine_bytes / eff_bw
+    return LevelLatency(
+        LEVEL_NAMES[fusion_level], latency, corrections=corrections, kernels=kernels
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6b: incremental vs non-incremental across parallelism
+# ---------------------------------------------------------------------------
+#: BERT-base attention microbench geometry.  ROW_BLOCKS is the number of
+#: independent (query-block, head, batch) tiles; it is chosen so the
+#: paper's anchor holds: the longest segment that still fits on-chip for
+#: non-incremental execution (112 kv elements) corresponds to ~3.5 waves
+#: per SM on the A10.
+KV_LEN = 512
+ROW_BLOCKS = 54
+NON_INCREMENTAL_MAX_SEGMENT = 112
+INCREMENTAL_CORRECTION_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of the Fig. 6b parallelism sweep."""
+
+    segment_len: int
+    waves_per_sm: float
+    incremental_latency: float
+    non_incremental_latency: Optional[float]  # None when infeasible
+
+
+def _attention_cta_time(gpu: GPUSpec, segment_len: int, incremental: bool) -> float:
+    """Time for one CTA to process a kv-segment of the given length."""
+    head_dim = 64
+    blk_q = 128
+    bytes_per_kv = 2 * head_dim * 2.0  # one K row + one V row, fp16
+    flops_per_kv = 4.0 * blk_q * head_dim  # two GEMMs: QK^T and PV
+    memory = segment_len * bytes_per_kv / (gpu.mem_bw * 0.8 / gpu.num_sms)
+    compute = segment_len * flops_per_kv / (
+        gpu.peak_flops("fp16", True) * 0.6 / gpu.num_sms
+    )
+    time = max(memory, compute) + 0.2 * min(memory, compute)
+    if incremental:
+        # Eq. 15's per-iteration correction: a small constant fraction.
+        time *= 1.0 + INCREMENTAL_CORRECTION_FRACTION
+    return time
+
+
+def incremental_sweep(
+    gpu: GPUSpec,
+    split_counts: Sequence[int] = tuple(range(1, 13)),
+) -> List[SweepPoint]:
+    """Latency of both computation modes across parallelism levels.
+
+    The kv axis is split into 1..N segments per row block; more splits
+    mean more CTAs (more waves per SM) but shorter segments.  The
+    non-incremental mode is only feasible while the whole segment's
+    intermediates fit in shared memory (segment_len <= 112 on A10 for
+    the BERT-base tile); the incremental mode is always feasible, which
+    is what unlocks the integer-wave configurations (the waves-per-SM=3
+    peak of the paper).
+    """
+    points: List[SweepPoint] = []
+    for splits in split_counts:
+        segment_len = math.ceil(KV_LEN / splits)
+        ctas = ROW_BLOCKS * splits
+        waves = ctas / gpu.num_sms
+        combine = gpu.launch_overhead_s if splits > 1 else 0.0
+
+        def total(incremental: bool) -> float:
+            cta_time = _attention_cta_time(gpu, segment_len, incremental)
+            return (
+                gpu.launch_overhead_s
+                + math.ceil(waves) * cta_time
+                + combine
+                + splits * 2e-7  # partial-result reduction cost
+            )
+
+        non_incremental = (
+            total(False) if segment_len <= NON_INCREMENTAL_MAX_SEGMENT else None
+        )
+        points.append(
+            SweepPoint(
+                segment_len=segment_len,
+                waves_per_sm=waves,
+                incremental_latency=total(True),
+                non_incremental_latency=non_incremental,
+            )
+        )
+    return points

@@ -1,0 +1,124 @@
+"""GPU hardware specifications for the analytical performance model.
+
+Numbers are taken from public datasheets; where a figure is not public
+(MI308X is an export-variant of MI300X with undisclosed cuts) the value
+is a documented approximation.  The cost model only ever uses *ratios*
+of these quantities, matching the paper's normalized-latency reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+KB = 1024
+GB = 1e9
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one accelerator."""
+
+    name: str
+    num_sms: int
+    smem_per_sm: int  # usable shared memory per SM, bytes
+    max_threads_per_sm: int
+    max_ctas_per_sm: int
+    regs_per_sm: int
+    clock_ghz: float
+    mem_bw: float  # global memory bandwidth, bytes/s
+    fp32_flops: float  # CUDA-core FP32 throughput, flop/s
+    tensor_fp16_flops: float  # dense tensor-core FP16/BF16, flop/s
+    tensor_fp8_flops: float  # dense tensor-core FP8, flop/s (0 if absent)
+    mem_latency_ns: float
+    launch_overhead_s: float  # per kernel launch
+
+    def peak_flops(self, dtype: str, tensor_cores: bool) -> float:
+        """Peak throughput for the given datatype/execution-unit choice."""
+        if not tensor_cores:
+            return self.fp32_flops
+        if dtype == "fp8" and self.tensor_fp8_flops > 0:
+            return self.tensor_fp8_flops
+        return self.tensor_fp16_flops
+
+    @property
+    def has_fp8(self) -> bool:
+        return self.tensor_fp8_flops > 0
+
+
+A10 = GPUSpec(
+    name="A10",
+    num_sms=72,
+    smem_per_sm=100 * KB,
+    max_threads_per_sm=1536,
+    max_ctas_per_sm=16,
+    regs_per_sm=65536,
+    clock_ghz=1.695,
+    mem_bw=600 * GB,
+    fp32_flops=31.2 * TFLOPS,
+    tensor_fp16_flops=125 * TFLOPS,
+    tensor_fp8_flops=0.0,
+    mem_latency_ns=500.0,
+    launch_overhead_s=4e-6,
+)
+
+A100 = GPUSpec(
+    name="A100",
+    num_sms=108,
+    smem_per_sm=164 * KB,
+    max_threads_per_sm=2048,
+    max_ctas_per_sm=32,
+    regs_per_sm=65536,
+    clock_ghz=1.41,
+    mem_bw=2039 * GB,
+    fp32_flops=19.5 * TFLOPS,
+    tensor_fp16_flops=312 * TFLOPS,
+    tensor_fp8_flops=0.0,
+    mem_latency_ns=470.0,
+    launch_overhead_s=4e-6,
+)
+
+H800 = GPUSpec(
+    name="H800",
+    num_sms=132,
+    smem_per_sm=228 * KB,
+    max_threads_per_sm=2048,
+    max_ctas_per_sm=32,
+    regs_per_sm=65536,
+    clock_ghz=1.755,
+    mem_bw=3350 * GB,
+    fp32_flops=67 * TFLOPS,
+    tensor_fp16_flops=990 * TFLOPS,
+    tensor_fp8_flops=1979 * TFLOPS,
+    mem_latency_ns=450.0,
+    launch_overhead_s=4e-6,
+)
+
+# MI308X: export variant of MI300X; compute is cut to roughly a quarter
+# while the HBM subsystem is retained.  CU count/clock are approximate.
+MI308X = GPUSpec(
+    name="MI308X",
+    num_sms=80,
+    smem_per_sm=64 * KB,
+    max_threads_per_sm=2048,
+    max_ctas_per_sm=16,
+    regs_per_sm=65536,
+    clock_ghz=2.1,
+    mem_bw=5300 * GB,
+    fp32_flops=40.0 * TFLOPS,
+    tensor_fp16_flops=320 * TFLOPS,
+    tensor_fp8_flops=640 * TFLOPS,
+    mem_latency_ns=600.0,
+    launch_overhead_s=6e-6,
+)
+
+GPUS: Dict[str, GPUSpec] = {g.name: g for g in (A10, A100, H800, MI308X)}
+
+
+def gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (``"A10"``, ``"A100"``, ...)."""
+    try:
+        return GPUS[name]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPUS)}") from None

@@ -1,0 +1,39 @@
+"""Experiment harness: one runner per paper table/figure."""
+
+from .report import relative_summary, series_table, speedup_table
+from .runner import (
+    fig5a_mha,
+    fig5b_mla,
+    fig5c_moe,
+    fig5d_quant_gemm,
+    fig6a_fusion_levels,
+    fig6b_incremental,
+    fig7_access_counts,
+    fig8_nonml,
+    fig9_multiplatform,
+    geomean,
+    redfuser_program,
+    run_workload,
+    run_workload_suite,
+    scale_program,
+)
+
+__all__ = [
+    "relative_summary",
+    "series_table",
+    "speedup_table",
+    "fig5a_mha",
+    "fig5b_mla",
+    "fig5c_moe",
+    "fig5d_quant_gemm",
+    "fig6a_fusion_levels",
+    "fig6b_incremental",
+    "fig7_access_counts",
+    "fig8_nonml",
+    "fig9_multiplatform",
+    "geomean",
+    "redfuser_program",
+    "run_workload",
+    "run_workload_suite",
+    "scale_program",
+]

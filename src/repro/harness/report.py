@@ -1,0 +1,68 @@
+"""Plain-text report formatting for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .runner import geomean
+
+
+def speedup_table(rows: Sequence[Dict[str, object]], title: str) -> str:
+    """Render a Fig. 5-style table: speedup over Eager per system."""
+    systems = sorted(
+        {
+            key[: -len("_speedup")]
+            for row in rows
+            for key in row
+            if key.endswith("_speedup")
+        }
+    )
+    header = ["config"] + systems
+    lines = [title, "  ".join(f"{h:>14}" for h in header)]
+    for row in rows:
+        cells = [f"{row['config']:>14}"]
+        for system in systems:
+            value = row.get(f"{system}_speedup")
+            cells.append(f"{value:>14.2f}" if value is not None else " " * 14)
+        lines.append("  ".join(cells))
+    summary = ["geomean".rjust(14)]
+    for system in systems:
+        values = [
+            row[f"{system}_speedup"]
+            for row in rows
+            if row.get(f"{system}_speedup") is not None
+        ]
+        summary.append(f"{geomean(values):>14.2f}" if values else " " * 14)
+    lines.append("  ".join(summary))
+    return "\n".join(lines)
+
+
+def relative_summary(
+    rows: Sequence[Dict[str, object]], numerator: str, denominator: str
+) -> float:
+    """Geomean of numerator-system speedup over denominator-system."""
+    ratios = [
+        row[f"{numerator}_speedup"] / row[f"{denominator}_speedup"]
+        for row in rows
+        if row.get(f"{numerator}_speedup") and row.get(f"{denominator}_speedup")
+    ]
+    return geomean(ratios)
+
+
+def series_table(
+    rows: Sequence[Dict[str, object]], columns: Sequence[str], title: str
+) -> str:
+    """Render a Fig. 6-style series (one row per sweep point)."""
+    lines = [title, "  ".join(f"{c:>18}" for c in columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            if value is None:
+                cells.append(" " * 16 + "--")
+            elif isinstance(value, float):
+                cells.append(f"{value:>18.3f}")
+            else:
+                cells.append(f"{value:>18}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

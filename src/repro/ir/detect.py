@@ -1,0 +1,250 @@
+"""Cascaded-reduction detection and lifting (paper §4.1).
+
+Given a scalar-IR function, the detector:
+
+1. walks the AST and records every :class:`ReduceUpdate` together with
+   its enclosing loop nest;
+2. computes each reduction's axes (enclosing loop variables that do not
+   appear in the output indices);
+3. groups reductions that share a common reduction axis and are linked
+   by data dependencies into *cascaded reduction chains* — reductions
+   over other axes that feed the chain are classified as *producers*
+   (e.g. the QK^T GEMM of attention, Fig. 11's reduction 1);
+4. lifts every chain reduction into a formal mathematical expression
+   over element variables (chain-axis-indexed buffers) and dependency
+   variables (outputs of earlier chain reductions), yielding a
+   :class:`~repro.core.spec.Cascade` ready for ACRF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.spec import Cascade, Reduction
+from ..symbolic import Expr, Var
+from .scalar import ForLoop, Function, Load, ReduceUpdate, Stmt, Store, loads_in
+
+
+class DetectionError(RuntimeError):
+    """The function's reduction structure is outside the supported class."""
+
+
+@dataclass(frozen=True)
+class ReductionSite:
+    """One ReduceUpdate with its loop context."""
+
+    stmt: ReduceUpdate
+    loop_vars: Tuple[str, ...]  # outer → inner
+    loop_extents: Tuple[int, ...]
+    order: int  # program order
+
+    @property
+    def buffer(self) -> str:
+        return self.stmt.buffer
+
+    @property
+    def index_vars(self) -> Set[str]:
+        names: Set[str] = set()
+        for index in self.stmt.indices:
+            names |= set(index.free_vars())
+        return names
+
+    @property
+    def axes(self) -> Tuple[str, ...]:
+        """Reduction axes: loop vars not used to index the output."""
+        used = self.index_vars
+        return tuple(v for v in self.loop_vars if v not in used)
+
+    def extent_of(self, var: str) -> int:
+        return self.loop_extents[self.loop_vars.index(var)]
+
+
+@dataclass
+class DetectedCascade:
+    """A lifted cascaded-reduction chain plus its context."""
+
+    cascade: Cascade
+    axis: str
+    axis_extent: int
+    row_vars: Tuple[str, ...]
+    sites: Tuple[ReductionSite, ...]
+    producers: Tuple[ReductionSite, ...]
+    element_buffers: Tuple[str, ...]
+
+    @property
+    def is_cascaded(self) -> bool:
+        """True when the chain has inter-reduction data dependencies."""
+        return len(self.cascade.reductions) > 1 and any(
+            self.cascade.deps_of(i) for i in range(len(self.cascade.reductions))
+        )
+
+
+def collect_reduction_sites(fn: Function) -> List[ReductionSite]:
+    """All ReduceUpdate statements with their enclosing loops."""
+    sites: List[ReductionSite] = []
+
+    def walk(stmts: Sequence[Stmt], loops: List[Tuple[str, int]]):
+        for stmt in stmts:
+            if isinstance(stmt, ForLoop):
+                walk(stmt.body, loops + [(stmt.var, stmt.extent)])
+            elif isinstance(stmt, ReduceUpdate):
+                sites.append(
+                    ReductionSite(
+                        stmt=stmt,
+                        loop_vars=tuple(v for v, _ in loops),
+                        loop_extents=tuple(e for _, e in loops),
+                        order=len(sites),
+                    )
+                )
+
+    walk(fn.body, [])
+    return sites
+
+
+def _writers(sites: Sequence[ReductionSite]) -> Dict[str, ReductionSite]:
+    writers: Dict[str, ReductionSite] = {}
+    for site in sites:
+        writers.setdefault(site.buffer, site)
+    return writers
+
+
+def _dependencies(site: ReductionSite, writers: Dict[str, ReductionSite]) -> Set[str]:
+    """Buffers written by earlier reductions that this site reads."""
+    deps: Set[str] = set()
+    for ld in loads_in(site.stmt.value):
+        producer = writers.get(ld.buffer)
+        if producer is not None and producer.order < site.order:
+            deps.add(ld.buffer)
+    return deps
+
+
+def detect_cascades(fn: Function) -> List[DetectedCascade]:
+    """Find and lift every cascaded-reduction chain in the function."""
+    sites = collect_reduction_sites(fn)
+    if not sites:
+        return []
+    writers = _writers(sites)
+
+    # Group sites by their (innermost-shared) reduction axis name+extent.
+    groups: Dict[Tuple[str, int], List[ReductionSite]] = {}
+    for site in sites:
+        for axis in site.axes:
+            key = (axis, site.extent_of(axis))
+            groups.setdefault(key, []).append(site)
+
+    results: List[DetectedCascade] = []
+    claimed: Set[int] = set()
+    # Largest groups first: the cascade axis is the one shared by the
+    # most reductions (kvs in Fig. 11), the rest become producers.
+    for (axis, extent), members in sorted(
+        groups.items(), key=lambda kv: -len(kv[1])
+    ):
+        members = [m for m in members if m.order not in claimed]
+        if len(members) < 2:
+            continue
+        members.sort(key=lambda s: s.order)
+        chain_buffers = {m.buffer for m in members}
+        producers = tuple(
+            s
+            for s in sites
+            if s.order not in claimed
+            and s.buffer not in chain_buffers
+            and any(
+                s.buffer == ld.buffer
+                for m in members
+                for ld in loads_in(m.stmt.value)
+            )
+        )
+        detected = _lift_chain(axis, extent, members, producers)
+        if detected is not None:
+            results.append(detected)
+            claimed.update(m.order for m in members)
+            claimed.update(p.order for p in producers)
+    results.sort(key=lambda d: d.sites[0].order)
+    return results
+
+
+def _lift_chain(
+    axis: str,
+    extent: int,
+    members: List[ReductionSite],
+    producers: Tuple[ReductionSite, ...],
+) -> Optional[DetectedCascade]:
+    chain_buffers = [m.buffer for m in members]
+    element_buffers: List[str] = []
+    row_vars: Set[str] = set()
+    for m in members:
+        row_vars |= m.index_vars
+
+    reductions: List[Reduction] = []
+    for site in members:
+        lifted = _lift_expr(site.stmt.value, axis, chain_buffers, element_buffers)
+        if lifted is None:
+            return None
+        reductions.append(Reduction(site.buffer, site.stmt.op, lifted))
+
+    cascade = Cascade(
+        name=f"detected_{axis}",
+        element_vars=tuple(element_buffers),
+        reductions=tuple(reductions),
+    )
+    return DetectedCascade(
+        cascade=cascade,
+        axis=axis,
+        axis_extent=extent,
+        row_vars=tuple(sorted(row_vars)),
+        sites=tuple(members),
+        producers=producers,
+        element_buffers=tuple(element_buffers),
+    )
+
+
+def _lift_expr(
+    e: Expr,
+    axis: str,
+    chain_buffers: List[str],
+    element_buffers: List[str],
+) -> Optional[Expr]:
+    """Rewrite buffer loads into element/dependency variables.
+
+    * loads indexed by the chain axis → element variables X[l];
+    * loads of earlier chain outputs (no chain-axis index) → dependency
+      variables d_i;
+    * anything else (an axis-indexed load of a chain output, which would
+      mean a non-reduction recurrence) aborts the lift.
+    """
+    if isinstance(e, Load):
+        uses_axis = axis in e.free_vars()
+        if e.buffer in chain_buffers:
+            if uses_axis:
+                return None
+            return Var(e.buffer)
+        if uses_axis:
+            if e.buffer not in element_buffers:
+                element_buffers.append(e.buffer)
+            return Var(e.buffer)
+        # Row-constant load (e.g. a per-row scale): treat as element
+        # variable too — it is constant along the axis, which the
+        # executors handle by broadcasting.
+        if e.buffer not in element_buffers:
+            element_buffers.append(e.buffer)
+        return Var(e.buffer)
+
+    from ..symbolic.expr import Binary, Const, Unary, Var as SymVar
+
+    if isinstance(e, (Const,)):
+        return e
+    if isinstance(e, SymVar):
+        # A bare loop variable inside the value (rare): not liftable.
+        return None
+    if isinstance(e, Unary):
+        arg = _lift_expr(e.arg, axis, chain_buffers, element_buffers)
+        return None if arg is None else Unary(e.op, arg)
+    if isinstance(e, Binary):
+        lhs = _lift_expr(e.lhs, axis, chain_buffers, element_buffers)
+        rhs = _lift_expr(e.rhs, axis, chain_buffers, element_buffers)
+        if lhs is None or rhs is None:
+            return None
+        return Binary(e.op, lhs, rhs)
+    return None

@@ -1,0 +1,123 @@
+"""Canonical unfused scalar-IR functions used throughout the repo.
+
+These are the "frontend outputs" a TVM-like stack would produce for the
+paper's workloads, written exactly in the shape of Fig. 11 (unfused
+attention TIR).  They feed the detector tests, the codegen examples and
+the documentation.
+"""
+
+from __future__ import annotations
+
+from ..symbolic import absv, exp, var
+from .scalar import Function, FunctionBuilder, load
+
+
+def unfused_attention(q_len: int = 32, kv_len: int = 48, head_dim: int = 8) -> Function:
+    """Figure 11: GEMM + max + sum-exp + GEMM, all unfused.
+
+    Four reductions; reductions 2–4 share the kv axis and form the
+    cascaded chain, reduction 1 (the QK^T GEMM over the head dim) is the
+    producer.
+    """
+    qs, kvs, d = var("qs"), var("kvs"), var("d")
+    fb = FunctionBuilder("unfused_attention")
+    fb.input_buffer("Q", (q_len, head_dim))
+    fb.input_buffer("K", (kv_len, head_dim))
+    fb.input_buffer("V", (kv_len, head_dim))
+    fb.buffer("P", (q_len, kv_len))
+    fb.buffer("pmax", (q_len,))
+    fb.buffer("psum", (q_len,))
+    fb.output_buffer("o", (q_len, head_dim))
+
+    with fb.loop("qs", q_len):
+        # reduction 1: gemm(Q, K)
+        with fb.loop("kvs", kv_len):
+            with fb.loop("d", head_dim):
+                fb.reduce(
+                    "P", (qs, kvs), "sum", load("Q", qs, d) * load("K", kvs, d)
+                )
+        # reduction 2: max(P)
+        with fb.loop("kvs", kv_len):
+            fb.reduce("pmax", (qs,), "max", load("P", qs, kvs))
+        # reduction 3: sum(exp(P - pmax))
+        with fb.loop("kvs", kv_len):
+            fb.reduce(
+                "psum", (qs,), "sum", exp(load("P", qs, kvs) - load("pmax", qs))
+            )
+        # reduction 4: gemm(exp(P - pmax) / psum, V)
+        with fb.loop("kvs", kv_len):
+            with fb.loop("d", head_dim):
+                fb.reduce(
+                    "o",
+                    (qs, d),
+                    "sum",
+                    exp(load("P", qs, kvs) - load("pmax", qs))
+                    / load("psum", qs)
+                    * load("V", kvs, d),
+                )
+    return fb.build()
+
+
+def unfused_softmax(rows: int = 16, length: int = 64) -> Function:
+    """Safe softmax: max + sum-exp reductions plus the normalize store."""
+    r, l = var("r"), var("l")
+    fb = FunctionBuilder("unfused_softmax")
+    fb.input_buffer("x", (rows, length))
+    fb.buffer("m", (rows,))
+    fb.buffer("t", (rows,))
+    fb.output_buffer("y", (rows, length))
+    with fb.loop("r", rows):
+        with fb.loop("l", length):
+            fb.reduce("m", (r,), "max", load("x", r, l))
+        with fb.loop("l", length):
+            fb.reduce("t", (r,), "sum", exp(load("x", r, l) - load("m", r)))
+        with fb.loop("l", length):
+            fb.store(
+                "y", (r, l), exp(load("x", r, l) - load("m", r)) / load("t", r)
+            )
+    return fb.build()
+
+
+def unfused_quant_gemm(
+    m_rows: int = 8, k_len: int = 32, n_cols: int = 8, fp8_max: float = 448.0
+) -> Function:
+    """§3.4: abs-max reduction followed by the scaled GEMM (Eq. 17)."""
+    r, l, n = var("r"), var("l"), var("n")
+    fb = FunctionBuilder("unfused_quant_gemm")
+    fb.input_buffer("A", (m_rows, k_len))
+    fb.input_buffer("W", (k_len, n_cols))
+    fb.buffer("amax", (m_rows,))
+    fb.output_buffer("c", (m_rows, n_cols))
+    with fb.loop("r", m_rows):
+        with fb.loop("l", k_len):
+            fb.reduce("amax", (r,), "max", absv(load("A", r, l)))
+        with fb.loop("l", k_len):
+            with fb.loop("n", n_cols):
+                fb.reduce(
+                    "c",
+                    (r, n),
+                    "sum",
+                    fp8_max * load("A", r, l) / load("amax", r) * load("W", l, n),
+                )
+    return fb.build()
+
+
+def unfused_variance(rows: int = 8, length: int = 64) -> Function:
+    """Appendix A.6 Eq. 44: mean then centered second moment."""
+    r, l = var("r"), var("l")
+    fb = FunctionBuilder("unfused_variance")
+    fb.input_buffer("x", (rows, length))
+    fb.buffer("mean", (rows,))
+    fb.output_buffer("variance", (rows,))
+    inv_n = 1.0 / length
+    with fb.loop("r", rows):
+        with fb.loop("l", length):
+            fb.reduce("mean", (r,), "sum", load("x", r, l) * inv_n)
+        with fb.loop("l", length):
+            fb.reduce(
+                "variance",
+                (r,),
+                "sum",
+                (load("x", r, l) - load("mean", r)) ** 2 * inv_n,
+            )
+    return fb.build()

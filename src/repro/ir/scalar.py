@@ -1,0 +1,297 @@
+"""Scalar-level IR: a miniature TensorIR.
+
+The paper builds RedFuser on TVM and analyzes TensorIR loop nests
+(§4.1).  This module provides the equivalent host IR: buffers, loop
+nests, plain stores and reduction updates, plus a reference interpreter.
+Value and index expressions reuse :mod:`repro.symbolic` with one extra
+node type, :class:`Load`, for indexed buffer reads — so the lifting of
+IR reductions into mathematical expressions (§4.1) is a tree rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..symbolic import Expr, as_expr
+from ..symbolic.expr import ExprLike
+
+REDUCE_INITS = {"sum": 0.0, "prod": 1.0, "max": -np.inf, "min": np.inf}
+_REDUCE_FNS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """An indexed read ``buffer[indices...]`` inside a value expression."""
+
+    buffer: str
+    indices: Tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, object]):
+        array = env[self.buffer]
+        idx = tuple(int(i.evaluate(env)) for i in self.indices)
+        return array[idx]
+
+    def substitute(self, mapping) -> Expr:
+        if self.buffer in mapping:
+            replacement = mapping[self.buffer]
+            if isinstance(replacement, Expr) and not isinstance(replacement, Load):
+                return replacement
+        return Load(self.buffer, tuple(i.substitute(mapping) for i in self.indices))
+
+    def free_vars(self) -> FrozenSet[str]:
+        result = frozenset()
+        for index in self.indices:
+            result |= index.free_vars()
+        return result
+
+    def children(self) -> tuple:
+        return self.indices
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(i) for i in self.indices)
+        return f"{self.buffer}[{inner}]"
+
+
+def load(buffer: str, *indices: ExprLike) -> Load:
+    """Build a :class:`Load` node, coercing numeric indices."""
+    return Load(buffer, tuple(as_expr(i) for i in indices))
+
+
+def loads_in(e: Expr) -> List[Load]:
+    """All Load nodes in an expression (pre-order)."""
+    found: List[Load] = []
+    if isinstance(e, Load):
+        found.append(e)
+    for child in e.children():
+        found.extend(loads_in(child))
+    return found
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A dense array with a symbolic role in the kernel."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "fp32"
+    is_input: bool = False
+    is_output: bool = False
+
+
+class Stmt:
+    """Base class for scalar-IR statements."""
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """``buffer[indices] = value``"""
+
+    buffer: str
+    indices: Tuple[Expr, ...]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ReduceUpdate(Stmt):
+    """``buffer[indices] = buffer[indices] ⊕ value`` with ⊕ named by op.
+
+    This is the IR footprint of one reduction: the loop variables that
+    appear in ``value`` (or in the loop nest) but not in ``indices`` are
+    the reduction axes.
+    """
+
+    buffer: str
+    indices: Tuple[Expr, ...]
+    op: str
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCE_INITS:
+            raise ValueError(f"unknown reduction op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ForLoop(Stmt):
+    """``for var in range(start, extent): body``
+
+    ``start`` is normally 0; the code generator peels the first
+    iteration of incremental loops (the seed step, which has no
+    correction terms) and emits the steady-state loop from 1.
+    """
+
+    var: str
+    extent: int
+    body: Tuple[Stmt, ...]
+    start: int = 0
+
+
+@dataclass(frozen=True)
+class Function:
+    """A scalar kernel: buffers plus a top-level statement list."""
+
+    name: str
+    buffers: Tuple[Buffer, ...]
+    body: Tuple[Stmt, ...]
+
+    def buffer(self, name: str) -> Buffer:
+        for buf in self.buffers:
+            if buf.name == name:
+                return buf
+        raise KeyError(name)
+
+    @property
+    def inputs(self) -> Tuple[Buffer, ...]:
+        return tuple(b for b in self.buffers if b.is_input)
+
+    @property
+    def outputs(self) -> Tuple[Buffer, ...]:
+        return tuple(b for b in self.buffers if b.is_output)
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+class FunctionBuilder:
+    """Fluent construction of scalar-IR functions.
+
+    Example (the unfused safe softmax of Fig. 11, reduced)::
+
+        fb = FunctionBuilder("softmax")
+        fb.input_buffer("x", (n,))
+        fb.buffer("m", (1,))
+        with fb.loop("l", n):
+            fb.reduce("m", (0,), "max", load("x", var("l")))
+    """
+
+    def __init__(self, name: str):
+        self._name = name
+        self._buffers: List[Buffer] = []
+        self._stack: List[List[Stmt]] = [[]]
+        self._loop_frames: List[Tuple[str, int]] = []
+
+    def input_buffer(self, name: str, shape: Sequence[int], dtype: str = "fp32"):
+        self._buffers.append(Buffer(name, tuple(shape), dtype, is_input=True))
+        return self
+
+    def output_buffer(self, name: str, shape: Sequence[int], dtype: str = "fp32"):
+        self._buffers.append(Buffer(name, tuple(shape), dtype, is_output=True))
+        return self
+
+    def buffer(self, name: str, shape: Sequence[int], dtype: str = "fp32"):
+        self._buffers.append(Buffer(name, tuple(shape), dtype))
+        return self
+
+    def loop(self, var: str, extent: int, start: int = 0) -> "_LoopContext":
+        return _LoopContext(self, var, extent, start)
+
+    def store(self, buffer: str, indices: Sequence[ExprLike], value: ExprLike):
+        self._stack[-1].append(
+            Store(buffer, tuple(as_expr(i) for i in indices), as_expr(value))
+        )
+        return self
+
+    def reduce(
+        self, buffer: str, indices: Sequence[ExprLike], op: str, value: ExprLike
+    ):
+        self._stack[-1].append(
+            ReduceUpdate(buffer, tuple(as_expr(i) for i in indices), op, as_expr(value))
+        )
+        return self
+
+    def build(self) -> Function:
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced loop contexts")
+        return Function(self._name, tuple(self._buffers), tuple(self._stack[0]))
+
+
+class _LoopContext:
+    def __init__(self, builder: FunctionBuilder, var: str, extent: int, start: int = 0):
+        self._builder = builder
+        self._var = var
+        self._extent = extent
+        self._start = start
+
+    def __enter__(self):
+        self._builder._stack.append([])
+        self._builder._loop_frames.append((self._var, self._extent))
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        body = tuple(self._builder._stack.pop())
+        self._builder._loop_frames.pop()
+        if exc_type is None:
+            self._builder._stack[-1].append(
+                ForLoop(self._var, self._extent, body, self._start)
+            )
+        return False
+
+
+# ---------------------------------------------------------------------------
+# interpreter
+# ---------------------------------------------------------------------------
+def run_function(
+    fn: Function, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Execute a scalar-IR function with a naive Python interpreter.
+
+    Reduction buffers are initialized to the ⊕-identity of the *first*
+    reduction that writes them.  Intended for small validation runs —
+    this interpreter favours obvious correctness over speed.
+    """
+    env: Dict[str, object] = {}
+    init_ops = _reduction_inits(fn.body)
+    for buf in fn.buffers:
+        if buf.is_input:
+            array = np.asarray(inputs[buf.name], dtype=float)
+            if array.shape != buf.shape:
+                raise ValueError(
+                    f"input {buf.name!r}: expected shape {buf.shape}, got {array.shape}"
+                )
+            env[buf.name] = array.copy()
+        else:
+            fill = REDUCE_INITS.get(init_ops.get(buf.name, "sum"), 0.0)
+            env[buf.name] = np.full(buf.shape, fill)
+    _exec_block(fn.body, env)
+    return {b.name: env[b.name] for b in fn.buffers if not b.is_input}
+
+
+def _reduction_inits(body: Sequence[Stmt]) -> Dict[str, str]:
+    inits: Dict[str, str] = {}
+
+    def walk(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, ReduceUpdate) and stmt.buffer not in inits:
+                inits[stmt.buffer] = stmt.op
+            elif isinstance(stmt, ForLoop):
+                walk(stmt.body)
+
+    walk(body)
+    return inits
+
+
+def _exec_block(stmts: Sequence[Stmt], env: Dict[str, object]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, ForLoop):
+            for i in range(stmt.start, stmt.extent):
+                env[stmt.var] = i
+                _exec_block(stmt.body, env)
+            env.pop(stmt.var, None)
+        elif isinstance(stmt, Store):
+            idx = tuple(int(i.evaluate(env)) for i in stmt.indices)
+            env[stmt.buffer][idx] = stmt.value.evaluate(env)
+        elif isinstance(stmt, ReduceUpdate):
+            idx = tuple(int(i.evaluate(env)) for i in stmt.indices)
+            current = env[stmt.buffer][idx]
+            env[stmt.buffer][idx] = _REDUCE_FNS[stmt.op](
+                current, stmt.value.evaluate(env)
+            )
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")

@@ -1,0 +1,305 @@
+"""Tile-level IR: the TileOp language of Appendix A.3.
+
+Grammar (paper Fig. 10)::
+
+    TileOp ::= copy(tile, tile)
+             | gemm(tile, tile, tile)
+             | reduce(tile, tile, axis=lit, op)
+             | parallel(id[expr+], op(expr*), id+, range+)
+             | fill(tile, lit)
+
+Semantics implemented here:
+
+* ``copy(src, dst)`` — element-wise copy between tile views;
+* ``gemm(A, B, C)`` — ``C += A @ B^T`` (both operands row-major with the
+  contraction over the trailing dim, matching Fig. 12b where K/V tiles
+  are stored as [kv, d]); ``transpose_b=False`` gives ``C += A @ B``;
+* ``reduce(src, dst, axis, op)`` — ``dst = dst ⊕ reduce(src, axis)``
+  (accumulating, as used by the store-previous/correct/reduce template);
+* ``parallel(buf[idx+], f(args*), iters+, ranges+)`` — data-parallel
+  assignment over an iteration space;
+* ``fill(tile, c)`` — constant fill.
+
+A functional NumPy interpreter executes tile programs block by block so
+generated kernels can be validated numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..symbolic import Expr, as_expr
+from ..symbolic.expr import ExprLike
+from .scalar import Load
+
+SCOPES = ("global", "shared", "fragment")
+
+_REDUCE_FNS = {
+    "sum": (np.add, lambda a, ax: a.sum(axis=ax)),
+    "max": (np.maximum, lambda a, ax: a.max(axis=ax)),
+    "min": (np.minimum, lambda a, ax: a.min(axis=ax)),
+    "prod": (np.multiply, lambda a, ax: a.prod(axis=ax)),
+}
+_REDUCE_INITS = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
+
+
+@dataclass(frozen=True)
+class TileBuffer:
+    """A buffer with a memory scope (Fig. 12b's shared/fragment split)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    scope: str = "global"
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.scope not in SCOPES:
+            raise ValueError(f"unknown scope {self.scope!r}")
+
+    @property
+    def nbytes(self) -> int:
+        n = self.dtype_bytes
+        for dim in self.shape:
+            n *= dim
+        return n
+
+
+@dataclass(frozen=True)
+class TileRef:
+    """A rectangular view ``buffer[off0:off0+len0, ...]``.
+
+    Offsets are expressions over grid/stage variables; lengths are
+    static, which is what makes tiles independently schedulable.
+    """
+
+    buffer: str
+    offsets: Tuple[Expr, ...]
+    lengths: Tuple[int, ...]
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{off!r}:{off!r}+{length}" for off, length in zip(self.offsets, self.lengths)
+        )
+        return f"{self.buffer}[{dims}]"
+
+
+def tile(buffer: str, *dims) -> TileRef:
+    """Build a TileRef from (offset, length) pairs: ``tile("K", (o, 128), (0, 64))``."""
+    offsets = tuple(as_expr(o) for o, _ in dims)
+    lengths = tuple(int(length) for _, length in dims)
+    return TileRef(buffer, offsets, lengths)
+
+
+class TileOp:
+    """Base class for tile-level operations."""
+
+
+@dataclass(frozen=True)
+class Copy(TileOp):
+    src: TileRef
+    dst: TileRef
+
+
+@dataclass(frozen=True)
+class Gemm(TileOp):
+    a: TileRef
+    b: TileRef
+    c: TileRef
+    transpose_b: bool = True
+
+
+@dataclass(frozen=True)
+class Reduce(TileOp):
+    src: TileRef
+    dst: TileRef
+    axis: int
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _REDUCE_FNS:
+            raise ValueError(f"unknown reduce op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Parallel(TileOp):
+    """``buffer[indices...] = value`` for every point of the iter space."""
+
+    buffer: str
+    indices: Tuple[Expr, ...]
+    value: Expr
+    iter_vars: Tuple[str, ...]
+    extents: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Fill(TileOp):
+    ref: TileRef
+    value: float
+
+
+@dataclass(frozen=True)
+class ForStage(TileOp):
+    """The software-pipeline loop over input stages (Fig. 12b)."""
+
+    var: str
+    extent: int
+    body: Tuple[TileOp, ...]
+
+
+@dataclass(frozen=True)
+class TileProgram:
+    """One kernel: a grid of blocks executing the same tile-op body."""
+
+    name: str
+    buffers: Tuple[TileBuffer, ...]
+    grid: Tuple[Tuple[str, int], ...]  # (axis name, extent), e.g. (("bx", 4),)
+    body: Tuple[TileOp, ...]
+
+    def buffer(self, name: str) -> TileBuffer:
+        for buf in self.buffers:
+            if buf.name == name:
+                return buf
+        raise KeyError(name)
+
+    @property
+    def num_blocks(self) -> int:
+        n = 1
+        for _, extent in self.grid:
+            n *= extent
+        return n
+
+    def shared_bytes(self) -> int:
+        return sum(b.nbytes for b in self.buffers if b.scope == "shared")
+
+    def fragment_bytes(self) -> int:
+        return sum(b.nbytes for b in self.buffers if b.scope == "fragment")
+
+
+# ---------------------------------------------------------------------------
+# interpreter
+# ---------------------------------------------------------------------------
+class TileInterpreter:
+    """Functional executor for tile programs (NumPy semantics).
+
+    Blocks run sequentially; per-block shared/fragment buffers are
+    reallocated for every block, global buffers persist, which mirrors
+    the GPU memory model faithfully enough for numerical validation.
+    """
+
+    def __init__(self, program: TileProgram):
+        self.program = program
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        init_ops: Optional[Mapping[str, str]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Execute all blocks; returns the global buffers.
+
+        ``init_ops`` optionally maps a global buffer name to a reduction
+        op whose identity should seed it (outputs default to zeros).
+        """
+        init_ops = dict(init_ops or {})
+        globals_: Dict[str, np.ndarray] = {}
+        for buf in self.program.buffers:
+            if buf.scope != "global":
+                continue
+            if buf.name in inputs:
+                array = np.asarray(inputs[buf.name], dtype=float)
+                if array.shape != buf.shape:
+                    raise ValueError(
+                        f"{buf.name}: expected {buf.shape}, got {array.shape}"
+                    )
+                globals_[buf.name] = array.copy()
+            else:
+                fill = _REDUCE_INITS.get(init_ops.get(buf.name, "sum"), 0.0)
+                globals_[buf.name] = np.full(buf.shape, fill)
+
+        for block_index in self._block_indices():
+            locals_: Dict[str, np.ndarray] = {}
+            for buf in self.program.buffers:
+                if buf.scope != "global":
+                    locals_[buf.name] = np.zeros(buf.shape)
+            env: Dict[str, object] = dict(block_index)
+            self._exec_block(self.program.body, globals_, locals_, env)
+        return globals_
+
+    def _block_indices(self):
+        axes = self.program.grid
+        if not axes:
+            yield {}
+            return
+        indices = [0] * len(axes)
+        total = self.program.num_blocks
+        for flat in range(total):
+            rem = flat
+            out = {}
+            for (name, extent), _ in zip(reversed(axes), range(len(axes))):
+                out[name] = rem % extent
+                rem //= extent
+            yield out
+
+    # -- op execution -------------------------------------------------------
+    def _exec_block(self, ops, globals_, locals_, env) -> None:
+        for op in ops:
+            if isinstance(op, ForStage):
+                for i in range(op.extent):
+                    env[op.var] = i
+                    self._exec_block(op.body, globals_, locals_, env)
+                env.pop(op.var, None)
+            elif isinstance(op, Copy):
+                view = self._view(op.src, globals_, locals_, env)
+                self._view(op.dst, globals_, locals_, env)[...] = view
+            elif isinstance(op, Fill):
+                self._view(op.ref, globals_, locals_, env)[...] = op.value
+            elif isinstance(op, Gemm):
+                a = self._view(op.a, globals_, locals_, env)
+                b = self._view(op.b, globals_, locals_, env)
+                c = self._view(op.c, globals_, locals_, env)
+                c += a @ (b.T if op.transpose_b else b)
+            elif isinstance(op, Reduce):
+                src = self._view(op.src, globals_, locals_, env)
+                dst = self._view(op.dst, globals_, locals_, env)
+                combine, collapse = _REDUCE_FNS[op.op]
+                dst[...] = combine(dst, collapse(src, op.axis).reshape(dst.shape))
+            elif isinstance(op, Parallel):
+                self._exec_parallel(op, globals_, locals_, env)
+            else:
+                raise TypeError(f"unknown tile op {op!r}")
+
+    def _array(self, name: str, globals_, locals_) -> np.ndarray:
+        if name in locals_:
+            return locals_[name]
+        return globals_[name]
+
+    def _view(self, ref: TileRef, globals_, locals_, env) -> np.ndarray:
+        array = self._array(ref.buffer, globals_, locals_)
+        slices = []
+        for off, length in zip(ref.offsets, ref.lengths):
+            start = int(off.evaluate(env))
+            slices.append(slice(start, start + length))
+        return array[tuple(slices)]
+
+    def _exec_parallel(self, op: Parallel, globals_, locals_, env) -> None:
+        target = self._array(op.buffer, globals_, locals_)
+        eval_env: Dict[str, object] = dict(env)
+        for name in op.iter_vars:
+            if name in eval_env:
+                raise ValueError(f"iter var {name!r} shadows an outer variable")
+        # expose tile arrays to Load nodes inside the value expression
+        for name in locals_:
+            eval_env.setdefault(name, locals_[name])
+        for name in globals_:
+            eval_env.setdefault(name, globals_[name])
+
+        shape = tuple(op.extents)
+        for flat in range(int(np.prod(shape)) if shape else 1):
+            rem = flat
+            for name, extent in zip(reversed(op.iter_vars), reversed(shape)):
+                eval_env[name] = rem % extent
+                rem //= extent
+            idx = tuple(int(i.evaluate(eval_env)) for i in op.indices)
+            target[idx] = op.value.evaluate(eval_env)

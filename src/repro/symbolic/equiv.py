@@ -1,0 +1,129 @@
+"""Randomized numeric equivalence testing for symbolic expressions.
+
+The ACRF decomposability condition (Eq. 23 in the paper) is an identity
+between two expressions.  Deciding such identities symbolically is
+undecidable in general; like the paper (which suggests symbolic tools
+plus numeric checks), we test identities by sampling.  Samples whose
+evaluation leaves the expressions' domain (NaN/inf, e.g. ``log`` of a
+negative number) are discarded and resampled; a minimum number of valid
+samples is required for a verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .expr import Expr
+
+#: Sampling regimes mixed together so identities are probed both near the
+#: origin and at larger magnitudes, on both signs, and on (0, hi) only
+#: (for ``log``/``sqrt`` domains).
+_REGIMES = (
+    ("uniform", -3.0, 3.0),
+    ("uniform", -0.5, 0.5),
+    ("uniform", 0.05, 4.0),
+    ("uniform", -20.0, 20.0),
+)
+
+
+class EquivalenceUndecided(RuntimeError):
+    """Raised when too few samples landed in the common domain."""
+
+
+def sample_env(
+    names: Sequence[str],
+    rng: np.random.Generator,
+    regime: Optional[tuple] = None,
+) -> dict:
+    """Draw one random environment for the given variable names."""
+    if regime is None:
+        regime = _REGIMES[rng.integers(len(_REGIMES))]
+    _, low, high = regime
+    return {name: float(rng.uniform(low, high)) for name in names}
+
+
+def _valid(value) -> bool:
+    arr = np.asarray(value, dtype=float)
+    return bool(np.all(np.isfinite(arr)))
+
+
+def numeric_equivalent(
+    a: Expr,
+    b: Expr,
+    n_samples: int = 160,
+    min_valid: int = 40,
+    rtol: float = 1e-7,
+    atol: float = 1e-9,
+    seed: int = 0,
+    fixed: Optional[Mapping[str, float]] = None,
+) -> bool:
+    """Return True iff ``a`` and ``b`` agree on all sampled points.
+
+    ``fixed`` pins some variables to given values while the rest are
+    sampled.  Raises :class:`EquivalenceUndecided` when fewer than
+    ``min_valid`` samples stayed inside both domains.
+    """
+    rng = np.random.default_rng(seed)
+    names = sorted((a.free_vars() | b.free_vars()) - set(fixed or ()))
+    valid = 0
+    for _ in range(n_samples):
+        env = sample_env(names, rng)
+        if fixed:
+            env.update(fixed)
+        with np.errstate(all="ignore"):
+            va = a.evaluate(env)
+            vb = b.evaluate(env)
+        if not (_valid(va) and _valid(vb)):
+            continue
+        valid += 1
+        if not np.allclose(va, vb, rtol=rtol, atol=atol):
+            return False
+    if valid < min_valid:
+        raise EquivalenceUndecided(
+            f"only {valid}/{n_samples} samples were inside the domain"
+        )
+    return True
+
+
+def is_identically(e: Expr, value: float, seed: int = 0) -> bool:
+    """Check whether ``e`` evaluates to ``value`` everywhere (sampled)."""
+    rng = np.random.default_rng(seed)
+    names = sorted(e.free_vars())
+    valid = 0
+    for _ in range(120):
+        env = sample_env(names, rng)
+        with np.errstate(all="ignore"):
+            got = e.evaluate(env)
+        if not _valid(got):
+            continue
+        valid += 1
+        if not np.allclose(got, value, rtol=1e-8, atol=1e-10):
+            return False
+    if valid < 30:
+        raise EquivalenceUndecided("expression domain too small to decide")
+    return True
+
+
+def depends_on(e: Expr, names: Iterable[str], seed: int = 0) -> bool:
+    """True if perturbing any of ``names`` changes the value of ``e``.
+
+    This is a semantic (sampled) dependency test; it sees through
+    syntactic appearances like ``x - x``.
+    """
+    targets = [n for n in names if n in e.free_vars()]
+    if not targets:
+        return False
+    rng = np.random.default_rng(seed)
+    all_names = sorted(e.free_vars())
+    for _ in range(80):
+        env = sample_env(all_names, rng)
+        env2 = dict(env)
+        for name in targets:
+            env2[name] = float(rng.uniform(-5, 5))
+        with np.errstate(all="ignore"):
+            va, vb = e.evaluate(env), e.evaluate(env2)
+        if _valid(va) and _valid(vb) and not np.allclose(va, vb, rtol=1e-7):
+            return True
+    return False

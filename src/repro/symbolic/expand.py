@@ -1,0 +1,63 @@
+"""Distributive expansion into a sum of product terms.
+
+Used by the multi-term decomposition extension of ACRF: when a mapping
+function F_i is not directly decomposable as G(x) ⊗ H(d) (e.g. the
+``(x - mean)**2`` of variance), but its reduction is a summation,
+F_i can be expanded into additive terms each of which *is* decomposable,
+and the linear reduction distributes over the terms.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import Binary, Const, Expr, Unary
+
+
+def expand(e: Expr) -> Expr:
+    """Fully distribute multiplication over addition/subtraction.
+
+    Small integer powers (2 and 3) are unrolled into products first.
+    The result is semantically equal to ``e`` everywhere.
+    """
+    terms = expand_terms(e)
+    result = terms[0]
+    for term in terms[1:]:
+        result = Binary("add", result, term)
+    return result
+
+
+def expand_terms(e: Expr) -> List[Expr]:
+    """Expand and return the list of additive terms."""
+    if isinstance(e, Binary):
+        if e.op == "add":
+            return expand_terms(e.lhs) + expand_terms(e.rhs)
+        if e.op == "sub":
+            return expand_terms(e.lhs) + [_negate(t) for t in expand_terms(e.rhs)]
+        if e.op == "mul":
+            return [
+                Binary("mul", a, b)
+                for a in expand_terms(e.lhs)
+                for b in expand_terms(e.rhs)
+            ]
+        if e.op == "div":
+            return [Binary("div", t, e.rhs) for t in expand_terms(e.lhs)]
+        if e.op == "pow" and isinstance(e.rhs, Const) and e.rhs.value in (2.0, 3.0):
+            base_terms = expand_terms(e.lhs)
+            power = int(e.rhs.value)
+            result = base_terms
+            for _ in range(power - 1):
+                result = [Binary("mul", a, b) for a in result for b in base_terms]
+            return result
+        return [e]
+    if isinstance(e, Unary) and e.op == "neg":
+        return [_negate(t) for t in expand_terms(e.arg)]
+    return [e]
+
+
+def _negate(e: Expr) -> Expr:
+    if isinstance(e, Const):
+        return Const(-e.value)
+    if isinstance(e, Unary) and e.op == "neg":
+        return e.arg
+    return Unary("neg", e)

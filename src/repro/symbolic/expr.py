@@ -1,0 +1,318 @@
+"""Immutable symbolic expression trees over the reals.
+
+This module is the in-repo replacement for SymPy (which the paper's ACRF
+algorithm suggests as an implementation vehicle).  It provides exactly the
+primitives the fusion engine needs:
+
+* construction of expressions over scalar variables,
+* numeric evaluation against an environment of floats or NumPy arrays,
+* substitution of variables by sub-expressions or constants,
+* free-variable queries,
+* structural equality / hashing (via frozen dataclasses).
+
+Simplification lives in :mod:`repro.symbolic.simplify` and randomized
+numeric equivalence in :mod:`repro.symbolic.equiv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+#: Unary operator names understood by :class:`Unary`.
+UNARY_OPS = ("neg", "abs", "exp", "log", "sqrt", "sgn")
+
+#: Binary operator names understood by :class:`Binary`.
+BINARY_OPS = ("add", "sub", "mul", "div", "max", "min", "pow")
+
+
+class Expr:
+    """Base class for all expression nodes.
+
+    Nodes are immutable and hashable, so they can safely be shared, used
+    as dictionary keys, and memoized.  Arithmetic operators build new
+    nodes; no evaluation happens until :meth:`evaluate` is called.
+    """
+
+    # -- construction sugar -------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return Binary("add", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return Binary("add", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return Binary("sub", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return Binary("sub", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return Binary("mul", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return Binary("mul", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "Expr":
+        return Binary("div", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "Expr":
+        return Binary("div", as_expr(other), self)
+
+    def __pow__(self, other: "ExprLike") -> "Expr":
+        return Binary("pow", self, as_expr(other))
+
+    def __neg__(self) -> "Expr":
+        return Unary("neg", self)
+
+    # -- core operations ----------------------------------------------------
+    def evaluate(self, env: Mapping[str, object]):
+        """Evaluate numerically.
+
+        ``env`` maps variable names to floats or NumPy arrays; broadcasting
+        follows NumPy rules.  Unknown variables raise ``KeyError``.
+        """
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "ExprLike"]) -> "Expr":
+        """Return a copy with variables replaced by expressions/numbers."""
+        raise NotImplementedError
+
+    def free_vars(self) -> FrozenSet[str]:
+        """Names of all variables appearing in the expression."""
+        raise NotImplementedError
+
+    def children(self) -> tuple:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+
+ExprLike = Union[Expr, Number]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a number into a :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return Const(float(value))
+    raise TypeError(f"cannot convert {value!r} to Expr")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A real-valued constant."""
+
+    value: float
+
+    def evaluate(self, env: Mapping[str, object]):
+        return self.value
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return self
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        if self.value == int(self.value) and abs(self.value) < 1e15:
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named scalar variable."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, object]):
+        return env[self.name]
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        if self.name in mapping:
+            return as_expr(mapping[self.name])
+        return self
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def _sgn(x):
+    return np.sign(x)
+
+
+_UNARY_FNS = {
+    "neg": np.negative,
+    "abs": np.abs,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "sgn": _sgn,
+}
+
+_BINARY_FNS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    "max": np.maximum,
+    "min": np.minimum,
+    "pow": np.power,
+}
+
+_UNARY_SYMBOLS = {"neg": "-"}
+_BINARY_SYMBOLS = {"add": "+", "sub": "-", "mul": "*", "div": "/", "pow": "**"}
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Application of a unary operator (see :data:`UNARY_OPS`)."""
+
+    op: str
+    arg: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, object]):
+        return _UNARY_FNS[self.op](self.arg.evaluate(env))
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return Unary(self.op, self.arg.substitute(mapping))
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.arg.free_vars()
+
+    def children(self) -> tuple:
+        return (self.arg,)
+
+    def __repr__(self) -> str:
+        if self.op == "neg":
+            return f"(-{self.arg!r})"
+        return f"{self.op}({self.arg!r})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Application of a binary operator (see :data:`BINARY_OPS`)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, object]):
+        return _BINARY_FNS[self.op](self.lhs.evaluate(env), self.rhs.evaluate(env))
+
+    def substitute(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return Binary(self.op, self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def children(self) -> tuple:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        if self.op in _BINARY_SYMBOLS:
+            return f"({self.lhs!r} {_BINARY_SYMBOLS[self.op]} {self.rhs!r})"
+        return f"{self.op}({self.lhs!r}, {self.rhs!r})"
+
+
+# -- convenience constructors ------------------------------------------------
+def const(value: Number) -> Const:
+    """Build a constant node."""
+    return Const(float(value))
+
+
+def var(name: str) -> Var:
+    """Build a variable node."""
+    return Var(name)
+
+
+def variables(*names: str):
+    """Build several variables at once: ``x, y = variables("x", "y")``."""
+    return tuple(Var(n) for n in names)
+
+
+def exp(e: ExprLike) -> Expr:
+    return Unary("exp", as_expr(e))
+
+
+def log(e: ExprLike) -> Expr:
+    return Unary("log", as_expr(e))
+
+
+def sqrt(e: ExprLike) -> Expr:
+    return Unary("sqrt", as_expr(e))
+
+
+def absv(e: ExprLike) -> Expr:
+    return Unary("abs", as_expr(e))
+
+
+def sgn(e: ExprLike) -> Expr:
+    return Unary("sgn", as_expr(e))
+
+
+def neg(e: ExprLike) -> Expr:
+    return Unary("neg", as_expr(e))
+
+
+def vmax(a: ExprLike, b: ExprLike) -> Expr:
+    return Binary("max", as_expr(a), as_expr(b))
+
+
+def vmin(a: ExprLike, b: ExprLike) -> Expr:
+    return Binary("min", as_expr(a), as_expr(b))
+
+
+def recip(e: ExprLike) -> Expr:
+    """Multiplicative inverse ``1/e``."""
+    return Binary("div", Const(1.0), as_expr(e))
+
+
+ZERO = Const(0.0)
+ONE = Const(1.0)
+
+
+def count_nodes(e: Expr) -> int:
+    """Total number of nodes in the tree (a cheap complexity measure)."""
+    return 1 + sum(count_nodes(c) for c in e.children())
+
+
+def make_evaluator(e: Expr):
+    """Compile an expression into a fast Python callable.
+
+    Returns a function ``f(env)`` equivalent to ``e.evaluate(env)`` but
+    with the tree walk done once up front.  Used by the executors on hot
+    paths.
+    """
+    if isinstance(e, Const):
+        value = e.value
+        return lambda env: value
+    if isinstance(e, Var):
+        name = e.name
+        return lambda env: env[name]
+    if isinstance(e, Unary):
+        fn = _UNARY_FNS[e.op]
+        arg = make_evaluator(e.arg)
+        return lambda env: fn(arg(env))
+    if isinstance(e, Binary):
+        fn = _BINARY_FNS[e.op]
+        lhs = make_evaluator(e.lhs)
+        rhs = make_evaluator(e.rhs)
+        return lambda env: fn(lhs(env), rhs(env))
+    raise TypeError(f"unknown node {e!r}")

@@ -1,0 +1,298 @@
+"""Algebraic simplification for symbolic expressions.
+
+The simplifier is deliberately conservative: it applies only rewrites
+that are valid wherever the original expression was defined.  The
+important non-obvious machinery is the multiplicative canonicalization:
+``mul``/``div`` chains are flattened into numerator/denominator factor
+lists, constants are folded, structurally equal factors cancel, and all
+``exp`` factors merge into a single ``exp(sum of arguments)``.  That is
+what turns the formally-derived correction terms H(prev)^-1 (x) H(new)
+into the numerically safe ``exp(m_prev - m_new)`` form that the
+FlashAttention recurrence uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .expr import Binary, Const, Expr, Unary, Var
+
+_MAX_PASSES = 10
+
+
+def simplify(e: Expr) -> Expr:
+    """Simplify ``e`` to a (local) fixed point."""
+    previous = None
+    current = e
+    for _ in range(_MAX_PASSES):
+        if current == previous:
+            break
+        previous = current
+        current = _simplify_once(current)
+    return current
+
+
+def _simplify_once(e: Expr) -> Expr:
+    if isinstance(e, (Const, Var)):
+        return e
+    if isinstance(e, Unary):
+        return _rewrite_unary(Unary(e.op, _simplify_once(e.arg)))
+    if isinstance(e, Binary):
+        node = Binary(e.op, _simplify_once(e.lhs), _simplify_once(e.rhs))
+        return _rewrite_binary(node)
+    raise TypeError(f"unknown node {e!r}")
+
+
+def _is_const(e: Expr, value: float = None) -> bool:
+    if not isinstance(e, Const):
+        return False
+    return value is None or e.value == value
+
+
+# ---------------------------------------------------------------------------
+# unary rewrites
+# ---------------------------------------------------------------------------
+def _rewrite_unary(e: Unary) -> Expr:
+    arg = e.arg
+    if isinstance(arg, Const):
+        folded = _fold_unary(e.op, arg.value)
+        if folded is not None:
+            return Const(folded)
+    if e.op == "neg":
+        if isinstance(arg, Unary) and arg.op == "neg":
+            return arg.arg
+        if isinstance(arg, Binary) and arg.op == "sub":
+            return Binary("sub", arg.rhs, arg.lhs)
+    if e.op == "exp" and isinstance(arg, Unary) and arg.op == "log":
+        return arg.arg
+    if e.op == "log" and isinstance(arg, Unary) and arg.op == "exp":
+        return arg.arg
+    if e.op == "abs":
+        if isinstance(arg, Unary) and arg.op in ("abs", "exp", "sqrt"):
+            return arg
+        if isinstance(arg, Unary) and arg.op == "neg":
+            return Unary("abs", arg.arg)
+    return e
+
+
+def _fold_unary(op: str, value: float):
+    with np.errstate(all="ignore"):
+        if op == "neg":
+            return -value
+        if op == "abs":
+            return abs(value)
+        if op == "exp":
+            return float(np.exp(value)) if abs(value) < 700 else None
+        if op == "log":
+            return float(np.log(value)) if value > 0 else None
+        if op == "sqrt":
+            return float(np.sqrt(value)) if value >= 0 else None
+        if op == "sgn":
+            return float(np.sign(value))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# binary rewrites
+# ---------------------------------------------------------------------------
+def _rewrite_binary(e: Binary) -> Expr:
+    lhs, rhs, op = e.lhs, e.rhs, e.op
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        folded = _fold_binary(op, lhs.value, rhs.value)
+        if folded is not None:
+            return Const(folded)
+
+    if op in ("add", "sub"):
+        return _rewrite_additive(e)
+    elif op in ("mul", "div"):
+        return _rewrite_multiplicative(e)
+    elif op == "pow":
+        if _is_const(rhs, 1.0):
+            return lhs
+        if _is_const(rhs, 0.0):
+            return Const(1.0)
+    elif op in ("max", "min"):
+        if lhs == rhs:
+            return lhs
+    return e
+
+
+def _fold_binary(op: str, a: float, b: float):
+    with np.errstate(all="ignore"):
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "mul":
+            return a * b
+        if op == "div":
+            return a / b if b != 0 else None
+        if op == "max":
+            return max(a, b)
+        if op == "min":
+            return min(a, b)
+        if op == "pow":
+            try:
+                result = float(a) ** float(b)
+            except (OverflowError, ValueError, ZeroDivisionError):
+                return None
+            return result if np.isfinite(result) else None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# additive canonicalization
+# ---------------------------------------------------------------------------
+def _split_terms(e: Expr, sign: int = 1) -> List[Tuple[int, Expr]]:
+    """Flatten an add/sub chain into signed terms."""
+    if isinstance(e, Binary) and e.op == "add":
+        return _split_terms(e.lhs, sign) + _split_terms(e.rhs, sign)
+    if isinstance(e, Binary) and e.op == "sub":
+        return _split_terms(e.lhs, sign) + _split_terms(e.rhs, -sign)
+    if isinstance(e, Unary) and e.op == "neg":
+        return _split_terms(e.arg, -sign)
+    return [(sign, e)]
+
+
+def _rewrite_additive(e: Binary) -> Expr:
+    terms = _split_terms(e)
+    const_sum = 0.0
+    rest: List[Tuple[int, Expr]] = []
+    for sign, term in terms:
+        if isinstance(term, Const):
+            const_sum += sign * term.value
+        else:
+            rest.append((sign, term))
+
+    # Cancel x + (-x) pairs one-for-one.
+    cancelled: List[Tuple[int, Expr]] = []
+    for sign, term in rest:
+        for i, (other_sign, other) in enumerate(cancelled):
+            if other == term and other_sign == -sign:
+                del cancelled[i]
+                break
+        else:
+            cancelled.append((sign, term))
+    rest = cancelled
+
+    if not rest:
+        return Const(const_sum)
+    result: Expr = None
+    for sign, term in rest:
+        if result is None:
+            result = term if sign > 0 else Unary("neg", term)
+        elif sign > 0:
+            result = Binary("add", result, term)
+        else:
+            result = Binary("sub", result, term)
+    if const_sum > 0.0:
+        result = Binary("add", result, Const(const_sum))
+    elif const_sum < 0.0:
+        result = Binary("sub", result, Const(-const_sum))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# multiplicative canonicalization
+# ---------------------------------------------------------------------------
+def _split_factors(e: Expr) -> Tuple[List[Expr], List[Expr]]:
+    """Flatten a mul/div chain into (numerator, denominator) factor lists."""
+    if isinstance(e, Binary) and e.op == "mul":
+        ln, ld = _split_factors(e.lhs)
+        rn, rd = _split_factors(e.rhs)
+        return ln + rn, ld + rd
+    if isinstance(e, Binary) and e.op == "div":
+        ln, ld = _split_factors(e.lhs)
+        rn, rd = _split_factors(e.rhs)
+        return ln + rd, ld + rn
+    return [e], []
+
+
+def _neg_expr(e: Expr) -> Expr:
+    if isinstance(e, Unary) and e.op == "neg":
+        return e.arg
+    if isinstance(e, Const):
+        return Const(-e.value)
+    if isinstance(e, Binary) and e.op == "sub":
+        return Binary("sub", e.rhs, e.lhs)
+    return Unary("neg", e)
+
+
+def _sum_exprs(terms: List[Expr]) -> Expr:
+    result = terms[0]
+    for term in terms[1:]:
+        if isinstance(term, Unary) and term.op == "neg":
+            result = Binary("sub", result, term.arg)
+        else:
+            result = Binary("add", result, term)
+    return result
+
+
+def _product(parts: List[Expr]) -> Expr:
+    if not parts:
+        return Const(1.0)
+    result = parts[0]
+    for part in parts[1:]:
+        result = Binary("mul", result, part)
+    return result
+
+
+def _rewrite_multiplicative(e: Binary) -> Expr:
+    num, den = _split_factors(e)
+
+    const_num = 1.0
+    const_den = 1.0
+    exp_terms: List[Expr] = []
+    num_rest: List[Expr] = []
+    den_rest: List[Expr] = []
+
+    for factor in num:
+        while isinstance(factor, Unary) and factor.op == "neg":
+            const_num = -const_num
+            factor = factor.arg
+        if isinstance(factor, Const):
+            const_num *= factor.value
+        elif isinstance(factor, Unary) and factor.op == "exp":
+            exp_terms.append(factor.arg)
+        else:
+            num_rest.append(factor)
+    for factor in den:
+        while isinstance(factor, Unary) and factor.op == "neg":
+            const_den = -const_den
+            factor = factor.arg
+        if isinstance(factor, Const):
+            const_den *= factor.value
+        elif isinstance(factor, Unary) and factor.op == "exp":
+            exp_terms.append(_neg_expr(factor.arg))
+        else:
+            den_rest.append(factor)
+
+    if const_num == 0.0:
+        return Const(0.0)
+
+    # Cancel structurally equal factors one-for-one.
+    remaining_den: List[Expr] = []
+    for factor in den_rest:
+        try:
+            num_rest.remove(factor)
+        except ValueError:
+            remaining_den.append(factor)
+    den_rest = remaining_den
+
+    parts: List[Expr] = []
+    const_value = const_num if const_den == 0.0 else const_num / const_den
+    if const_den == 0.0:
+        # division by literal zero: keep un-simplified to preserve semantics
+        return e
+    if const_value != 1.0 or (not num_rest and not exp_terms):
+        parts.append(Const(const_value))
+    parts.extend(num_rest)
+    if exp_terms:
+        parts.append(Unary("exp", _sum_exprs(exp_terms)))
+
+    numerator = _product(parts)
+    if not den_rest:
+        return numerator
+    return Binary("div", numerator, _product(den_rest))

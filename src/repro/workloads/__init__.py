@@ -1,0 +1,42 @@
+"""The paper's evaluation workloads with configs, references and graphs."""
+
+from . import attention, mla, moe, nonml, quant_gemm
+from .configs import (
+    INERTIA_CONFIGS,
+    MHA_CONFIGS,
+    MLA_CONFIGS,
+    MOE_CONFIGS,
+    QUANT_GEMM_CONFIGS,
+    VARIANCE_CONFIGS,
+    InertiaConfig,
+    MHAConfig,
+    MLAConfig,
+    MoEConfig,
+    QuantGemmConfig,
+    VarianceConfig,
+)
+from .opgraph import KernelGroup, LogicalOp, OpGraph, TensorInfo
+
+__all__ = [
+    "attention",
+    "mla",
+    "moe",
+    "nonml",
+    "quant_gemm",
+    "INERTIA_CONFIGS",
+    "MHA_CONFIGS",
+    "MLA_CONFIGS",
+    "MOE_CONFIGS",
+    "QUANT_GEMM_CONFIGS",
+    "VARIANCE_CONFIGS",
+    "InertiaConfig",
+    "MHAConfig",
+    "MLAConfig",
+    "MoEConfig",
+    "QuantGemmConfig",
+    "VarianceConfig",
+    "KernelGroup",
+    "LogicalOp",
+    "OpGraph",
+    "TensorInfo",
+]

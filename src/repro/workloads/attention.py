@@ -1,0 +1,94 @@
+"""Multi-Head Attention workload (Table 2a; §2.2; Appendix A.2.1).
+
+The cascade is the per-query-row chain  m = max P,  t = Σ exp(P−m),
+O = Σ exp(P−m)/t · V  with the QKᵀ GEMM as fused producer — the exact
+structure of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..codegen import CodegenSpec, ElementLayout, GemmProducer
+from ..core import Cascade, Reduction, fuse
+from ..symbolic import exp, var
+from .configs import MHAConfig
+from .opgraph import LogicalOp, OpGraph, TensorInfo
+
+FP16 = 2
+
+
+def cascade() -> Cascade:
+    P, V, m, t = var("P"), var("V"), var("m"), var("t")
+    return Cascade(
+        "mha",
+        ("P", "V"),
+        (
+            Reduction("m", "max", P),
+            Reduction("t", "sum", exp(P - m)),
+            Reduction("O", "sum", exp(P - m) / t * V),
+        ),
+    )
+
+
+def reference(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """NumPy attention: softmax(QKᵀ/√d)·V over trailing (seq, hd) dims."""
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = (q @ np.swapaxes(k, -1, -2)) * scale
+    weights = np.exp(scores - scores.max(-1, keepdims=True))
+    weights /= weights.sum(-1, keepdims=True)
+    return weights @ v
+
+
+def make_inputs(config: MHAConfig, rng: np.random.Generator):
+    shape_q = (config.bs, config.hn, config.q, config.hd)
+    shape_kv = (config.bs, config.hn, config.kv, config.hd)
+    return (
+        rng.normal(size=shape_q),
+        rng.normal(size=shape_kv),
+        rng.normal(size=shape_kv),
+    )
+
+
+def op_graph(config: MHAConfig) -> OpGraph:
+    """The frontend operator sequence: GEMM, max, sub+exp, sum, div, GEMM."""
+    b = config.bs * config.hn
+    q_t = TensorInfo("Q", b * config.q * config.hd, FP16)
+    k_t = TensorInfo("K", b * config.kv * config.hd, FP16)
+    v_t = TensorInfo("V", b * config.kv * config.hd, FP16)
+    p_t = TensorInfo("P", b * config.q * config.kv, FP16)
+    m_t = TensorInfo("m", b * config.q, FP16)
+    e_t = TensorInfo("E", b * config.q * config.kv, FP16)
+    t_t = TensorInfo("t", b * config.q, FP16)
+    s_t = TensorInfo("S", b * config.q * config.kv, FP16)
+    o_t = TensorInfo("O", b * config.q * config.hd, FP16)
+    gemm_flops = 2.0 * b * config.q * config.kv * config.hd
+    n_scores = b * config.q * config.kv
+    return OpGraph(
+        name=f"mha_{config.name}",
+        ops=(
+            LogicalOp("qk_gemm", "gemm", (q_t, k_t), (p_t,), gemm_flops),
+            LogicalOp("row_max", "reduction", (p_t,), (m_t,), n_scores),
+            LogicalOp("sub_exp", "elementwise", (p_t, m_t), (e_t,), 2.0 * n_scores),
+            LogicalOp("row_sum", "reduction", (e_t,), (t_t,), n_scores),
+            LogicalOp("normalize", "elementwise", (e_t, t_t), (s_t,), n_scores),
+            LogicalOp("pv_gemm", "gemm", (s_t, v_t), (o_t,), gemm_flops),
+        ),
+    )
+
+
+def fused_spec(config: MHAConfig) -> Tuple[CodegenSpec, int]:
+    """CodegenSpec for one (batch, head) instance + the instance count."""
+    spec = CodegenSpec(
+        fused=fuse(cascade()),
+        rows=config.q,
+        length=config.kv,
+        layouts=(
+            ElementLayout("P", 1, True),
+            ElementLayout("V", config.hd, False),
+        ),
+        producer=GemmProducer("P", "Q", "K", config.hd),
+    )
+    return spec, config.bs * config.hn

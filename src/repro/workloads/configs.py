@@ -1,0 +1,153 @@
+"""Workload configuration tables from the paper's Appendix A.5/A.6.
+
+Tables 2a–2d (MHA, MLA, MoE routing, Quant+GEMM) and 3a–3b (variance,
+moment of inertia), verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MHAConfig:
+    """Table 2a row: multi-head attention."""
+
+    name: str
+    bs: int
+    hn: int
+    q: int
+    kv: int
+    hd: int
+    model: str
+
+
+MHA_CONFIGS: Tuple[MHAConfig, ...] = (
+    MHAConfig("H1", 32, 8, 512, 512, 64, "BERT-Small"),
+    MHAConfig("H2", 32, 12, 512, 512, 64, "BERT-Base"),
+    MHAConfig("H3", 32, 16, 512, 512, 64, "BERT-Large"),
+    MHAConfig("H4", 32, 12, 256, 256, 64, "ViT-Base"),
+    MHAConfig("H5", 32, 16, 256, 256, 64, "ViT-Large"),
+    MHAConfig("H6", 32, 16, 256, 256, 80, "ViT-Huge"),
+    MHAConfig("H7", 32, 64, 1, 1024, 128, "LLaMA-65B"),
+    MHAConfig("H8", 32, 64, 1, 2048, 128, "LLaMA-65B"),
+    MHAConfig("H9", 32, 64, 1, 4096, 128, "LLaMA-65B"),
+)
+
+
+@dataclass(frozen=True)
+class MLAConfig:
+    """Table 2b row: multi-latent attention (decode, q = 1)."""
+
+    name: str
+    bs: int
+    hn: int
+    kv: int
+    hd: int
+    ped: int  # RoPE embedding extension of the q/k hidden dim
+
+
+MLA_CONFIGS: Tuple[MLAConfig, ...] = (
+    MLAConfig("L1", 32, 128, 1024, 512, 64),
+    MLAConfig("L2", 32, 128, 2048, 512, 64),
+    MLAConfig("L3", 32, 128, 4096, 512, 64),
+    MLAConfig("L4", 16, 128, 1024, 512, 64),
+    MLAConfig("L5", 16, 128, 2048, 512, 64),
+    MLAConfig("L6", 16, 128, 4096, 512, 64),
+    MLAConfig("L7", 1, 128, 1024, 512, 64),
+    MLAConfig("L8", 1, 128, 2048, 512, 64),
+    MLAConfig("L9", 1, 128, 4096, 512, 64),
+)
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """Table 2c row: MoE routing (GEMM + softmax + top-k)."""
+
+    name: str
+    s: int  # sequence length
+    hd: int  # hidden dim
+    en: int  # number of experts
+    topk: int
+    model: str
+
+
+MOE_CONFIGS: Tuple[MoEConfig, ...] = (
+    MoEConfig("R1", 2048, 768, 128, 1, "switch-base-128"),
+    MoEConfig("R2", 2048, 1024, 128, 1, "switch-large-128"),
+    MoEConfig("R3", 2048, 4096, 128, 1, "switch-xxl-128"),
+    MoEConfig("R4", 2048, 2560, 64, 6, "ERNIE-21B-A3B"),
+    MoEConfig("R5", 2048, 8192, 64, 8, "ERNIE-300B-A47B"),
+    MoEConfig("R6", 2048, 2048, 64, 6, "DeepSeek-V2-Lite"),
+    MoEConfig("R7", 2048, 2048, 128, 8, "Qwen3-30B-A3B"),
+    MoEConfig("R8", 2048, 4096, 128, 8, "Qwen3-235B-A30B"),
+)
+
+
+@dataclass(frozen=True)
+class QuantGemmConfig:
+    """Table 2d row: FP8 per-token quantization + GEMM."""
+
+    name: str
+    m: int
+    n: int
+    k: int
+    model: str
+
+
+QUANT_GEMM_CONFIGS: Tuple[QuantGemmConfig, ...] = (
+    QuantGemmConfig("Q1", 4096, 1536, 2560, "ERNIE-21B-A3B"),
+    QuantGemmConfig("Q2", 4096, 2560, 1536, "ERNIE-21B-A3B"),
+    QuantGemmConfig("Q3", 4096, 3584, 8192, "ERNIE-300B-A47B"),
+    QuantGemmConfig("Q4", 4096, 8192, 3584, "ERNIE-300B-A47B"),
+    QuantGemmConfig("Q5", 4096, 7168, 2048, "DeepSeek-R1"),
+    QuantGemmConfig("Q6", 4096, 2048, 7168, "DeepSeek-R1"),
+    QuantGemmConfig("Q7", 4096, 2048, 768, "Qwen3-30B-A3B"),
+    QuantGemmConfig("Q8", 4096, 768, 2048, "Qwen3-30B-A3B"),
+    QuantGemmConfig("Q9", 4096, 4096, 1536, "Qwen3-235B-A30B"),
+    QuantGemmConfig("Q10", 4096, 1536, 4096, "Qwen3-235B-A30B"),
+)
+
+
+@dataclass(frozen=True)
+class VarianceConfig:
+    """Table 3a row: batched variance."""
+
+    name: str
+    bs: int
+    l: int
+
+
+VARIANCE_CONFIGS: Tuple[VarianceConfig, ...] = (
+    VarianceConfig("V1", 1, 8192),
+    VarianceConfig("V2", 1, 32768),
+    VarianceConfig("V3", 128, 8192),
+    VarianceConfig("V4", 128, 32768),
+    VarianceConfig("V5", 512, 8192),
+    VarianceConfig("V6", 512, 32768),
+    VarianceConfig("V7", 1024, 8192),
+    VarianceConfig("V8", 1024, 32768),
+)
+
+
+@dataclass(frozen=True)
+class InertiaConfig:
+    """Table 3b row: moment of inertia about the center of mass."""
+
+    name: str
+    bs: int
+    n: int
+    dim: int = 3
+
+
+INERTIA_CONFIGS: Tuple[InertiaConfig, ...] = (
+    InertiaConfig("I1", 1, 8192),
+    InertiaConfig("I2", 1, 32768),
+    InertiaConfig("I3", 128, 8192),
+    InertiaConfig("I4", 128, 32768),
+    InertiaConfig("I5", 512, 8192),
+    InertiaConfig("I6", 512, 32768),
+    InertiaConfig("I7", 1024, 8192),
+    InertiaConfig("I8", 1024, 32768),
+)

@@ -1,0 +1,93 @@
+"""Multi-Latent Attention workload (Table 2b; DeepSeek-style decode).
+
+Decode-phase MLA: every head's query attends over a *shared* latent KV
+cache of dim ``hd`` (+ ``ped`` RoPE dims on the q/k side), with q = 1.
+The cascade is the same chain as MHA; only the geometry changes — which
+is exactly the generality claim of the paper (one framework, many
+shapes).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..codegen import CodegenSpec, ElementLayout, GemmProducer
+from ..core import fuse
+from .attention import cascade
+from .configs import MLAConfig
+from .opgraph import LogicalOp, OpGraph, TensorInfo
+
+FP16 = 2
+
+
+def reference(q: np.ndarray, kv: np.ndarray) -> np.ndarray:
+    """Decode MLA: q (bs, hn, hd+ped), latent kv (bs, kv, hd+ped).
+
+    Scores use the full (hd+ped) dim; the output contracts only the
+    first hd dims of the latent cache (the value part).
+    """
+    bs, hn, qdim = q.shape
+    kv_len = kv.shape[1]
+    hd = qdim - 0  # scores over the full dim
+    scale = 1.0 / np.sqrt(qdim)
+    scores = np.einsum("bhd,bkd->bhk", q, kv) * scale
+    weights = np.exp(scores - scores.max(-1, keepdims=True))
+    weights /= weights.sum(-1, keepdims=True)
+    return np.einsum("bhk,bkd->bhd", weights, kv)
+
+
+def make_inputs(config: MLAConfig, rng: np.random.Generator):
+    qdim = config.hd + config.ped
+    return (
+        rng.normal(size=(config.bs, config.hn, qdim)),
+        rng.normal(size=(config.bs, config.kv, qdim)),
+    )
+
+
+def op_graph(config: MLAConfig) -> OpGraph:
+    bs, hn, kv = config.bs, config.hn, config.kv
+    qdim = config.hd + config.ped
+    q_t = TensorInfo("Q", bs * hn * qdim, FP16)
+    kv_t = TensorInfo("KV", bs * kv * qdim, FP16)
+    p_t = TensorInfo("P", bs * hn * kv, FP16)
+    m_t = TensorInfo("m", bs * hn, FP16)
+    e_t = TensorInfo("E", bs * hn * kv, FP16)
+    t_t = TensorInfo("t", bs * hn, FP16)
+    s_t = TensorInfo("S", bs * hn * kv, FP16)
+    o_t = TensorInfo("O", bs * hn * config.hd, FP16)
+    score_flops = 2.0 * bs * hn * kv * qdim
+    out_flops = 2.0 * bs * hn * kv * config.hd
+    n_scores = bs * hn * kv
+    return OpGraph(
+        name=f"mla_{config.name}",
+        ops=(
+            LogicalOp("qk_gemm", "gemm", (q_t, kv_t), (p_t,), score_flops),
+            LogicalOp("row_max", "reduction", (p_t,), (m_t,), n_scores),
+            LogicalOp("sub_exp", "elementwise", (p_t, m_t), (e_t,), 2.0 * n_scores),
+            LogicalOp("row_sum", "reduction", (e_t,), (t_t,), n_scores),
+            LogicalOp("normalize", "elementwise", (e_t, t_t), (s_t,), n_scores),
+            LogicalOp("pv_gemm", "gemm", (s_t, kv_t), (o_t,), out_flops),
+        ),
+    )
+
+
+def fused_spec(config: MLAConfig) -> Tuple[CodegenSpec, int]:
+    """One batch element: all hn heads share the latent KV tile.
+
+    rows = hn query heads; the producer contracts over hd+ped; the value
+    contraction uses the hd-dim latent (modelled as width hd).
+    """
+    qdim = config.hd + config.ped
+    spec = CodegenSpec(
+        fused=fuse(cascade()),
+        rows=config.hn,
+        length=config.kv,
+        layouts=(
+            ElementLayout("P", 1, True),
+            ElementLayout("V", config.hd, False),
+        ),
+        producer=GemmProducer("P", "Q", "K", qdim),
+    )
+    return spec, config.bs

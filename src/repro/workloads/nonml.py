@@ -1,0 +1,189 @@
+"""Non-ML workloads (Appendix A.6): variance, moment of inertia, sum+sum.
+
+All three are cascaded reductions outside deep learning:
+
+* variance (Eq. 44) — mean then centered second moment; ACRF needs the
+  multi-term extension (``(x − m)²`` expands distributively);
+* moment of inertia (Eq. 45) — total mass, center of mass, then the
+  mass-weighted second moment about it (per spatial dimension);
+* sum+sum (A.2.3) — an internal-model pattern with a
+  ``1/sqrt(max(m − 10, 1))`` dependency (the inner max made explicit,
+  see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core import Cascade, Reduction, fuse
+from ..gpusim.kernel import KernelSpec, Program
+from ..symbolic import const, sqrt, var, vmax
+from .configs import InertiaConfig, VarianceConfig
+from .opgraph import LogicalOp, OpGraph, TensorInfo
+
+FP32 = 4
+
+
+# ---------------------------------------------------------------------------
+# variance
+# ---------------------------------------------------------------------------
+def variance_cascade(length: int) -> Cascade:
+    x, mean = var("x"), var("mean")
+    inv_n = const(1.0 / length)
+    return Cascade(
+        "variance",
+        ("x",),
+        (
+            Reduction("mean", "sum", x * inv_n),
+            Reduction("var", "sum", (x - mean) ** 2 * inv_n),
+        ),
+    )
+
+
+def variance_reference(x: np.ndarray) -> np.ndarray:
+    return x.var(axis=-1)
+
+
+def variance_op_graph(config: VarianceConfig) -> OpGraph:
+    n = config.bs * config.l
+    x_t = TensorInfo("x", n, FP32)
+    m_t = TensorInfo("mean", config.bs, FP32)
+    d_t = TensorInfo("centered_sq", n, FP32)
+    v_t = TensorInfo("var", config.bs, FP32)
+    return OpGraph(
+        name=f"variance_{config.name}",
+        ops=(
+            LogicalOp("mean", "reduction", (x_t,), (m_t,), float(n)),
+            LogicalOp("center_square", "elementwise", (x_t, m_t), (d_t,), 2.0 * n),
+            LogicalOp("second_moment", "reduction", (d_t,), (v_t,), float(n)),
+        ),
+    )
+
+
+def variance_redfuser_program(config: VarianceConfig) -> Program:
+    """One fused pass: running Σx and Σx² accumulators, O(1) state."""
+    # Multi-Segment strategy: each CTA streams a 4K-element segment and
+    # the O(1) partial states merge via Eq. 11 (combine cost negligible).
+    n = config.bs * config.l
+    grid = max(1, n // 4096)
+    return Program(
+        name=f"variance_{config.name}_redfuser",
+        kernels=[
+            KernelSpec(
+                name="fused_variance",
+                grid=grid,
+                threads_per_cta=256,
+                smem_bytes=8 * 1024,
+                bytes_read=n * FP32,
+                bytes_written=config.bs * FP32,
+                flops=4.0 * n,
+                compute_efficiency=0.6,
+                memory_efficiency=0.85,
+                overlap=0.9,
+            )
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# moment of inertia
+# ---------------------------------------------------------------------------
+def inertia_cascade() -> Cascade:
+    """Eq. 45 for one spatial dimension (dimensions sum independently).
+
+    mass_total = Σ m_l;  weighted = Σ m_l·x_l  (center c = weighted /
+    mass_total is an epilogue);  I_dim = Σ m_l·(x_l − c)², written with
+    c inlined so the cascade is self-contained.
+    """
+    mass, x = var("mass"), var("x")
+    mass_total, weighted = var("mass_total"), var("weighted")
+    c = weighted / mass_total
+    return Cascade(
+        "inertia",
+        ("mass", "x"),
+        (
+            Reduction("mass_total", "sum", mass),
+            Reduction("weighted", "sum", mass * x),
+            Reduction("inertia", "sum", mass * (x - c) ** 2),
+        ),
+    )
+
+
+def inertia_reference(mass: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """I = Σ m ‖x − c‖² with c the center of mass; pos is (..., n, dim)."""
+    total = mass.sum(-1, keepdims=True)
+    center = (mass[..., None] * pos).sum(-2, keepdims=True) / total[..., None]
+    sq = ((pos - center) ** 2).sum(-1)
+    return (mass * sq).sum(-1)
+
+
+def inertia_op_graph(config: InertiaConfig) -> OpGraph:
+    n = config.bs * config.n
+    m_t = TensorInfo("mass", n, FP32)
+    p_t = TensorInfo("pos", n * config.dim, FP32)
+    tot_t = TensorInfo("mass_total", config.bs, FP32)
+    w_t = TensorInfo("weighted", config.bs * config.dim, FP32)
+    c_t = TensorInfo("center", config.bs * config.dim, FP32)
+    d_t = TensorInfo("weighted_sq", n, FP32)
+    i_t = TensorInfo("inertia", config.bs, FP32)
+    return OpGraph(
+        name=f"inertia_{config.name}",
+        ops=(
+            LogicalOp("mass_sum", "reduction", (m_t,), (tot_t,), float(n)),
+            LogicalOp("weighted_sum", "reduction", (m_t, p_t), (w_t,), 2.0 * n * config.dim),
+            LogicalOp("center", "elementwise", (w_t, tot_t), (c_t,), float(config.bs * config.dim)),
+            LogicalOp(
+                "center_square",
+                "elementwise",
+                (p_t, c_t, m_t),
+                (d_t,),
+                4.0 * n * config.dim,
+            ),
+            LogicalOp("moment", "reduction", (d_t,), (i_t,), float(n)),
+        ),
+    )
+
+
+def inertia_redfuser_program(config: InertiaConfig) -> Program:
+    n = config.bs * config.n
+    grid = max(1, n // 4096)
+    read = (n + n * config.dim) * FP32
+    return Program(
+        name=f"inertia_{config.name}_redfuser",
+        kernels=[
+            KernelSpec(
+                name="fused_inertia",
+                grid=grid,
+                threads_per_cta=256,
+                smem_bytes=8 * 1024,
+                bytes_read=read,
+                bytes_written=config.bs * FP32,
+                flops=8.0 * n * config.dim,
+                compute_efficiency=0.6,
+                memory_efficiency=0.85,
+                overlap=0.9,
+            )
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# sum + sum (Appendix A.2.3)
+# ---------------------------------------------------------------------------
+def sum_sum_cascade() -> Cascade:
+    x1, x2, m = var("x1"), var("x2"), var("m")
+    return Cascade(
+        "sum_sum",
+        ("x1", "x2"),
+        (
+            Reduction("m", "sum", x1 * x1),
+            Reduction("s", "sum", x1 * x2 / sqrt(vmax(m - 10, 1))),
+        ),
+    )
+
+
+def sum_sum_reference(x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    m = (x1 * x1).sum(-1, keepdims=True)
+    return (x1 * x2 / np.sqrt(np.maximum(m - 10, 1))).sum(-1)

@@ -1,0 +1,117 @@
+"""Logical operator graphs: the frontend view that baselines compile.
+
+Each workload lowers to a dependent list of :class:`LogicalOp` — the
+tensor-program the PyTorch/TVM frontends would see.  Baseline compiler
+models differ only in how they group these ops into kernels and with
+what code quality; the byte/flop accounting is shared and exact:
+a kernel reads each external input tensor once and writes each external
+output tensor once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+OP_KINDS = ("gemm", "reduction", "elementwise", "topk")
+
+
+@dataclass(frozen=True)
+class TensorInfo:
+    """A logical tensor: element count and dtype width."""
+
+    name: str
+    elems: float
+    dtype_bytes: int = 2
+
+    @property
+    def nbytes(self) -> float:
+        return self.elems * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class LogicalOp:
+    """One frontend operator."""
+
+    name: str
+    kind: str
+    reads: Tuple[TensorInfo, ...]
+    writes: Tuple[TensorInfo, ...]
+    flops: float = 0.0
+    fp8: bool = False  # gemm executes on the FP8 tensor-core path
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class OpGraph:
+    """A dependent op sequence with its terminal outputs."""
+
+    name: str
+    ops: Tuple[LogicalOp, ...]
+
+    def external_outputs(self) -> Set[str]:
+        """Tensors never consumed by a later op (must reach memory)."""
+        produced: Dict[str, int] = {}
+        for i, op in enumerate(self.ops):
+            for t in op.writes:
+                produced[t.name] = i
+        consumed: Set[str] = set()
+        for i, op in enumerate(self.ops):
+            for t in op.reads:
+                if t.name in produced and produced[t.name] < i:
+                    consumed.add(t.name)
+        return {t.name for op in self.ops for t in op.writes} - consumed
+
+    def tensor(self, name: str) -> TensorInfo:
+        for op in self.ops:
+            for t in list(op.reads) + list(op.writes):
+                if t.name == name:
+                    return t
+        raise KeyError(name)
+
+
+@dataclass
+class KernelGroup:
+    """A set of fused ops destined for one kernel launch."""
+
+    ops: List[LogicalOp] = field(default_factory=list)
+
+    @property
+    def kinds(self) -> List[str]:
+        return [op.kind for op in self.ops]
+
+    def io(self, graph: OpGraph) -> Tuple[List[TensorInfo], List[TensorInfo]]:
+        """External reads/writes once intra-group temporaries cancel."""
+        written_here = {t.name for op in self.ops for t in op.writes}
+        externals = graph.external_outputs()
+        group_out_names = set()
+        later_ops = [op for op in graph.ops if op not in self.ops]
+        consumed_later = {
+            t.name for op in later_ops for t in op.reads
+        }
+        reads: Dict[str, TensorInfo] = {}
+        for op in self.ops:
+            for t in op.reads:
+                if t.name not in written_here:
+                    reads.setdefault(t.name, t)
+        writes: Dict[str, TensorInfo] = {}
+        for op in self.ops:
+            for t in op.writes:
+                if t.name in externals or t.name in consumed_later:
+                    writes.setdefault(t.name, t)
+        return list(reads.values()), list(writes.values())
+
+    @property
+    def flops(self) -> float:
+        return sum(op.flops for op in self.ops)
+
+    @property
+    def has_gemm(self) -> bool:
+        return any(op.kind == "gemm" for op in self.ops)
+
+    @property
+    def fp8(self) -> bool:
+        return any(op.fp8 for op in self.ops)

@@ -1,0 +1,110 @@
+"""Unit tests for the baseline compiler models and the harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import compile_eager, compile_inductor, compile_tvm
+from repro.gpusim import A10, H800, program_latency
+from repro.harness import (
+    fig7_access_counts,
+    geomean,
+    redfuser_program,
+    relative_summary,
+    run_workload,
+    scale_program,
+    series_table,
+    speedup_table,
+)
+from repro.workloads import attention, moe, quant_gemm
+from repro.workloads.configs import MHA_CONFIGS, MOE_CONFIGS, QUANT_GEMM_CONFIGS
+
+
+@pytest.fixture(scope="module")
+def mha_graph():
+    return attention.op_graph(MHA_CONFIGS[0])
+
+
+class TestBaselineCompilers:
+    def test_eager_one_kernel_per_op(self, mha_graph):
+        program = compile_eager(mha_graph)
+        assert program.num_kernels == len(mha_graph.ops)
+
+    def test_inductor_fuses_pointwise_chains(self, mha_graph):
+        program = compile_inductor(mha_graph)
+        # gemm | max | sub_exp+row_sum | normalize | gemm  ->  5 kernels
+        assert program.num_kernels < len(mha_graph.ops)
+        names = [k.name for k in program.kernels]
+        assert any("+" in n for n in names)
+
+    def test_inductor_moves_less_memory_than_eager(self, mha_graph):
+        eager = compile_eager(mha_graph)
+        inductor = compile_inductor(mha_graph)
+        assert inductor.total_bytes < eager.total_bytes
+
+    def test_tvm_has_no_tensor_cores(self, mha_graph):
+        program = compile_tvm(mha_graph)
+        assert all(not k.tensor_cores for k in program.kernels)
+
+    def test_tvm_gemm_dominates_on_tensor_gpus(self, mha_graph):
+        eager = program_latency(A10, compile_eager(mha_graph))
+        tvm = program_latency(A10, compile_tvm(mha_graph))
+        assert tvm > 0.8 * eager  # FP32 gemms keep TVM near/behind eager
+
+    def test_inductor_fp8_falls_back_to_fp16(self):
+        graph = quant_gemm.op_graph(QUANT_GEMM_CONFIGS[0])
+        inductor = compile_inductor(graph)
+        gemms = [k for k in inductor.kernels if k.tensor_cores]
+        assert gemms and all(k.dtype == "fp16" for k in gemms)
+        eager = compile_eager(graph)
+        assert any(k.dtype == "fp8" for k in eager.kernels)
+
+
+class TestHarness:
+    def test_scale_program(self):
+        program = moe.redfuser_program(MOE_CONFIGS[0])
+        scaled = scale_program(program, 4)
+        assert scaled.kernels[0].grid == 4 * program.kernels[0].grid
+        assert scaled.total_bytes == pytest.approx(4 * program.total_bytes)
+
+    def test_run_workload_row_shape(self):
+        row = run_workload("moe", MOE_CONFIGS[0], A10)
+        assert row["eager_speedup"] == 1.0
+        assert row["redfuser_speedup"] > 1.0
+        assert {"dynamo_speedup", "tvm_speedup"} <= set(row)
+
+    def test_mha_row_includes_flash_baseline(self):
+        row = run_workload("mha", MHA_CONFIGS[3], A10)
+        assert "FlashAttention2_speedup" in row
+
+    def test_redfuser_program_kinds(self):
+        for kind, config in (
+            ("moe", MOE_CONFIGS[0]),
+            ("quant_gemm", QUANT_GEMM_CONFIGS[0]),
+        ):
+            program = redfuser_program(kind, config, H800)
+            assert program.num_kernels >= 1
+        with pytest.raises(ValueError):
+            redfuser_program("conv", MOE_CONFIGS[0], A10)
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert np.isnan(geomean([]))
+
+    def test_relative_summary(self):
+        rows = [
+            {"a_speedup": 2.0, "b_speedup": 1.0},
+            {"a_speedup": 8.0, "b_speedup": 2.0},
+        ]
+        assert relative_summary(rows, "a", "b") == pytest.approx(
+            geomean([2.0, 4.0])
+        )
+
+    def test_speedup_table_renders(self):
+        rows = [{"config": "X1", "a_speedup": 1.5, "b_speedup": None}]
+        text = speedup_table(rows, "title")
+        assert "title" in text and "X1" in text and "1.50" in text
+
+    def test_series_table_renders(self):
+        rows = fig7_access_counts(1024)
+        text = series_table(rows, ["strategy", "dk_loads"], "fig7")
+        assert "unfused" in text and "inter-block" in text

@@ -1,0 +1,271 @@
+"""Unit tests for lowering, tensorization, kernel estimation, tuning."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    CodegenSpec,
+    ElementLayout,
+    GemmProducer,
+    LoweringError,
+    TileConfig,
+    autotune,
+    estimate_kernel,
+    lower_multi_segment,
+    lower_single_segment,
+    tensorize_multi_segment,
+    tensorize_single_segment,
+)
+from repro.core import Cascade, Reduction, fuse
+from repro.gpusim import A10, occupancy
+from repro.ir import TileInterpreter, run_function
+from repro.symbolic import absv, const, exp, var
+
+
+def attention_spec(rows=4, length=24, width=6, inner=5):
+    P, V, m, t = var("P"), var("V"), var("m"), var("t")
+    cascade = Cascade(
+        "attention",
+        ("P", "V"),
+        (
+            Reduction("m", "max", P),
+            Reduction("t", "sum", exp(P - m)),
+            Reduction("O", "sum", exp(P - m) / t * V),
+        ),
+    )
+    return CodegenSpec(
+        fused=fuse(cascade),
+        rows=rows,
+        length=length,
+        layouts=(ElementLayout("P", 1, True), ElementLayout("V", width, False)),
+        producer=GemmProducer("P", "Q", "K", inner),
+    )
+
+
+def softmax_spec(rows=4, length=32):
+    x, m = var("x"), var("m")
+    cascade = Cascade(
+        "softmax",
+        ("x",),
+        (Reduction("m", "max", x), Reduction("t", "sum", exp(x - m))),
+    )
+    return CodegenSpec(
+        fused=fuse(cascade),
+        rows=rows,
+        length=length,
+        layouts=(ElementLayout("x", 1, True),),
+    )
+
+
+def attention_data(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "Q": rng.normal(size=(spec.rows, spec.producer.inner_dim)),
+        "K": rng.normal(size=(spec.length, spec.producer.inner_dim)),
+        "V": rng.normal(size=(spec.length, spec.layout("V").width)),
+    }
+
+
+def attention_expected(data):
+    p = data["Q"] @ data["K"].T
+    s = np.exp(p - p.max(1, keepdims=True))
+    s /= s.sum(1, keepdims=True)
+    return s @ data["V"]
+
+
+class TestScalarLowering:
+    def test_single_segment_matches_numpy(self):
+        spec = attention_spec()
+        data = attention_data(spec)
+        out = run_function(lower_single_segment(spec), data)
+        np.testing.assert_allclose(out["O"], attention_expected(data), rtol=1e-9)
+
+    def test_three_step_template_structure(self):
+        """pmax/psum keep prev buffers; the terminal output does not."""
+        fn = lower_single_segment(attention_spec())
+        names = {b.name for b in fn.buffers}
+        assert "m_prev" in names and "t_prev" in names
+        assert "O_prev" not in names  # step 1 skipped: O is never reused
+
+    @pytest.mark.parametrize("segments", [2, 3, 4])
+    def test_multi_segment_matches_numpy(self, segments):
+        spec = attention_spec(length=24)
+        data = attention_data(spec, seed=segments)
+        partial, combine = lower_multi_segment(spec, segments)
+        parts = run_function(partial, data)
+        out = run_function(
+            combine, {n: parts[n] for n in ("m_part", "t_part", "O_part")}
+        )
+        np.testing.assert_allclose(out["O"], attention_expected(data), rtol=1e-8)
+
+    def test_multi_segment_requires_divisibility(self):
+        with pytest.raises(LoweringError):
+            lower_multi_segment(attention_spec(length=24), 5)
+        with pytest.raises(LoweringError):
+            lower_multi_segment(attention_spec(), 1)
+
+    def test_topk_rejected_by_scalar_emitter(self):
+        x = var("x")
+        cascade = Cascade(
+            "k", ("x",), (Reduction("s", "topk", x, topk=2),)
+        )
+        spec = CodegenSpec(
+            fused=fuse(cascade), rows=2, length=8,
+            layouts=(ElementLayout("x", 1, True),),
+        )
+        with pytest.raises(LoweringError):
+            lower_single_segment(spec)
+
+    def test_variance_multi_term_lowering(self):
+        n = 32
+        x, mean = var("x"), var("mean")
+        cascade = Cascade(
+            "variance",
+            ("x",),
+            (
+                Reduction("mean", "sum", x * const(1.0 / n)),
+                Reduction("var", "sum", (x - mean) ** 2 * const(1.0 / n)),
+            ),
+        )
+        spec = CodegenSpec(
+            fused=fuse(cascade), rows=3, length=n,
+            layouts=(ElementLayout("x", 1, True),),
+        )
+        rng = np.random.default_rng(5)
+        data = rng.normal(1, 2, size=(3, n))
+        out = run_function(lower_single_segment(spec), {"x": data})
+        np.testing.assert_allclose(out["var"], data.var(axis=1), rtol=1e-9)
+
+
+class TestTensorize:
+    def test_single_segment_tile_matches_numpy(self):
+        spec = attention_spec(rows=8, length=32, width=4)
+        data = attention_data(spec, seed=7)
+        prog = tensorize_single_segment(spec, TileConfig(blk_rows=4, blk_len=8))
+        out = TileInterpreter(prog).run(data)
+        np.testing.assert_allclose(out["O"], attention_expected(data), rtol=1e-9)
+
+    @pytest.mark.parametrize("splits", [2, 4])
+    def test_multi_segment_tile_matches_numpy(self, splits):
+        spec = attention_spec(rows=8, length=32, width=4)
+        data = attention_data(spec, seed=splits)
+        partial, combine = tensorize_multi_segment(
+            spec, TileConfig(blk_rows=4, blk_len=8), splits
+        )
+        parts = TileInterpreter(partial).run(data)
+        out = TileInterpreter(combine).run(
+            {k: v for k, v in parts.items() if k.endswith("_part")}
+        )
+        np.testing.assert_allclose(out["O"], attention_expected(data), rtol=1e-9)
+
+    def test_quant_gemm_through_tile_backend(self):
+        A, W, amax = var("A"), var("W"), var("amax")
+        cascade = Cascade(
+            "quant",
+            ("A", "W"),
+            (
+                Reduction("amax", "max", absv(A)),
+                Reduction("c", "sum", const(448.0) * A / amax * W),
+            ),
+        )
+        spec = CodegenSpec(
+            fused=fuse(cascade), rows=4, length=16,
+            layouts=(ElementLayout("A", 1, True), ElementLayout("W", 3, False)),
+        )
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4, 16))
+        w = rng.normal(size=(16, 3))
+        prog = tensorize_single_segment(spec, TileConfig(blk_rows=2, blk_len=4))
+        out = TileInterpreter(prog).run({"A": a, "W": w})
+        expected = (448.0 * a / np.abs(a).max(1, keepdims=True)) @ w
+        np.testing.assert_allclose(out["c"], expected, rtol=1e-9)
+
+    def test_abs_max_state_seeds_zero(self):
+        """Abs-max reductions seed 0, not -inf, so the un-peeled tile
+        template's first correction ratio stays finite."""
+        from repro.codegen.tensorize import _seed_init
+
+        A, W, amax = var("A"), var("W"), var("amax")
+        cascade = Cascade(
+            "quant",
+            ("A", "W"),
+            (
+                Reduction("amax", "max", absv(A)),
+                Reduction("c", "sum", const(448.0) * A / amax * W),
+            ),
+        )
+        spec = CodegenSpec(
+            fused=fuse(cascade), rows=2, length=4,
+            layouts=(ElementLayout("A", 1, True), ElementLayout("W", 2, False)),
+        )
+        assert _seed_init(spec, spec.fused[0]) == 0.0
+
+    def test_tile_divisibility_enforced(self):
+        spec = attention_spec(rows=4, length=24)
+        with pytest.raises(LoweringError):
+            tensorize_single_segment(spec, TileConfig(blk_rows=3, blk_len=8))
+
+
+class TestKernelEstimation:
+    def test_fused_reads_inputs_once(self):
+        spec = attention_spec(rows=128, length=256, width=64, inner=64)
+        prog = tensorize_single_segment(spec, TileConfig(blk_rows=64, blk_len=64))
+        kernel = estimate_kernel(prog)
+        fp16 = 2
+        k_bytes = spec.length * 64 * fp16
+        v_bytes = spec.length * 64 * fp16
+        q_bytes = spec.rows * 64 * fp16
+        # K/V staged once per row block (2 blocks), Q once per block
+        expected_reads = 2 * (k_bytes + v_bytes) + q_bytes
+        assert kernel.bytes_read == pytest.approx(expected_reads)
+
+    def test_gemm_flops_counted(self):
+        spec = attention_spec(rows=128, length=256, width=64, inner=64)
+        prog = tensorize_single_segment(spec, TileConfig(blk_rows=64, blk_len=64))
+        kernel = estimate_kernel(prog)
+        two_gemms = 2 * 2.0 * 128 * 256 * 64
+        assert kernel.flops > two_gemms  # gemms plus corrections
+        assert kernel.tensor_cores
+
+    def test_pipeline_depth_buffers_streamed_tiles_only(self):
+        spec = attention_spec(rows=128, length=256, width=64, inner=64)
+        prog = tensorize_single_segment(spec, TileConfig(blk_rows=64, blk_len=64))
+        shallow = estimate_kernel(prog, pipeline_depth=1)
+        deep = estimate_kernel(prog, pipeline_depth=3)
+        assert deep.smem_bytes > shallow.smem_bytes
+        q_tile = 64 * 64 * 2  # persistent: must not be multiplied
+        assert deep.smem_bytes - shallow.smem_bytes < 3 * (prog.shared_bytes())
+        assert deep.overlap > shallow.overlap
+
+
+class TestAutotune:
+    def test_finds_feasible_config(self):
+        spec = attention_spec(rows=128, length=256, width=64, inner=64)
+        result = autotune(
+            spec, A10,
+            blk_rows=(32, 64, 128), blk_len=(32, 64), threads=(256,),
+            pipeline=(1, 2), segments=(1, 2),
+        )
+        assert result.latency > 0
+        assert result.candidates_tried > 4
+        for kernel in result.program.kernels:
+            assert occupancy(A10, kernel).feasible
+
+    def test_decode_prefers_multi_segment(self):
+        """One query row: splitting the kv axis is the only way to get
+        parallelism (the FlashDecoding case)."""
+        spec = attention_spec(rows=1, length=512, width=64, inner=64)
+        result = autotune(
+            spec, A10,
+            blk_rows=(1,), blk_len=(32, 64), threads=(256,),
+            pipeline=(2,), segments=(1, 8),
+            instances=8,  # modest batch: 8 CTAs can't fill 72 SMs unsplit
+        )
+        assert result.num_segments > 1
+        assert result.strategy == "multi-segment"
+
+    def test_instances_scale_candidates(self):
+        spec = softmax_spec(rows=128, length=256)
+        single = autotune(spec, A10, segments=(1,), instances=1)
+        batched = autotune(spec, A10, segments=(1,), instances=64)
+        assert batched.latency > single.latency

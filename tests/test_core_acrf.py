@@ -1,0 +1,176 @@
+"""Unit tests for the ACRF decomposition algorithm (§4.2, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, NotFusableError, Reduction, analyze_cascade, decompose
+from repro.core.acrf import decompose_single
+from repro.core.ops import OTIMES_ADD, OTIMES_MUL
+from repro.symbolic import (
+    Const,
+    absv,
+    const,
+    exp,
+    numeric_equivalent,
+    sqrt,
+    var,
+    variables,
+    vmax,
+)
+
+
+def check_decomposition(fn, x_vars, d_vars, op_name):
+    """Decompose and verify G ⊗ H == F numerically."""
+    decomp = decompose(fn, x_vars, d_vars, op_name)
+    rebuilt = None
+    for term in decomp.terms:
+        gh = decomp.otimes.apply_sym(term.g, term.h)
+        rebuilt = gh if rebuilt is None else rebuilt + gh
+    assert numeric_equivalent(rebuilt, fn, rtol=1e-5, atol=1e-7)
+    return decomp
+
+
+class TestSingleTerm:
+    def test_softmax_sum_exp(self):
+        """F = exp(x - m): the canonical safe-softmax second reduction."""
+        x, m = variables("x", "m")
+        decomp = check_decomposition(exp(x - m), ["x"], ["m"], "sum")
+        assert decomp.otimes is OTIMES_MUL
+        assert decomp.g == exp(x)
+        assert decomp.h == exp(-m)
+
+    def test_attention_output_reduction(self):
+        """F = exp(P - m)/t * V with two dependencies."""
+        P, V, m, t = variables("P", "V", "m", "t")
+        fn = exp(P - m) / t * V
+        decomp = check_decomposition(fn, ["P", "V"], ["m", "t"], "sum")
+        assert decomp.otimes is OTIMES_MUL
+        # H must reference both dependencies
+        assert decomp.h.free_vars() == {"m", "t"}
+
+    def test_quant_gemm_reduction(self):
+        """Paper §3.4: F = MAX * A / m * W decomposes with H ∝ 1/m."""
+        A, W, m = variables("A", "W", "m")
+        fp8_max = const(448.0)
+        fn = fp8_max * A / m * W
+        decomp = check_decomposition(fn, ["A", "W"], ["m"], "sum")
+        assert decomp.h.free_vars() == {"m"}
+        # H evaluates to MAX-scaled reciprocal: H(2m) == H(m)/2
+        h1 = decomp.h.evaluate({"m": 1.0})
+        h2 = decomp.h.evaluate({"m": 2.0})
+        assert h1 == pytest.approx(2 * h2)
+
+    def test_max_reduction_with_additive_dep(self):
+        """⊕ = max pairs with ⊗ = +: F = x - m is decomposable."""
+        x, m = variables("x", "m")
+        decomp = check_decomposition(x - m, ["x"], ["m"], "max")
+        assert decomp.otimes is OTIMES_ADD
+
+    def test_no_dependency_gives_identity_h(self):
+        x = var("x")
+        decomp = check_decomposition(absv(x), ["x"], [], "max")
+        assert decomp.h == Const(0.0)  # additive identity
+
+    def test_sum_sum_pattern(self):
+        """Appendix A.2.3: F = x1*x2 / sqrt(max(m - 10, 1))."""
+        x1, x2, m = variables("x1", "x2", "m")
+        fn = x1 * x2 / sqrt(vmax(m - 10, 1))
+        decomp = check_decomposition(fn, ["x1", "x2"], ["m"], "sum")
+        assert decomp.h.free_vars() == {"m"}
+
+    def test_syntactic_dep_that_cancels(self):
+        """x + m - m semantically has no dependency; H becomes identity."""
+        x, m = variables("x", "m")
+        decomp = check_decomposition(x + m - m, ["x"], ["m"], "max")
+        assert decomp.h == Const(0.0)
+
+
+class TestNotFusable:
+    def test_entangled_multiplicative(self):
+        """F = exp(x * m) cannot split as G(x) * H(m)."""
+        x, m = variables("x", "m")
+        with pytest.raises(NotFusableError):
+            decompose(exp(x * m), ["x"], ["m"], "sum")
+
+    def test_entangled_additive(self):
+        """F = x * m under max cannot split as G(x) + H(m)."""
+        x, m = variables("x", "m")
+        with pytest.raises(NotFusableError):
+            decompose(x * m, ["x"], ["m"], "max")
+
+    def test_single_returns_none_on_failure(self):
+        x, m = variables("x", "m")
+        assert decompose_single(exp(x * m), ["x"], ["m"], OTIMES_MUL) is None
+
+
+class TestMultiTerm:
+    def test_variance_square(self):
+        """(x - m)^2 needs the distributive multi-term extension."""
+        x, m = variables("x", "m")
+        decomp = check_decomposition((x - m) ** 2, ["x"], ["m"], "sum")
+        assert decomp.is_multi_term
+        assert len(decomp.terms) == 3  # x^2, x (cross, merged), const
+        with pytest.raises(ValueError):
+            _ = decomp.g  # no single G for multi-term
+
+    def test_like_terms_merged(self):
+        """The two x*m cross terms of the square collapse into one."""
+        x, m = variables("x", "m")
+        decomp = decompose((x - m) ** 2, ["x"], ["m"], "sum")
+        gs = [t.g for t in decomp.terms]
+        assert len(gs) == len(set(gs))
+
+    def test_inertia_style(self):
+        """m_l * (x - c)^2: mass-weighted second moment about c."""
+        mass, x, c = variables("mass", "x", "c")
+        decomp = check_decomposition(mass * (x - c) ** 2, ["mass", "x"], ["c"], "sum")
+        assert decomp.is_multi_term
+
+    def test_multi_term_only_for_sum(self):
+        x, m = variables("x", "m")
+        with pytest.raises(NotFusableError):
+            decompose((x - m) ** 2, ["x"], ["m"], "max")
+
+
+class TestAnalyzeCascade:
+    def test_safe_softmax_cascade(self):
+        x, m = variables("x", "m")
+        cascade = Cascade(
+            "softmax",
+            ("x",),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(x - m)),
+            ),
+        )
+        results = analyze_cascade(cascade)
+        assert len(results) == 2
+        assert results[0].h == Const(0.0)
+        assert results[1].h == exp(-var("m"))
+
+    def test_topk_reduction_skipped(self):
+        x, m = variables("x", "m")
+        cascade = Cascade(
+            "moe",
+            ("x",),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(x - m)),
+                Reduction("s", "topk", x, topk=4),
+            ),
+        )
+        results = analyze_cascade(cascade)
+        assert results[2] is None
+
+    def test_unfusable_cascade_raises(self):
+        x, m = variables("x", "m")
+        cascade = Cascade(
+            "bad",
+            ("x",),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(exp(x) * m)),
+            ),
+        )
+        with pytest.raises(NotFusableError):
+            analyze_cascade(cascade)

@@ -1,0 +1,260 @@
+"""Unit tests for the unfused / fused-tree / incremental executors.
+
+The central invariant of the whole paper: all three execution modes
+compute the same values (Eq. 1 == Eq. 6+11 == Eq. 15/16).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Cascade,
+    Reduction,
+    compute_segment_state,
+    fuse,
+    merge_states,
+    run_fused_tree,
+    run_incremental,
+    run_unfused,
+    state_values,
+)
+from repro.symbolic import absv, const, exp, sqrt, var, variables, vmax
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+def softmax_cascade():
+    x, m = variables("x", "m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (Reduction("m", "max", x), Reduction("t", "sum", exp(x - m))),
+    )
+
+
+def attention_cascade():
+    P, V, m, t = variables("P", "V", "m", "t")
+    return Cascade(
+        "attention",
+        ("P", "V"),
+        (
+            Reduction("m", "max", P),
+            Reduction("t", "sum", exp(P - m)),
+            Reduction("O", "sum", exp(P - m) / t * V),
+        ),
+    )
+
+
+def assert_outputs_close(a, b, rtol=1e-9):
+    assert set(a) == set(b)
+    for name in a:
+        if hasattr(a[name], "values"):  # TopKState
+            np.testing.assert_allclose(a[name].values, b[name].values, rtol=rtol)
+            np.testing.assert_array_equal(a[name].indices, b[name].indices)
+        else:
+            np.testing.assert_allclose(a[name], b[name], rtol=rtol)
+
+
+class TestRunUnfused:
+    def test_softmax_matches_numpy(self, rng):
+        data = rng.normal(0, 4, size=300)
+        out = run_unfused(softmax_cascade(), {"x": data})
+        assert out["m"][0] == data.max()
+        assert out["t"][0] == pytest.approx(np.exp(data - data.max()).sum())
+
+    def test_attention_matches_numpy(self, rng):
+        P = rng.normal(0, 2, size=(64, 1))
+        V = rng.normal(size=(64, 16))
+        out = run_unfused(attention_cascade(), {"P": P, "V": V})
+        weights = np.exp(P[:, 0] - P.max())
+        weights /= weights.sum()
+        np.testing.assert_allclose(out["O"], weights @ V, rtol=1e-9)
+
+    def test_topk_output(self, rng):
+        x = var("x")
+        cascade = Cascade("k", ("x",), (Reduction("s", "topk", x, topk=3),))
+        data = rng.normal(size=32)
+        out = run_unfused(cascade, {"x": data})
+        np.testing.assert_allclose(out["s"].values, np.sort(data)[::-1][:3])
+
+    def test_topk_rejects_wide_input(self):
+        x = var("x")
+        cascade = Cascade("k", ("x",), (Reduction("s", "topk", x, topk=2),))
+        with pytest.raises(ValueError):
+            run_unfused(cascade, {"x": np.ones((4, 2))})
+
+
+class TestEquivalenceAcrossModes:
+    @pytest.mark.parametrize("segments", [1, 2, 3, 8, 64])
+    def test_softmax_tree(self, rng, segments):
+        data = rng.normal(0, 5, size=193)
+        cascade = softmax_cascade()
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": data})
+        got = run_fused_tree(fused, {"x": data}, num_segments=segments)
+        assert_outputs_close(ref, got)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 64, 1000])
+    def test_softmax_incremental(self, rng, chunk):
+        data = rng.normal(0, 5, size=193)
+        cascade = softmax_cascade()
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": data})
+        got = run_incremental(fused, {"x": data}, chunk_len=chunk)
+        assert_outputs_close(ref, got)
+
+    @pytest.mark.parametrize("branching", [None, 2, 3])
+    def test_attention_tree_any_shape(self, rng, branching):
+        P = rng.normal(0, 3, size=(157, 1))
+        V = rng.normal(size=(157, 8))
+        cascade = attention_cascade()
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"P": P, "V": V})
+        got = run_fused_tree(
+            fused, {"P": P, "V": V}, num_segments=10, branching=branching
+        )
+        assert_outputs_close(ref, got, rtol=1e-8)
+
+    def test_attention_incremental_is_flash_recurrence(self, rng):
+        P = rng.normal(0, 3, size=(130, 1))
+        V = rng.normal(size=(130, 4))
+        cascade = attention_cascade()
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"P": P, "V": V})
+        got = run_incremental(fused, {"P": P, "V": V}, chunk_len=1)
+        assert_outputs_close(ref, got, rtol=1e-8)
+
+    def test_large_magnitudes_stay_finite(self):
+        """Safe-softmax robustness: naive exp(x) would overflow."""
+        data = np.array([900.0, 901.0, 899.5, 900.5])
+        cascade = softmax_cascade()
+        fused = fuse(cascade)
+        out = run_incremental(fused, {"x": data}, chunk_len=1)
+        assert np.isfinite(out["t"]).all()
+        ref = run_unfused(cascade, {"x": data})
+        assert_outputs_close(ref, out)
+
+    def test_variance_multi_term(self, rng):
+        n = 181
+        x, mean = variables("x", "mean")
+        cascade = Cascade(
+            "variance",
+            ("x",),
+            (
+                Reduction("mean", "sum", x * const(1.0 / n)),
+                Reduction("var", "sum", (x - mean) ** 2 * const(1.0 / n)),
+            ),
+        )
+        data = rng.normal(3, 2, size=n)
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": data})
+        assert ref["var"][0] == pytest.approx(np.var(data))
+        for mode in (
+            run_incremental(fused, {"x": data}, chunk_len=13),
+            run_fused_tree(fused, {"x": data}, num_segments=6),
+        ):
+            assert_outputs_close(ref, mode, rtol=1e-7)
+
+    def test_moe_routing_with_topk(self, rng):
+        x, m = variables("x", "m")
+        cascade = Cascade(
+            "moe",
+            ("x",),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(x - m)),
+                Reduction("s", "topk", x, topk=4),
+            ),
+        )
+        scores = rng.normal(size=128)
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": scores})
+        got = run_fused_tree(fused, {"x": scores}, num_segments=8)
+        inc = run_incremental(fused, {"x": scores}, chunk_len=16)
+        assert_outputs_close(ref, got)
+        assert_outputs_close(ref, inc)
+
+    def test_min_reduction_cascade(self, rng):
+        x, lo = variables("x", "lo")
+        cascade = Cascade(
+            "minshift",
+            ("x",),
+            (
+                Reduction("lo", "min", x),
+                Reduction("t", "sum", exp(lo - x)),
+            ),
+        )
+        data = rng.normal(size=77)
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": data})
+        got = run_incremental(fused, {"x": data}, chunk_len=5)
+        assert_outputs_close(ref, got)
+
+    def test_sum_sum_appendix_pattern(self, rng):
+        """Appendix A.2.3 with max(m - 10, 1) made explicit."""
+        x1, x2, m = variables("x1", "x2", "m")
+        cascade = Cascade(
+            "sum_sum",
+            ("x1", "x2"),
+            (
+                Reduction("m", "sum", x1 * x1),
+                Reduction("s", "sum", x1 * x2 / sqrt(vmax(m - 10, 1))),
+            ),
+        )
+        a = rng.normal(2, 1, size=50)
+        b = rng.normal(size=50)
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x1": a, "x2": b})
+        got = run_incremental(fused, {"x1": a, "x2": b}, chunk_len=3)
+        assert_outputs_close(ref, got, rtol=1e-7)
+
+
+class TestMergeStates:
+    def test_merge_is_associative(self, rng):
+        cascade = attention_cascade()
+        fused = fuse(cascade)
+        P = rng.normal(size=(90, 1))
+        V = rng.normal(size=(90, 4))
+        parts = []
+        for lo, hi in [(0, 30), (30, 60), (60, 90)]:
+            parts.append(
+                compute_segment_state(
+                    fused, {"P": P[lo:hi], "V": V[lo:hi]}, base_index=lo
+                )
+            )
+        left = merge_states(fused, merge_states(fused, parts[0], parts[1]), parts[2])
+        right = merge_states(fused, parts[0], merge_states(fused, parts[1], parts[2]))
+        assert_outputs_close(state_values(left), state_values(right), rtol=1e-9)
+
+    def test_merge_with_identityless_history(self, rng):
+        """Merging a fresh chunk into a seeded state never sees inf ratios."""
+        cascade = softmax_cascade()
+        fused = fuse(cascade)
+        a = compute_segment_state(fused, {"x": np.array([-1000.0])})
+        b = compute_segment_state(fused, {"x": np.array([1000.0])})
+        merged = state_values(merge_states(fused, a, b))
+        assert merged["m"][0] == 1000.0
+        assert np.isfinite(merged["t"]).all()
+
+
+class TestErrors:
+    def test_bad_num_segments(self):
+        fused = fuse(softmax_cascade())
+        with pytest.raises(ValueError):
+            run_fused_tree(fused, {"x": np.ones(8)}, num_segments=0)
+
+    def test_bad_chunk_len(self):
+        fused = fuse(softmax_cascade())
+        with pytest.raises(ValueError):
+            run_incremental(fused, {"x": np.ones(8)}, chunk_len=0)
+
+    def test_more_segments_than_rows_is_clamped(self, rng):
+        data = rng.normal(size=5)
+        cascade = softmax_cascade()
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": data})
+        got = run_fused_tree(fused, {"x": data}, num_segments=64)
+        assert_outputs_close(ref, got)

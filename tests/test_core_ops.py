@@ -1,0 +1,160 @@
+"""Unit tests for the ⊕/⊗ operator algebra (Table 1, Appendix A.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MAX,
+    MIN,
+    OTIMES_ADD,
+    OTIMES_MUL,
+    PROD,
+    SUM,
+    TABLE1,
+    TopK,
+    combine_op,
+    compatible_combine,
+    distributes_over,
+    reduce_op,
+)
+from repro.symbolic import Const, var
+
+
+class TestCombineOps:
+    def test_identities(self):
+        assert OTIMES_ADD.identity == 0.0
+        assert OTIMES_MUL.identity == 1.0
+
+    def test_apply_num(self):
+        assert OTIMES_ADD.apply_num(2.0, 3.0) == 5.0
+        assert OTIMES_MUL.apply_num(2.0, 3.0) == 6.0
+
+    def test_inverse_num(self):
+        assert OTIMES_ADD.inverse_num(2.0) == -2.0
+        assert OTIMES_MUL.inverse_num(4.0) == 0.25
+
+    def test_guarded_inverse_repairs_zero(self):
+        """Appendix A.1: non-invertible points get the identity e."""
+        values = np.array([2.0, 0.0, -4.0])
+        repaired = OTIMES_MUL.guarded_inverse_num(values)
+        np.testing.assert_allclose(repaired, [0.5, 1.0, -0.25])
+
+    def test_is_invertible(self):
+        assert OTIMES_MUL.is_invertible_num(np.array([1.0, 2.0]))
+        assert not OTIMES_MUL.is_invertible_num(np.array([1.0, 0.0]))
+        assert OTIMES_ADD.is_invertible_num(np.array([0.0]))
+        assert not OTIMES_ADD.is_invertible_num(np.array([np.inf]))
+
+    def test_symbolic_application(self):
+        x = var("x")
+        assert OTIMES_ADD.apply_sym(x, Const(1.0)).op == "add"
+        assert OTIMES_MUL.inverse_sym(x).op == "div"
+        assert OTIMES_ADD.inverse_sym(x).op == "neg"
+
+    def test_lookup(self):
+        assert combine_op("add") is OTIMES_ADD
+        assert combine_op("mul") is OTIMES_MUL
+        with pytest.raises(KeyError):
+            combine_op("xor")
+
+
+class TestReduceOps:
+    def test_identity_seeds(self):
+        assert SUM.identity == 0.0
+        assert PROD.identity == 1.0
+        assert MAX.identity == -np.inf
+        assert MIN.identity == np.inf
+
+    def test_reduce_matches_numpy(self):
+        data = np.array([[1.0, 5.0], [3.0, -2.0], [2.0, 0.0]])
+        np.testing.assert_allclose(SUM.reduce(data), data.sum(axis=0))
+        np.testing.assert_allclose(MAX.reduce(data), data.max(axis=0))
+        np.testing.assert_allclose(MIN.reduce(data), data.min(axis=0))
+        np.testing.assert_allclose(PROD.reduce(data), data.prod(axis=0))
+
+    def test_combine_is_binary_oplus(self):
+        assert SUM.combine(2.0, 3.0) == 5.0
+        assert MAX.combine(2.0, 3.0) == 3.0
+
+    def test_lookup_rejects_topk(self):
+        with pytest.raises(ValueError):
+            reduce_op("topk")
+        with pytest.raises(KeyError):
+            reduce_op("median")
+
+
+class TestTable1:
+    """Every Table 1 pairing must satisfy the distributivity of Eq. 5."""
+
+    @pytest.mark.parametrize("name", ["sum", "max", "min"])
+    def test_pairing_distributes(self, name):
+        oplus = reduce_op(name)
+        otimes = compatible_combine(name)
+        assert distributes_over(oplus, otimes)
+
+    def test_prod_needs_log_transformation(self):
+        """Table 1 footnote: Π is fused via Π F = sgn(·) * 2^Σ log2|F|,
+        i.e. by transformation to a summation — the direct (prod, *)
+        pairing does not distribute."""
+        assert not distributes_over(PROD, OTIMES_MUL)
+
+    def test_wrong_pairing_fails(self):
+        # max does NOT distribute over * (negative scaling flips order).
+        assert not distributes_over(MAX, OTIMES_MUL)
+        assert not distributes_over(SUM, OTIMES_ADD)
+
+    def test_table_contents(self):
+        assert TABLE1["max"] is OTIMES_ADD
+        assert TABLE1["min"] is OTIMES_ADD
+        assert TABLE1["topk"] is OTIMES_ADD
+        assert TABLE1["sum"] is OTIMES_MUL
+        assert TABLE1["prod"] is OTIMES_MUL
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            compatible_combine("xor")
+
+
+class TestTopK:
+    def test_from_array(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        state = TopK(2).from_array(scores)
+        np.testing.assert_allclose(state.values, [0.9, 0.7])
+        np.testing.assert_array_equal(state.indices, [1, 3])
+
+    def test_base_index_offsets(self):
+        state = TopK(1).from_array(np.array([1.0, 3.0]), base_index=10)
+        assert state.indices[0] == 11
+
+    def test_combine_merges_candidates(self):
+        op = TopK(2)
+        a = op.from_array(np.array([0.2, 0.8]), base_index=0)
+        b = op.from_array(np.array([0.9, 0.1]), base_index=2)
+        merged = op.combine(a, b)
+        np.testing.assert_allclose(merged.values, [0.9, 0.8])
+        np.testing.assert_array_equal(merged.indices, [2, 1])
+
+    def test_combine_matches_global_topk(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=64)
+        op = TopK(4)
+        whole = op.from_array(data)
+        parts = op.combine(
+            op.from_array(data[:20], 0),
+            op.combine(op.from_array(data[20:50], 20), op.from_array(data[50:], 50)),
+        )
+        np.testing.assert_allclose(whole.values, parts.values)
+        np.testing.assert_array_equal(whole.indices, parts.indices)
+
+    def test_shift_preserves_indices(self):
+        op = TopK(2)
+        state = op.from_array(np.array([1.0, 2.0, 3.0]))
+        shifted = op.shift(state, -1.5)
+        np.testing.assert_allclose(shifted.values, state.values - 1.5)
+        np.testing.assert_array_equal(shifted.indices, state.indices)
+
+    def test_short_input_pads_with_sentinels(self):
+        state = TopK(3).from_array(np.array([5.0]))
+        assert state.indices[0] == 0
+        assert (state.indices[1:] == -1).all()
+        assert list(state.valid()) == [True, False, False]

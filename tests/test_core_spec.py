@@ -1,0 +1,141 @@
+"""Unit tests for cascade specifications."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction, SpecError, normalize_inputs
+from repro.core.ops import TopK
+from repro.symbolic import exp, var
+
+
+def softmax_cascade():
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (Reduction("m", "max", x), Reduction("t", "sum", exp(x - m))),
+    )
+
+
+class TestReduction:
+    def test_scalar_op_property(self):
+        red = Reduction("m", "max", var("x"))
+        assert red.op.name == "max"
+        assert not red.is_topk
+
+    def test_topk_op_property(self):
+        red = Reduction("s", "topk", var("x"), topk=4)
+        assert isinstance(red.op, TopK)
+        assert red.op.k == 4
+        assert red.is_topk
+
+    def test_topk_requires_k(self):
+        with pytest.raises(SpecError):
+            Reduction("s", "topk", var("x"))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SpecError):
+            Reduction("m", "median", var("x"))
+
+
+class TestCascadeValidation:
+    def test_valid_cascade(self):
+        cascade = softmax_cascade()
+        assert cascade.output_names == ("m", "t")
+
+    def test_undefined_name_rejected(self):
+        with pytest.raises(SpecError):
+            Cascade("bad", ("x",), (Reduction("t", "sum", var("y")),))
+
+    def test_forward_reference_rejected(self):
+        x = var("x")
+        with pytest.raises(SpecError):
+            Cascade(
+                "bad",
+                ("x",),
+                (
+                    Reduction("t", "sum", exp(x - var("m"))),
+                    Reduction("m", "max", x),
+                ),
+            )
+
+    def test_duplicate_names_rejected(self):
+        x = var("x")
+        with pytest.raises(SpecError):
+            Cascade("bad", ("x",), (Reduction("x", "max", x),))
+        with pytest.raises(SpecError):
+            Cascade(
+                "bad",
+                ("x",),
+                (Reduction("m", "max", x), Reduction("m", "sum", x)),
+            )
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(SpecError):
+            Cascade("bad", ("x",), ())
+
+    def test_topk_output_is_terminal(self):
+        x = var("x")
+        with pytest.raises(SpecError):
+            Cascade(
+                "bad",
+                ("x",),
+                (
+                    Reduction("s", "topk", x, topk=2),
+                    Reduction("t", "sum", x + var("s")),
+                ),
+            )
+
+    def test_deps_of(self):
+        cascade = softmax_cascade()
+        assert cascade.deps_of(0) == ()
+        assert cascade.deps_of(1) == ("m",)
+
+    def test_depth(self):
+        cascade = softmax_cascade()
+        assert cascade.depth() == 2
+        x = var("x")
+        flat = Cascade(
+            "flat", ("x",), (Reduction("a", "sum", x), Reduction("b", "max", x))
+        )
+        assert flat.depth() == 1
+
+    def test_reduction_lookup(self):
+        cascade = softmax_cascade()
+        assert cascade.reduction("t").op_name == "sum"
+        with pytest.raises(KeyError):
+            cascade.reduction("nope")
+
+
+class TestNormalizeInputs:
+    def test_promotes_1d(self):
+        cascade = softmax_cascade()
+        arrays = normalize_inputs(cascade, {"x": np.arange(5.0)})
+        assert arrays["x"].shape == (5, 1)
+
+    def test_keeps_2d(self):
+        cascade = softmax_cascade()
+        arrays = normalize_inputs(cascade, {"x": np.ones((5, 3))})
+        assert arrays["x"].shape == (5, 3)
+
+    def test_missing_input(self):
+        with pytest.raises(SpecError):
+            normalize_inputs(softmax_cascade(), {})
+
+    def test_length_mismatch(self):
+        x, m = var("P"), var("m")
+        cascade = Cascade(
+            "attn",
+            ("P", "V"),
+            (Reduction("m", "max", var("P")),),
+        )
+        with pytest.raises(SpecError):
+            normalize_inputs(cascade, {"P": np.ones(4), "V": np.ones(5)})
+
+    def test_rejects_3d(self):
+        with pytest.raises(SpecError):
+            normalize_inputs(softmax_cascade(), {"x": np.ones((2, 2, 2))})
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            normalize_inputs(softmax_cascade(), {"x": np.ones((0, 1))})

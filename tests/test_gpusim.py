@@ -1,0 +1,165 @@
+"""Unit tests for the analytical GPU model."""
+
+import math
+
+import pytest
+
+from repro.gpusim import (
+    A10,
+    A100,
+    GPUS,
+    H800,
+    MI308X,
+    KernelSpec,
+    Program,
+    ResourceError,
+    breakdown,
+    gpu,
+    incremental_sweep,
+    kernel_latency,
+    level_sizes,
+    memory_access_counts,
+    occupancy,
+    program_latency,
+    softmax_fusion_level_latency,
+    speedup,
+    waves_per_sm,
+)
+
+
+def kernel(**kw):
+    base = dict(
+        name="k", grid=144, threads_per_cta=256, smem_bytes=32 * 1024,
+        bytes_read=1e8, bytes_written=1e7, flops=1e9,
+    )
+    base.update(kw)
+    return KernelSpec(**base)
+
+
+class TestSpecs:
+    def test_registry(self):
+        assert gpu("A10") is A10
+        assert set(GPUS) == {"A10", "A100", "H800", "MI308X"}
+        with pytest.raises(KeyError):
+            gpu("V100")
+
+    def test_fp8_paths(self):
+        assert H800.has_fp8 and MI308X.has_fp8
+        assert not A10.has_fp8 and not A100.has_fp8
+        assert H800.peak_flops("fp8", True) > H800.peak_flops("fp16", True)
+        # no tensor cores -> CUDA-core FP32 regardless of dtype
+        assert H800.peak_flops("fp8", False) == H800.fp32_flops
+
+
+class TestOccupancy:
+    def test_smem_limited(self):
+        occ = occupancy(A10, kernel(smem_bytes=60 * 1024))
+        assert occ.ctas_per_sm == 1 and occ.limited_by == "smem"
+
+    def test_thread_limited(self):
+        occ = occupancy(A10, kernel(smem_bytes=1024, threads_per_cta=512, regs_per_thread=32))
+        assert occ.ctas_per_sm == 3 and occ.limited_by == "threads"
+
+    def test_register_limited(self):
+        occ = occupancy(A10, kernel(smem_bytes=1024, regs_per_thread=255))
+        assert occ.limited_by == "regs"
+
+    def test_infeasible_kernel(self):
+        occ = occupancy(A10, kernel(smem_bytes=200 * 1024))
+        assert not occ.feasible
+        with pytest.raises(ResourceError):
+            kernel_latency(A10, kernel(smem_bytes=200 * 1024))
+
+    def test_waves(self):
+        k = kernel(grid=A10.num_sms * 2, smem_bytes=60 * 1024)
+        assert waves_per_sm(A10, k) == pytest.approx(2.0)
+
+
+class TestLatency:
+    def test_more_bytes_more_time(self):
+        assert kernel_latency(A10, kernel(bytes_read=2e8)) > kernel_latency(
+            A10, kernel(bytes_read=1e8)
+        )
+
+    def test_faster_gpu_wins(self):
+        k = kernel()
+        assert kernel_latency(H800, k) < kernel_latency(A10, k)
+
+    def test_wave_quantization_penalty(self):
+        """grid = sms + 1 costs a whole extra wave."""
+        k_full = kernel(grid=72, smem_bytes=60 * 1024)
+        k_spill = kernel(grid=73, smem_bytes=60 * 1024)
+        # same total work, one extra wave
+        ratio = kernel_latency(A10, k_spill) / kernel_latency(A10, k_full)
+        assert ratio > 1.5
+
+    def test_overlap_hides_smaller_term(self):
+        hidden = kernel_latency(A10, kernel(overlap=1.0))
+        exposed = kernel_latency(A10, kernel(overlap=0.0))
+        assert hidden < exposed
+
+    def test_launch_factor(self):
+        slow = kernel_latency(A10, kernel(grid=1, bytes_read=1e3, flops=1e3, launch_factor=3.0))
+        fast = kernel_latency(A10, kernel(grid=1, bytes_read=1e3, flops=1e3, launch_factor=1.0))
+        assert slow - fast == pytest.approx(2 * A10.launch_overhead_s)
+
+    def test_underutilized_bw_boost_capped(self):
+        """A 1-CTA kernel gets at most ~3x its fair bandwidth share."""
+        tiny = kernel(grid=1, smem_bytes=60 * 1024, flops=0.0, bytes_read=1e7)
+        latency = kernel_latency(A10, tiny)
+        fair_share = 1e7 / (A10.mem_bw * tiny.memory_efficiency / A10.num_sms)
+        assert latency > fair_share / 3.5
+
+    def test_program_is_sum(self):
+        p = Program("p", [kernel(), kernel()])
+        assert program_latency(A10, p) == pytest.approx(
+            2 * kernel_latency(A10, kernel())
+        )
+
+    def test_speedup_and_breakdown(self):
+        fast = Program("f", [kernel(bytes_read=5e7)])
+        slow = Program("s", [kernel(), kernel()])
+        assert speedup(A10, slow, fast) > 1.0
+        rows = breakdown(A10, slow)
+        assert len(rows) == 2 and all(r["latency"] > 0 for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel(grid=0)
+        with pytest.raises(ValueError):
+            kernel(compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            kernel(overlap=1.5)
+
+
+class TestLevels:
+    def test_level_sizes_ladder(self):
+        sizes = level_sizes(4096)
+        assert sizes == {0: 4096, 1: 1024, 2: 32, 3: 4, 4: 1}
+
+    def test_access_counts_match_levels(self):
+        assert memory_access_counts(4096, None) == 4096
+        assert memory_access_counts(4096, 3) == 4
+        with pytest.raises(ValueError):
+            memory_access_counts(4096, 5)
+
+    def test_fusion_level_ordering(self):
+        results = {
+            level: softmax_fusion_level_latency(A10, 4096, fusion_level=level)
+            for level in (1, 2, 3, 4)
+        }
+        unfused = softmax_fusion_level_latency(A10, 4096)
+        assert all(r.latency < unfused.latency for r in results.values())
+        assert results[3].latency < results[2].latency < results[1].latency
+        assert results[3].latency < results[4].latency < results[1].latency
+
+    def test_inter_block_needs_two_kernels(self):
+        assert softmax_fusion_level_latency(A10, 4096, fusion_level=4).kernels == 2
+        assert softmax_fusion_level_latency(A10, 4096, fusion_level=3).kernels == 1
+
+    def test_incremental_sweep_anchor(self):
+        points = incremental_sweep(A10)
+        feasible = [p for p in points if p.non_incremental_latency is not None]
+        assert all(p.segment_len <= 112 for p in feasible)
+        best = min(points, key=lambda p: p.incremental_latency)
+        assert best.waves_per_sm == pytest.approx(3.0)

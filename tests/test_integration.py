@@ -1,0 +1,167 @@
+"""End-to-end integration tests: frontend IR → detector → ACRF →
+codegen → simulated execution, cross-checked against NumPy.
+
+These are the "whole pipeline" tests: every stage of RedFuser runs for
+real, the way the examples and benchmarks use it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    CodegenSpec,
+    ElementLayout,
+    GemmProducer,
+    TileConfig,
+    autotune,
+    lower_single_segment,
+    tensorize_multi_segment,
+    tensorize_single_segment,
+)
+from repro.core import fuse, run_incremental
+from repro.gpusim import A10, program_latency
+from repro.ir import TileInterpreter, detect_cascades, run_function
+from repro.ir.examples import unfused_attention, unfused_quant_gemm, unfused_softmax
+
+
+class TestAttentionPipeline:
+    """Fig. 11 in, FlashAttention out."""
+
+    Q_LEN, KV_LEN, HD = 8, 32, 8
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        fn = unfused_attention(self.Q_LEN, self.KV_LEN, self.HD)
+        chain = detect_cascades(fn)[0]
+        fused = fuse(chain.cascade)
+        spec = CodegenSpec(
+            fused=fused,
+            rows=self.Q_LEN,
+            length=self.KV_LEN,
+            layouts=(
+                ElementLayout("P", 1, True),
+                ElementLayout("V", self.HD, False),
+            ),
+            producer=GemmProducer("P", "Q", "K", self.HD),
+        )
+        rng = np.random.default_rng(0)
+        data = {
+            "Q": rng.normal(size=(self.Q_LEN, self.HD)),
+            "K": rng.normal(size=(self.KV_LEN, self.HD)),
+            "V": rng.normal(size=(self.KV_LEN, self.HD)),
+        }
+        p = data["Q"] @ data["K"].T
+        s = np.exp(p - p.max(1, keepdims=True))
+        s /= s.sum(1, keepdims=True)
+        return fn, spec, data, s @ data["V"]
+
+    def test_unfused_ir_matches_numpy(self, pipeline):
+        fn, _, data, expected = pipeline
+        out = run_function(fn, data)
+        np.testing.assert_allclose(out["o"], expected, rtol=1e-9)
+
+    def test_detector_lifts_the_paper_chain(self, pipeline):
+        fn, spec, _, _ = pipeline
+        chain = detect_cascades(fn)[0]
+        assert chain.cascade.output_names == ("pmax", "psum", "o")
+        assert chain.axis == "kvs"
+
+    def test_flash_recurrence_emerges(self, pipeline):
+        """The derived corrections are FlashAttention's (Eq. 31/33)."""
+        _, spec, _, _ = pipeline
+        corrections = {
+            fr.reduction.name: repr(fr.h_ratio)
+            for fr in spec.fused
+            if fr.needs_correction
+        }
+        assert "exp" in corrections["psum"]  # exp(m_prev - m_new)
+        assert "t__prev" in corrections["o"] or "psum" in corrections["o"]
+
+    def test_generated_scalar_kernel(self, pipeline):
+        _, spec, data, expected = pipeline
+        out = run_function(lower_single_segment(spec), data)
+        np.testing.assert_allclose(out["o"], expected, rtol=1e-9)
+
+    def test_generated_tile_kernel(self, pipeline):
+        _, spec, data, expected = pipeline
+        prog = tensorize_single_segment(spec, TileConfig(blk_rows=4, blk_len=8))
+        out = TileInterpreter(prog).run(data)
+        np.testing.assert_allclose(out["o"], expected, rtol=1e-9)
+
+    def test_generated_flash_decoding_kernels(self, pipeline):
+        _, spec, data, expected = pipeline
+        partial, combine = tensorize_multi_segment(
+            spec, TileConfig(blk_rows=4, blk_len=8), splits=2
+        )
+        parts = TileInterpreter(partial).run(data)
+        out = TileInterpreter(combine).run(
+            {k: v for k, v in parts.items() if k.endswith("_part")}
+        )
+        np.testing.assert_allclose(out["o"], expected, rtol=1e-9)
+
+    def test_autotuned_program_is_fastest_candidate(self, pipeline):
+        _, spec, _, _ = pipeline
+        result = autotune(
+            spec, A10,
+            blk_rows=(4, 8), blk_len=(8, 16), threads=(256,),
+            pipeline=(1, 2), segments=(1, 2),
+        )
+        assert program_latency(A10, result.program) == pytest.approx(result.latency)
+
+
+class TestDetectedPipelines:
+    """Detector output feeds ACRF + executor for the other IR examples."""
+
+    def test_softmax(self):
+        fn = unfused_softmax(rows=2, length=24)
+        chain = detect_cascades(fn)[0]
+        fused = fuse(chain.cascade)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 24))
+        ir_out = run_function(fn, {"x": x})
+        for row in range(2):
+            got = run_incremental(fused, {"x": x[row]}, chunk_len=5)
+            np.testing.assert_allclose(got["t"], ir_out["t"][row], rtol=1e-9)
+
+    def test_quant_gemm(self):
+        fn = unfused_quant_gemm(3, 16, 4)
+        chain = detect_cascades(fn)[0]
+        fused = fuse(chain.cascade)
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 16))
+        w = rng.normal(size=(16, 4))
+        ir_out = run_function(fn, {"A": a, "W": w})
+        for row in range(3):
+            got = run_incremental(
+                fused, {"A": a[row][:, None], "W": w}, chunk_len=4
+            )
+            np.testing.assert_allclose(got["c"], ir_out["c"][row], rtol=1e-9)
+
+
+class TestCrossStageConsistency:
+    def test_scalar_and_tile_backends_agree(self):
+        """The two codegen backends must produce identical numerics."""
+        from repro.core import Cascade, Reduction
+        from repro.symbolic import absv, const, var
+
+        A, W, amax = var("A"), var("W"), var("amax")
+        cascade = Cascade(
+            "quant",
+            ("A", "W"),
+            (
+                Reduction("amax", "max", absv(A)),
+                Reduction("c", "sum", const(448.0) * A / amax * W),
+            ),
+        )
+        spec = CodegenSpec(
+            fused=fuse(cascade), rows=4, length=16,
+            layouts=(ElementLayout("A", 1, True), ElementLayout("W", 3, False)),
+        )
+        rng = np.random.default_rng(3)
+        data = {"A": rng.normal(size=(4, 16)), "W": rng.normal(size=(16, 3))}
+        scalar = run_function(lower_single_segment(spec), data)
+        tiled = TileInterpreter(
+            tensorize_single_segment(spec, TileConfig(blk_rows=2, blk_len=4))
+        ).run(data)
+        np.testing.assert_allclose(scalar["c"], tiled["c"], rtol=1e-12)
+        np.testing.assert_allclose(scalar["amax"], tiled["amax"][:, 0], rtol=1e-12)

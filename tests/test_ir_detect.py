@@ -1,0 +1,120 @@
+"""Unit tests for cascaded-reduction detection and lifting (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import fuse, run_incremental
+from repro.ir import FunctionBuilder, collect_reduction_sites, detect_cascades, load
+from repro.ir.examples import (
+    unfused_attention,
+    unfused_quant_gemm,
+    unfused_softmax,
+    unfused_variance,
+)
+from repro.symbolic import exp, var
+
+
+class TestSiteCollection:
+    def test_attention_has_four_reductions(self):
+        sites = collect_reduction_sites(unfused_attention())
+        assert len(sites) == 4
+        assert [s.buffer for s in sites] == ["P", "pmax", "psum", "o"]
+
+    def test_axes_identified(self):
+        sites = collect_reduction_sites(unfused_attention())
+        by_buffer = {s.buffer: s for s in sites}
+        assert by_buffer["P"].axes == ("d",)  # gemm reduces over head dim
+        assert by_buffer["pmax"].axes == ("kvs",)
+        assert by_buffer["o"].axes == ("kvs",)  # d is an output index
+
+    def test_program_order_preserved(self):
+        sites = collect_reduction_sites(unfused_attention())
+        assert [s.order for s in sites] == [0, 1, 2, 3]
+
+
+class TestDetection:
+    def test_attention_chain(self):
+        detected = detect_cascades(unfused_attention())
+        assert len(detected) == 1
+        chain = detected[0]
+        assert chain.axis == "kvs"
+        assert chain.cascade.output_names == ("pmax", "psum", "o")
+        assert chain.element_buffers == ("P", "V")
+        assert [p.buffer for p in chain.producers] == ["P"]
+        assert chain.is_cascaded
+
+    def test_lifted_expressions_match_paper(self):
+        chain = detect_cascades(unfused_attention())[0]
+        psum = chain.cascade.reduction("psum")
+        assert psum.fn == exp(var("P") - var("pmax"))
+
+    @pytest.mark.parametrize(
+        "builder, outputs",
+        [
+            (unfused_softmax, ("m", "t")),
+            (unfused_quant_gemm, ("amax", "c")),
+            (unfused_variance, ("mean", "variance")),
+        ],
+    )
+    def test_other_workloads_detected(self, builder, outputs):
+        detected = detect_cascades(builder())
+        assert len(detected) == 1
+        assert detected[0].cascade.output_names == outputs
+        assert detected[0].is_cascaded
+
+    def test_no_reductions_no_chains(self):
+        fb = FunctionBuilder("copy")
+        fb.input_buffer("x", (4,))
+        fb.output_buffer("y", (4,))
+        with fb.loop("i", 4):
+            fb.store("y", (var("i"),), load("x", var("i")))
+        assert detect_cascades(fb.build()) == []
+
+    def test_independent_reductions_not_cascaded(self):
+        fb = FunctionBuilder("two_sums")
+        fb.input_buffer("x", (16,))
+        fb.output_buffer("a", (1,))
+        fb.output_buffer("b", (1,))
+        with fb.loop("l", 16):
+            fb.reduce("a", (0,), "sum", load("x", var("l")))
+        with fb.loop("l", 16):
+            fb.reduce("b", (0,), "max", load("x", var("l")))
+        detected = detect_cascades(fb.build())
+        assert len(detected) == 1  # same axis groups them
+        assert not detected[0].is_cascaded  # but no data dependency
+
+    def test_recurrence_not_lifted(self):
+        """An axis-indexed read of a chain output is a scan, not a
+        cascaded reduction — the lift must refuse it."""
+        from repro.ir.detect import _lift_expr
+
+        r, l = var("r"), var("l")
+        # "prefix[r, l]" is a chain buffer read *along the chain axis*.
+        scan_value = load("x", r, l) + load("prefix", r, l)
+        assert _lift_expr(scan_value, "l", ["prefix"], []) is None
+
+    def test_bare_loop_variable_not_lifted(self):
+        from repro.ir.detect import _lift_expr
+
+        r, l = var("r"), var("l")
+        assert _lift_expr(load("x", r, l) * l, "l", [], []) is None
+
+
+class TestDetectedCascadeExecutes:
+    """The lifted cascade must compute what the original IR computes."""
+
+    def test_attention_end_to_end(self):
+        fn = unfused_attention(q_len=3, kv_len=20, head_dim=4)
+        rng = np.random.default_rng(9)
+        Q, K, V = (rng.normal(size=s) for s in ((3, 4), (20, 4), (20, 4)))
+        from repro.ir import run_function
+
+        ir_out = run_function(fn, {"Q": Q, "K": K, "V": V})
+        chain = detect_cascades(fn)[0]
+        fused = fuse(chain.cascade)
+        P = Q @ K.T
+        for row in range(3):
+            got = run_incremental(
+                fused, {"P": P[row][:, None], "V": V}, chunk_len=4
+            )
+            np.testing.assert_allclose(got["o"], ir_out["o"][row], rtol=1e-9)

@@ -1,0 +1,123 @@
+"""Unit tests for the scalar (TensorIR-like) IR and its interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Function, FunctionBuilder, Load, load, loads_in, run_function
+from repro.ir.examples import (
+    unfused_attention,
+    unfused_quant_gemm,
+    unfused_softmax,
+    unfused_variance,
+)
+from repro.ir.scalar import ForLoop, ReduceUpdate, Store
+from repro.symbolic import exp, var
+
+
+class TestLoad:
+    def test_evaluate_indexes_array(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        ld = load("x", var("i"), var("j"))
+        assert ld.evaluate({"x": arr, "i": 2, "j": 1}) == 9.0
+
+    def test_free_vars_are_index_vars(self):
+        assert load("x", var("i"), 0).free_vars() == {"i"}
+
+    def test_substitute_replaces_whole_load(self):
+        ld = load("m", var("r"))
+        replaced = ld.substitute({"m": var("d")})
+        assert replaced == var("d")
+
+    def test_substitute_rewrites_indices(self):
+        ld = load("x", var("i"))
+        out = ld.substitute({"i": var("i") + 1})
+        assert out.indices[0] == var("i") + 1
+
+    def test_loads_in_collects_nested(self):
+        e = exp(load("x", var("i")) - load("m", var("r"))) / load("t", var("r"))
+        buffers = [ld.buffer for ld in loads_in(e)]
+        assert buffers == ["x", "m", "t"]
+
+    def test_repr(self):
+        assert repr(load("x", var("i"), 0)) == "x[i, 0]"
+
+
+class TestBuilder:
+    def test_builds_nested_loops(self):
+        fb = FunctionBuilder("f")
+        fb.input_buffer("x", (4, 8))
+        fb.buffer("m", (4,))
+        with fb.loop("r", 4):
+            with fb.loop("l", 8):
+                fb.reduce("m", (var("r"),), "max", load("x", var("r"), var("l")))
+        fn = fb.build()
+        assert isinstance(fn.body[0], ForLoop)
+        inner = fn.body[0].body[0]
+        assert isinstance(inner, ForLoop) and inner.extent == 8
+        assert isinstance(inner.body[0], ReduceUpdate)
+
+    def test_loop_start_offset(self):
+        fb = FunctionBuilder("f")
+        fb.buffer("acc", (1,))
+        with fb.loop("l", 5, start=2):
+            fb.reduce("acc", (0,), "sum", 1.0)
+        out = run_function(fb.build(), {})
+        assert out["acc"][0] == 3.0  # iterations 2, 3, 4
+
+    def test_buffer_roles(self):
+        fn = unfused_softmax(2, 4)
+        assert [b.name for b in fn.inputs] == ["x"]
+        assert [b.name for b in fn.outputs] == ["y"]
+        with pytest.raises(KeyError):
+            fn.buffer("nope")
+
+    def test_unknown_reduce_op_rejected(self):
+        with pytest.raises(ValueError):
+            ReduceUpdate("m", (var("r"),), "median", var("x"))
+
+
+class TestInterpreter:
+    def test_softmax_matches_numpy(self):
+        fn = unfused_softmax(rows=3, length=16)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 16))
+        out = run_function(fn, {"x": x})
+        expected = np.exp(x - x.max(1, keepdims=True))
+        expected /= expected.sum(1, keepdims=True)
+        np.testing.assert_allclose(out["y"], expected)
+
+    def test_attention_matches_numpy(self):
+        fn = unfused_attention(4, 10, 6)
+        rng = np.random.default_rng(1)
+        q, k, v = (rng.normal(size=s) for s in ((4, 6), (10, 6), (10, 6)))
+        out = run_function(fn, {"Q": q, "K": k, "V": v})
+        p = q @ k.T
+        s = np.exp(p - p.max(1, keepdims=True))
+        s /= s.sum(1, keepdims=True)
+        np.testing.assert_allclose(out["o"], s @ v)
+
+    def test_quant_gemm_matches_numpy(self):
+        fn = unfused_quant_gemm(3, 12, 4)
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 12))
+        w = rng.normal(size=(12, 4))
+        out = run_function(fn, {"A": a, "W": w})
+        expected = (448.0 * a / np.abs(a).max(1, keepdims=True)) @ w
+        np.testing.assert_allclose(out["c"], expected)
+
+    def test_variance_matches_numpy(self):
+        fn = unfused_variance(2, 32)
+        rng = np.random.default_rng(3)
+        x = rng.normal(3, 2, size=(2, 32))
+        out = run_function(fn, {"x": x})
+        np.testing.assert_allclose(out["variance"], x.var(axis=1))
+
+    def test_reduction_buffers_seeded_with_identity(self):
+        fn = unfused_softmax(1, 4)
+        out = run_function(fn, {"x": -np.ones((1, 4)) * 50})
+        assert out["m"][0] == -50.0  # max identity was -inf, not 0
+
+    def test_shape_mismatch_rejected(self):
+        fn = unfused_softmax(2, 4)
+        with pytest.raises(ValueError):
+            run_function(fn, {"x": np.ones((3, 4))})

@@ -1,0 +1,176 @@
+"""Unit tests for the TileOp IR (Appendix A.3) and its interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Copy,
+    Fill,
+    ForStage,
+    Gemm,
+    Parallel,
+    Reduce,
+    TileBuffer,
+    TileInterpreter,
+    TileProgram,
+    load,
+    tile,
+)
+from repro.symbolic import Const, var
+
+
+def make_program(buffers, body, grid=(("bx", 1),)):
+    return TileProgram("t", tuple(buffers), tuple(grid), tuple(body))
+
+
+class TestTileBuffer:
+    def test_nbytes(self):
+        assert TileBuffer("a", (4, 8), "shared", 2).nbytes == 64
+
+    def test_scope_validated(self):
+        with pytest.raises(ValueError):
+            TileBuffer("a", (4,), "register")
+
+    def test_program_accounting(self):
+        prog = make_program(
+            [
+                TileBuffer("g", (8,), "global"),
+                TileBuffer("s", (8,), "shared", 2),
+                TileBuffer("f", (8,), "fragment"),
+            ],
+            [],
+        )
+        assert prog.shared_bytes() == 16
+        assert prog.fragment_bytes() == 32
+        assert prog.num_blocks == 1
+
+
+class TestOps:
+    def test_copy_between_scopes(self):
+        prog = make_program(
+            [TileBuffer("x", (4, 4), "global"), TileBuffer("s", (2, 4), "shared")],
+            [
+                Copy(tile("x", (1, 2), (0, 4)), tile("s", (0, 2), (0, 4))),
+                Copy(tile("s", (0, 2), (0, 4)), tile("x", (0, 2), (0, 4))),
+            ],
+        )
+        x = np.arange(16.0).reshape(4, 4)
+        out = TileInterpreter(prog).run({"x": x})
+        np.testing.assert_allclose(out["x"][0:2], x[1:3])
+
+    def test_gemm_transpose_semantics(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(4, 3)
+        prog = make_program(
+            [
+                TileBuffer("a", (2, 3), "global"),
+                TileBuffer("b", (4, 3), "global"),
+                TileBuffer("c", (2, 4), "global"),
+            ],
+            [Gemm(tile("a", (0, 2), (0, 3)), tile("b", (0, 4), (0, 3)), tile("c", (0, 2), (0, 4)))],
+        )
+        out = TileInterpreter(prog).run({"a": a, "b": b})
+        np.testing.assert_allclose(out["c"], a @ b.T)
+
+    def test_gemm_accumulates(self):
+        a = np.ones((2, 2))
+        prog = make_program(
+            [TileBuffer("a", (2, 2), "global"), TileBuffer("c", (2, 2), "global")],
+            [
+                Gemm(tile("a", (0, 2), (0, 2)), tile("a", (0, 2), (0, 2)), tile("c", (0, 2), (0, 2))),
+                Gemm(tile("a", (0, 2), (0, 2)), tile("a", (0, 2), (0, 2)), tile("c", (0, 2), (0, 2))),
+            ],
+        )
+        out = TileInterpreter(prog).run({"a": a})
+        np.testing.assert_allclose(out["c"], 4.0 * np.ones((2, 2)))
+
+    def test_reduce_accumulates_into_dst(self):
+        x = np.array([[1.0, 5.0, 2.0], [0.0, -1.0, 3.0]])
+        prog = make_program(
+            [TileBuffer("x", (2, 3), "global"), TileBuffer("m", (2, 1), "global")],
+            [
+                Fill(tile("m", (0, 2), (0, 1)), -np.inf),
+                Reduce(tile("x", (0, 2), (0, 3)), tile("m", (0, 2), (0, 1)), 1, "max"),
+            ],
+        )
+        out = TileInterpreter(prog).run({"x": x})
+        np.testing.assert_allclose(out["m"][:, 0], [5.0, 3.0])
+
+    def test_reduce_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Reduce(tile("x", (0, 2), (0, 3)), tile("m", (0, 2), (0, 1)), 1, "median")
+
+    def test_parallel_assignment(self):
+        i, j = var("i"), var("j")
+        prog = make_program(
+            [TileBuffer("y", (2, 3), "global")],
+            [Parallel("y", (i, j), i * 10 + j, ("i", "j"), (2, 3))],
+        )
+        out = TileInterpreter(prog).run({})
+        np.testing.assert_allclose(out["y"], [[0, 1, 2], [10, 11, 12]])
+
+    def test_parallel_reads_other_tiles(self):
+        i = var("i")
+        prog = make_program(
+            [TileBuffer("x", (4,), "global"), TileBuffer("y", (4,), "global")],
+            [Parallel("y", (i,), load("x", i) * 2, ("i",), (4,))],
+        )
+        out = TileInterpreter(prog).run({"x": np.arange(4.0)})
+        np.testing.assert_allclose(out["y"], [0, 2, 4, 6])
+
+    def test_parallel_shadowing_rejected(self):
+        prog = make_program(
+            [TileBuffer("y", (2,), "global")],
+            [
+                ForStage(
+                    "i",
+                    2,
+                    (Parallel("y", (var("i"),), Const(1.0), ("i",), (2,)),),
+                )
+            ],
+        )
+        with pytest.raises(ValueError):
+            TileInterpreter(prog).run({})
+
+    def test_for_stage_iterates(self):
+        s = var("stage")
+        prog = make_program(
+            [TileBuffer("y", (4,), "global")],
+            [ForStage("stage", 4, (Parallel("y", (s,), s * 1.0, ("__i",), ()),))],
+        )
+        out = TileInterpreter(prog).run({})
+        np.testing.assert_allclose(out["y"], [0, 1, 2, 3])
+
+
+class TestGrid:
+    def test_blocks_partition_rows(self):
+        bx, i = var("bx"), var("i")
+        prog = make_program(
+            [TileBuffer("y", (8,), "global")],
+            [Parallel("y", (bx * 4 + i,), bx * 1.0, ("i",), (4,))],
+            grid=(("bx", 2),),
+        )
+        out = TileInterpreter(prog).run({})
+        np.testing.assert_allclose(out["y"], [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_fragments_are_block_private(self):
+        """A fragment written by block 0 must be clean in block 1."""
+        bx = var("bx")
+        prog = make_program(
+            [
+                TileBuffer("f", (1,), "fragment"),
+                TileBuffer("y", (2,), "global"),
+            ],
+            [
+                Parallel("f", (Const(0.0),), bx + 1.0, ("__i",), ()),
+                Parallel("y", (bx,), load("f", Const(0.0)) * 1.0, ("__j",), ()),
+            ],
+            grid=(("bx", 2),),
+        )
+        out = TileInterpreter(prog).run({})
+        np.testing.assert_allclose(out["y"], [1.0, 2.0])
+
+    def test_input_shape_validated(self):
+        prog = make_program([TileBuffer("x", (4,), "global")], [])
+        with pytest.raises(ValueError):
+            TileInterpreter(prog).run({"x": np.ones(5)})

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central theorem of the paper — fused and incremental execution
+compute the same values as the unfused chain, for any segmentation — is
+checked here over randomized data, shapes, chunkings and tree shapes,
+together with the monoid laws the derivation relies on.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Cascade,
+    Reduction,
+    TopK,
+    fuse,
+    merge_states,
+    compute_segment_state,
+    run_fused_tree,
+    run_incremental,
+    run_unfused,
+    state_values,
+)
+from repro.symbolic import (
+    Binary,
+    Const,
+    Unary,
+    Var,
+    exp,
+    simplify,
+    var,
+)
+
+finite = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+small_arrays = st.lists(finite, min_size=2, max_size=120).map(np.asarray)
+
+
+def softmax_cascade():
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (Reduction("m", "max", x), Reduction("t", "sum", exp(x - m))),
+    )
+
+
+SOFTMAX_FUSED = fuse(softmax_cascade())
+
+
+class TestExecutionEquivalence:
+    @given(data=small_arrays, chunk=st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_unfused(self, data, chunk):
+        ref = run_unfused(SOFTMAX_FUSED.cascade, {"x": data})
+        got = run_incremental(SOFTMAX_FUSED, {"x": data}, chunk_len=chunk)
+        np.testing.assert_allclose(got["m"], ref["m"])
+        np.testing.assert_allclose(got["t"], ref["t"], rtol=1e-9)
+
+    @given(
+        data=small_arrays,
+        segments=st.integers(1, 16),
+        branching=st.sampled_from([None, 2, 3, 5]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_tree_shape_equals_unfused(self, data, segments, branching):
+        ref = run_unfused(SOFTMAX_FUSED.cascade, {"x": data})
+        got = run_fused_tree(
+            SOFTMAX_FUSED, {"x": data}, num_segments=segments, branching=branching
+        )
+        np.testing.assert_allclose(got["t"], ref["t"], rtol=1e-9)
+
+    @given(data=st.lists(finite, min_size=3, max_size=60).map(np.asarray))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associativity(self, data):
+        third = max(1, len(data) // 3)
+        chunks = [data[:third], data[third : 2 * third], data[2 * third :]]
+        chunks = [c for c in chunks if len(c)]
+        states = [
+            compute_segment_state(SOFTMAX_FUSED, {"x": c}) for c in chunks
+        ]
+        if len(states) < 3:
+            return
+        left = merge_states(
+            SOFTMAX_FUSED, merge_states(SOFTMAX_FUSED, states[0], states[1]), states[2]
+        )
+        right = merge_states(
+            SOFTMAX_FUSED, states[0], merge_states(SOFTMAX_FUSED, states[1], states[2])
+        )
+        lv, rv = state_values(left), state_values(right)
+        np.testing.assert_allclose(lv["t"], rv["t"], rtol=1e-9)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=-4, max_value=4, allow_nan=False), min_size=4, max_size=64
+        ).map(np.asarray),
+        k=st.integers(1, 6),
+        segments=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_carrier_any_split(self, data, k, segments):
+        x = var("x")
+        cascade = Cascade("k", ("x",), (Reduction("s", "topk", x, topk=k),))
+        fused = fuse(cascade)
+        ref = run_unfused(cascade, {"x": data})
+        got = run_fused_tree(fused, {"x": data}, num_segments=segments)
+        np.testing.assert_allclose(got["s"].values, ref["s"].values)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=80,
+        ).map(np.asarray),
+        chunk=st.integers(1, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_variance_multi_term_any_chunking(self, data, chunk):
+        n = len(data)
+        x, mean = var("x"), var("mean")
+        cascade = Cascade(
+            "variance",
+            ("x",),
+            (
+                Reduction("mean", "sum", x * Const(1.0 / n)),
+                Reduction("var", "sum", (x - mean) ** 2 * Const(1.0 / n)),
+            ),
+        )
+        fused = fuse(cascade)
+        got = run_incremental(fused, {"x": data}, chunk_len=chunk)
+        np.testing.assert_allclose(got["var"], np.var(data), rtol=1e-6, atol=1e-9)
+
+
+class TestMonoidLaws:
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=100)
+    def test_topk_merge_associative_commutative(self, a, b, c):
+        op = TopK(2)
+        sa = op.from_array(np.array([a]), 0)
+        sb = op.from_array(np.array([b]), 1)
+        sc = op.from_array(np.array([c]), 2)
+        left = op.combine(op.combine(sa, sb), sc)
+        right = op.combine(sa, op.combine(sb, sc))
+        np.testing.assert_allclose(left.values, right.values)
+        ab = op.combine(sa, sb)
+        ba = op.combine(sb, sa)
+        np.testing.assert_allclose(np.sort(ab.values), np.sort(ba.values))
+
+    @given(v=finite, delta=finite)
+    @settings(max_examples=100)
+    def test_topk_shift_is_monoid_action(self, v, delta):
+        op = TopK(2)
+        state = op.from_array(np.array([v, v - 1.0]))
+        shifted = op.shift(op.shift(state, delta), -delta)
+        np.testing.assert_allclose(shifted.values, state.values, atol=1e-9)
+
+
+@st.composite
+def random_expr(draw, depth=0):
+    """Random expression over {x, y} with safe-domain operators."""
+    if depth >= 3 or draw(st.booleans()):
+        return draw(
+            st.sampled_from(
+                [Var("x"), Var("y"), Const(draw(st.floats(-3, 3))), Const(1.0)]
+            )
+        )
+    op = draw(st.sampled_from(["add", "sub", "mul", "max", "min"]))
+    return Binary(op, draw(random_expr(depth + 1)), draw(random_expr(depth + 1)))
+
+
+class TestSimplifierSoundness:
+    @given(e=random_expr(), x=finite, y=finite)
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_value(self, e, x, y):
+        env = {"x": x, "y": y}
+        with np.errstate(all="ignore"):
+            original = e.evaluate(env)
+            simplified = simplify(e).evaluate(env)
+        if np.isfinite(original):
+            np.testing.assert_allclose(simplified, original, rtol=1e-9, atol=1e-9)
+
+    @given(e=random_expr())
+    @settings(max_examples=100, deadline=None)
+    def test_simplify_idempotent(self, e):
+        once = simplify(e)
+        assert simplify(once) == once

@@ -1,0 +1,93 @@
+"""Unit tests for randomized numeric equivalence."""
+
+import pytest
+
+from repro.symbolic import (
+    EquivalenceUndecided,
+    const,
+    depends_on,
+    exp,
+    is_identically,
+    log,
+    numeric_equivalent,
+    sample_env,
+    sqrt,
+    var,
+    variables,
+)
+
+import numpy as np
+
+
+class TestNumericEquivalent:
+    def test_true_identity(self):
+        x, y = variables("x", "y")
+        assert numeric_equivalent(exp(x + y), exp(x) * exp(y))
+
+    def test_false_identity(self):
+        x, y = variables("x", "y")
+        assert not numeric_equivalent(x + y, x * y)
+
+    def test_fixed_variables(self):
+        x, m = variables("x", "m")
+        # x * m == x only when m is pinned to 1
+        assert numeric_equivalent(x * m, x, fixed={"m": 1.0})
+        assert not numeric_equivalent(x * m, x)
+
+    def test_domain_restricted_identity(self):
+        # log(x^2)=2log(x) holds only for x>0; invalid samples are skipped
+        x = var("x")
+        assert numeric_equivalent(log(x * x), log(x) + log(x))
+
+    def test_undecidable_raises(self):
+        x = var("x")
+        # log(-x^2 - 1) is nowhere defined: every sample is invalid.
+        hopeless = log(const(0) - x * x - 1)
+        with pytest.raises(EquivalenceUndecided):
+            numeric_equivalent(hopeless, hopeless)
+
+    def test_near_miss_detected(self):
+        x = var("x")
+        assert not numeric_equivalent(x, x * const(1.0 + 1e-3))
+
+
+class TestIsIdentically:
+    def test_zero(self):
+        x = var("x")
+        assert is_identically(x - x, 0.0)
+
+    def test_one(self):
+        x = var("x")
+        assert is_identically(exp(x) / exp(x), 1.0)
+
+    def test_not_constant(self):
+        assert not is_identically(var("x"), 0.0)
+
+
+class TestDependsOn:
+    def test_syntactic_but_not_semantic(self):
+        x, m = variables("x", "m")
+        e = x + m - m
+        assert "m" in e.free_vars()
+        assert not depends_on(e, ["m"])
+
+    def test_real_dependency(self):
+        x, m = variables("x", "m")
+        assert depends_on(exp(x - m), ["m"])
+
+    def test_absent_variable(self):
+        assert not depends_on(var("x"), ["m"])
+
+
+class TestSampleEnv:
+    def test_covers_requested_names(self):
+        rng = np.random.default_rng(0)
+        env = sample_env(["a", "b"], rng)
+        assert set(env) == {"a", "b"}
+        assert all(isinstance(v, float) for v in env.values())
+
+    def test_respects_regime_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            env = sample_env(["v"], rng, regime=("uniform", 0.05, 4.0))
+            assert 0.05 <= env["v"] <= 4.0

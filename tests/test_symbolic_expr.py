@@ -1,0 +1,165 @@
+"""Unit tests for the symbolic expression trees."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import (
+    Binary,
+    Const,
+    Unary,
+    Var,
+    absv,
+    as_expr,
+    const,
+    count_nodes,
+    exp,
+    log,
+    make_evaluator,
+    neg,
+    recip,
+    sgn,
+    sqrt,
+    var,
+    variables,
+    vmax,
+    vmin,
+)
+
+
+class TestConstruction:
+    def test_const_holds_float(self):
+        assert const(3).value == 3.0
+        assert isinstance(const(3).value, float)
+
+    def test_var_name(self):
+        assert var("x").name == "x"
+
+    def test_variables_helper(self):
+        x, y, z = variables("x", "y", "z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")
+
+    def test_operator_overloads_build_nodes(self):
+        x, y = variables("x", "y")
+        assert (x + y).op == "add"
+        assert (x - y).op == "sub"
+        assert (x * y).op == "mul"
+        assert (x / y).op == "div"
+        assert (x ** y).op == "pow"
+        assert (-x).op == "neg"
+
+    def test_reflected_operators_coerce_numbers(self):
+        x = var("x")
+        e = 2 + x
+        assert isinstance(e.lhs, Const) and e.lhs.value == 2.0
+        e = 3 / x
+        assert e.op == "div" and e.lhs.value == 3.0
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_expr("not an expression")
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            Unary("sin", var("x"))
+        with pytest.raises(ValueError):
+            Binary("mod", var("x"), var("y"))
+
+
+class TestEvaluate:
+    def test_scalar_arithmetic(self):
+        x, y = variables("x", "y")
+        e = (x + 2) * y - x / y
+        assert e.evaluate({"x": 4.0, "y": 2.0}) == pytest.approx((4 + 2) * 2 - 2)
+
+    def test_unary_functions(self):
+        x = var("x")
+        env = {"x": 0.25}
+        assert exp(x).evaluate(env) == pytest.approx(np.exp(0.25))
+        assert log(x).evaluate(env) == pytest.approx(np.log(0.25))
+        assert sqrt(x).evaluate(env) == pytest.approx(0.5)
+        assert absv(neg(x)).evaluate(env) == pytest.approx(0.25)
+        assert sgn(neg(x)).evaluate(env) == -1.0
+
+    def test_max_min(self):
+        x, y = variables("x", "y")
+        env = {"x": 1.0, "y": -2.0}
+        assert vmax(x, y).evaluate(env) == 1.0
+        assert vmin(x, y).evaluate(env) == -2.0
+
+    def test_array_broadcasting(self):
+        x, y = variables("x", "y")
+        env = {"x": np.array([[1.0], [2.0]]), "y": np.array([10.0, 20.0])}
+        result = (x * y).evaluate(env)
+        np.testing.assert_allclose(result, [[10, 20], [20, 40]])
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            var("x").evaluate({})
+
+    def test_recip(self):
+        assert recip(var("x")).evaluate({"x": 4.0}) == 0.25
+
+
+class TestStructure:
+    def test_free_vars(self):
+        x, y = variables("x", "y")
+        assert (exp(x - y) / x).free_vars() == {"x", "y"}
+        assert const(1).free_vars() == frozenset()
+
+    def test_substitute_with_expression(self):
+        x, y = variables("x", "y")
+        e = (x + y).substitute({"x": y * 2})
+        assert e.evaluate({"y": 3.0}) == pytest.approx(9.0)
+
+    def test_substitute_with_number(self):
+        e = var("x").substitute({"x": 5})
+        assert isinstance(e, Const) and e.value == 5.0
+
+    def test_nodes_hashable_and_equal(self):
+        a = exp(var("x") - var("m"))
+        b = exp(var("x") - var("m"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_count_nodes(self):
+        x = var("x")
+        assert count_nodes(x) == 1
+        assert count_nodes(x + 1) == 3
+
+    def test_children(self):
+        x, y = variables("x", "y")
+        assert (x + y).children() == (x, y)
+        assert exp(x).children() == (x,)
+        assert x.children() == ()
+
+
+class TestMakeEvaluator:
+    def test_matches_evaluate(self):
+        x, m, t = variables("x", "m", "t")
+        e = exp(x - m) / t + vmax(x, m)
+        f = make_evaluator(e)
+        env = {"x": 1.2, "m": 0.3, "t": 2.0}
+        assert f(env) == pytest.approx(e.evaluate(env))
+
+    def test_works_on_arrays(self):
+        x = var("x")
+        f = make_evaluator(exp(x) * 2)
+        data = np.linspace(-1, 1, 7)
+        np.testing.assert_allclose(f({"x": data}), 2 * np.exp(data))
+
+    def test_constant(self):
+        assert make_evaluator(const(7))({}) == 7.0
+
+
+class TestRepr:
+    def test_infix_repr(self):
+        x, y = variables("x", "y")
+        assert repr(x + y) == "(x + y)"
+        assert repr(exp(x)) == "exp(x)"
+        assert repr(-x) == "(-x)"
+        assert repr(const(2) ** x) == "(2 ** x)"
+
+    def test_const_repr_integral(self):
+        assert repr(const(2)) == "2"
+        assert repr(const(2.5)) == "2.5"

@@ -1,0 +1,190 @@
+"""Unit tests for the algebraic simplifier."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import (
+    Const,
+    absv,
+    const,
+    exp,
+    log,
+    neg,
+    numeric_equivalent,
+    recip,
+    simplify,
+    sqrt,
+    var,
+    variables,
+    vmax,
+    vmin,
+)
+from repro.symbolic.expand import expand, expand_terms
+
+
+def assert_simplifies(expr, expected):
+    assert simplify(expr) == expected
+
+
+class TestBasicIdentities:
+    def test_add_zero(self):
+        x = var("x")
+        assert_simplifies(x + 0, x)
+        assert_simplifies(0 + x, x)
+
+    def test_mul_one_and_zero(self):
+        x = var("x")
+        assert_simplifies(x * 1, x)
+        assert_simplifies(1 * x, x)
+        assert_simplifies(x * 0, Const(0.0))
+
+    def test_sub_self(self):
+        x = var("x")
+        assert_simplifies(x - x, Const(0.0))
+
+    def test_div_identities(self):
+        x = var("x")
+        assert_simplifies(x / 1, x)
+        assert_simplifies(x / x, Const(1.0))
+        assert_simplifies(const(0) / x, Const(0.0))
+
+    def test_pow_identities(self):
+        x = var("x")
+        assert_simplifies(x ** 1, x)
+        assert_simplifies(x ** 0, Const(1.0))
+
+    def test_double_negation(self):
+        x = var("x")
+        assert_simplifies(neg(neg(x)), x)
+
+    def test_max_min_self(self):
+        x = var("x")
+        assert_simplifies(vmax(x, x), x)
+        assert_simplifies(vmin(x, x), x)
+
+    def test_constant_folding(self):
+        assert_simplifies(const(2) + const(3), Const(5.0))
+        assert_simplifies(const(2) * const(3) - const(1), Const(5.0))
+        assert_simplifies(vmax(const(2), const(3)), Const(3.0))
+        assert_simplifies(exp(const(0)), Const(1.0))
+        assert_simplifies(sqrt(const(4)), Const(2.0))
+
+    def test_division_by_zero_not_folded(self):
+        e = simplify(const(1) / const(0))
+        # stays symbolic rather than becoming inf
+        assert e.free_vars() == frozenset() and not isinstance(e, Const)
+
+
+class TestExpLogRules:
+    def test_exp_product_fuses(self):
+        a, b = variables("a", "b")
+        assert_simplifies(exp(a) * exp(b), exp(a + b))
+
+    def test_exp_quotient_fuses(self):
+        a, b = variables("a", "b")
+        assert_simplifies(exp(a) / exp(b), exp(a - b))
+
+    def test_recip_of_exp(self):
+        a = var("a")
+        assert_simplifies(recip(exp(neg(a))), exp(a))
+
+    def test_log_exp_inverse(self):
+        x = var("x")
+        assert_simplifies(log(exp(x)), x)
+        assert_simplifies(exp(log(x)), x)
+
+    def test_online_softmax_correction_shape(self):
+        """The H(prev)^-1 * H(new) term must fuse into one exp."""
+        mp, mn = variables("m_prev", "m_new")
+        ratio = simplify(recip(exp(neg(mp))) * exp(neg(mn)))
+        assert ratio == exp(mp - mn)
+
+
+class TestAdditiveCanonicalization:
+    def test_constants_merge_across_chain(self):
+        x, m = variables("x", "m")
+        e = simplify((x - 1) + (1 - m))
+        assert e == x - m
+
+    def test_cancellation(self):
+        x, y = variables("x", "y")
+        assert_simplifies(x + y - x, var("y"))
+
+    def test_all_constant_chain(self):
+        assert_simplifies(const(1) + const(2) - const(3), Const(0.0))
+
+    def test_negative_leading_term(self):
+        x = var("x")
+        e = simplify(const(0) - x + 1)
+        assert numeric_equivalent(e, 1 - x)
+
+
+class TestMultiplicativeCanonicalization:
+    def test_factor_cancellation(self):
+        x, y = variables("x", "y")
+        assert_simplifies((x * y) / y, x)
+
+    def test_sign_extraction(self):
+        x, y = variables("x", "y")
+        e = simplify(neg(x) * neg(y))
+        assert e == x * y
+
+    def test_constants_collected(self):
+        x = var("x")
+        e = simplify(const(2) * x * const(3))
+        assert e == const(6) * x
+
+    def test_nested_division(self):
+        t_prev, t_new, m = variables("t_prev", "t_new", "m")
+        e = simplify(recip(exp(neg(m)) / t_prev) * (exp(neg(m)) / t_new))
+        assert numeric_equivalent(e, t_prev / t_new)
+
+    def test_abs_rules(self):
+        x = var("x")
+        assert_simplifies(absv(absv(x)), absv(x))
+        assert_simplifies(absv(neg(x)), absv(x))
+        assert_simplifies(absv(exp(x)), exp(x))
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda x, y: exp(x) * exp(y) / exp(x - y),
+            lambda x, y: (x + y) * (x - y) / (x + y),
+            lambda x, y: neg(x - y) + vmax(x, y) * 1 + 0,
+            lambda x, y: sqrt(absv(x)) * recip(exp(neg(y))),
+            lambda x, y: (x - 1) + (1 - y) + (y - y),
+        ],
+    )
+    def test_random_equivalence(self, builder):
+        x, y = variables("x", "y")
+        e = builder(x, y)
+        assert numeric_equivalent(e, simplify(e))
+
+
+class TestExpand:
+    def test_square_expansion(self):
+        x, m = variables("x", "m")
+        terms = expand_terms((x - m) ** 2)
+        assert len(terms) == 4
+        assert numeric_equivalent(expand((x - m) ** 2), (x - m) ** 2)
+
+    def test_cube_expansion(self):
+        x = var("x")
+        assert numeric_equivalent(expand((x + 1) ** 3), (x + 1) ** 3)
+
+    def test_distribution_over_sub(self):
+        x, y, z = variables("x", "y", "z")
+        e = x * (y - z)
+        assert numeric_equivalent(expand(e), e)
+        assert len(expand_terms(e)) == 2
+
+    def test_division_distributes_over_numerator(self):
+        x, y, z = variables("x", "y", "z")
+        terms = expand_terms((x + y) / z)
+        assert len(terms) == 2
+
+    def test_atomic_passthrough(self):
+        x = var("x")
+        assert expand_terms(exp(x)) == [exp(x)]

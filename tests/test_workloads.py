@@ -1,0 +1,230 @@
+"""Unit tests for the workload definitions and their fused execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import fuse, run_fused_tree, run_incremental, run_unfused
+from repro.workloads import attention, mla, moe, nonml, quant_gemm
+from repro.workloads.configs import (
+    INERTIA_CONFIGS,
+    MHA_CONFIGS,
+    MLA_CONFIGS,
+    MOE_CONFIGS,
+    QUANT_GEMM_CONFIGS,
+    VARIANCE_CONFIGS,
+)
+from repro.workloads.opgraph import KernelGroup, LogicalOp, OpGraph, TensorInfo
+
+
+class TestConfigTables:
+    def test_table_2a(self):
+        assert len(MHA_CONFIGS) == 9
+        h7 = MHA_CONFIGS[6]
+        assert (h7.q, h7.kv, h7.hd, h7.model) == (1, 1024, 128, "LLaMA-65B")
+
+    def test_table_2b(self):
+        assert len(MLA_CONFIGS) == 9
+        assert all(c.hd == 512 and c.ped == 64 for c in MLA_CONFIGS)
+
+    def test_table_2c(self):
+        assert len(MOE_CONFIGS) == 8
+        r5 = MOE_CONFIGS[4]
+        assert (r5.hd, r5.en, r5.topk) == (8192, 64, 8)
+
+    def test_table_2d(self):
+        assert len(QUANT_GEMM_CONFIGS) == 10
+        assert all(c.m == 4096 for c in QUANT_GEMM_CONFIGS)
+
+    def test_table_3(self):
+        assert len(VARIANCE_CONFIGS) == 8
+        assert len(INERTIA_CONFIGS) == 8
+        assert all(c.dim == 3 for c in INERTIA_CONFIGS)
+
+
+class TestMHA:
+    def test_fused_matches_reference(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(2, 3, 5, 8))
+        k = rng.normal(size=(2, 3, 32, 8))
+        v = rng.normal(size=(2, 3, 32, 8))
+        expected = attention.reference(q, k, v)
+        fused = fuse(attention.cascade())
+        scale = 1.0 / np.sqrt(8)
+        for b in range(2):
+            for h in range(3):
+                p = (q[b, h] @ k[b, h].T) * scale
+                for row in range(5):
+                    got = run_incremental(
+                        fused, {"P": p[row][:, None], "V": v[b, h]}, chunk_len=8
+                    )
+                    np.testing.assert_allclose(got["O"], expected[b, h, row], rtol=1e-9)
+
+    def test_op_graph_shape(self):
+        graph = attention.op_graph(MHA_CONFIGS[0])
+        assert [op.kind for op in graph.ops] == [
+            "gemm", "reduction", "elementwise", "reduction", "elementwise", "gemm",
+        ]
+        assert graph.external_outputs() == {"O"}
+
+    def test_fused_spec_geometry(self):
+        spec, instances = attention.fused_spec(MHA_CONFIGS[1])  # BERT-base
+        assert (spec.rows, spec.length) == (512, 512)
+        assert instances == 32 * 12
+        assert spec.producer.inner_dim == 64
+
+
+class TestMLA:
+    def test_fused_matches_reference(self):
+        cfg_like = MLA_CONFIGS[0]
+        rng = np.random.default_rng(1)
+        bs, hn, kv, qdim = 2, 4, 16, 12
+        q = rng.normal(size=(bs, hn, qdim))
+        latent = rng.normal(size=(bs, kv, qdim))
+        expected = mla.reference(q, latent)
+        fused = fuse(attention.cascade())
+        scale = 1.0 / np.sqrt(qdim)
+        for b in range(bs):
+            p = (q[b] @ latent[b].T) * scale
+            for h in range(hn):
+                got = run_incremental(
+                    fused, {"P": p[h][:, None], "V": latent[b]}, chunk_len=4
+                )
+                np.testing.assert_allclose(got["O"], expected[b, h], rtol=1e-9)
+
+    def test_decode_has_single_query(self):
+        graph = mla.op_graph(MLA_CONFIGS[0])
+        p = graph.tensor("P")
+        assert p.elems == MLA_CONFIGS[0].bs * MLA_CONFIGS[0].hn * MLA_CONFIGS[0].kv
+
+
+class TestMoE:
+    def test_fused_routing_matches_reference(self):
+        config = MOE_CONFIGS[3]  # top-6
+        rng = np.random.default_rng(2)
+        hidden = rng.normal(size=(8, 16))
+        router_w = rng.normal(size=(16, config.en))
+        gates, ids = moe.reference(hidden, router_w, config.topk)
+        fused = fuse(moe.cascade(config.topk))
+        scores = hidden @ router_w
+        for token in range(8):
+            state = run_fused_tree(fused, {"x": scores[token]}, num_segments=4)
+            got_gates, got_ids = moe.gates_from_state(state)
+            np.testing.assert_allclose(got_gates, gates[token], rtol=1e-9)
+            np.testing.assert_array_equal(got_ids, ids[token])
+
+    def test_gate_weights_are_softmax_values(self):
+        rng = np.random.default_rng(3)
+        hidden = rng.normal(size=(4, 8))
+        w = rng.normal(size=(8, 16))
+        gates, _ = moe.reference(hidden, w, 16)  # top-all = full softmax
+        np.testing.assert_allclose(gates.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_redfuser_program_single_kernel(self):
+        program = moe.redfuser_program(MOE_CONFIGS[0])
+        assert program.num_kernels == 1
+        assert program.kernels[0].tensor_cores
+
+
+class TestQuantGemm:
+    def test_fused_matches_eq17(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(4, 64))
+        w = rng.normal(size=(64, 8))
+        expected = quant_gemm.reference(a, w)
+        fused = fuse(quant_gemm.cascade())
+        for row in range(4):
+            got = run_incremental(fused, {"A": a[row][:, None], "W": w}, chunk_len=16)
+            np.testing.assert_allclose(got["c"], expected[row], rtol=1e-9)
+
+    def test_fp8_grid_rounding(self):
+        values = np.array([1.0, 1.05, 447.9, 500.0, -500.0, 0.0])
+        rounded = quant_gemm.quantize_fp8(values)
+        assert rounded[0] == 1.0
+        assert abs(rounded[1] - 1.05) <= 0.0625  # within one E4M3 step
+        assert rounded[3] == quant_gemm.FP8_MAX  # clipped
+        assert rounded[4] == -quant_gemm.FP8_MAX
+        assert rounded[5] == 0.0
+
+    def test_rounded_reference_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(8, 128))
+        w = rng.normal(size=(128, 4)) / np.sqrt(128)
+        exact = quant_gemm.reference(a, w)
+        rounded = quant_gemm.reference_rounded(a, w)
+        rel = np.abs(rounded - exact).max() / np.abs(exact).max()
+        assert rel < 0.05
+
+    def test_fp8_gemm_flagged(self):
+        graph = quant_gemm.op_graph(QUANT_GEMM_CONFIGS[0])
+        assert any(op.fp8 for op in graph.ops if op.kind == "gemm")
+
+
+class TestNonML:
+    def test_variance_cascade_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(5, 3, size=256)
+        fused = fuse(nonml.variance_cascade(256))
+        got = run_incremental(fused, {"x": data}, chunk_len=32)
+        np.testing.assert_allclose(got["var"], np.var(data), rtol=1e-7)
+
+    def test_inertia_cascade_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        mass = rng.uniform(0.5, 2.0, size=64)
+        pos = rng.normal(size=(64, 3))
+        expected = nonml.inertia_reference(mass, pos)
+        fused = fuse(nonml.inertia_cascade())
+        got = run_fused_tree(
+            fused, {"mass": mass[:, None], "x": pos}, num_segments=4
+        )
+        assert got["inertia"].shape == (3,)
+        np.testing.assert_allclose(got["inertia"].sum(), expected, rtol=1e-7)
+
+    def test_sum_sum_cascade_matches_numpy(self):
+        rng = np.random.default_rng(8)
+        x1 = rng.normal(2, 1, size=100)
+        x2 = rng.normal(size=100)
+        expected = nonml.sum_sum_reference(x1, x2)
+        fused = fuse(nonml.sum_sum_cascade())
+        got = run_incremental(fused, {"x1": x1, "x2": x2}, chunk_len=10)
+        np.testing.assert_allclose(got["s"], expected, rtol=1e-7)
+
+
+class TestOpGraph:
+    def test_tensor_bytes(self):
+        t = TensorInfo("x", 100, 2)
+        assert t.nbytes == 200
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalOp("bad", "scan", (), ())
+
+    def test_group_io_cancels_temporaries(self):
+        x = TensorInfo("x", 10)
+        tmp = TensorInfo("tmp", 10)
+        y = TensorInfo("y", 10)
+        graph = OpGraph(
+            "g",
+            (
+                LogicalOp("a", "elementwise", (x,), (tmp,)),
+                LogicalOp("b", "elementwise", (tmp,), (y,)),
+            ),
+        )
+        group = KernelGroup(list(graph.ops))
+        reads, writes = group.io(graph)
+        assert [t.name for t in reads] == ["x"]
+        assert [t.name for t in writes] == ["y"]
+
+    def test_partial_group_keeps_interface(self):
+        x = TensorInfo("x", 10)
+        tmp = TensorInfo("tmp", 10)
+        y = TensorInfo("y", 10)
+        graph = OpGraph(
+            "g",
+            (
+                LogicalOp("a", "elementwise", (x,), (tmp,)),
+                LogicalOp("b", "elementwise", (tmp,), (y,)),
+            ),
+        )
+        first = KernelGroup([graph.ops[0]])
+        reads, writes = first.io(graph)
+        assert [t.name for t in writes] == ["tmp"]  # consumed later
