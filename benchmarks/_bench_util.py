@@ -1,0 +1,45 @@
+"""Importable helpers shared by the benchmarks.
+
+Lives outside ``conftest.py`` so benchmark modules can import it by a
+stable name (``from _bench_util import ...``) without relying on the
+bare ``conftest`` module name, which another directory's conftest could
+shadow in a combined collection.  ``conftest.py`` re-exports everything
+for the existing figure benchmarks.
+"""
+
+import json
+import pathlib
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+BENCH_JSON = RESULTS_DIR / "BENCH_engine.json"
+
+
+def write_result(name: str, text: str) -> None:
+    """Write one rendered table to ``benchmarks/results/<name>.txt``."""
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def update_bench_json(section: str, payload) -> None:
+    """Merge one benchmark's numbers into BENCH_engine.json under ``section``."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def time_best(fn, repeats: int = 5) -> float:
+    """Best-of-N wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,11 +1,14 @@
 """Micro-benchmarks of the reference executors themselves.
 
 Not a paper figure: keeps an eye on the Python-side throughput of the
-three execution modes so regressions in the hot paths are visible.
+three execution modes so regressions in the hot paths are visible.  The
+timings are also recorded to ``BENCH_engine.json`` so the perf
+trajectory across PRs is machine-readable.
 """
 
 import numpy as np
 import pytest
+from _bench_util import time_best, update_bench_json
 
 from repro.core import Cascade, Reduction, fuse, run_fused_tree, run_incremental, run_unfused
 from repro.symbolic import exp, var
@@ -48,3 +51,24 @@ def test_fused_tree(benchmark, fused, data):
 
 def test_incremental_chunked(benchmark, fused, data):
     benchmark(run_incremental, fused, data, 256)
+
+
+def test_record_throughput_json(fused, data):
+    """One machine-readable row per execution mode (best-of-N seconds)."""
+    rows = [
+        {
+            "mode": "unfused",
+            "seconds": time_best(lambda: run_unfused(fused.cascade, data), 3),
+        },
+        {
+            "mode": "fused_tree",
+            "seconds": time_best(lambda: run_fused_tree(fused, data, 8), 3),
+        },
+        {
+            "mode": "incremental",
+            "seconds": time_best(lambda: run_incremental(fused, data, 256), 3),
+        },
+    ]
+    update_bench_json(
+        "executor_throughput", {"length": 4096, "width": 64, "rows": rows}
+    )

@@ -4,14 +4,16 @@ Each benchmark regenerates one table/figure of the paper, asserts its
 qualitative claims, times the harness via pytest-benchmark, and writes
 the rendered table to ``benchmarks/results/`` so the numbers are
 inspectable after a ``--benchmark-only`` run.
+
+Machine-readable numbers (the perf trajectory across PRs) accumulate in
+``benchmarks/results/BENCH_engine.json``; see :mod:`_bench_util`, whose
+helpers are re-exported here for the existing figure benchmarks.
 """
 
-import pathlib
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-RESULTS_DIR.mkdir(exist_ok=True)
-
-
-def write_result(name: str, text: str) -> None:
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+from _bench_util import (  # noqa: F401  (re-exported for benchmarks)
+    BENCH_JSON,
+    RESULTS_DIR,
+    time_best,
+    update_bench_json,
+    write_result,
+)

@@ -1,17 +1,18 @@
-"""Quickstart: fuse a cascaded reduction and execute it three ways.
+"""Quickstart: compile a cascade once, then execute it many ways.
 
 The safe softmax is the canonical cascade: a max reduction followed by a
 sum-of-exponentials that depends on it.  ACRF decomposes each mapping
-function into G(x) (x) H(d); the fused forms then allow single-pass
-streaming execution with O(1) state — the online-softmax trick, derived
-automatically.
+function into G(x) (x) H(d); the serving engine freezes that result in a
+FusionPlan, caches it by the cascade's structural signature, and then
+serves per-query, batched, and streaming execution off the same plan —
+compile once, execute many.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Cascade, Reduction, fuse, run_fused_tree, run_incremental, run_unfused
+from repro import Cascade, Engine, Reduction
 from repro.symbolic import exp, var
 
 # 1. Describe the cascade: m = max(x), t = sum(exp(x - m)).
@@ -25,19 +26,26 @@ softmax = Cascade(
     ),
 )
 
-# 2. Run ACRF (Algorithm 1): derives G, H and the correction terms.
-fused = fuse(softmax)
-for fr in fused:
+# 2. Compile: the engine runs ACRF (Algorithm 1) once and caches the
+#    FusionPlan under the cascade's structural signature.
+engine = Engine()
+plan = engine.plan_for(softmax)
+for fr in plan.fused:
     print(f"{fr.reduction.name}:  G(x) (x) H(d) = {fr.gh!r}   "
           f"correction = {fr.h_ratio!r}")
 
-# 3. Execute: unfused chain, fused reduction tree, incremental stream.
+# Re-requesting the same cascade shape is a pure cache hit — zero
+# symbolic work, the identical plan object comes back.
+assert engine.plan_for(softmax) is plan
+print(f"\nplan {plan.signature}: cache {engine.stats.snapshot()}")
+
+# 3. Execute one query: unfused chain, fused reduction tree, incremental.
 rng = np.random.default_rng(0)
 data = rng.normal(0.0, 4.0, size=10_000)
 
-reference = run_unfused(softmax, {"x": data})
-tree = run_fused_tree(fused, {"x": data}, num_segments=16)
-stream = run_incremental(fused, {"x": data}, chunk_len=128)
+reference = plan.execute({"x": data}, mode="unfused")
+tree = plan.execute({"x": data}, mode="fused_tree", num_segments=16)
+stream = plan.execute({"x": data}, mode="incremental", chunk_len=128)
 
 print("\nmax(x):     ", float(reference["m"][0]))
 print("sum exp (unfused):    ", float(reference["t"][0]))
@@ -45,4 +53,18 @@ print("sum exp (fused tree): ", float(tree["t"][0]))
 print("sum exp (incremental):", float(stream["t"][0]))
 assert np.allclose(reference["t"], tree["t"])
 assert np.allclose(reference["t"], stream["t"])
-print("\nAll three execution modes agree. ✔")
+
+# 4. Execute many independent queries at once: the BatchExecutor
+#    vectorizes the fused tree across a leading batch axis.
+batch = rng.normal(0.0, 4.0, size=(32, 10_000))
+batched = plan.execute_batch({"x": batch}, num_segments=16)
+per_query = np.array([plan.execute({"x": q})["t"][0] for q in batch])
+assert np.allclose(batched["t"][:, 0], per_query, rtol=1e-9)
+print(f"\nbatched 32 queries: t[:3] = {batched['t'][:3, 0]}")
+
+# 5. Stream a stateful client: O(1) state between chunks (Eq. 15/16).
+session = plan.stream()
+for start in range(0, data.shape[0], 1024):
+    session.feed({"x": data[start : start + 1024]})
+assert np.allclose(session.values()["t"], reference["t"])
+print(f"streamed {session.position} positions; all execution modes agree. ✔")

@@ -10,6 +10,8 @@ Public API tour:
 * :mod:`repro.symbolic` — expression engine used by the fusion analysis.
 * :mod:`repro.core` — cascade specifications, the ACRF decomposition
   algorithm, fused/incremental forms, and reference executors.
+* :mod:`repro.engine` — the compile-once/execute-many serving layer:
+  cached :class:`FusionPlan` objects, batched and streaming execution.
 * :mod:`repro.ir` — scalar (TensorIR-like) and tile-level (TileLang-like)
   IRs, with the cascaded-reduction detector.
 * :mod:`repro.codegen` — lowering, Single/Multi-Segment strategies,
@@ -32,8 +34,18 @@ from .core import (
     run_incremental,
     run_unfused,
 )
+from .engine import (
+    BatchExecutor,
+    Engine,
+    FusionPlan,
+    PlanCache,
+    StreamSession,
+    cascade_signature,
+    default_engine,
+    plan_for,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Cascade",
@@ -44,5 +56,13 @@ __all__ = [
     "run_fused_tree",
     "run_incremental",
     "run_unfused",
+    "BatchExecutor",
+    "Engine",
+    "FusionPlan",
+    "PlanCache",
+    "StreamSession",
+    "cascade_signature",
+    "default_engine",
+    "plan_for",
     "__version__",
 ]

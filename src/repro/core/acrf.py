@@ -21,6 +21,8 @@ moment-of-inertia workloads (Appendix A.6) fusable.
 
 from __future__ import annotations
 
+import copy
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -166,13 +168,86 @@ def _verify_term(fn: Expr, g: Expr, h: Expr, otimes: CombineOp) -> bool:
         return False
 
 
+#: Memo of per-reduction decompositions.  Expressions are immutable and
+#: hashable, so (F, x-vars, d-vars, R) keys the *entire* symbolic result
+#: — including the randomized equivalence checks — across every cascade
+#: that contains the same reduction.  Failures are cached too: a
+#: reduction that is not decomposable stays not decomposable.
+_DECOMPOSE_LOCK = threading.Lock()
+_DECOMPOSE_CACHE: Dict[tuple, object] = {}
+_DECOMPOSE_CACHE_MAX = 4096
+_DECOMPOSE_HITS = 0
+_DECOMPOSE_MISSES = 0
+
+
+def decompose_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the decomposition memo."""
+    with _DECOMPOSE_LOCK:
+        return {
+            "hits": _DECOMPOSE_HITS,
+            "misses": _DECOMPOSE_MISSES,
+            "size": len(_DECOMPOSE_CACHE),
+        }
+
+
+def clear_decompose_cache() -> None:
+    with _DECOMPOSE_LOCK:
+        _DECOMPOSE_CACHE.clear()
+
+
+def _decompose_cache_put(key: tuple, value: object) -> None:
+    global _DECOMPOSE_MISSES
+    with _DECOMPOSE_LOCK:
+        _DECOMPOSE_MISSES += 1
+        if len(_DECOMPOSE_CACHE) >= _DECOMPOSE_CACHE_MAX:
+            _DECOMPOSE_CACHE.clear()
+        _DECOMPOSE_CACHE[key] = value
+
+
 def decompose(
     fn: Expr,
     x_vars: Sequence[str],
     d_vars: Sequence[str],
     reduction_name: str,
+    use_cache: bool = True,
 ) -> Decomposition:
-    """Run ACRF on one reduction; raises :class:`NotFusableError`."""
+    """Run ACRF on one reduction; raises :class:`NotFusableError`.
+
+    Results (and failures) are memoized per (F, variables, R) so that
+    structurally repeated reductions cost symbolic work only once per
+    process; pass ``use_cache=False`` to force a fresh analysis.
+    """
+    global _DECOMPOSE_HITS
+    key = (fn, tuple(x_vars), tuple(d_vars), reduction_name)
+    if use_cache:
+        with _DECOMPOSE_LOCK:
+            cached = _DECOMPOSE_CACHE.get(key)
+            if cached is not None:
+                _DECOMPOSE_HITS += 1
+        if isinstance(cached, NotFusableError):
+            # Raise a fresh copy: re-raising the cached instance would
+            # accumulate traceback frames on (and share mutable state
+            # of) one object across callers and threads.
+            raise copy.copy(cached).with_traceback(None)
+        if cached is not None:
+            return cached
+    try:
+        result = _decompose_uncached(fn, x_vars, d_vars, reduction_name)
+    except NotFusableError as err:
+        if use_cache:
+            _decompose_cache_put(key, err)
+        raise
+    if use_cache:
+        _decompose_cache_put(key, result)
+    return result
+
+
+def _decompose_uncached(
+    fn: Expr,
+    x_vars: Sequence[str],
+    d_vars: Sequence[str],
+    reduction_name: str,
+) -> Decomposition:
     otimes = compatible_combine(reduction_name)
 
     term = decompose_single(fn, x_vars, d_vars, otimes)

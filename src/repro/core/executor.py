@@ -95,7 +95,24 @@ def run_unfused(
     inputs: Mapping[str, np.ndarray],
     base_index: int = 0,
 ) -> Dict[str, Value]:
-    """Execute the cascade as a chain of full-pass reductions."""
+    """Execute the cascade as a chain of full-pass reductions.
+
+    Thin wrapper over the serving engine: the cascade's cached
+    :class:`~repro.engine.plan.FusionPlan` dispatches to
+    :func:`unfused_impl`.  Unfused execution needs no fusion artifacts,
+    so this never triggers symbolic work.
+    """
+    from ..engine import plan_for  # deferred: engine builds on core
+
+    return plan_for(cascade).execute(inputs, mode="unfused", base_index=base_index)
+
+
+def unfused_impl(
+    cascade: Cascade,
+    inputs: Mapping[str, np.ndarray],
+    base_index: int = 0,
+) -> Dict[str, Value]:
+    """The unfused chain itself (plan execution target)."""
     arrays = normalize_inputs(cascade, dict(inputs))
     length = next(iter(arrays.values())).shape[0]
     env: Dict[str, np.ndarray] = dict(arrays)
@@ -214,7 +231,8 @@ def merge_states(
     return new_states
 
 
-def _segment_bounds(length: int, num_segments: int) -> List[range]:
+def segment_bounds(length: int, num_segments: int) -> List[range]:
+    """Split ``length`` positions into ``num_segments`` contiguous ranges."""
     if num_segments < 1:
         raise ValueError("num_segments must be >= 1")
     num_segments = min(num_segments, length)
@@ -243,10 +261,28 @@ def run_fused_tree(
     local partials (Eq. 6) are merged up a ``branching``-ary tree
     (Eq. 11).  ``branching=None`` merges all segments in one level, the
     inter-block combine of the Multi-Segment strategy.
+
+    Thin wrapper over plan execution: the given artifacts are wrapped in
+    a :class:`~repro.engine.plan.FusionPlan` (no recompile, no cache
+    interaction) which dispatches to :func:`fused_tree_impl`.
     """
+    from ..engine.plan import FusionPlan  # deferred: engine builds on core
+
+    return FusionPlan.from_fused(fused).execute(
+        inputs, mode="fused_tree", num_segments=num_segments, branching=branching
+    )
+
+
+def fused_tree_impl(
+    fused: FusedCascade,
+    inputs: Mapping[str, np.ndarray],
+    num_segments: int = 4,
+    branching: Optional[int] = 2,
+) -> Dict[str, Value]:
+    """The fused reduction tree itself (plan execution target)."""
     arrays = normalize_inputs(fused.cascade, dict(inputs))
     length = next(iter(arrays.values())).shape[0]
-    segments = _segment_bounds(length, num_segments)
+    segments = segment_bounds(length, num_segments)
     states = [
         compute_segment_state(
             fused, _slice_inputs(fused.cascade, arrays, rows), rows.start
@@ -279,7 +315,24 @@ def run_incremental(
 
     Each chunk seeds a local partial (Eq. 6) that is folded into the
     running state (Eq. 15; chunk_len=1 gives exactly Eq. 16).
+
+    Thin wrapper over plan execution (see :func:`run_fused_tree`); the
+    stateful client-facing counterpart is
+    :class:`~repro.engine.batch.StreamSession`.
     """
+    from ..engine.plan import FusionPlan  # deferred: engine builds on core
+
+    return FusionPlan.from_fused(fused).execute(
+        inputs, mode="incremental", chunk_len=chunk_len
+    )
+
+
+def incremental_impl(
+    fused: FusedCascade,
+    inputs: Mapping[str, np.ndarray],
+    chunk_len: int = 1,
+) -> Dict[str, Value]:
+    """The incremental fold itself (plan execution target)."""
     if chunk_len < 1:
         raise ValueError("chunk_len must be >= 1")
     arrays = normalize_inputs(fused.cascade, dict(inputs))

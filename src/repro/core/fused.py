@@ -145,7 +145,31 @@ class FusedCascade:
 
 
 def fuse(cascade: Cascade) -> FusedCascade:
+    """Fused artifacts for a cascade, via the process-wide plan cache.
+
+    Thin wrapper over the serving engine (:mod:`repro.engine`): the
+    cascade's structural signature is looked up in the default engine's
+    :class:`~repro.engine.cache.PlanCache`, so repeated calls for the
+    same cascade shape skip all symbolic work.  Consequently the
+    returned :class:`FusedCascade` is a process-wide shared, read-only
+    artifact — callers must not mutate it (use :func:`compile_fused`
+    for a private instance).  The raw, uncached compiler is
+    :func:`compile_fused`.
+
+    Raises :class:`~repro.core.acrf.NotFusableError` when any scalar
+    reduction fails the decomposability analysis.
+    """
+    from ..engine import fused_for  # deferred: engine builds on core
+
+    return fused_for(cascade)
+
+
+def compile_fused(cascade: Cascade) -> FusedCascade:
     """Run ACRF on every reduction and build the fused artifacts.
+
+    This is the uncached compile step; serving paths should go through
+    :func:`fuse` (or an :class:`~repro.engine.Engine`) instead so the
+    result is memoized per cascade structure.
 
     Raises :class:`~repro.core.acrf.NotFusableError` when any scalar
     reduction fails the decomposability analysis.

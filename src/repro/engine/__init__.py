@@ -1,0 +1,131 @@
+"""Compile-once / execute-many serving engine.
+
+This package turns the per-call fusion library into a serving layer:
+
+1. **compile** — :func:`Engine.plan_for` derives a
+   :class:`~repro.engine.plan.FusionPlan` (the frozen ACRF output) for a
+   cascade structure;
+2. **cache** — plans are keyed by
+   :func:`~repro.engine.plan.cascade_signature` in a thread-safe LRU
+   :class:`~repro.engine.cache.PlanCache`, so repeated requests for the
+   same cascade shape perform zero symbolic work;
+3. **execute** — per-query (:meth:`FusionPlan.execute`), vectorized over
+   a leading batch axis (:class:`~repro.engine.batch.BatchExecutor`), or
+   streaming with O(1) state (:class:`~repro.engine.batch.StreamSession`).
+
+The classic ``fuse`` / ``run_*`` entry points in :mod:`repro.core` are
+thin wrappers over this lifecycle, sharing the module-level default
+engine returned by :func:`default_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..core.fused import FusedCascade
+from ..core.spec import Cascade
+from .batch import (
+    BatchExecutor,
+    BatchTopKState,
+    StreamSession,
+    normalize_batch_inputs,
+    run_batched_tree,
+    run_batched_unfused,
+    stack_queries,
+)
+from .cache import CacheStats, PlanCache
+from .plan import (
+    EXECUTION_MODES,
+    FusionPlan,
+    cascade_signature,
+    fusion_compile_count,
+)
+
+
+class Engine:
+    """Facade tying the plan cache to the execution paths.
+
+    One engine per serving process is the intended deployment; tests and
+    benchmarks create private instances to get isolated caches/stats.
+    """
+
+    def __init__(self, cache_size: int = 256) -> None:
+        self.cache = PlanCache(maxsize=cache_size)
+
+    # -- compile + cache ----------------------------------------------------
+    def plan_for(self, cascade: Cascade) -> FusionPlan:
+        """The cached plan for this cascade shape (compiled at most once)."""
+        return self.cache.get_or_compile(cascade)
+
+    def fused_for(self, cascade: Cascade) -> FusedCascade:
+        """Cached fused artifacts; raises ``NotFusableError`` if unfusable."""
+        return self.plan_for(cascade).fused
+
+    # -- execute ------------------------------------------------------------
+    def run(
+        self,
+        cascade: Cascade,
+        inputs: Mapping[str, object],
+        mode: Optional[str] = "auto",
+        **kwargs,
+    ) -> Dict[str, object]:
+        """Single-query execution through the cached plan."""
+        return self.plan_for(cascade).execute(inputs, mode, **kwargs)
+
+    def run_batch(
+        self, cascade: Cascade, batch_inputs: Mapping[str, object], **kwargs
+    ) -> Dict[str, object]:
+        """Vectorized execution of a batch with a leading batch axis."""
+        return self.plan_for(cascade).execute_batch(batch_inputs, **kwargs)
+
+    def stream(self, cascade: Cascade) -> StreamSession:
+        """Open a stateful streaming session against the cached plan."""
+        return self.plan_for(cascade).stream()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def reset(self) -> None:
+        """Drop all cached plans (stats counters are preserved)."""
+        self.cache.clear()
+
+
+_DEFAULT_ENGINE = Engine()
+
+
+def default_engine() -> Engine:
+    """The process-wide engine behind ``repro.core.fuse`` and ``run_*``."""
+    return _DEFAULT_ENGINE
+
+
+def plan_for(cascade: Cascade) -> FusionPlan:
+    """Shorthand for ``default_engine().plan_for(cascade)``."""
+    return _DEFAULT_ENGINE.plan_for(cascade)
+
+
+def fused_for(cascade: Cascade) -> FusedCascade:
+    """Shorthand for ``default_engine().fused_for(cascade)``."""
+    return _DEFAULT_ENGINE.fused_for(cascade)
+
+
+__all__ = [
+    "BatchExecutor",
+    "BatchTopKState",
+    "CacheStats",
+    "EXECUTION_MODES",
+    "Engine",
+    "FusionPlan",
+    "PlanCache",
+    "StreamSession",
+    "cascade_signature",
+    "default_engine",
+    "fused_for",
+    "fusion_compile_count",
+    "normalize_batch_inputs",
+    "plan_for",
+    "run_batched_tree",
+    "run_batched_unfused",
+    "stack_queries",
+]

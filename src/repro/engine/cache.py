@@ -1,0 +1,129 @@
+"""Thread-safe LRU cache of :class:`FusionPlan` keyed by cascade signature.
+
+The cache is the serving engine's amortization point: the first request
+for a cascade shape compiles a plan (a miss), every later request
+returns the same plan object (a hit) without touching the symbolic
+layer.  Concurrent misses for the same signature are deduplicated with
+per-signature in-flight events so each distinct shape is compiled
+exactly once, no matter how many threads race on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.spec import Cascade
+from .plan import FusionPlan, cascade_signature
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing cache behavior."""
+
+    hits: int = 0
+    misses: int = 0
+    compiles: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """LRU plan cache with hit/miss/eviction accounting.
+
+    ``get_or_compile`` is the only entry point the engine uses.  Waiters
+    on an in-flight compilation block until the winning thread publishes
+    the plan, then take the hit path; a failed compilation wakes the
+    waiters so one of them retries.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._plans: "OrderedDict[str, FusionPlan]" = OrderedDict()
+        self._inflight: Dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, signature: str) -> bool:
+        with self._lock:
+            return signature in self._plans
+
+    def signatures(self):
+        """Cached signatures in LRU order (oldest first)."""
+        with self._lock:
+            return tuple(self._plans)
+
+    def peek(self, signature: str) -> Optional[FusionPlan]:
+        """Look up by signature without recency update or stats change."""
+        with self._lock:
+            return self._plans.get(signature)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def get_or_compile(
+        self,
+        cascade: Cascade,
+        compile_fn: Optional[Callable[[Cascade, str], FusionPlan]] = None,
+    ) -> FusionPlan:
+        """Return the cached plan for ``cascade``'s shape, compiling at most once."""
+        signature = cascade_signature(cascade)
+        while True:
+            with self._lock:
+                plan = self._plans.get(signature)
+                if plan is not None:
+                    self._plans.move_to_end(signature)
+                    self.stats.hits += 1
+                    return plan
+                event = self._inflight.get(signature)
+                if event is None:
+                    self._inflight[signature] = threading.Event()
+                    self.stats.misses += 1
+                    break
+            event.wait()
+
+        try:
+            if compile_fn is None:
+                plan = FusionPlan(cascade, signature=signature)
+            else:
+                plan = compile_fn(cascade, signature)
+        except BaseException:
+            with self._lock:
+                event = self._inflight.pop(signature)
+            event.set()
+            raise
+        with self._lock:
+            self._plans[signature] = plan
+            self._plans.move_to_end(signature)
+            self.stats.compiles += 1
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+            event = self._inflight.pop(signature)
+        event.set()
+        return plan

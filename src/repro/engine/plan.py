@@ -1,0 +1,244 @@
+"""Fusion plans: the compile-once half of compile-once/execute-many.
+
+A :class:`FusionPlan` freezes everything ACRF derives for one cascade
+*structure* — the G/H decompositions, combine operators, simplified
+fused/correction expressions and the chosen execution mode — behind a
+:func:`cascade_signature`.  Compiling a plan is the expensive step
+(symbolic decomposition, simplification, randomized equivalence
+checking); executing one is pure NumPy.  The serving engine therefore
+keys plans by signature (:mod:`repro.engine.cache`) so that every
+request after the first for a given cascade shape skips symbolic work
+entirely.
+
+Fusion artifacts are materialized lazily and exactly once: a plan built
+for unfused-only execution never pays for ACRF, while the first fused
+execution compiles under the plan's lock.  Every symbolic compilation
+(successful or not) bumps the module-level counter exposed via
+:func:`fusion_compile_count`, which benchmarks and tests use to assert
+that cache hits are symbolic-work-free.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+import time
+from typing import Dict, Mapping, Optional
+
+from ..core.acrf import NotFusableError
+from ..core.fused import FusedCascade, compile_fused
+from ..core.spec import Cascade
+
+#: Execution modes a plan can dispatch to.
+EXECUTION_MODES = ("auto", "unfused", "fused_tree", "incremental")
+
+#: Sentinel distinguishing "argument not given" from an explicit None
+#: (``branching=None`` legitimately means "merge all segments flat").
+_UNSET = object()
+
+
+def cascade_signature(cascade: Cascade) -> str:
+    """Stable structural fingerprint of a cascade specification.
+
+    Two :class:`Cascade` objects built independently from the same spec
+    (name, element variables, and per-reduction name/operator/k/mapping
+    function) share a signature, so they share a plan.  The fingerprint
+    relies on the canonical ``repr`` of the immutable expression trees.
+    """
+    parts = [cascade.name, ",".join(cascade.element_vars)]
+    for red in cascade.reductions:
+        parts.append(f"{red.name}|{red.op_name}|{red.topk or 0}|{red.fn!r}")
+    blob = "\n".join(parts).encode()
+    return hashlib.sha256(blob).hexdigest()[:20]
+
+
+_COUNTER_LOCK = threading.Lock()
+_FUSION_COMPILES = 0
+
+
+def fusion_compile_count() -> int:
+    """Total symbolic compilations (ACRF runs) performed so far."""
+    with _COUNTER_LOCK:
+        return _FUSION_COMPILES
+
+
+def _record_fusion_compile() -> None:
+    global _FUSION_COMPILES
+    with _COUNTER_LOCK:
+        _FUSION_COMPILES += 1
+
+
+class FusionPlan:
+    """Executable plan for one cascade structure.
+
+    Lifecycle: ``plan = engine.plan_for(cascade)`` (cheap — signature
+    hash + cache lookup), then ``plan.execute(inputs)`` per query,
+    ``plan.execute_batch(batch)`` for many independent queries, or
+    ``plan.stream()`` for stateful streaming clients.  The fused
+    artifacts compile lazily on first fused use and are then frozen.
+    """
+
+    def __init__(
+        self,
+        cascade: Cascade,
+        signature: Optional[str] = None,
+        fused: Optional[FusedCascade] = None,
+        num_segments: int = 4,
+        branching: Optional[int] = 2,
+        chunk_len: int = 64,
+    ) -> None:
+        self.cascade = cascade
+        # Computed lazily: wrapper paths (FusionPlan.from_fused per call
+        # in run_fused_tree/run_incremental) never need the hash.
+        self._signature = signature
+        self.num_segments = num_segments
+        self.branching = branching
+        self.chunk_len = chunk_len
+        self.compile_seconds: Optional[float] = 0.0 if fused is not None else None
+        self._fused = fused
+        self._fusion_error: Optional[NotFusableError] = None
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_fused(cls, fused: FusedCascade, **kwargs) -> "FusionPlan":
+        """Wrap an already-compiled :class:`FusedCascade` (no recompile)."""
+        return cls(fused.cascade, fused=fused, **kwargs)
+
+    @property
+    def signature(self) -> str:
+        """Structural signature (computed on first use, then frozen)."""
+        if self._signature is None:
+            self._signature = cascade_signature(self.cascade)
+        return self._signature
+
+    # -- compilation --------------------------------------------------------
+    @property
+    def fused(self) -> FusedCascade:
+        """The fused artifacts; compiled exactly once, on first access.
+
+        Raises :class:`NotFusableError` (memoized, so the failed symbolic
+        analysis also runs only once) when the cascade cannot be fused.
+        """
+        if self._fused is None and self._fusion_error is None:
+            with self._lock:
+                if self._fused is None and self._fusion_error is None:
+                    start = time.perf_counter()
+                    try:
+                        self._fused = compile_fused(self.cascade)
+                    except NotFusableError as err:
+                        self._fusion_error = err
+                    finally:
+                        _record_fusion_compile()
+                        self.compile_seconds = time.perf_counter() - start
+        if self._fusion_error is not None:
+            # Fresh copy per raise: re-raising one shared instance would
+            # grow its traceback chain and race across threads.
+            raise copy.copy(self._fusion_error).with_traceback(None)
+        return self._fused
+
+    @property
+    def is_compiled(self) -> bool:
+        """True once the symbolic analysis has run (either way)."""
+        return self._fused is not None or self._fusion_error is not None
+
+    @property
+    def fusable(self) -> bool:
+        """Whether the cascade admits fused/incremental execution."""
+        try:
+            self.fused
+        except NotFusableError:
+            return False
+        return True
+
+    @property
+    def default_mode(self) -> str:
+        return "fused_tree" if self.fusable else "unfused"
+
+    # -- execution ----------------------------------------------------------
+    def execute(
+        self,
+        inputs: Mapping[str, object],
+        mode: Optional[str] = "auto",
+        *,
+        num_segments: Optional[int] = None,
+        branching: object = _UNSET,
+        chunk_len: Optional[int] = None,
+        base_index: int = 0,
+    ) -> Dict[str, object]:
+        """Run one query through the plan in the requested mode.
+
+        ``mode`` is one of :data:`EXECUTION_MODES`; ``"auto"`` picks
+        fused-tree execution when the cascade is fusable and falls back
+        to the unfused chain otherwise.
+        """
+        from ..core import executor as _executor
+
+        if mode is None or mode == "auto":
+            mode = self.default_mode
+        if mode == "unfused":
+            return _executor.unfused_impl(self.cascade, inputs, base_index)
+        if mode == "fused_tree":
+            return _executor.fused_tree_impl(
+                self.fused,
+                inputs,
+                self.num_segments if num_segments is None else num_segments,
+                self.branching if branching is _UNSET else branching,
+            )
+        if mode == "incremental":
+            return _executor.incremental_impl(
+                self.fused,
+                inputs,
+                self.chunk_len if chunk_len is None else chunk_len,
+            )
+        raise ValueError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+
+    def execute_batch(
+        self,
+        batch_inputs: Mapping[str, object],
+        *,
+        mode: str = "auto",
+        num_segments: Optional[int] = None,
+        branching: object = _UNSET,
+    ) -> Dict[str, object]:
+        """Vectorized execution of many independent queries (leading batch axis)."""
+        from .batch import BatchExecutor
+
+        executor = BatchExecutor(
+            self,
+            mode=mode,
+            num_segments=self.num_segments if num_segments is None else num_segments,
+            branching=self.branching if branching is _UNSET else branching,
+        )
+        return executor.run(batch_inputs)
+
+    def stream(self) -> "StreamSession":
+        """Open a stateful streaming session (Eq. 15/16, O(1) state)."""
+        from .batch import StreamSession
+
+        return StreamSession(self)
+
+    # -- introspection ------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Summary dict for logs/benchmark reports."""
+        info: Dict[str, object] = {
+            "signature": self.signature,
+            "cascade": self.cascade.name,
+            "reductions": list(self.cascade.output_names),
+            "compiled": self.is_compiled,
+            "compile_seconds": self.compile_seconds,
+        }
+        if self.is_compiled:
+            info["fusable"] = self.fusable
+            if self.fusable:
+                info["default_mode"] = self.default_mode
+                info["corrections"] = self.fused.needs_correction_count
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"FusionPlan({self.cascade.name!r}, signature={self.signature!r}, "
+            f"compiled={self.is_compiled})"
+        )

@@ -12,7 +12,8 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..codegen import CodegenSpec, ElementLayout, GemmProducer
-from ..core import Cascade, Reduction, fuse
+from ..core import Cascade, Reduction
+from ..engine import fused_for
 from ..symbolic import exp, var
 from .configs import MHAConfig
 from .opgraph import LogicalOp, OpGraph, TensorInfo
@@ -82,7 +83,7 @@ def op_graph(config: MHAConfig) -> OpGraph:
 def fused_spec(config: MHAConfig) -> Tuple[CodegenSpec, int]:
     """CodegenSpec for one (batch, head) instance + the instance count."""
     spec = CodegenSpec(
-        fused=fuse(cascade()),
+        fused=fused_for(cascade()),
         rows=config.q,
         length=config.kv,
         layouts=(

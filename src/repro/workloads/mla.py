@@ -14,7 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from ..codegen import CodegenSpec, ElementLayout, GemmProducer
-from ..core import fuse
+from ..engine import fused_for
 from .attention import cascade
 from .configs import MLAConfig
 from .opgraph import LogicalOp, OpGraph, TensorInfo
@@ -81,7 +81,7 @@ def fused_spec(config: MLAConfig) -> Tuple[CodegenSpec, int]:
     """
     qdim = config.hd + config.ped
     spec = CodegenSpec(
-        fused=fuse(cascade()),
+        fused=fused_for(cascade()),
         rows=config.hn,
         length=config.kv,
         layouts=(

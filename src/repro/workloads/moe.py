@@ -12,7 +12,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..core import Cascade, Reduction, TopKState, fuse
+from ..core import Cascade, Reduction, TopKState
 from ..gpusim.kernel import KernelSpec, Program
 from ..symbolic import exp, var
 from .configs import MoEConfig

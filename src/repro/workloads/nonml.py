@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..core import Cascade, Reduction, fuse
+from ..core import Cascade, Reduction
 from ..gpusim.kernel import KernelSpec, Program
 from ..symbolic import const, sqrt, var, vmax
 from .configs import InertiaConfig, VarianceConfig

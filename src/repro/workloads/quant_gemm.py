@@ -14,7 +14,8 @@ from typing import Tuple
 import numpy as np
 
 from ..codegen import CodegenSpec, ElementLayout
-from ..core import Cascade, Reduction, fuse
+from ..core import Cascade, Reduction
+from ..engine import fused_for
 from ..symbolic import absv, const, var
 from .configs import QuantGemmConfig
 from .opgraph import LogicalOp, OpGraph, TensorInfo
@@ -128,7 +129,7 @@ def redfuser_program(config: QuantGemmConfig, has_fp8: bool):
 
 def fused_spec(config: QuantGemmConfig) -> Tuple[CodegenSpec, int]:
     spec = CodegenSpec(
-        fused=fuse(cascade()),
+        fused=fused_for(cascade()),
         rows=config.m,
         length=config.k,
         layouts=(

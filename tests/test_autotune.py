@@ -1,0 +1,139 @@
+"""Dedicated unit tests for the §4.4 auto-tuner (codegen/autotune.py)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import CodegenSpec, ElementLayout, LoweringError, autotune
+from repro.codegen.autotune import _divisors_only, _lower_candidate
+from repro.core import Cascade, Reduction, fuse
+from repro.gpusim import A10
+from repro.gpusim.costmodel import ResourceError, kernel_latency
+from repro.symbolic import exp, var
+
+SPACE = dict(
+    blk_rows=(32, 64, 128),
+    blk_len=(16, 32),
+    threads=(128, 256),
+    pipeline=(1, 2),
+    segments=(1, 2, 4),
+)
+
+
+def softmax_spec(rows=64, length=128):
+    x, m = var("x"), var("m")
+    cascade = Cascade(
+        "softmax",
+        ("x",),
+        (Reduction("m", "max", x), Reduction("t", "sum", exp(x - m))),
+    )
+    return CodegenSpec(
+        fused=fuse(cascade),
+        rows=rows,
+        length=length,
+        layouts=(ElementLayout("x", 1, True),),
+    )
+
+
+def enumerate_candidates(spec, gpu, space, dtype="fp16", instances=1):
+    """Mirror of the tuner's loop nest: every feasible (config, n_seg, latency)."""
+    from repro.codegen.tensorize import TileConfig
+
+    feasible = []
+    for rows_tile in _divisors_only(space["blk_rows"], spec.rows) or [spec.rows]:
+        for len_tile in _divisors_only(space["blk_len"], spec.length) or [spec.length]:
+            for n_threads in space["threads"]:
+                for depth in space["pipeline"]:
+                    for n_seg in space["segments"]:
+                        if spec.length % (n_seg * len_tile) != 0 and n_seg > 1:
+                            continue
+                        config = TileConfig(
+                            blk_rows=min(rows_tile, spec.rows),
+                            blk_len=min(len_tile, spec.length),
+                            threads=n_threads,
+                            pipeline_depth=depth,
+                        )
+                        program = _lower_candidate(
+                            spec, config, n_seg, dtype, depth, n_threads, instances
+                        )
+                        if program is None:
+                            continue
+                        try:
+                            latency = sum(
+                                kernel_latency(gpu, k) for k in program.kernels
+                            )
+                        except ResourceError:
+                            continue
+                        feasible.append((latency, config, n_seg))
+    return feasible
+
+
+class TestSearchIsArgmin:
+    def test_returns_minimum_latency_candidate(self):
+        spec = softmax_spec()
+        result = autotune(spec, A10, **SPACE)
+        feasible = enumerate_candidates(spec, A10, SPACE)
+        assert feasible, "search space unexpectedly empty"
+        best_latency, best_config, best_seg = min(feasible, key=lambda c: c[0])
+        assert result.latency == pytest.approx(best_latency)
+        assert (result.config, result.num_segments) == (best_config, best_seg)
+
+    def test_candidates_tried_counts_costed_lowerings(self):
+        spec = softmax_spec()
+        result = autotune(spec, A10, **SPACE)
+        lowered = enumerate_candidates(spec, A10, SPACE)
+        # every candidate that lowered successfully was tried (ResourceError
+        # aborts costing but still counts as tried, so >=)
+        assert result.candidates_tried >= len(lowered)
+
+    def test_reported_latency_reproduces_from_program(self):
+        result = autotune(softmax_spec(), A10, **SPACE)
+        recomputed = sum(kernel_latency(A10, k) for k in result.program.kernels)
+        assert result.latency == pytest.approx(recomputed)
+
+
+class TestDeterminism:
+    def test_repeated_searches_agree(self):
+        spec = softmax_spec()
+        first = autotune(spec, A10, **SPACE)
+        second = autotune(spec, A10, **SPACE)
+        assert first.config == second.config
+        assert first.num_segments == second.num_segments
+        assert first.latency == second.latency
+        assert first.candidates_tried == second.candidates_tried
+
+    def test_deterministic_across_equivalent_specs(self):
+        """Structurally equal cascades (fresh objects) tune identically."""
+        first = autotune(softmax_spec(), A10, **SPACE)
+        second = autotune(softmax_spec(), A10, **SPACE)
+        assert (first.config, first.num_segments, first.latency) == (
+            second.config,
+            second.num_segments,
+            second.latency,
+        )
+
+
+class TestSearchSpaceHandling:
+    def test_divisors_only_filters_and_bounds(self):
+        assert _divisors_only((16, 32, 48, 128), 96) == [16, 32, 48]
+        assert _divisors_only((64, 128), 32) == []
+
+    def test_indivisible_space_falls_back_to_full_extent(self):
+        spec = softmax_spec(rows=7, length=13)  # primes: no tile divides
+        result = autotune(spec, A10, **SPACE)
+        assert result.config.blk_rows == 7
+        assert result.config.blk_len == 13
+        assert result.num_segments == 1
+
+    def test_no_feasible_configuration_raises(self):
+        spec = softmax_spec(rows=64, length=128)
+        with pytest.raises(LoweringError):
+            autotune(
+                spec, A10,
+                blk_rows=(64,), blk_len=(32,), threads=(256,),
+                pipeline=(1,), segments=(3,),  # 128 % (3*32) != 0 -> nothing lowers
+            )
+
+    def test_strategy_label_matches_segments(self):
+        result = autotune(softmax_spec(), A10, **SPACE)
+        expected = "multi-segment" if result.num_segments > 1 else "single-segment"
+        assert result.strategy == expected

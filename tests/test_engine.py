@@ -1,0 +1,274 @@
+"""Unit tests for the serving engine: plan cache, batch, and stream paths."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, NotFusableError, Reduction, fuse, run_unfused
+from repro.engine import (
+    BatchExecutor,
+    Engine,
+    FusionPlan,
+    PlanCache,
+    cascade_signature,
+    fusion_compile_count,
+    stack_queries,
+)
+from repro.symbolic import const, exp, var
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def unfusable_cascade() -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "entangled",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("t", "sum", exp(x * m)),  # x and m are not separable
+        ),
+    )
+
+
+class TestSignature:
+    def test_structurally_equal_cascades_share_signature(self):
+        assert cascade_signature(softmax_cascade()) == cascade_signature(
+            softmax_cascade()
+        )
+
+    def test_distinct_structure_distinct_signature(self):
+        assert cascade_signature(softmax_cascade(1.0)) != cascade_signature(
+            softmax_cascade(2.0)
+        )
+
+    def test_operator_and_name_affect_signature(self):
+        x = var("x")
+        a = Cascade("c", ("x",), (Reduction("m", "max", x),))
+        b = Cascade("c", ("x",), (Reduction("m", "min", x),))
+        c = Cascade("c", ("x",), (Reduction("n", "max", x),))
+        assert len({cascade_signature(s) for s in (a, b, c)}) == 3
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan_object(self):
+        engine = Engine()
+        first = engine.plan_for(softmax_cascade())
+        second = engine.plan_for(softmax_cascade())  # fresh, equal structure
+        assert first is second
+        assert engine.stats.hits == 1
+        assert engine.stats.misses == 1
+        assert engine.stats.compiles == 1
+
+    def test_compile_counter_once_per_signature(self):
+        engine = Engine()
+        before = fusion_compile_count()
+        for _ in range(5):
+            engine.fused_for(softmax_cascade(1.25))
+        assert fusion_compile_count() == before + 1  # exactly one ACRF run
+        engine.fused_for(softmax_cascade(1.5))  # distinct shape compiles again
+        assert fusion_compile_count() == before + 2
+
+    def test_cache_hit_performs_zero_symbolic_work(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade(2.5))
+        plan.fused  # pay the symbolic cost once
+        before = fusion_compile_count()
+        again = engine.plan_for(softmax_cascade(2.5))
+        again.fused
+        again.execute({"x": np.arange(6.0)})
+        assert fusion_compile_count() == before
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        a, b, c = softmax_cascade(1.0), softmax_cascade(2.0), softmax_cascade(3.0)
+        plan_a = cache.get_or_compile(a)
+        cache.get_or_compile(b)
+        cache.get_or_compile(a)  # refresh a: b becomes least-recent
+        cache.get_or_compile(c)  # evicts b
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cascade_signature(b) not in cache
+        assert cache.get_or_compile(a) is plan_a  # survived as most-recent
+        assert cache.stats.compiles == 3
+        cache.get_or_compile(b)  # evicted entries recompile
+        assert cache.stats.compiles == 4
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_concurrent_get_or_compile_is_exactly_once(self):
+        engine = Engine(cache_size=64)
+        scales = [1.0 + i / 10 for i in range(6)]
+        before = fusion_compile_count()
+
+        def request(i: int) -> FusionPlan:
+            plan = engine.plan_for(softmax_cascade(scales[i % len(scales)]))
+            plan.fused  # force the symbolic stage under contention too
+            return plan
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            plans = list(pool.map(request, range(48)))
+
+        assert engine.stats.compiles == len(scales)
+        assert fusion_compile_count() == before + len(scales)
+        by_signature = {}
+        for plan in plans:
+            by_signature.setdefault(plan.signature, plan)
+            assert plan is by_signature[plan.signature]
+        assert len(by_signature) == len(scales)
+
+    def test_failed_compile_wakes_waiters(self):
+        calls = []
+
+        def flaky(cascade, signature):
+            calls.append(signature)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return FusionPlan(cascade, signature=signature)
+
+        cache = PlanCache()
+        with pytest.raises(RuntimeError):
+            cache.get_or_compile(softmax_cascade(), compile_fn=flaky)
+        plan = cache.get_or_compile(softmax_cascade(), compile_fn=flaky)
+        assert plan is cache.get_or_compile(softmax_cascade())
+        assert len(calls) == 2
+
+
+class TestFusionPlan:
+    def test_unfusable_plan_falls_back_to_unfused(self):
+        plan = FusionPlan(unfusable_cascade())
+        assert not plan.fusable
+        assert plan.default_mode == "unfused"
+        with pytest.raises(NotFusableError):
+            plan.fused
+        data = np.linspace(-1.0, 1.0, 32)
+        got = plan.execute({"x": data})  # auto -> unfused
+        ref = run_unfused(plan.cascade, {"x": data})
+        np.testing.assert_allclose(got["t"], ref["t"])
+        with pytest.raises(NotFusableError):
+            plan.stream()
+
+    def test_unknown_mode_rejected(self):
+        plan = FusionPlan(softmax_cascade())
+        with pytest.raises(ValueError):
+            plan.execute({"x": np.arange(4.0)}, mode="warp_specialized")
+
+    def test_from_fused_wraps_without_recompiling(self):
+        fused = fuse(softmax_cascade(7.0))
+        before = fusion_compile_count()
+        plan = FusionPlan.from_fused(fused)
+        assert plan.fused is fused
+        assert plan.is_compiled
+        assert fusion_compile_count() == before
+
+    def test_run_entry_points_match_plan_execution(self):
+        engine = Engine()
+        data = np.random.default_rng(3).normal(size=300)
+        ref = run_unfused(softmax_cascade(), {"x": data})
+        got = engine.run(softmax_cascade(), {"x": data})  # auto: fused tree
+        np.testing.assert_allclose(got["t"], ref["t"], rtol=1e-9)
+
+    def test_describe_reports_lifecycle(self):
+        plan = FusionPlan(softmax_cascade(9.0))
+        assert plan.describe()["compiled"] is False
+        plan.fused
+        info = plan.describe()
+        assert info["compiled"] and info["fusable"]
+        assert info["default_mode"] == "fused_tree"
+        assert info["reductions"] == ["m", "t"]
+
+
+class TestBatchExecutor:
+    def test_batch_matches_per_query(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(16, 128))
+        out = BatchExecutor(plan, num_segments=4).run({"x": batch})
+        for i in range(16):
+            ref = run_unfused(plan.cascade, {"x": batch[i]})
+            np.testing.assert_allclose(out["t"][i], ref["t"], rtol=1e-9)
+            np.testing.assert_allclose(out["m"][i], ref["m"])
+
+    def test_run_many_stacks_query_dicts(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        rng = np.random.default_rng(1)
+        queries = [{"x": rng.normal(size=64)} for _ in range(5)]
+        out = BatchExecutor(plan).run_many(queries)
+        assert out["t"].shape == (5, 1)
+        for i, q in enumerate(queries):
+            ref = run_unfused(plan.cascade, q)
+            np.testing.assert_allclose(out["t"][i], ref["t"], rtol=1e-9)
+
+    def test_mismatched_batch_shapes_rejected(self):
+        from repro.core import SpecError
+
+        plan = FusionPlan(softmax_cascade())
+        executor = BatchExecutor(plan)
+        with pytest.raises(SpecError):
+            executor.run({"x": np.zeros((0, 8))})
+        with pytest.raises(SpecError):
+            stack_queries(plan.cascade, [])
+
+    def test_unfusable_plan_uses_batched_unfused(self):
+        plan = FusionPlan(unfusable_cascade())
+        executor = BatchExecutor(plan)
+        assert executor.mode == "unfused"
+        batch = np.random.default_rng(2).normal(size=(4, 32))
+        out = executor.run({"x": batch})
+        for i in range(4):
+            ref = run_unfused(plan.cascade, {"x": batch[i]})
+            np.testing.assert_allclose(out["t"][i], ref["t"], rtol=1e-9)
+
+
+class TestStreamSession:
+    def test_stream_matches_unfused_at_every_chunk(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        data = np.random.default_rng(5).normal(size=100)
+        session = engine.stream(softmax_cascade())
+        for start in range(0, 100, 17):
+            current = session.feed({"x": data[start : start + 17]})
+            seen = data[: min(start + 17, 100)]
+            ref = run_unfused(plan.cascade, {"x": seen})
+            np.testing.assert_allclose(current["t"], ref["t"], rtol=1e-9)
+        assert session.position == 100
+
+    def test_stream_topk_indices_are_global(self):
+        x = var("x")
+        cascade = Cascade("k", ("x",), (Reduction("s", "topk", x, topk=2),))
+        session = Engine().stream(cascade)
+        session.feed({"x": np.array([1.0, 2.0])})
+        session.feed({"x": np.array([5.0, 0.0])})
+        state = session.values()["s"]
+        assert list(state.values) == [5.0, 2.0]
+        assert list(state.indices) == [2, 1]
+
+    def test_values_before_feed_raises(self):
+        session = Engine().stream(softmax_cascade())
+        with pytest.raises(RuntimeError):
+            session.values()
+
+    def test_reset_starts_a_fresh_stream(self):
+        session = Engine().stream(softmax_cascade())
+        session.feed({"x": np.arange(8.0)})
+        session.reset()
+        assert session.position == 0
+        session.feed({"x": np.arange(4.0)})
+        ref = run_unfused(softmax_cascade(), {"x": np.arange(4.0)})
+        np.testing.assert_allclose(session.values()["t"], ref["t"], rtol=1e-9)

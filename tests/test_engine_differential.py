@@ -1,0 +1,176 @@
+"""Differential fuzzing of the engine's execution paths.
+
+Randomly generated (seeded) small cascades are compiled through the
+serving engine and executed as a fused tree, incrementally, and batched;
+every path must agree with the unfused reference chain within floating
+point tolerance.  The generator only emits shapes ACRF is specified to
+handle (Table 1 operators, decomposable dependencies, one optional
+terminal top-k), so a NotFusableError here is a real regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction, run_unfused
+from repro.engine import BatchExecutor, Engine
+from repro.symbolic import Const, exp, var
+
+X, Y = var("x"), var("y")
+
+RTOL, ATOL = 1e-6, 1e-9
+
+
+def _coeff(rng, lo=0.5, hi=1.5):
+    return float(rng.uniform(lo, hi) * rng.choice([-1.0, 1.0]))
+
+
+def random_cascade(rng: np.random.Generator, length: int) -> Cascade:
+    """A random fusable cascade of 1-3 scalar stages (+ optional top-k)."""
+    reductions = []
+    maxes, sumexps, sums = [], [], []
+
+    def stage(i: int) -> Reduction:
+        name = f"r{i}"
+        choices = ["max", "min", "sum_lin", "prod_exp"]
+        if maxes:
+            choices += ["sum_exp", "sum_exp"]  # weight dependency-using forms
+        if sumexps:
+            choices += ["softmax_weight"]
+        if sums:
+            choices += ["max_shift"]
+        kind = rng.choice(choices)
+        if kind == "max":
+            maxes.append(name)
+            return Reduction(name, "max", X * Const(_coeff(rng)))
+        if kind == "min":
+            return Reduction(name, "min", X * Const(_coeff(rng)) + Const(_coeff(rng)))
+        if kind == "sum_lin":
+            sums.append(name)
+            return Reduction(
+                name, "sum", X * Const(_coeff(rng)) + Y * Const(_coeff(rng))
+            )
+        if kind == "prod_exp":
+            return Reduction(
+                name, "prod", exp(X * Const(_coeff(rng) / length))
+            )
+        if kind == "sum_exp":
+            dep = var(rng.choice(maxes))
+            scale = float(rng.uniform(0.5, 1.5))
+            sumexps.append((name, dep.name))
+            return Reduction(name, "sum", exp((X - dep) * Const(scale)))
+        if kind == "softmax_weight":
+            t_name, m_name = sumexps[int(rng.integers(len(sumexps)))]
+            return Reduction(
+                name, "sum", exp(X - var(m_name)) / var(t_name) * Y
+            )
+        # max_shift: max of x - c * (an earlier sum)
+        dep = var(rng.choice(sums))
+        return Reduction(name, "max", X - dep * Const(_coeff(rng, 0.1, 0.5)))
+
+    for i in range(int(rng.integers(1, 4))):
+        reductions.append(stage(i))
+    if rng.random() < 0.3:
+        reductions.append(
+            Reduction("sel", "topk", X, topk=int(rng.integers(1, 4)))
+        )
+    return Cascade(f"fuzz", ("x", "y"), tuple(reductions))
+
+
+def _assert_same(got, ref, context: str) -> None:
+    for name, ref_value in ref.items():
+        if hasattr(ref_value, "values"):  # top-k carrier
+            np.testing.assert_allclose(
+                got[name].values, ref_value.values, rtol=RTOL, atol=ATOL,
+                err_msg=f"{context}: {name}.values",
+            )
+            np.testing.assert_array_equal(
+                got[name].indices, ref_value.indices, err_msg=f"{context}: {name}.indices"
+            )
+        else:
+            np.testing.assert_allclose(
+                got[name], ref_value, rtol=RTOL, atol=ATOL, err_msg=f"{context}: {name}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fused_paths_match_unfused(seed):
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(16, 80))
+    cascade = random_cascade(rng, length)
+    inputs = {
+        "x": rng.normal(size=length),
+        "y": rng.normal(size=length),
+    }
+    ref = run_unfused(cascade, inputs)
+
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    assert plan.fusable, f"seed {seed}: generator emitted unfusable {cascade}"
+
+    for segments in (1, 3, 7):
+        got = plan.execute(inputs, mode="fused_tree", num_segments=segments)
+        _assert_same(got, ref, f"seed {seed}, tree segments={segments}")
+    got = plan.execute(
+        inputs, mode="fused_tree", num_segments=6, branching=None
+    )  # flat one-level merge
+    _assert_same(got, ref, f"seed {seed}, flat merge")
+
+    for chunk in (1, 13, length):
+        got = plan.execute(inputs, mode="incremental", chunk_len=chunk)
+        _assert_same(got, ref, f"seed {seed}, incremental chunk={chunk}")
+
+
+@pytest.mark.parametrize("seed", range(12, 20))
+def test_batched_path_matches_per_query_unfused(seed):
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(16, 64))
+    batch = int(rng.integers(2, 7))
+    cascade = random_cascade(rng, length)
+    queries = [
+        {"x": rng.normal(size=length), "y": rng.normal(size=length)}
+        for _ in range(batch)
+    ]
+
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    executor = BatchExecutor(plan, num_segments=4)
+    out = executor.run_many(queries)
+
+    for i, query in enumerate(queries):
+        ref = run_unfused(cascade, query)
+        for name, ref_value in ref.items():
+            context = f"seed {seed}, query {i}, {name}"
+            if hasattr(ref_value, "values"):
+                row = out[name].row(i)
+                np.testing.assert_allclose(
+                    row.values, ref_value.values, rtol=RTOL, atol=ATOL,
+                    err_msg=context,
+                )
+                np.testing.assert_array_equal(
+                    row.indices, ref_value.indices, err_msg=context
+                )
+            else:
+                np.testing.assert_allclose(
+                    out[name][i], ref_value, rtol=RTOL, atol=ATOL, err_msg=context
+                )
+
+
+@pytest.mark.parametrize("seed", range(20, 26))
+def test_stream_prefix_consistency(seed):
+    """Every stream prefix must equal the unfused chain over that prefix."""
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(24, 60))
+    cascade = random_cascade(rng, length)
+    data = {"x": rng.normal(size=length), "y": rng.normal(size=length)}
+
+    session = Engine().stream(cascade)
+    chunk = int(rng.integers(3, 11))
+    for start in range(0, length, chunk):
+        stop = min(start + chunk, length)
+        session.feed({k: v[start:stop] for k, v in data.items()})
+        prefix = {k: v[:stop] for k, v in data.items()}
+        _assert_same(
+            session.values(),
+            run_unfused(cascade, prefix),
+            f"seed {seed}, prefix {stop}",
+        )

@@ -1,0 +1,124 @@
+"""Dedicated unit tests for harness/report.py: rendering round-trips."""
+
+import math
+
+import pytest
+
+from repro.harness import geomean
+from repro.harness.report import relative_summary, series_table, speedup_table
+
+
+def runner_rows():
+    """Rows shaped exactly like harness.runner.run_workload output."""
+    return [
+        {
+            "config": "H1",
+            "gpu": "A10",
+            "eager_speedup": 1.0,
+            "redfuser_speedup": 2.50,
+            "tvm_speedup": 1.25,
+        },
+        {
+            "config": "H2",
+            "gpu": "A10",
+            "eager_speedup": 1.0,
+            "redfuser_speedup": 3.10,
+            "tvm_speedup": 0.80,
+        },
+        {
+            "config": "H3",
+            "gpu": "A10",
+            "eager_speedup": 1.0,
+            "redfuser_speedup": 1.75,
+            # tvm missing for this config: cell must render blank
+        },
+    ]
+
+
+def parse_speedup_table(text: str):
+    """Invert speedup_table: title, header columns, per-config values."""
+    lines = text.splitlines()
+    title, header = lines[0], lines[1].split()
+    systems = header[1:]
+    body = {}
+    for line in lines[2:]:
+        cells = line.split()
+        label = cells[0]
+        body[label] = [float(c) for c in cells[1:]]
+    return title, systems, body
+
+
+class TestSpeedupTable:
+    def test_round_trips_runner_rows(self):
+        rows = runner_rows()
+        title, systems, body = parse_speedup_table(
+            speedup_table(rows, "Fig X: demo")
+        )
+        assert title == "Fig X: demo"
+        assert systems == ["eager", "redfuser", "tvm"]  # sorted
+        for row in rows:
+            rendered = body[row["config"]]
+            expected = [
+                row[f"{s}_speedup"] for s in systems if f"{s}_speedup" in row
+            ]
+            assert rendered == pytest.approx(expected, abs=5e-3)
+
+    def test_geomean_row_matches_geomean(self):
+        rows = runner_rows()
+        _, systems, body = parse_speedup_table(speedup_table(rows, "t"))
+        expected = geomean([r["redfuser_speedup"] for r in rows])
+        assert body["geomean"][systems.index("redfuser")] == pytest.approx(
+            expected, abs=5e-3
+        )
+
+    def test_missing_cells_render_blank(self):
+        text = speedup_table(runner_rows(), "t")
+        h3_line = next(l for l in text.splitlines() if l.lstrip().startswith("H3"))
+        assert len(h3_line.split()) == 3  # config + eager + redfuser, no tvm
+
+
+class TestRelativeSummary:
+    def test_geomean_of_ratios(self):
+        rows = runner_rows()
+        expected = geomean(
+            [
+                r["redfuser_speedup"] / r["tvm_speedup"]
+                for r in rows
+                if "tvm_speedup" in r
+            ]
+        )
+        assert relative_summary(rows, "redfuser", "tvm") == pytest.approx(expected)
+
+    def test_rows_missing_either_system_are_skipped(self):
+        rows = runner_rows()
+        with_all = relative_summary(rows[:2], "redfuser", "tvm")
+        with_partial = relative_summary(rows, "redfuser", "tvm")  # H3 skipped
+        assert with_partial == pytest.approx(with_all)
+
+
+class TestSeriesTable:
+    def test_round_trips_mixed_value_types(self):
+        rows = [
+            {"n": 1024, "speedup": 1.5, "note": "ok"},
+            {"n": 2048, "speedup": None, "note": "skipped"},
+        ]
+        text = series_table(rows, ("n", "speedup", "note"), "sweep")
+        lines = text.splitlines()
+        assert lines[0] == "sweep"
+        assert lines[1].split() == ["n", "speedup", "note"]
+        first, second = lines[2].split(), lines[3].split()
+        assert first == ["1024", "1.500", "ok"]
+        assert second == ["2048", "--", "skipped"]
+
+    def test_floats_render_three_decimals(self):
+        text = series_table([{"v": 2.0 / 3.0}], ("v",), "t")
+        assert "0.667" in text
+
+
+class TestGeomean:
+    def test_matches_closed_form(self):
+        values = [1.0, 2.0, 4.0]
+        assert geomean(values) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
