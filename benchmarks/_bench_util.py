@@ -9,12 +9,14 @@ for the existing figure benchmarks.
 
 import json
 import pathlib
-import time
+
+from repro.harness.runner import time_best  # noqa: F401  (shared timing helper)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
 
 BENCH_JSON = RESULTS_DIR / "BENCH_engine.json"
+BENCH_BACKENDS_JSON = RESULTS_DIR / "BENCH_backends.json"
 
 
 def write_result(name: str, text: str) -> None:
@@ -23,23 +25,13 @@ def write_result(name: str, text: str) -> None:
     path.write_text(text + "\n")
 
 
-def update_bench_json(section: str, payload) -> None:
-    """Merge one benchmark's numbers into BENCH_engine.json under ``section``."""
+def update_bench_json(section: str, payload, path: pathlib.Path = BENCH_JSON) -> None:
+    """Merge one benchmark's numbers into a BENCH_*.json under ``section``."""
     data = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}
     data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-
-
-def time_best(fn, repeats: int = 5) -> float:
-    """Best-of-N wall-clock seconds for one call of ``fn``."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

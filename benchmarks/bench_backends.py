@@ -1,0 +1,124 @@
+"""Execution-backend benchmarks: one dispatch architecture, many "hows".
+
+Every registered :class:`~repro.engine.backends.ExecutionBackend` runs
+the same engine-servable workloads (attention, MLA decode, FP8
+quant+GEMM single-row queries) against the ``unfused`` reference:
+
+* the three NumPy paths measure real wall-clock;
+* the ``tile_ir`` backend additionally executes the *generated* tile
+  program through the NumPy interpreter and reports the analytical GPU
+  cost model's latency estimate for the tuned kernel — the number a real
+  deployment of the generated code would target.
+
+Numbers land in ``benchmarks/results/BENCH_backends.json`` (one section
+per workload, one entry per backend).  Set ``BENCH_QUICK=1`` for the CI
+smoke configuration (smaller shapes, fewer repeats).
+"""
+
+import os
+
+import numpy as np
+from _bench_util import BENCH_BACKENDS_JSON, update_bench_json, write_result
+
+from repro.engine import Engine, available_backends, get_backend
+from repro.harness.runner import ENGINE_WORKLOADS, engine_workload, run_backend_comparison
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+LENGTH = 128 if QUICK else 512
+WIDTH = 8 if QUICK else 32
+REPEATS = 1 if QUICK else 3
+DEVICE = "A10"
+
+
+def test_backends_agree_and_record():
+    """All backends agree with unfused; results + estimates are recorded."""
+    rows = run_backend_comparison(
+        ENGINE_WORKLOADS,
+        length=LENGTH,
+        width=WIDTH,
+        device_name=DEVICE,
+        repeats=REPEATS,
+    )
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], []).append(row)
+
+    for kind, entries in by_workload.items():
+        names = {e["backend"] for e in entries}
+        assert names == set(available_backends()), f"{kind}: missing backends"
+        for entry in entries:
+            assert entry["supported"], f"{kind}/{entry['backend']} unsupported"
+            assert entry["max_abs_error"] < 1e-6, (
+                f"{kind}/{entry['backend']} deviates by {entry['max_abs_error']}"
+            )
+            # per-backend execution counters prove who served the request
+            assert entry["executions_recorded"] >= 1
+        tile = next(e for e in entries if e["backend"] == "tile_ir")
+        assert tile["simulated_latency_seconds"] > 0
+        assert tile["tile_config"]["num_segments"] >= 1
+        update_bench_json(kind, entries, path=BENCH_BACKENDS_JSON)
+
+    update_bench_json(
+        "meta",
+        {
+            "length": LENGTH,
+            "width": WIDTH,
+            "repeats": REPEATS,
+            "gpu": DEVICE,
+            "quick": QUICK,
+            "backends": list(available_backends()),
+        },
+        path=BENCH_BACKENDS_JSON,
+    )
+
+    lines = [f"execution backends (L={LENGTH}, w={WIDTH}, gpu={DEVICE})"]
+    for kind, entries in by_workload.items():
+        lines.append(f"  {kind}:")
+        for entry in entries:
+            sim = entry.get("simulated_latency_seconds")
+            sim_txt = f"   sim {sim * 1e6:8.2f} us" if sim else ""
+            lines.append(
+                f"    {entry['backend']:<12} {entry['seconds'] * 1e3:9.3f} ms"
+                f"{sim_txt}"
+            )
+    write_result("bench_backends", "\n".join(lines))
+
+
+def test_tile_ir_compiles_once_per_shape():
+    """Repeat queries of one shape reuse the cached tile program."""
+    rng = np.random.default_rng(7)
+    cascade, inputs = engine_workload("mha", rng, length=LENGTH, width=WIDTH)
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    for _ in range(4):
+        engine.run(cascade, inputs, mode="tile_ir", gpu=DEVICE)
+    state = plan.describe()["tile_ir"]
+    assert state["compiled_variants"] == 1  # one (length, widths, gpu) variant
+    assert plan.execution_counts["tile_ir"] == 4
+    assert engine.stats.backend_executions["tile_ir"] == 4
+    update_bench_json(
+        "tile_ir_cache",
+        {
+            "executions": plan.execution_counts["tile_ir"],
+            "compiled_variants": state["compiled_variants"],
+            "estimate": state["estimates"][0],
+        },
+        path=BENCH_BACKENDS_JSON,
+    )
+
+
+def test_tile_ir_estimates_scale_with_gpu():
+    """The attached cost-model estimate responds to the simulated device."""
+    rng = np.random.default_rng(11)
+    cascade, inputs = engine_workload("mha", rng, length=LENGTH, width=WIDTH)
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    tile = get_backend("tile_ir")
+    latencies = {}
+    for gpu in ("A10", "H800"):
+        engine.run(cascade, inputs, mode="tile_ir", gpu=gpu)
+        latencies[gpu] = tile.estimate_for(plan, gpu).latency_seconds
+    assert latencies["H800"] <= latencies["A10"]  # H800 is strictly faster
+    update_bench_json(
+        "tile_ir_gpus", latencies, path=BENCH_BACKENDS_JSON
+    )

@@ -68,3 +68,21 @@ for start in range(0, data.shape[0], 1024):
     session.feed({"x": data[start : start + 1024]})
 assert np.allclose(session.values()["t"], reference["t"])
 print(f"streamed {session.position} positions; all execution modes agree. ✔")
+
+# 6. Pick a different execution backend: "tile_ir" lowers the compiled
+#    cascade through the codegen stack (tensorize + autotune), executes
+#    the generated tile program with the NumPy interpreter, and attaches
+#    the analytical GPU cost model's latency estimate to the plan.
+small = data[:512]
+simulated = engine.run(softmax, {"x": small}, backend="tile_ir", gpu="A10")
+assert np.allclose(
+    simulated["t"], plan.execute({"x": small}, mode="unfused")["t"]
+)
+estimate = plan.describe()["tile_ir"]["estimates"][0]
+print(
+    f"\ntile_ir backend: {estimate['strategy']} kernel, "
+    f"tile {estimate['blk_rows']}x{estimate['blk_len']}, "
+    f"simulated {estimate['gpu']} latency "
+    f"{estimate['latency_seconds'] * 1e6:.2f} us"
+)
+print(f"backends used so far: {plan.execution_counts}")

@@ -18,6 +18,13 @@ the simplified combined terms from :mod:`repro.core.fused`, so they are
 *more* numerically robust than naive evaluation would be (this is the
 online-softmax property).
 
+The ``*_impl`` functions in this module are the numeric kernels behind
+the engine's ``unfused`` / ``fused_tree`` / ``incremental`` execution
+backends (:mod:`repro.engine.backends`); the ``run_*`` entry points are
+thin wrappers that dispatch through a :class:`~repro.engine.plan.FusionPlan`
+so library callers share the serving engine's plan cache and backend
+registry.
+
 The merge of two partial states (:func:`merge_states`) is the single
 primitive from which both the tree combine and the streaming update are
 built — folding it left-to-right gives Eq. 15/16, folding it over a

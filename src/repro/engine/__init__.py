@@ -9,9 +9,16 @@ This package turns the per-call fusion library into a serving layer:
    :func:`~repro.engine.plan.cascade_signature` in a thread-safe LRU
    :class:`~repro.engine.cache.PlanCache`, so repeated requests for the
    same cascade shape perform zero symbolic work;
-3. **execute** — per-query (:meth:`FusionPlan.execute`), vectorized over
-   a leading batch axis (:class:`~repro.engine.batch.BatchExecutor`), or
-   streaming with O(1) state (:class:`~repro.engine.batch.StreamSession`).
+3. **execute** — through a pluggable backend registry
+   (:mod:`repro.engine.backends`): per-query
+   (:meth:`FusionPlan.execute`), vectorized over a leading batch axis
+   (:class:`~repro.engine.batch.BatchExecutor`), or streaming with O(1)
+   state (:class:`~repro.engine.batch.StreamSession`).  Built-in
+   backends are the three NumPy reference paths (``unfused``,
+   ``fused_tree``, ``incremental``) plus ``tile_ir``, which lowers the
+   compiled cascade through the codegen/ir stack, executes it with the
+   tile interpreter, and annotates plans with analytical GPU latency
+   estimates.
 
 The classic ``fuse`` / ``run_*`` entry points in :mod:`repro.core` are
 thin wrappers over this lifecycle, sharing the module-level default
@@ -24,6 +31,20 @@ from typing import Dict, Mapping, Optional
 
 from ..core.fused import FusedCascade
 from ..core.spec import Cascade
+from .backends import (
+    BackendCapabilities,
+    BackendError,
+    ExecutionBackend,
+    TileEstimate,
+    TileIRBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    unregister_backend,
+)
+from .bounded import BoundedCache
 from .batch import (
     BatchExecutor,
     BatchTopKState,
@@ -42,8 +63,43 @@ from .plan import (
 )
 
 
+class EngineStats:
+    """Cache counters plus per-backend execution counts for one engine.
+
+    Cache attributes (``hits``/``misses``/``compiles``/``evictions``/
+    ``requests``/``hit_rate``) delegate to the underlying
+    :class:`~repro.engine.cache.CacheStats`; ``backend_executions``
+    totals the executions served by every plan the engine ever compiled
+    (plans mirror their counts into the cache via an attached sink, so
+    the totals are monotonic across eviction and ``reset()`` and keep
+    counting for plans still referenced after eviction), which lets
+    benchmarks assert which backend actually served requests.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        object.__setattr__(self, "_engine", engine)
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine.cache.stats, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Writes delegate to the real counters too: the wrapper is a
+        # fresh view per access, so shadowing an attribute on it would
+        # silently discard the assignment.
+        setattr(self._engine.cache.stats, name, value)
+
+    @property
+    def backend_executions(self) -> Dict[str, int]:
+        return self._engine.cache.execution_totals()
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = self._engine.cache.stats.snapshot()
+        snap["backend_executions"] = self.backend_executions
+        return snap
+
+
 class Engine:
-    """Facade tying the plan cache to the execution paths.
+    """Facade tying the plan cache to the execution backends.
 
     One engine per serving process is the intended deployment; tests and
     benchmarks create private instances to get isolated caches/stats.
@@ -62,21 +118,46 @@ class Engine:
         return self.plan_for(cascade).fused
 
     # -- execute ------------------------------------------------------------
+    @staticmethod
+    def _resolve_mode_alias(mode: Optional[str], backend: Optional[str]) -> str:
+        """``backend=`` is an alias for ``mode=``; both set is an error."""
+        if backend is not None:
+            if mode not in (None, "auto"):
+                raise ValueError(
+                    f"pass either mode={mode!r} or backend={backend!r}, not both"
+                )
+            return backend
+        return "auto" if mode is None else mode
+
     def run(
         self,
         cascade: Cascade,
         inputs: Mapping[str, object],
         mode: Optional[str] = "auto",
+        *,
+        backend: Optional[str] = None,
         **kwargs,
     ) -> Dict[str, object]:
-        """Single-query execution through the cached plan."""
+        """Single-query execution through the cached plan.
+
+        ``mode`` (or its alias ``backend``) names a registered execution
+        backend — e.g. ``mode="tile_ir"`` for simulated-kernel execution.
+        """
+        mode = self._resolve_mode_alias(mode, backend)
         return self.plan_for(cascade).execute(inputs, mode, **kwargs)
 
     def run_batch(
-        self, cascade: Cascade, batch_inputs: Mapping[str, object], **kwargs
+        self,
+        cascade: Cascade,
+        batch_inputs: Mapping[str, object],
+        *,
+        mode: Optional[str] = "auto",
+        backend: Optional[str] = None,
+        **kwargs,
     ) -> Dict[str, object]:
         """Vectorized execution of a batch with a leading batch axis."""
-        return self.plan_for(cascade).execute_batch(batch_inputs, **kwargs)
+        mode = self._resolve_mode_alias(mode, backend)
+        return self.plan_for(cascade).execute_batch(batch_inputs, mode=mode, **kwargs)
 
     def stream(self, cascade: Cascade) -> StreamSession:
         """Open a stateful streaming session against the cached plan."""
@@ -84,8 +165,8 @@ class Engine:
 
     # -- introspection ------------------------------------------------------
     @property
-    def stats(self) -> CacheStats:
-        return self.cache.stats
+    def stats(self) -> EngineStats:
+        return EngineStats(self)
 
     def reset(self) -> None:
         """Drop all cached plans (stats counters are preserved)."""
@@ -111,21 +192,34 @@ def fused_for(cascade: Cascade) -> FusedCascade:
 
 
 __all__ = [
+    "BackendCapabilities",
+    "BackendError",
     "BatchExecutor",
     "BatchTopKState",
+    "BoundedCache",
     "CacheStats",
     "EXECUTION_MODES",
     "Engine",
+    "EngineStats",
+    "ExecutionBackend",
     "FusionPlan",
     "PlanCache",
     "StreamSession",
+    "TileEstimate",
+    "TileIRBackend",
+    "available_backends",
     "cascade_signature",
     "default_engine",
     "fused_for",
     "fusion_compile_count",
+    "get_backend",
     "normalize_batch_inputs",
     "plan_for",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "run_batched_tree",
     "run_batched_unfused",
     "stack_queries",
+    "unregister_backend",
 ]

@@ -1,0 +1,533 @@
+"""Pluggable execution backends for :class:`~repro.engine.plan.FusionPlan`.
+
+The serving engine separates *what* a fused cascade computes (the frozen
+ACRF artifacts in a plan) from *where/how* it runs.  An
+:class:`ExecutionBackend` is one "how": it declares a name, a set of
+:class:`BackendCapabilities`, and ``execute`` / ``execute_batch`` entry
+points that receive the plan plus normalized execution parameters.
+Backends live in a process-wide registry; ``FusionPlan.execute``,
+``FusionPlan.execute_batch`` and :class:`~repro.engine.batch.BatchExecutor`
+all dispatch through :func:`resolve_backend`, so registering a new
+backend makes it selectable everywhere (``Engine.run(..., mode=name)``)
+without touching the plan layer.
+
+Built-in backends:
+
+* ``unfused`` — the full-pass reduction chain (Eq. 1); the reference
+  every other backend is differential-tested against.
+* ``fused_tree`` — the fused reduction tree (Eq. 6 + Eq. 11).
+* ``incremental`` — the streaming fold with O(1) state (Eq. 15/16).
+* ``tile_ir`` — simulated-kernel execution: the compiled cascade is
+  lowered through :mod:`repro.codegen.tensorize`, auto-tuned against the
+  analytical GPU model (:mod:`repro.gpusim`), executed numerically by
+  the :class:`~repro.ir.tile.TileInterpreter`, and annotated with the
+  cost model's latency estimate.  Tile programs are compiled once per
+  (plan, input geometry, GPU) and cached on the plan.
+
+Mode-name validation is centralized here (:func:`resolve_backend`) so an
+unknown name raises one uniform ``ValueError`` *before* any symbolic
+compilation happens.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.spec import normalize_inputs
+from .bounded import BoundedCache
+
+
+class BackendError(RuntimeError):
+    """A backend cannot execute this plan (outside its supported class)."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do, declared up front for dispatch decisions.
+
+    * ``requires_fusion`` — needs ``plan.fused`` (i.e. the symbolic ACRF
+      artifacts); backends without it serve unfusable cascades too;
+    * ``batchable`` — implements ``execute_batch`` over a leading batch
+      axis (vectorized or compiled-once looped);
+    * ``streamable`` — its state model supports O(1) streaming sessions;
+    * ``simulated`` — attaches analytical cost-model estimates to the
+      plan (readable via ``FusionPlan.describe()``).
+    """
+
+    requires_fusion: bool = False
+    batchable: bool = False
+    streamable: bool = False
+    simulated: bool = False
+
+
+class ExecutionBackend(ABC):
+    """One way of running a compiled :class:`FusionPlan`.
+
+    ``execute`` receives the normalized per-plan parameters
+    (``num_segments``, ``branching``, ``chunk_len``, ``base_index``) plus
+    any backend-specific keyword options; implementations ignore the
+    parameters that do not apply to them.
+    """
+
+    #: Registry key; also the ``mode=`` string users pass.
+    name: str = ""
+    capabilities: BackendCapabilities = BackendCapabilities()
+    #: Extra keyword options this backend accepts beyond the normalized
+    #: execution parameters; anything else passed by a caller is a
+    #: TypeError (so typos don't silently fall back to plan defaults).
+    options: frozenset = frozenset()
+
+    def check_options(self, options: Mapping[str, object]) -> None:
+        """Reject caller-supplied options this backend does not understand."""
+        unknown = set(options) - self.options
+        if unknown:
+            raise TypeError(
+                f"backend {self.name!r} got unexpected options "
+                f"{sorted(unknown)}; accepted: {sorted(self.options) or 'none'}"
+            )
+
+    def supports(self, plan) -> bool:
+        """Whether this backend can run the given plan at all.
+
+        May trigger the plan's (cached, exactly-once) symbolic
+        compilation when fusability is part of the answer.
+        """
+        if self.capabilities.requires_fusion:
+            return plan.fusable
+        return True
+
+    def prepare(self, plan) -> None:
+        """Eagerly pay one-time costs so later ``execute`` calls are hot."""
+        if self.capabilities.requires_fusion:
+            plan.fused  # compile under the plan lock (raises if unfusable)
+
+    @abstractmethod
+    def execute(self, plan, inputs: Mapping[str, object], **params) -> Dict[str, object]:
+        """Run one query through the plan; returns per-reduction outputs."""
+
+    def execute_batch(
+        self, plan, batch_inputs: Mapping[str, object], **params
+    ) -> Dict[str, object]:
+        """Run many independent queries given arrays with a leading batch axis."""
+        raise BackendError(
+            f"backend {self.name!r} does not support batched execution"
+        )
+
+    def describe(self, plan) -> Optional[Dict[str, object]]:
+        """Optional per-plan introspection merged into ``plan.describe()``."""
+        return None
+
+    def estimate_for(self, plan, gpu: object = "A10"):
+        """Latest cost-model estimate for one GPU, if this backend keeps any.
+
+        Simulated backends override this; the default (no estimates)
+        keeps harness/benchmark code generic over custom backends.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+_REGISTRY: "Dict[str, ExecutionBackend]" = {}
+_REGISTRY_LOCK = threading.Lock()
+
+#: Names a backend may not take: ``auto`` is the default-mode selector,
+#: the rest are fixed metadata keys of ``FusionPlan.describe()`` that a
+#: backend's per-plan annotations would otherwise silently clobber.
+RESERVED_BACKEND_NAMES = frozenset(
+    {
+        "auto",
+        "signature",
+        "cascade",
+        "reductions",
+        "compiled",
+        "compile_seconds",
+        "executions",
+        "fusable",
+        "default_mode",
+        "corrections",
+    }
+)
+
+
+def register_backend(backend: ExecutionBackend, replace: bool = False) -> ExecutionBackend:
+    """Add a backend to the process-wide registry under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("backend must declare a non-empty name")
+    if backend.name in RESERVED_BACKEND_NAMES:
+        raise ValueError(
+            f"backend name {backend.name!r} is reserved "
+            f"(reserved names: {sorted(RESERVED_BACKEND_NAMES)})"
+        )
+    with _REGISTRY_LOCK:
+        if backend.name in _REGISTRY and not replace:
+            raise ValueError(
+                f"backend {backend.name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> ExecutionBackend:
+    """Remove and return a registered backend (KeyError if absent)."""
+    with _REGISTRY_LOCK:
+        return _REGISTRY.pop(name)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    with _REGISTRY_LOCK:
+        return tuple(_REGISTRY)
+
+
+def registered_backends() -> Tuple[Tuple[str, ExecutionBackend], ...]:
+    """Consistent (name, backend) snapshot of the registry.
+
+    Use this for iteration instead of ``available_backends()`` +
+    ``get_backend()`` so a concurrent unregistration cannot fail the
+    lookup halfway through.
+    """
+    with _REGISTRY_LOCK:
+        return tuple(_REGISTRY.items())
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a backend by name; unknown names raise the uniform error."""
+    if name == "auto":
+        raise ValueError(
+            '"auto" is not a registered backend; pass a plan to '
+            "resolve_backend() to resolve the default mode"
+        )
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown execution mode {name!r}; expected one of "
+            f"{('auto',) + available_backends()}"
+        )
+    return backend
+
+
+def resolve_backend(mode: Optional[str], plan=None) -> ExecutionBackend:
+    """Shared mode-validation helper for every dispatch path.
+
+    ``None``/``"auto"`` resolve to the plan's default backend (which may
+    trigger its exactly-once symbolic compile); any other name is
+    validated against the registry *before* any plan state is touched,
+    so unknown modes fail fast and uniformly.
+    """
+    if mode is None or mode == "auto":
+        if plan is None:
+            raise ValueError('mode "auto" needs a plan to resolve against')
+        return get_backend(plan.default_mode)
+    return get_backend(mode)
+
+
+# ---------------------------------------------------------------------------
+# NumPy reference backends (the three legacy execution modes)
+# ---------------------------------------------------------------------------
+class UnfusedBackend(ExecutionBackend):
+    """Full-pass chain of reductions (Eq. 1); needs no fusion artifacts."""
+
+    name = "unfused"
+    capabilities = BackendCapabilities(batchable=True)
+
+    def execute(self, plan, inputs, *, base_index: int = 0, **_params):
+        from ..core.executor import unfused_impl
+
+        return unfused_impl(plan.cascade, inputs, base_index)
+
+    def execute_batch(self, plan, batch_inputs, **_params):
+        from .batch import run_batched_unfused
+
+        return run_batched_unfused(plan.cascade, batch_inputs)
+
+
+class FusedTreeBackend(ExecutionBackend):
+    """Fused reduction tree (Eq. 6 + Eq. 11) over contiguous segments."""
+
+    name = "fused_tree"
+    capabilities = BackendCapabilities(requires_fusion=True, batchable=True)
+
+    def execute(self, plan, inputs, *, num_segments=4, branching=2, **_params):
+        from ..core.executor import fused_tree_impl
+
+        return fused_tree_impl(plan.fused, inputs, num_segments, branching)
+
+    def execute_batch(self, plan, batch_inputs, *, num_segments=4, branching=2, **_params):
+        from .batch import run_batched_tree
+
+        return run_batched_tree(plan.fused, batch_inputs, num_segments, branching)
+
+
+class IncrementalBackend(ExecutionBackend):
+    """Streaming fold with O(1) state (Eq. 15/16); chunked, not batched."""
+
+    name = "incremental"
+    capabilities = BackendCapabilities(requires_fusion=True, streamable=True)
+
+    def execute(self, plan, inputs, *, chunk_len=64, **_params):
+        from ..core.executor import incremental_impl
+
+        return incremental_impl(plan.fused, inputs, chunk_len)
+
+
+# ---------------------------------------------------------------------------
+# tile-IR simulated-kernel backend
+# ---------------------------------------------------------------------------
+#: Tuner search space for engine-shaped (single query row) tile programs.
+TILE_TUNE_SPACE = dict(
+    blk_rows=(16, 32, 64, 128),
+    blk_len=(16, 32, 64, 128),
+    threads=(128, 256),
+    pipeline=(1, 2),
+    segments=(1, 2, 4, 8),
+)
+
+
+@dataclass(frozen=True)
+class TileEstimate:
+    """Cost-model annotation for one compiled tile-program variant."""
+
+    gpu: str
+    latency_seconds: float
+    blk_rows: int
+    blk_len: int
+    threads: int
+    pipeline_depth: int
+    num_segments: int
+    strategy: str
+    candidates_tried: int
+
+    def snapshot(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class _TileCompilation:
+    """One lowered + tuned tile-program variant, frozen for reuse.
+
+    Holds the tensorized program(s) for the tuner's winning config (one
+    kernel for Single-Segment, partial + combine for Multi-Segment), the
+    layout mapping between engine input arrays and tile buffers, and the
+    GPU cost-model estimate.
+    """
+
+    def __init__(self, spec, programs, estimate: TileEstimate) -> None:
+        self.spec = spec
+        self.programs = programs
+        self.estimate = estimate
+
+    def run(self, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Interpret the tile program(s) on normalized (L, w) inputs."""
+        from ..ir.tile import TileInterpreter
+
+        data: Dict[str, np.ndarray] = {}
+        for lay in self.spec.layouts:
+            arr = arrays[lay.name]
+            # per-row vars are (rows=1, L) in the tile model; shared
+            # (per_row=False) vars keep their (L, w) layout.
+            data[lay.name] = arr[:, 0][None, :] if lay.per_row else arr
+        if len(self.programs) == 1:
+            out = TileInterpreter(self.programs[0]).run(data)
+        else:
+            partial, combine = self.programs
+            parts = TileInterpreter(partial).run(data)
+            out = TileInterpreter(combine).run(
+                {k: v for k, v in parts.items() if k.endswith("_part")}
+            )
+        return {
+            fr.reduction.name: out[fr.reduction.name][0]
+            for fr in self.spec.fused
+        }
+
+
+class TileIRBackend(ExecutionBackend):
+    """Simulated-kernel execution through the codegen/ir/gpusim stack.
+
+    The plan's compiled :class:`~repro.core.fused.FusedCascade` is
+    wrapped in a :class:`~repro.codegen.lower.CodegenSpec` derived from
+    the query geometry (one output row, per-position length from the
+    inputs, element widths from the arrays), auto-tuned over
+    :data:`TILE_TUNE_SPACE` against the analytical GPU model, tensorized
+    with the winning config, and executed numerically block-by-block by
+    the NumPy tile interpreter.  Compilation is cached per
+    ``(length, widths, gpu)`` on the plan, so serving repeats a query
+    shape without re-tuning; the tuner's latency estimate is surfaced
+    via ``plan.describe()["tile_ir"]``.
+
+    Supported class: fusable single-term scalar chains (attention /
+    softmax / MLA / quant-GEMM).  Top-k carriers and multi-term
+    decompositions raise :class:`BackendError`.
+    """
+
+    name = "tile_ir"
+    capabilities = BackendCapabilities(
+        requires_fusion=True, batchable=True, simulated=True
+    )
+    options = frozenset({"gpu"})
+
+    #: Bound on cached tile-program variants per plan: a serving loop
+    #: over a growing KV length would otherwise retune + retain a
+    #: compilation per distinct geometry forever.  Oldest variants are
+    #: evicted first (insertion order).
+    max_cached_variants = 32
+
+    def supports(self, plan) -> bool:
+        if not plan.fusable:
+            return False
+        try:
+            self._check_supported(plan)
+        except BackendError:
+            return False
+        return True
+
+    def execute(self, plan, inputs, *, gpu: object = "A10", **_params):
+        arrays = normalize_inputs(plan.cascade, dict(inputs))
+        return self._compilation_for(plan, arrays, gpu).run(arrays)
+
+    def execute_batch(self, plan, batch_inputs, *, gpu: object = "A10", **_params):
+        """Compile once, interpret per query; outputs stack to (B, w)."""
+        from .batch import normalize_batch_inputs
+
+        arrays, batch, _length = normalize_batch_inputs(plan.cascade, batch_inputs)
+        first = {name: arrays[name][0] for name in plan.cascade.element_vars}
+        compilation = self._compilation_for(plan, first, gpu)
+        rows = [
+            compilation.run(
+                {name: arrays[name][i] for name in plan.cascade.element_vars}
+            )
+            for i in range(batch)
+        ]
+        return {
+            name: np.stack([row[name] for row in rows], axis=0)
+            for name in plan.cascade.output_names
+        }
+
+    def _tile_cache(self, plan) -> BoundedCache:
+        """The plan's bounded per-geometry compilation cache (lazy)."""
+        with plan._state_lock:
+            cache = plan.backend_state.get(self.name)
+            if cache is None:
+                cache = BoundedCache(self.max_cached_variants)
+                plan.backend_state[self.name] = cache
+        return cache
+
+    def _state_snapshot(self, plan) -> Dict[tuple, "_TileCompilation"]:
+        """Point-in-time copy of the per-plan compilation cache."""
+        with plan._state_lock:
+            cache = plan.backend_state.get(self.name)
+        return cache.snapshot() if cache is not None else {}
+
+    def describe(self, plan) -> Optional[Dict[str, object]]:
+        state = self._state_snapshot(plan)
+        if not state:
+            return None
+        estimates = []
+        for (length, widths, gpu_name), compilation in sorted(
+            state.items(), key=lambda item: (item[0][0], item[0][2])
+        ):
+            info = compilation.estimate.snapshot()
+            info["length"] = length
+            info["widths"] = dict(zip(plan.cascade.element_vars, widths))
+            estimates.append(info)
+        return {"compiled_variants": len(state), "estimates": estimates}
+
+    def estimate_for(self, plan, gpu: object = "A10") -> Optional[TileEstimate]:
+        """Latest cached estimate for one GPU (None before first execute)."""
+        gpu_spec = self._gpu_spec(gpu)
+        state = self._state_snapshot(plan)
+        for (_length, _widths, gpu_name), compilation in reversed(list(state.items())):
+            if gpu_name == gpu_spec.name:
+                return compilation.estimate
+        return None
+
+    # -- compilation --------------------------------------------------------
+    @staticmethod
+    def _gpu_spec(gpu: object):
+        from ..gpusim.specs import GPUSpec, gpu as gpu_by_name
+
+        if isinstance(gpu, GPUSpec):
+            return gpu
+        return gpu_by_name(str(gpu))
+
+    def _check_supported(self, plan) -> None:
+        for fr in plan.fused:  # raises NotFusableError for unfusable plans
+            if fr.is_topk or fr.is_multi_term:
+                raise BackendError(
+                    "the tile_ir backend lowers single-term scalar chains; "
+                    f"reduction {fr.reduction.name!r} is "
+                    f"{'top-k' if fr.is_topk else 'multi-term'}"
+                )
+
+    def _compilation_for(
+        self, plan, arrays: Mapping[str, np.ndarray], gpu: object
+    ) -> _TileCompilation:
+        self._check_supported(plan)
+        gpu_spec = self._gpu_spec(gpu)
+        length = next(iter(arrays.values())).shape[0]
+        widths = tuple(
+            arrays[name].shape[1] for name in plan.cascade.element_vars
+        )
+        key = (length, widths, gpu_spec.name)
+        return self._tile_cache(plan).get_or_create(
+            key, lambda: self._compile(plan, length, widths, gpu_spec)
+        )
+
+    def _compile(self, plan, length: int, widths, gpu_spec) -> _TileCompilation:
+        from ..codegen.autotune import autotune
+        from ..codegen.lower import CodegenSpec, ElementLayout, LoweringError
+        from ..codegen.tensorize import (
+            tensorize_multi_segment,
+            tensorize_single_segment,
+        )
+
+        layouts = tuple(
+            ElementLayout(name, width, per_row=(width == 1))
+            for name, width in zip(plan.cascade.element_vars, widths)
+        )
+        spec = CodegenSpec(
+            fused=plan.fused, rows=1, length=length, layouts=layouts
+        )
+        try:
+            tuned = autotune(spec, gpu_spec, dtype="fp16", **TILE_TUNE_SPACE)
+            if tuned.num_segments == 1:
+                programs = (tensorize_single_segment(spec, tuned.config),)
+            else:
+                programs = tensorize_multi_segment(
+                    spec, tuned.config, tuned.num_segments
+                )
+        except LoweringError as err:
+            raise BackendError(
+                f"cascade {plan.cascade.name!r} is outside the tile_ir "
+                f"backend's supported class: {err}"
+            ) from err
+        estimate = TileEstimate(
+            gpu=gpu_spec.name,
+            latency_seconds=tuned.latency,
+            blk_rows=tuned.config.blk_rows,
+            blk_len=tuned.config.blk_len,
+            threads=tuned.config.threads,
+            pipeline_depth=tuned.config.pipeline_depth,
+            num_segments=tuned.num_segments,
+            strategy=tuned.strategy,
+            candidates_tried=tuned.candidates_tried,
+        )
+        return _TileCompilation(spec, programs, estimate)
+
+
+# built-ins register at import time, in the order users should see them
+register_backend(UnfusedBackend())
+register_backend(FusedTreeBackend())
+register_backend(IncrementalBackend())
+register_backend(TileIRBackend())

@@ -32,6 +32,7 @@ from ..core.executor import (
 )
 from ..core.ops import TopKState
 from ..core.spec import Cascade, SpecError, normalize_inputs
+from .backends import get_backend, resolve_backend
 
 BatchValue = Union[np.ndarray, "BatchTopKState"]
 
@@ -300,10 +301,14 @@ def run_batched_tree(
 class BatchExecutor:
     """Vectorized many-query executor bound to one :class:`FusionPlan`.
 
-    ``mode="auto"`` runs the batched fused tree when the plan is fusable
-    and the batched unfused chain otherwise; both accept the same
-    ``(B, L)`` / ``(B, L, w)`` input convention and return ``(B, w)``
-    arrays (top-k outputs come back as :class:`BatchTopKState`).
+    ``mode`` names any registered batchable execution backend
+    (:mod:`repro.engine.backends`); ``"auto"`` runs the batched fused
+    tree when the plan is fusable and the batched unfused chain
+    otherwise.  All backends accept the same ``(B, L)`` / ``(B, L, w)``
+    input convention and return ``(B, w)`` arrays (top-k outputs come
+    back as :class:`BatchTopKState`).  Mode names are validated before
+    any symbolic work; one-time backend costs (eager fusion compile) are
+    paid at construction so ``run`` is hot.
     """
 
     def __init__(
@@ -313,30 +318,41 @@ class BatchExecutor:
         num_segments: int = 4,
         branching: Optional[int] = 2,
     ) -> None:
-        if mode not in ("auto", "fused_tree", "unfused"):
-            raise ValueError(f"unsupported batch mode {mode!r}")
-        if mode == "auto":
-            mode = "fused_tree" if plan.fusable else "unfused"
-        if mode == "fused_tree":
-            plan.fused  # compile eagerly so run() is symbolic-work-free
+        backend = resolve_backend(mode, plan)
+        if not backend.capabilities.batchable:
+            raise ValueError(
+                f"backend {backend.name!r} does not support batched execution"
+            )
+        backend.prepare(plan)  # e.g. compile eagerly so run() is symbolic-work-free
         self.plan = plan
-        self.mode = mode
+        self.backend = backend
+        self.mode = backend.name
         self.num_segments = num_segments
         self.branching = branching
 
-    def run(self, batch_inputs: Mapping[str, np.ndarray]) -> Dict[str, BatchValue]:
+    def run(
+        self, batch_inputs: Mapping[str, np.ndarray], **backend_options
+    ) -> Dict[str, BatchValue]:
         """Execute a batch given as arrays with a leading batch axis."""
-        if self.mode == "unfused":
-            return run_batched_unfused(self.plan.cascade, batch_inputs)
-        return run_batched_tree(
-            self.plan.fused, batch_inputs, self.num_segments, self.branching
+        # Re-resolve by name so register_backend(..., replace=True)
+        # applies to executors cached before the replacement.
+        backend = get_backend(self.mode)
+        backend.check_options(backend_options)
+        outputs = backend.execute_batch(
+            self.plan,
+            batch_inputs,
+            num_segments=self.num_segments,
+            branching=self.branching,
+            **backend_options,
         )
+        self.plan._record_execution(backend.name)
+        return outputs
 
     def run_many(
-        self, queries: Sequence[Mapping[str, np.ndarray]]
+        self, queries: Sequence[Mapping[str, np.ndarray]], **backend_options
     ) -> Dict[str, BatchValue]:
         """Stack per-query input dicts, then execute them as one batch."""
-        return self.run(stack_queries(self.plan.cascade, queries))
+        return self.run(stack_queries(self.plan.cascade, queries), **backend_options)
 
 
 class StreamSession:
@@ -368,6 +384,9 @@ class StreamSession:
         else:
             self._state = merge_states(self._fused, self._state, chunk)
         self._position += length
+        # streaming is the incremental backend's stateful serving path;
+        # each folded chunk counts as one incremental execution.
+        self.plan._record_execution("incremental")
         return self.values()
 
     def values(self) -> Dict[str, object]:

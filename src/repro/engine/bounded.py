@@ -1,0 +1,71 @@
+"""A small bounded cache with exactly-once construction per key.
+
+Shared by the per-plan executor cache (:meth:`FusionPlan.batch_executor`)
+and the ``tile_ir`` backend's per-geometry program cache, so the
+lock/build/evict idiom exists once.  The in-flight dedup mirrors
+:class:`~repro.engine.cache.PlanCache`: concurrent first requests for
+one key build the value exactly once (losers wait on an event and then
+take the hit path), and a failed build wakes the waiters so one of them
+retries.  Insertion order is the eviction order (oldest first) once
+``maxsize`` is exceeded; the just-inserted key is never evicted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, TypeVar
+
+V = TypeVar("V")
+
+
+class BoundedCache:
+    """Insert-order-bounded mapping with per-key in-flight deduplication."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._items: Dict[Hashable, object] = {}
+        self._inflight: Dict[Hashable, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._items
+
+    def snapshot(self) -> Dict[Hashable, object]:
+        """Point-in-time copy of the cached items (for introspection)."""
+        with self._lock:
+            return dict(self._items)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
+        """The cached value for ``key``, built by ``factory`` at most once."""
+        while True:
+            with self._lock:
+                if key in self._items:
+                    return self._items[key]
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            event.wait()
+
+        try:
+            value = factory()
+        except BaseException:
+            with self._lock:
+                event = self._inflight.pop(key)
+            event.set()
+            raise
+        with self._lock:
+            self._items[key] = value
+            while len(self._items) > self.maxsize:
+                evict = next(k for k in self._items if k != key)
+                del self._items[evict]
+            event = self._inflight.pop(key)
+        event.set()
+        return value

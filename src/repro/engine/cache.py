@@ -11,9 +11,9 @@ exactly once, no matter how many threads race on it.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core.spec import Cascade
 from .plan import FusionPlan, cascade_signature
@@ -63,6 +63,13 @@ class PlanCache:
         self._plans: "OrderedDict[str, FusionPlan]" = OrderedDict()
         self._inflight: Dict[str, threading.Event] = {}
         self._lock = threading.Lock()
+        # Live per-backend execution totals: every plan this cache ever
+        # compiled mirrors its recorded executions here (via an attached
+        # sink), so the totals are monotonic across eviction/clear and
+        # keep counting for plans still referenced after eviction
+        # (e.g. a long-lived stream session).
+        self._execution_totals: "Counter[str]" = Counter()
+        self._totals_lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
@@ -81,6 +88,25 @@ class PlanCache:
         """Look up by signature without recency update or stats change."""
         with self._lock:
             return self._plans.get(signature)
+
+    def plans(self) -> Tuple[FusionPlan, ...]:
+        """Cached plan objects in LRU order (no recency/stats change)."""
+        with self._lock:
+            return tuple(self._plans.values())
+
+    def execution_totals(self) -> Dict[str, int]:
+        """Per-backend executions served by all plans ever compiled here.
+
+        Monotonic like every other counter: eviction, :meth:`clear`, and
+        executions recorded on already-evicted plans all keep counting.
+        """
+        with self._totals_lock:
+            return dict(self._execution_totals)
+
+    def _note_execution(self, backend_name: str) -> None:
+        """Sink attached to every compiled plan (see ``get_or_compile``)."""
+        with self._totals_lock:
+            self._execution_totals[backend_name] += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -112,6 +138,7 @@ class PlanCache:
                 plan = FusionPlan(cascade, signature=signature)
             else:
                 plan = compile_fn(cascade, signature)
+            plan.attach_execution_sink(self._note_execution)
         except BaseException:
             with self._lock:
                 event = self._inflight.pop(signature)

@@ -5,10 +5,12 @@ A :class:`FusionPlan` freezes everything ACRF derives for one cascade
 fused/correction expressions and the chosen execution mode — behind a
 :func:`cascade_signature`.  Compiling a plan is the expensive step
 (symbolic decomposition, simplification, randomized equivalence
-checking); executing one is pure NumPy.  The serving engine therefore
-keys plans by signature (:mod:`repro.engine.cache`) so that every
-request after the first for a given cascade shape skips symbolic work
-entirely.
+checking); executing one dispatches through the pluggable backend
+registry (:mod:`repro.engine.backends`): the three NumPy reference
+backends plus the simulated-kernel ``tile_ir`` backend, with room for
+future ones (sharded, async, persisted).  The serving engine keys plans
+by signature (:mod:`repro.engine.cache`) so that every request after the
+first for a given cascade shape skips symbolic work entirely.
 
 Fusion artifacts are materialized lazily and exactly once: a plan built
 for unfused-only execution never pays for ACRF, while the first fused
@@ -24,14 +26,20 @@ import copy
 import hashlib
 import threading
 import time
+from collections import Counter
 from typing import Dict, Mapping, Optional
 
 from ..core.acrf import NotFusableError
 from ..core.fused import FusedCascade, compile_fused
 from ..core.spec import Cascade
+from .backends import available_backends, registered_backends, resolve_backend
+from .bounded import BoundedCache
 
-#: Execution modes a plan can dispatch to.
-EXECUTION_MODES = ("auto", "unfused", "fused_tree", "incremental")
+#: Execution modes a plan can dispatch to (snapshot of the built-in
+#: registry plus ``"auto"``; late-registered backends are equally
+#: selectable — :func:`repro.engine.backends.available_backends` is the
+#: live list).
+EXECUTION_MODES = ("auto",) + available_backends()
 
 #: Sentinel distinguishing "argument not given" from an explicit None
 #: (``branching=None`` legitimately means "merge all segments flat").
@@ -77,7 +85,18 @@ class FusionPlan:
     ``plan.execute_batch(batch)`` for many independent queries, or
     ``plan.stream()`` for stateful streaming clients.  The fused
     artifacts compile lazily on first fused use and are then frozen.
+
+    Execution routes through the backend registry
+    (:mod:`repro.engine.backends`); per-backend execution counts and
+    backend-specific annotations (e.g. ``tile_ir`` cost estimates) are
+    surfaced by :meth:`describe`.  ``max_batch_executors`` bounds the
+    per-plan cache of :class:`~repro.engine.batch.BatchExecutor` objects
+    (oldest evicted first), so serving loops that derive batch
+    parameters from request sizes cannot grow plan state without bound.
     """
+
+    #: Bound on cached BatchExecutors per plan (oldest evicted first).
+    max_batch_executors = 32
 
     def __init__(
         self,
@@ -99,6 +118,13 @@ class FusionPlan:
         self._fused = fused
         self._fusion_error: Optional[NotFusableError] = None
         self._lock = threading.Lock()
+        #: Scratch area backends use for per-plan compiled state (e.g.
+        #: the tile_ir program cache), keyed by backend name.
+        self.backend_state: Dict[str, object] = {}
+        self._state_lock = threading.Lock()
+        self._execution_counts: "Counter[str]" = Counter()
+        self._execution_sinks: list = []
+        self._batch_executors = BoundedCache(self.max_batch_executors)
 
     @classmethod
     def from_fused(cls, fused: FusedCascade, **kwargs) -> "FusionPlan":
@@ -156,6 +182,31 @@ class FusionPlan:
         return "fused_tree" if self.fusable else "unfused"
 
     # -- execution ----------------------------------------------------------
+    def attach_execution_sink(self, sink) -> None:
+        """Mirror every recorded execution into ``sink(backend_name)``.
+
+        The owning :class:`~repro.engine.cache.PlanCache` attaches its
+        engine-level totals counter here, so executions recorded on a
+        plan keep counting even after the plan is evicted from the cache
+        (e.g. a long-lived stream session feeding an evicted plan).
+        """
+        with self._state_lock:
+            if sink not in self._execution_sinks:
+                self._execution_sinks.append(sink)
+
+    def _record_execution(self, backend_name: str) -> None:
+        with self._state_lock:
+            self._execution_counts[backend_name] += 1
+            sinks = tuple(self._execution_sinks)
+        for sink in sinks:  # outside the lock: sinks take their own
+            sink(backend_name)
+
+    @property
+    def execution_counts(self) -> Dict[str, int]:
+        """Successful executions served by this plan, per backend name."""
+        with self._state_lock:
+            return dict(self._execution_counts)
+
     def execute(
         self,
         inputs: Mapping[str, object],
@@ -165,34 +216,59 @@ class FusionPlan:
         branching: object = _UNSET,
         chunk_len: Optional[int] = None,
         base_index: int = 0,
+        **backend_options,
     ) -> Dict[str, object]:
         """Run one query through the plan in the requested mode.
 
-        ``mode`` is one of :data:`EXECUTION_MODES`; ``"auto"`` picks
-        fused-tree execution when the cascade is fusable and falls back
-        to the unfused chain otherwise.
+        ``mode`` names a registered execution backend (see
+        :data:`EXECUTION_MODES`); ``"auto"`` picks fused-tree execution
+        when the cascade is fusable and falls back to the unfused chain
+        otherwise.  Unknown names raise ``ValueError`` before any
+        symbolic compilation happens.  Extra keyword options are passed
+        through to the backend (e.g. ``gpu="H800"`` for ``tile_ir``);
+        options the backend does not declare raise ``TypeError``.
         """
-        from ..core import executor as _executor
+        backend = resolve_backend(mode, self)
+        backend.check_options(backend_options)
+        outputs = backend.execute(
+            self,
+            inputs,
+            num_segments=self.num_segments if num_segments is None else num_segments,
+            branching=self.branching if branching is _UNSET else branching,
+            chunk_len=self.chunk_len if chunk_len is None else chunk_len,
+            base_index=base_index,
+            **backend_options,
+        )
+        self._record_execution(backend.name)
+        return outputs
 
-        if mode is None or mode == "auto":
-            mode = self.default_mode
-        if mode == "unfused":
-            return _executor.unfused_impl(self.cascade, inputs, base_index)
-        if mode == "fused_tree":
-            return _executor.fused_tree_impl(
-                self.fused,
-                inputs,
-                self.num_segments if num_segments is None else num_segments,
-                self.branching if branching is _UNSET else branching,
-            )
-        if mode == "incremental":
-            return _executor.incremental_impl(
-                self.fused,
-                inputs,
-                self.chunk_len if chunk_len is None else chunk_len,
-            )
-        raise ValueError(
-            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+    def batch_executor(
+        self,
+        mode: Optional[str] = "auto",
+        *,
+        num_segments: Optional[int] = None,
+        branching: object = _UNSET,
+    ) -> "BatchExecutor":
+        """The plan's cached :class:`BatchExecutor` for these parameters.
+
+        Executors are constructed at most once per (resolved mode,
+        num_segments, branching) — concurrent first requests deduplicate
+        via :class:`~repro.engine.bounded.BoundedCache` — and reused by
+        every :meth:`execute_batch` call, so hot batch paths skip
+        re-resolving the backend and re-checking fusability.
+        """
+        from .batch import BatchExecutor
+
+        backend = resolve_backend(mode, self)  # validates before any compile
+        num_segments = self.num_segments if num_segments is None else num_segments
+        branching = self.branching if branching is _UNSET else branching
+        key = (backend.name, num_segments, branching)
+        return self._batch_executors.get_or_create(
+            key,
+            lambda: BatchExecutor(
+                self, mode=backend.name,
+                num_segments=num_segments, branching=branching,
+            ),
         )
 
     def execute_batch(
@@ -202,17 +278,13 @@ class FusionPlan:
         mode: str = "auto",
         num_segments: Optional[int] = None,
         branching: object = _UNSET,
+        **backend_options,
     ) -> Dict[str, object]:
         """Vectorized execution of many independent queries (leading batch axis)."""
-        from .batch import BatchExecutor
-
-        executor = BatchExecutor(
-            self,
-            mode=mode,
-            num_segments=self.num_segments if num_segments is None else num_segments,
-            branching=self.branching if branching is _UNSET else branching,
+        executor = self.batch_executor(
+            mode, num_segments=num_segments, branching=branching
         )
-        return executor.run(batch_inputs)
+        return executor.run(batch_inputs, **backend_options)
 
     def stream(self) -> "StreamSession":
         """Open a stateful streaming session (Eq. 15/16, O(1) state)."""
@@ -222,19 +294,29 @@ class FusionPlan:
 
     # -- introspection ------------------------------------------------------
     def describe(self) -> Dict[str, object]:
-        """Summary dict for logs/benchmark reports."""
+        """Summary dict for logs/benchmark reports.
+
+        Includes per-backend execution counts (``"executions"``) and any
+        backend-specific annotations (e.g. ``"tile_ir"`` cost-model
+        estimates for every compiled tile-program variant).
+        """
         info: Dict[str, object] = {
             "signature": self.signature,
             "cascade": self.cascade.name,
             "reductions": list(self.cascade.output_names),
             "compiled": self.is_compiled,
             "compile_seconds": self.compile_seconds,
+            "executions": self.execution_counts,
         }
         if self.is_compiled:
             info["fusable"] = self.fusable
             if self.fusable:
                 info["default_mode"] = self.default_mode
                 info["corrections"] = self.fused.needs_correction_count
+        for name, backend in registered_backends():
+            extra = backend.describe(self)
+            if extra is not None:
+                info[name] = extra
         return info
 
     def __repr__(self) -> str:

@@ -8,8 +8,11 @@ paper's normalized form (all latencies relative to PyTorch Eager).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..baselines import (
     compile_eager,
@@ -28,11 +31,18 @@ from ..workloads import attention, mla, moe, nonml, quant_gemm
 from ..workloads.configs import (
     INERTIA_CONFIGS,
     MHA_CONFIGS,
+    MHAConfig,
     MLA_CONFIGS,
+    MLAConfig,
     MOE_CONFIGS,
     QUANT_GEMM_CONFIGS,
+    QuantGemmConfig,
     VARIANCE_CONFIGS,
 )
+
+#: Workloads with an engine-level single-query wrapper (``engine_query``)
+#: usable by every execution backend, including ``tile_ir``.
+ENGINE_WORKLOADS = ("mha", "mla", "quant_gemm")
 
 #: Reduced tuner search space used by the harness (fast, still real).
 TUNE_SPACE = dict(
@@ -191,6 +201,122 @@ def geomean(values: Sequence[float]) -> float:
     if not values:
         return float("nan")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# execution-backend comparison (engine-level, all registered backends)
+# ---------------------------------------------------------------------------
+def engine_workload(
+    kind: str, rng, *, length: int = 256, width: int = 16
+) -> tuple:
+    """(cascade, single-query inputs) for one engine-servable workload.
+
+    ``length``/``width`` override the paper-scale table dims so the
+    comparison runs at interactive sizes (the tile interpreter executes
+    generated programs element-by-element).
+    """
+    if kind == "mha":
+        cfg = MHAConfig("bench", 1, 1, 1, length, width, "bench")
+        return attention.cascade(), attention.engine_query(cfg, rng)
+    if kind == "mla":
+        cfg = MLAConfig("bench", 1, 1, length, width, max(1, width // 4))
+        return mla.cascade(), mla.engine_query(cfg, rng)
+    if kind == "quant_gemm":
+        cfg = QuantGemmConfig("bench", 1, width, length, "bench")
+        return quant_gemm.cascade(), quant_gemm.engine_query(cfg, rng)
+    raise ValueError(
+        f"unknown engine workload {kind!r}; expected one of {ENGINE_WORKLOADS}"
+    )
+
+
+def time_best(fn: Callable, repeats: int = 5) -> float:
+    """Best-of-N wall-clock seconds for one call of ``fn``.
+
+    Shared with the benchmark suite (``benchmarks/_bench_util.py``
+    re-exports this) so there is exactly one timing convention.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_backend_comparison(
+    workloads: Sequence[str] = ENGINE_WORKLOADS,
+    backends: Optional[Sequence[str]] = None,
+    *,
+    length: int = 256,
+    width: int = 16,
+    device_name: str = "A10",
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Execute each workload on every registered backend; one row each.
+
+    Rows carry wall-clock seconds, the max abs deviation from the
+    ``unfused`` reference, and — for simulated backends (``tile_ir``) —
+    the GPU cost model's latency estimate for the tuned tile program.
+    Backends that do not support a workload's plan (e.g. ``tile_ir`` on
+    top-k cascades) are reported with ``supported: False``.
+    """
+    from ..engine import Engine
+    from ..engine.backends import available_backends, get_backend
+
+    names = tuple(backends) if backends is not None else available_backends()
+    rows: List[Dict[str, object]] = []
+    rng_master = np.random.default_rng(seed)
+    for kind in workloads:
+        cascade, inputs = engine_workload(
+            kind, rng_master, length=length, width=width
+        )
+        engine = Engine()
+        plan = engine.plan_for(cascade)
+        reference = plan.execute(inputs, mode="unfused")
+        for name in names:
+            backend = get_backend(name)
+            row: Dict[str, object] = {
+                "workload": kind,
+                "backend": name,
+                "gpu": device_name,
+                "length": length,
+                "width": width,
+            }
+            if not backend.supports(plan):
+                row["supported"] = False
+                rows.append(row)
+                continue
+            options = {"gpu": device_name} if backend.capabilities.simulated else {}
+            out = plan.execute(inputs, mode=name, **options)
+            deviation = max(
+                float(abs(out[k] - reference[k]).max()) for k in reference
+            )
+            row.update(
+                supported=True,
+                max_abs_error=deviation,
+                seconds=time_best(
+                    lambda: plan.execute(inputs, mode=name, **options), repeats
+                ),
+            )
+            if backend.capabilities.simulated:
+                estimate = backend.estimate_for(plan, device_name)
+                if estimate is not None:
+                    row["simulated_latency_seconds"] = estimate.latency_seconds
+                    row["tile_config"] = {
+                        "blk_rows": estimate.blk_rows,
+                        "blk_len": estimate.blk_len,
+                        "threads": estimate.threads,
+                        "pipeline_depth": estimate.pipeline_depth,
+                        "num_segments": estimate.num_segments,
+                        "strategy": estimate.strategy,
+                    }
+            rows.append(row)
+        counts = plan.execution_counts
+        for row in rows:
+            if row["workload"] == kind and row.get("supported"):
+                row["executions_recorded"] = counts.get(row["backend"], 0)
+    return rows
 
 
 # ---------------------------------------------------------------------------

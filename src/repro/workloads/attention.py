@@ -43,6 +43,23 @@ def reference(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
     return weights @ v
 
 
+def engine_query(
+    config: MHAConfig, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """Engine-level inputs for one query row of :func:`cascade`.
+
+    Materializes the scores ``P = K q / sqrt(hd)`` for a single query
+    against a ``kv``-long cache, plus the value rows ``V`` — the element
+    arrays every execution backend (``unfused`` ... ``tile_ir``)
+    consumes directly.
+    """
+    q = rng.normal(size=config.hd)
+    k = rng.normal(size=(config.kv, config.hd))
+    v = rng.normal(size=(config.kv, config.hd))
+    scale = 1.0 / np.sqrt(config.hd)
+    return {"P": (k @ q * scale)[:, None], "V": v}
+
+
 def make_inputs(config: MHAConfig, rng: np.random.Generator):
     shape_q = (config.bs, config.hn, config.q, config.hd)
     shape_kv = (config.bs, config.hn, config.kv, config.hd)

@@ -38,6 +38,20 @@ def reference(q: np.ndarray, kv: np.ndarray) -> np.ndarray:
     return np.einsum("bhk,bkd->bhd", weights, kv)
 
 
+def engine_query(config: MLAConfig, rng: np.random.Generator):
+    """Engine-level inputs for one decode head of the shared cascade.
+
+    One head's query attends over the latent cache: scores contract the
+    full ``hd + ped`` dim, the value contribution reuses the first
+    ``hd`` dims of the same latent rows (the MLA aliasing).
+    """
+    qdim = config.hd + config.ped
+    latent = rng.normal(size=(config.kv, qdim))
+    q = rng.normal(size=qdim)
+    scale = 1.0 / np.sqrt(qdim)
+    return {"P": (latent @ q * scale)[:, None], "V": latent[:, : config.hd]}
+
+
 def make_inputs(config: MLAConfig, rng: np.random.Generator):
     qdim = config.hd + config.ped
     return (

@@ -59,6 +59,18 @@ def reference_rounded(a: np.ndarray, w: np.ndarray) -> np.ndarray:
     return quantize_fp8(FP8_MAX * a / m) @ w
 
 
+def engine_query(config: QuantGemmConfig, rng: np.random.Generator):
+    """Engine-level inputs for one activation row of :func:`cascade`.
+
+    ``A`` is one token's ``k`` activations, ``W`` the shared
+    ``(k, n)`` weight matrix — the per-row abs-max + scaled-GEMM chain
+    every execution backend consumes directly.
+    """
+    a = rng.normal(size=config.k)
+    w = rng.normal(size=(config.k, config.n)) / np.sqrt(config.k)
+    return {"A": a[:, None], "W": w}
+
+
 def make_inputs(config: QuantGemmConfig, rng: np.random.Generator):
     return (
         rng.normal(size=(config.m, config.k)),

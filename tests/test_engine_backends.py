@@ -1,0 +1,479 @@
+"""Unit tests for the pluggable execution-backend layer.
+
+Covers registry semantics (registration, capability flags, uniform
+unknown-name errors raised before any symbolic work), the cached
+BatchExecutor reuse on plans, per-backend execution accounting, and the
+``tile_ir`` simulated-kernel backend (differential correctness against
+the unfused reference across attention / MLA / quant-GEMM shapes, plan
+state caching, and cost-model annotations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, NotFusableError, Reduction, run_unfused
+from repro.engine import (
+    BackendCapabilities,
+    BackendError,
+    BatchExecutor,
+    Engine,
+    ExecutionBackend,
+    FusionPlan,
+    available_backends,
+    fusion_compile_count,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.symbolic import absv, const, exp, var
+from repro.workloads import attention, mla, quant_gemm
+from repro.workloads.configs import MHAConfig, MLAConfig, QuantGemmConfig
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def topk_cascade() -> Cascade:
+    x = var("x")
+    return Cascade("k", ("x",), (Reduction("s", "topk", x, topk=3),))
+
+
+def unfusable_cascade() -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "entangled",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("t", "sum", exp(x * m)),
+        ),
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        names = available_backends()
+        assert names[:4] == ("unfused", "fused_tree", "incremental", "tile_ir")
+
+    def test_capability_flags(self):
+        assert get_backend("unfused").capabilities == BackendCapabilities(
+            requires_fusion=False, batchable=True, streamable=False, simulated=False
+        )
+        assert get_backend("fused_tree").capabilities.requires_fusion
+        assert get_backend("fused_tree").capabilities.batchable
+        assert get_backend("incremental").capabilities.streamable
+        assert not get_backend("incremental").capabilities.batchable
+        tile = get_backend("tile_ir").capabilities
+        assert tile.requires_fusion and tile.batchable and tile.simulated
+
+    def test_unknown_name_error_is_uniform(self):
+        with pytest.raises(ValueError, match="unknown execution mode 'nope'"):
+            get_backend("nope")
+
+    def test_get_backend_auto_points_at_resolver(self):
+        with pytest.raises(ValueError, match="resolve_backend"):
+            get_backend("auto")
+
+    def test_replaced_backend_applies_to_cached_executors(self):
+        class A(ExecutionBackend):
+            name = "swap"
+            capabilities = BackendCapabilities(batchable=True)
+
+            def execute(self, plan, inputs, **params):
+                return {"t": np.ones(1)}
+
+            def execute_batch(self, plan, batch_inputs, **params):
+                return {"t": np.ones((2, 1))}
+
+        class B(A):
+            def execute_batch(self, plan, batch_inputs, **params):
+                return {"t": np.full((2, 1), 2.0)}
+
+        register_backend(A())
+        try:
+            plan = FusionPlan(softmax_cascade(1.23))
+            batch = {"x": np.zeros((2, 8))}
+            assert plan.execute_batch(batch, mode="swap")["t"][0] == 1.0
+            register_backend(B(), replace=True)
+            # the cached executor re-resolves by name, so B serves it
+            assert plan.execute_batch(batch, mode="swap")["t"][0] == 2.0
+        finally:
+            unregister_backend("swap")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("unfused"))
+
+    @pytest.mark.parametrize("reserved", ["auto", "executions", "signature"])
+    def test_reserved_names_rejected(self, reserved):
+        class Bad(ExecutionBackend):
+            name = reserved
+
+            def execute(self, plan, inputs, **params):
+                return {}
+
+        with pytest.raises(ValueError, match="reserved"):
+            register_backend(Bad())
+
+    def test_custom_backend_is_selectable_everywhere(self):
+        class Constant(ExecutionBackend):
+            name = "constant"
+            capabilities = BackendCapabilities(batchable=False)
+
+            def execute(self, plan, inputs, **params):
+                return {name: np.zeros(1) for name in plan.cascade.output_names}
+
+        register_backend(Constant())
+        try:
+            assert "constant" in available_backends()
+            engine = Engine()
+            out = engine.run(softmax_cascade(), {"x": np.arange(4.0)}, mode="constant")
+            assert out["t"] == 0.0
+            # not batchable: BatchExecutor refuses it up front
+            plan = engine.plan_for(softmax_cascade())
+            with pytest.raises(ValueError, match="does not support batched"):
+                BatchExecutor(plan, mode="constant")
+        finally:
+            unregister_backend("constant")
+        with pytest.raises(ValueError):
+            get_backend("constant")
+
+    def test_resolve_auto_needs_plan(self):
+        with pytest.raises(ValueError, match="auto"):
+            resolve_backend("auto", None)
+        plan = FusionPlan(softmax_cascade(2.22))
+        assert resolve_backend("auto", plan).name == "fused_tree"
+        assert resolve_backend(None, plan).name == "fused_tree"
+        assert resolve_backend("unfused", plan).name == "unfused"
+
+
+class TestUpFrontValidation:
+    """Unknown modes raise the uniform ValueError before any symbolic work."""
+
+    def test_execute_validates_before_compile(self):
+        plan = FusionPlan(softmax_cascade(3.33))
+        before = fusion_compile_count()
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            plan.execute({"x": np.arange(4.0)}, mode="warp_specialized")
+        assert fusion_compile_count() == before
+        assert not plan.is_compiled
+
+    def test_execute_batch_validates_before_compile(self):
+        plan = FusionPlan(softmax_cascade(3.44))
+        before = fusion_compile_count()
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            plan.execute_batch({"x": np.zeros((2, 8))}, mode="warp_specialized")
+        assert fusion_compile_count() == before
+        assert not plan.is_compiled
+
+    def test_batch_executor_validates_before_compile(self):
+        plan = FusionPlan(softmax_cascade(3.55))
+        before = fusion_compile_count()
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            BatchExecutor(plan, mode="warp_specialized")
+        assert fusion_compile_count() == before
+        assert not plan.is_compiled
+
+    def test_engine_mode_backend_alias_conflict(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="not both"):
+            engine.run(
+                softmax_cascade(), {"x": np.arange(4.0)},
+                mode="unfused", backend="tile_ir",
+            )
+
+    def test_engine_backend_alias_selects_backend(self):
+        engine = Engine()
+        data = np.linspace(-1.0, 1.0, 32)
+        got = engine.run(softmax_cascade(), {"x": data}, backend="unfused")
+        ref = run_unfused(softmax_cascade(), {"x": data})
+        np.testing.assert_allclose(got["t"], ref["t"])
+
+
+class TestBatchExecutorReuse:
+    def test_execute_batch_reuses_cached_executor(self):
+        plan = FusionPlan(softmax_cascade(4.44))
+        first = plan.batch_executor(num_segments=4)
+        second = plan.batch_executor(num_segments=4)
+        assert first is second  # object reuse, not reconstruction
+        batch = np.random.default_rng(0).normal(size=(3, 32))
+        plan.execute_batch({"x": batch}, num_segments=4)
+        plan.execute_batch({"x": batch}, num_segments=4)
+        assert len(plan._batch_executors) == 1
+
+    def test_distinct_parameters_get_distinct_executors(self):
+        plan = FusionPlan(softmax_cascade(4.55))
+        a = plan.batch_executor(num_segments=4)
+        b = plan.batch_executor(num_segments=8)
+        c = plan.batch_executor("unfused", num_segments=4)
+        assert a is not b and a is not c
+        assert len(plan._batch_executors) == 3
+
+    def test_auto_and_resolved_name_share_executor(self):
+        plan = FusionPlan(softmax_cascade(4.66))
+        assert plan.batch_executor("auto") is plan.batch_executor("fused_tree")
+
+    def test_executor_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(FusionPlan, "max_batch_executors", 2)
+        plan = FusionPlan(softmax_cascade(4.77))
+        for segments in (2, 3, 4, 5):
+            plan.batch_executor(num_segments=segments)
+        assert len(plan._batch_executors) == 2
+        newest = plan.batch_executor(num_segments=5)  # survived eviction
+        assert newest is plan.batch_executor(num_segments=5)
+
+
+class TestExecutionCounts:
+    def test_plan_counts_per_backend(self):
+        plan = FusionPlan(softmax_cascade(5.55))
+        data = np.arange(16.0)
+        plan.execute({"x": data}, mode="unfused")
+        plan.execute({"x": data}, mode="fused_tree")
+        plan.execute({"x": data}, mode="fused_tree")
+        plan.execute_batch({"x": np.stack([data, data])})
+        counts = plan.execution_counts
+        assert counts == {"unfused": 1, "fused_tree": 3}
+        assert plan.describe()["executions"] == counts
+
+    def test_engine_stats_aggregate_backend_executions(self):
+        engine = Engine()
+        data = np.arange(8.0)
+        engine.run(softmax_cascade(6.1), {"x": data}, mode="unfused")
+        engine.run(softmax_cascade(6.2), {"x": data}, mode="incremental")
+        engine.run(softmax_cascade(6.2), {"x": data})  # auto -> fused_tree
+        stats = engine.stats
+        assert stats.backend_executions == {
+            "unfused": 1, "incremental": 1, "fused_tree": 1,
+        }
+        snap = stats.snapshot()
+        assert snap["backend_executions"]["incremental"] == 1
+        assert snap["misses"] == 2  # cache delegation still works
+        assert stats.compiles == 2
+
+    def test_failed_execution_not_counted(self):
+        plan = FusionPlan(unfusable_cascade())
+        with pytest.raises(NotFusableError):
+            plan.execute({"x": np.arange(4.0)}, mode="fused_tree")
+        assert plan.execution_counts == {}
+
+    def test_stream_sessions_count_as_incremental(self):
+        engine = Engine()
+        session = engine.stream(softmax_cascade(6.3))
+        session.feed({"x": np.arange(8.0)})
+        session.feed({"x": np.arange(8.0)})
+        assert engine.stats.backend_executions == {"incremental": 2}
+
+    def test_totals_survive_eviction_and_reset(self):
+        engine = Engine(cache_size=1)
+        data = np.arange(8.0)
+        engine.run(softmax_cascade(6.4), {"x": data}, mode="unfused")
+        engine.run(softmax_cascade(6.5), {"x": data}, mode="unfused")  # evicts 6.4
+        assert engine.stats.evictions == 1
+        assert engine.stats.backend_executions == {"unfused": 2}  # monotonic
+        engine.reset()
+        assert engine.stats.backend_executions == {"unfused": 2}  # preserved
+
+    def test_evicted_plans_keep_counting(self):
+        """A stream session outliving its plan's cache slot still counts."""
+        engine = Engine(cache_size=1)
+        session = engine.stream(softmax_cascade(6.7))
+        session.feed({"x": np.arange(8.0)})
+        engine.run(softmax_cascade(6.8), {"x": np.arange(8.0)}, mode="unfused")
+        assert engine.stats.evictions == 1  # streaming plan evicted
+        session.feed({"x": np.arange(8.0)})  # ...but its sink still fires
+        assert engine.stats.backend_executions == {
+            "incremental": 2, "unfused": 1,
+        }
+
+    def test_unknown_backend_option_raises_type_error(self):
+        plan = FusionPlan(softmax_cascade(6.6))
+        with pytest.raises(TypeError, match="num_segmets"):
+            plan.execute({"x": np.arange(8.0)}, num_segmets=8)  # typo'd kwarg
+        with pytest.raises(TypeError, match="chunk_length"):
+            plan.execute({"x": np.arange(8.0)}, mode="incremental", chunk_length=2)
+        with pytest.raises(TypeError, match="gpu"):
+            plan.execute_batch({"x": np.zeros((2, 8))}, gpu="A10")  # fused_tree
+        # tile_ir declares gpu, so it passes validation
+        plan.execute({"x": np.arange(8.0)}, mode="tile_ir", gpu="A10")
+
+
+def _tile_workloads():
+    rng = np.random.default_rng(42)
+    return [
+        (
+            "mha",
+            attention.cascade(),
+            attention.engine_query(
+                MHAConfig("t", 1, 1, 1, 96, 8, "t"), rng
+            ),
+        ),
+        (
+            "mla",
+            mla.cascade(),
+            mla.engine_query(MLAConfig("t", 1, 1, 96, 8, 2), rng),
+        ),
+        (
+            "quant_gemm",
+            quant_gemm.cascade(),
+            quant_gemm.engine_query(QuantGemmConfig("t", 1, 6, 96, "t"), rng),
+        ),
+    ]
+
+
+class TestTileIRBackend:
+    @pytest.mark.parametrize(
+        "kind,cascade,inputs",
+        _tile_workloads(),
+        ids=[w[0] for w in _tile_workloads()],
+    )
+    def test_matches_unfused_reference(self, kind, cascade, inputs):
+        engine = Engine()
+        ref = run_unfused(cascade, inputs)
+        got = engine.run(cascade, inputs, mode="tile_ir")
+        for name, value in ref.items():
+            np.testing.assert_allclose(
+                got[name], value, rtol=1e-6, atol=1e-9,
+                err_msg=f"{kind}: {name}",
+            )
+
+    def test_compiles_once_per_shape_and_describes_estimate(self):
+        engine = Engine()
+        cascade = softmax_cascade(7.77)
+        plan = engine.plan_for(cascade)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            engine.run(cascade, {"x": rng.normal(size=64)}, mode="tile_ir")
+        info = plan.describe()["tile_ir"]
+        assert info["compiled_variants"] == 1
+        est = info["estimates"][0]
+        assert est["gpu"] == "A10"
+        assert est["latency_seconds"] > 0
+        assert est["length"] == 64
+        assert est["strategy"] in ("single-segment", "multi-segment")
+        assert plan.execution_counts["tile_ir"] == 3
+
+    def test_distinct_shapes_and_gpus_compile_distinct_variants(self):
+        engine = Engine()
+        cascade = softmax_cascade(7.88)
+        plan = engine.plan_for(cascade)
+        rng = np.random.default_rng(2)
+        engine.run(cascade, {"x": rng.normal(size=32)}, mode="tile_ir")
+        engine.run(cascade, {"x": rng.normal(size=64)}, mode="tile_ir")
+        engine.run(cascade, {"x": rng.normal(size=64)}, mode="tile_ir", gpu="H800")
+        info = plan.describe()["tile_ir"]
+        assert info["compiled_variants"] == 3
+        gpus = {e["gpu"] for e in info["estimates"]}
+        assert gpus == {"A10", "H800"}
+
+    def test_execute_batch_matches_per_query(self):
+        engine = Engine()
+        cascade = attention.cascade()
+        rng = np.random.default_rng(3)
+        queries = [
+            attention.engine_query(MHAConfig("t", 1, 1, 1, 48, 4, "t"), rng)
+            for _ in range(4)
+        ]
+        batch = {
+            "P": np.stack([q["P"] for q in queries]),
+            "V": np.stack([q["V"] for q in queries]),
+        }
+        out = engine.run_batch(cascade, batch, mode="tile_ir")
+        plan = engine.plan_for(cascade)
+        assert plan.describe()["tile_ir"]["compiled_variants"] == 1
+        for i, query in enumerate(queries):
+            ref = run_unfused(cascade, query)
+            np.testing.assert_allclose(out["O"][i], ref["O"], rtol=1e-6, atol=1e-9)
+            np.testing.assert_allclose(out["t"][i], ref["t"], rtol=1e-6, atol=1e-9)
+
+    def test_topk_cascade_rejected_with_backend_error(self):
+        plan = FusionPlan(topk_cascade())
+        backend = get_backend("tile_ir")
+        assert not backend.supports(plan)
+        with pytest.raises(BackendError, match="top-k"):
+            plan.execute({"x": np.arange(8.0)}, mode="tile_ir")
+
+    def test_multi_term_cascade_rejected_with_backend_error(self):
+        n = 16
+        x, mean = var("x"), var("mean")
+        variance = Cascade(
+            "variance",
+            ("x",),
+            (
+                Reduction("mean", "sum", x * const(1.0 / n)),
+                Reduction("var", "sum", (x - mean) ** 2 * const(1.0 / n)),
+            ),
+        )
+        plan = FusionPlan(variance)
+        assert not get_backend("tile_ir").supports(plan)
+        with pytest.raises(BackendError, match="multi-term"):
+            plan.execute({"x": np.arange(float(n))}, mode="tile_ir")
+
+    def test_unfusable_cascade_raises_not_fusable(self):
+        plan = FusionPlan(unfusable_cascade())
+        assert not get_backend("tile_ir").supports(plan)
+        with pytest.raises(NotFusableError):
+            plan.execute({"x": np.arange(8.0)}, mode="tile_ir")
+
+    def test_concurrent_first_queries_compile_once(self, monkeypatch):
+        """Racing threads on one geometry pay a single autotune+tensorize."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        backend = get_backend("tile_ir")
+        calls = []
+        original = type(backend)._compile
+
+        def counting(self, plan, length, widths, gpu_spec):
+            calls.append((length, widths, gpu_spec.name))
+            return original(self, plan, length, widths, gpu_spec)
+
+        monkeypatch.setattr(type(backend), "_compile", counting)
+        engine = Engine()
+        cascade = softmax_cascade(10.1)
+        plan = engine.plan_for(cascade)
+        plan.fused  # symbolic compile up front; race purely on tile state
+        data = {"x": np.arange(32.0)}
+        ref = plan.execute(data, mode="unfused")
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(lambda _: plan.execute(data, mode="tile_ir"), range(12))
+            )
+        assert len(calls) == 1  # exactly-once despite 12 concurrent queries
+        for got in results:
+            np.testing.assert_allclose(got["t"], ref["t"], rtol=1e-9)
+        assert plan.execution_counts["tile_ir"] == 12
+
+    def test_compilation_cache_is_bounded(self, monkeypatch):
+        """Growing query lengths must not grow plan state without bound."""
+        backend = get_backend("tile_ir")
+        monkeypatch.setattr(type(backend), "max_cached_variants", 3)
+        engine = Engine()
+        cascade = softmax_cascade(9.99)
+        plan = engine.plan_for(cascade)
+        rng = np.random.default_rng(4)
+        for length in (8, 12, 16, 20, 24):
+            engine.run(cascade, {"x": rng.normal(size=length)}, mode="tile_ir")
+        info = plan.describe()["tile_ir"]
+        assert info["compiled_variants"] == 3
+        lengths = {e["length"] for e in info["estimates"]}
+        assert 24 in lengths  # newest variant survives eviction
+
+    def test_estimate_for_returns_cached_estimate(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.88)
+        plan = engine.plan_for(cascade)
+        tile = get_backend("tile_ir")
+        assert tile.estimate_for(plan) is None  # nothing compiled yet
+        engine.run(cascade, {"x": np.arange(32.0)}, mode="tile_ir")
+        est = tile.estimate_for(plan, "A10")
+        assert est is not None and est.latency_seconds > 0
+        assert tile.estimate_for(plan, "H800") is None

@@ -1,7 +1,9 @@
 """Differential fuzzing of the engine's execution paths.
 
 Randomly generated (seeded) small cascades are compiled through the
-serving engine and executed as a fused tree, incrementally, and batched;
+serving engine and executed through every registered execution backend
+(the three NumPy paths plus the ``tile_ir`` simulated-kernel backend),
+as a fused tree with several tree shapes, incrementally, and batched;
 every path must agree with the unfused reference chain within floating
 point tolerance.  The generator only emits shapes ACRF is specified to
 handle (Table 1 operators, decomposable dependencies, one optional
@@ -11,8 +13,8 @@ terminal top-k), so a NotFusableError here is a real regression.
 import numpy as np
 import pytest
 
-from repro.core import Cascade, Reduction, run_unfused
-from repro.engine import BatchExecutor, Engine
+from repro.core import Cascade, NotFusableError, Reduction, run_unfused
+from repro.engine import BackendError, BatchExecutor, Engine, available_backends, get_backend
 from repro.symbolic import Const, exp, var
 
 X, Y = var("x"), var("y")
@@ -118,6 +120,41 @@ def test_fused_paths_match_unfused(seed):
     for chunk in (1, 13, length):
         got = plan.execute(inputs, mode="incremental", chunk_len=chunk)
         _assert_same(got, ref, f"seed {seed}, incremental chunk={chunk}")
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_all_registered_backends_match_unfused(seed):
+    """Every backend in the registry agrees with the reference chain.
+
+    Backends that declare a plan unsupported (e.g. ``tile_ir`` on
+    cascades with a terminal top-k) must refuse it — ``BackendError``
+    for out-of-class cascades, ``NotFusableError`` for unfusable ones —
+    instead of silently degrading.
+    """
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(16, 80))
+    cascade = random_cascade(rng, length)
+    inputs = {
+        "x": rng.normal(size=length),
+        "y": rng.normal(size=length),
+    }
+    ref = run_unfused(cascade, inputs)
+
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    exercised = []
+    for name in available_backends():
+        backend = get_backend(name)
+        if not backend.supports(plan):
+            with pytest.raises((BackendError, NotFusableError)):
+                plan.execute(inputs, mode=name)
+            continue
+        got = plan.execute(inputs, mode=name)
+        _assert_same(got, ref, f"seed {seed}, backend {name}")
+        exercised.append(name)
+    assert set(exercised) >= {"unfused", "fused_tree", "incremental"}
+    counts = plan.execution_counts
+    assert all(counts[name] == 1 for name in exercised)
 
 
 @pytest.mark.parametrize("seed", range(12, 20))
