@@ -17,6 +17,7 @@ RESULTS_DIR.mkdir(exist_ok=True)
 
 BENCH_JSON = RESULTS_DIR / "BENCH_engine.json"
 BENCH_BACKENDS_JSON = RESULTS_DIR / "BENCH_backends.json"
+BENCH_SERVING_JSON = RESULTS_DIR / "BENCH_serving.json"
 
 
 def write_result(name: str, text: str) -> None:

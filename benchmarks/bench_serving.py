@@ -1,0 +1,279 @@
+"""Serving-runtime benchmarks: scheduled micro-batching vs per-request.
+
+Three claims, asserted and recorded into
+``benchmarks/results/BENCH_serving.json``:
+
+* **throughput** — at 64 concurrent single-query clients, the request
+  scheduler's continuous micro-batching sustains >= 3x the throughput
+  of per-request ``Engine.run`` (measured ~10x: the batch dispatch is
+  one vectorized NumPy pass instead of 64 interpreter round-trips);
+* **traffic replay** — a Poisson-arrival stream of mixed attention /
+  MLA / quant-GEMM requests reports throughput and p50/p99 latency as
+  offered load rises, and admission control sheds (typed
+  ``QueueFullError``) instead of queueing unboundedly once the bound is
+  hit;
+* **sharding** — the ``sharded`` backend splits a scheduler-formed
+  batch across simulated devices with per-device counters and a gpusim
+  makespan attribution, bitwise identical to ``fused_tree``.
+
+Set ``BENCH_QUICK=1`` for the CI smoke configuration (smaller shapes,
+shorter streams).
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+from _bench_util import BENCH_SERVING_JSON, update_bench_json, write_result
+
+from repro.engine import Engine, ServingConfig, get_backend
+from repro.harness.traffic import build_request_stream, replay, sweep_offered_load
+from repro.workloads.serving_mix import query_for
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+CONCURRENCY = 64
+#: Serving-scale decode geometry.  Micro-batching pays off most where
+#: per-request NumPy work is small relative to Python dispatch — short
+#: KV lengths — which is exactly the regime per-request serving wastes.
+LENGTH = 256
+WIDTH = 8
+ROUNDS = 2 if QUICK else 4  # requests each client issues back-to-back
+#: Slow geometry for the admission-control flood (keeps the queue full).
+FLOOD_LENGTH = 8192
+REPLAY_COUNT = 60 if QUICK else 240
+REPLAY_RATES = (500.0, 2000.0) if QUICK else (500.0, 2000.0, 8000.0)
+
+
+def _concurrent_wall_seconds(worker, n_clients: int) -> float:
+    """Wall-clock to serve one request from each of ``n_clients`` threads."""
+    barrier = threading.Barrier(n_clients + 1)
+    errors = []
+
+    def client(i: int) -> None:
+        barrier.wait()
+        try:
+            worker(i)
+        except BaseException as err:  # surfaces in the main thread
+            errors.append(err)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def test_scheduled_batching_beats_per_request():
+    """>= 3x throughput over per-request Engine.run at 64 concurrent clients.
+
+    Each of the 64 client threads issues ``ROUNDS`` requests
+    back-to-back (a decode loop), so both sides amortize thread startup
+    and the scheduler reaches its continuous-batching steady state:
+    while one micro-batch executes, the next wave queues.
+    """
+    rng = np.random.default_rng(0)
+    cascade, _ = query_for("mha", rng, length=LENGTH, width=WIDTH)
+    queries = [
+        [
+            query_for("mha", rng, length=LENGTH, width=WIDTH)[1]
+            for _ in range(ROUNDS)
+        ]
+        for _ in range(CONCURRENCY)
+    ]
+    total_requests = CONCURRENCY * ROUNDS
+
+    # -- baseline: every client calls the synchronous per-request path ------
+    baseline_engine = Engine()
+    baseline_engine.run(cascade, queries[0][0])  # compile + warm the plan
+
+    def per_request(i: int) -> None:
+        for query in queries[i]:
+            baseline_engine.run(cascade, query)
+
+    baseline_s = _concurrent_wall_seconds(per_request, CONCURRENCY)
+
+    # -- scheduled: same clients submit through the started scheduler -------
+    serving_engine = Engine()
+    serving = serving_engine.serving(
+        ServingConfig(max_batch=CONCURRENCY, batch_window_s=0.003)
+    )
+    serving_engine.run(cascade, queries[0][0])  # same warmup
+    last_outputs = [None] * CONCURRENCY
+
+    def scheduled(i: int) -> None:
+        for query in queries[i]:
+            last_outputs[i] = serving.submit(cascade, query).result()
+
+    scheduled_s = _concurrent_wall_seconds(scheduled, CONCURRENCY)
+    serving_engine.close()
+
+    # scheduled outputs match the per-request path
+    for i in (0, CONCURRENCY // 2, CONCURRENCY - 1):
+        ref = baseline_engine.run(cascade, queries[i][-1], mode="unfused")
+        np.testing.assert_allclose(
+            last_outputs[i]["O"], ref["O"], rtol=1e-6, atol=1e-9
+        )
+
+    speedup = baseline_s / scheduled_s
+    snap = serving.stats.snapshot()
+    update_bench_json(
+        "scheduled_vs_per_request",
+        {
+            "concurrency": CONCURRENCY,
+            "rounds": ROUNDS,
+            "requests": total_requests,
+            "length": LENGTH,
+            "width": WIDTH,
+            "per_request_s": baseline_s,
+            "scheduled_s": scheduled_s,
+            "throughput_speedup": speedup,
+            "per_request_rps": total_requests / baseline_s,
+            "scheduled_rps": total_requests / scheduled_s,
+            "batches": snap["batches"],
+            "mean_batch_size": snap["mean_batch_size"],
+            "max_batch_size": snap["max_batch_size"],
+            "quick": QUICK,
+        },
+        path=BENCH_SERVING_JSON,
+    )
+    assert snap["max_batch_size"] >= 8, "scheduler formed no real micro-batches"
+    assert speedup >= 3.0, (
+        f"scheduled micro-batching only {speedup:.2f}x over per-request "
+        f"({baseline_s * 1e3:.1f} ms vs {scheduled_s * 1e3:.1f} ms)"
+    )
+
+
+def test_traffic_replay_reports_latency_vs_offered_load():
+    """Poisson mixed-workload replay: throughput + p50/p99 per offered load."""
+    engine = Engine(
+        serving_config=ServingConfig(
+            max_queue_depth=4 * REPLAY_COUNT, max_batch=32, batch_window_s=0.002
+        )
+    )
+    serving = engine.serving()
+    # warm the three plans so the sweep measures serving, not compilation
+    rng = np.random.default_rng(1)
+    for kind in ("mha", "mla", "quant_gemm"):
+        cascade, inputs = query_for(kind, rng, length=256, width=8)
+        engine.run(cascade, inputs)
+
+    rows = []
+    for rate, report in sweep_offered_load(
+        serving, REPLAY_RATES, REPLAY_COUNT, seed=2, length=256, width=8
+    ):
+        row = report.snapshot()
+        rows.append(row)
+        assert report.completed == report.requests  # queue bound never hit
+        assert report.latency_percentile(99.0) >= report.latency_percentile(50.0)
+    engine.close()
+
+    snap = engine.stats.describe()
+    update_bench_json(
+        "traffic_replay",
+        {
+            "count": REPLAY_COUNT,
+            "mix": ["mha", "mla", "quant_gemm"],
+            "loads": rows,
+            "serving_stats": snap["serving"],
+            "cache": snap["cache"],
+            "quick": QUICK,
+        },
+        path=BENCH_SERVING_JSON,
+    )
+
+    lines = [f"traffic replay ({REPLAY_COUNT} reqs, mixed mha/mla/quant_gemm)"]
+    for row in rows:
+        lines.append(
+            f"  offered {row['offered_rps']:>7.0f} rps: "
+            f"served {row['throughput_rps']:>7.1f} rps, "
+            f"p50 {row['p50_latency_s'] * 1e3:6.2f} ms, "
+            f"p99 {row['p99_latency_s'] * 1e3:6.2f} ms, shed {row['shed']}"
+        )
+    write_result("bench_serving", "\n".join(lines))
+
+
+def test_admission_control_sheds_over_capacity():
+    """Past max_queue_depth, submissions shed with a typed error, fast."""
+    from repro.engine import QueueFullError
+
+    engine = Engine()
+    serving = engine.serving(
+        ServingConfig(max_queue_depth=8, max_batch=4, batch_window_s=0.0)
+    )
+    rng = np.random.default_rng(3)
+    cascade, _ = query_for("mha", rng, length=FLOOD_LENGTH, width=WIDTH)
+    queries = [
+        query_for("mha", rng, length=FLOOD_LENGTH, width=WIDTH)[1]
+        for _ in range(32)
+    ]
+    shed = 0
+    accepted = []
+    lock = threading.Lock()
+
+    def flood(i: int) -> None:
+        nonlocal shed
+        try:
+            future = serving.submit(cascade, queries[i])
+        except QueueFullError:
+            with lock:
+                shed += 1
+            return
+        with lock:
+            accepted.append(future)
+
+    _concurrent_wall_seconds(flood, 32)
+    for future in accepted:
+        future.result()
+    stats = serving.stats.snapshot()
+    engine.close()
+    assert shed > 0, "flood never hit the admission bound"
+    assert stats["shed"] == shed
+    assert stats["completed"] == len(accepted)
+    update_bench_json(
+        "admission_control",
+        {"offered": 32, "accepted": len(accepted), "shed": shed, "quick": QUICK},
+        path=BENCH_SERVING_JSON,
+    )
+
+
+def test_sharded_backend_splits_scheduler_batches():
+    """Sharded execution matches fused_tree bitwise; devices share the work."""
+    engine = Engine()
+    rng = np.random.default_rng(4)
+    cascade, _ = query_for("mha", rng, length=512, width=8)
+    queries = [query_for("mha", rng, length=512, width=8)[1] for _ in range(24)]
+    batch = {
+        name: np.stack([q[name] for q in queries])
+        for name in ("P", "V")
+    }
+    ref = engine.run_batch(cascade, batch, mode="fused_tree")
+    got = engine.run_batch(cascade, batch, mode="sharded", gpu="H800")
+    for name in ref:
+        np.testing.assert_array_equal(got[name], np.asarray(ref[name]))
+
+    plan = engine.plan_for(cascade)
+    info = plan.describe()["sharded"]
+    devices = get_backend("sharded").device_snapshots()
+    assert info["queries"] == 24
+    assert sum(d["queries"] for d in devices) >= 24
+    assert info["estimates"]["H800"]["latency_seconds"] > 0
+    update_bench_json(
+        "sharded_backend",
+        {
+            "batch": 24,
+            "num_devices": info["num_devices"],
+            "makespan_s": info["estimates"]["H800"]["latency_seconds"],
+            "devices": list(devices),
+            "quick": QUICK,
+        },
+        path=BENCH_SERVING_JSON,
+    )

@@ -11,7 +11,8 @@ Public API tour:
 * :mod:`repro.core` — cascade specifications, the ACRF decomposition
   algorithm, fused/incremental forms, and reference executors.
 * :mod:`repro.engine` — the compile-once/execute-many serving layer:
-  cached :class:`FusionPlan` objects, batched and streaming execution.
+  cached :class:`FusionPlan` objects, the async request scheduler with
+  admission control, and batched / streaming / sharded execution.
 * :mod:`repro.ir` — scalar (TensorIR-like) and tile-level (TileLang-like)
   IRs, with the cascaded-reduction detector.
 * :mod:`repro.codegen` — lowering, Single/Multi-Segment strategies,
@@ -39,6 +40,9 @@ from .engine import (
     Engine,
     FusionPlan,
     PlanCache,
+    QueueFullError,
+    ServingConfig,
+    ServingEngine,
     StreamSession,
     cascade_signature,
     default_engine,
@@ -60,6 +64,9 @@ __all__ = [
     "Engine",
     "FusionPlan",
     "PlanCache",
+    "QueueFullError",
+    "ServingConfig",
+    "ServingEngine",
     "StreamSession",
     "cascade_signature",
     "default_engine",

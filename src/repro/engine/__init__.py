@@ -9,16 +9,23 @@ This package turns the per-call fusion library into a serving layer:
    :func:`~repro.engine.plan.cascade_signature` in a thread-safe LRU
    :class:`~repro.engine.cache.PlanCache`, so repeated requests for the
    same cascade shape perform zero symbolic work;
-3. **execute** — through a pluggable backend registry
+3. **schedule** — every execution request flows through the engine's
+   request scheduler (:mod:`repro.engine.serving`): synchronous
+   ``Engine.run`` / ``run_batch`` are thin inline shims, while
+   :meth:`Engine.serving` starts the async runtime — ``submit()``
+   futures, continuous micro-batching of compatible requests, and
+   bounded-queue admission control with typed load shedding;
+4. **execute** — through a pluggable backend registry
    (:mod:`repro.engine.backends`): per-query
    (:meth:`FusionPlan.execute`), vectorized over a leading batch axis
    (:class:`~repro.engine.batch.BatchExecutor`), or streaming with O(1)
    state (:class:`~repro.engine.batch.StreamSession`).  Built-in
    backends are the three NumPy reference paths (``unfused``,
-   ``fused_tree``, ``incremental``) plus ``tile_ir``, which lowers the
+   ``fused_tree``, ``incremental``), ``tile_ir``, which lowers the
    compiled cascade through the codegen/ir stack, executes it with the
    tile interpreter, and annotates plans with analytical GPU latency
-   estimates.
+   estimates, and ``sharded``, which splits batches across simulated
+   devices and merges bitwise-identical results.
 
 The classic ``fuse`` / ``run_*`` entry points in :mod:`repro.core` are
 thin wrappers over this lifecycle, sharing the module-level default
@@ -27,6 +34,7 @@ engine returned by :func:`default_engine`.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping, Optional
 
 from ..core.fused import FusedCascade
@@ -34,7 +42,10 @@ from ..core.spec import Cascade
 from .backends import (
     BackendCapabilities,
     BackendError,
+    DeviceStats,
     ExecutionBackend,
+    ShardEstimate,
+    ShardedBackend,
     TileEstimate,
     TileIRBackend,
     available_backends,
@@ -49,9 +60,11 @@ from .batch import (
     BatchExecutor,
     BatchTopKState,
     StreamSession,
+    merge_batch_outputs,
     normalize_batch_inputs,
     run_batched_tree,
     run_batched_unfused,
+    split_batch,
     stack_queries,
 )
 from .cache import CacheStats, PlanCache
@@ -60,6 +73,14 @@ from .plan import (
     FusionPlan,
     cascade_signature,
     fusion_compile_count,
+)
+from .serving import (
+    AdmissionError,
+    QueueFullError,
+    ServingClosedError,
+    ServingConfig,
+    ServingEngine,
+    ServingStats,
 )
 
 
@@ -97,16 +118,55 @@ class EngineStats:
         snap["backend_executions"] = self.backend_executions
         return snap
 
+    def describe(self) -> Dict[str, object]:
+        """All engine metrics in one place, grouped by subsystem.
+
+        * ``"cache"`` — the :class:`~repro.engine.cache.PlanCache`
+          hit/miss/compile/eviction counters plus the live plan count;
+        * ``"backend_executions"`` — per-backend execution totals across
+          every plan the engine ever compiled;
+        * ``"serving"`` — the request scheduler's queue/latency/shed
+          counters (present once the engine has served any request —
+          ``Engine.run`` dispatches through the scheduler, so this
+          appears after the first call).
+        """
+        engine = self._engine
+        cache_info = engine.cache.stats.snapshot()
+        cache_info["plans"] = len(engine.cache)
+        info: Dict[str, object] = {
+            "cache": cache_info,
+            "backend_executions": self.backend_executions,
+        }
+        scheduler = engine._scheduler
+        if scheduler is not None:
+            info["serving"] = scheduler.stats.snapshot()
+        return info
+
 
 class Engine:
-    """Facade tying the plan cache to the execution backends.
+    """Facade tying the plan cache to the scheduler and execution backends.
 
     One engine per serving process is the intended deployment; tests and
     benchmarks create private instances to get isolated caches/stats.
+
+    Every execution request — including the synchronous ``run`` /
+    ``run_batch`` entry points — flows through the engine's request
+    scheduler (:class:`~repro.engine.serving.ServingEngine`).  By
+    default the scheduler runs *inline* (no extra thread, requests
+    execute on the calling thread); :meth:`serving` starts the async
+    runtime, after which concurrent clients get continuous micro-
+    batching and admission control on the same engine.
     """
 
-    def __init__(self, cache_size: int = 256) -> None:
+    def __init__(
+        self,
+        cache_size: int = 256,
+        serving_config: Optional["ServingConfig"] = None,
+    ) -> None:
         self.cache = PlanCache(maxsize=cache_size)
+        self._serving_config = serving_config
+        self._scheduler: Optional[ServingEngine] = None
+        self._scheduler_lock = threading.Lock()
 
     # -- compile + cache ----------------------------------------------------
     def plan_for(self, cascade: Cascade) -> FusionPlan:
@@ -129,6 +189,59 @@ class Engine:
             return backend
         return "auto" if mode is None else mode
 
+    # -- scheduling ---------------------------------------------------------
+    @property
+    def scheduler(self) -> ServingEngine:
+        """The engine's request scheduler (created lazily, inline mode).
+
+        ``run`` / ``run_batch`` are thin synchronous shims over this
+        object; call :meth:`serving` (or ``scheduler.start()``) to
+        switch it to threaded continuous batching.  Closing the serving
+        runtime shuts down its thread and sheds its queued clients, but
+        never bricks the engine: the next use replaces the closed
+        scheduler with a fresh inline one carrying the same counters.
+        """
+        scheduler = self._scheduler
+        if scheduler is None or scheduler._closed:
+            with self._scheduler_lock:
+                if self._scheduler is None:
+                    self._scheduler = ServingEngine(
+                        self, config=self._serving_config
+                    )
+                elif self._scheduler._closed:
+                    self._scheduler = ServingEngine(
+                        self,
+                        config=self._scheduler.config,
+                        stats=self._scheduler.stats,
+                    )
+                scheduler = self._scheduler
+        return scheduler
+
+    def serving(self, config: Optional["ServingConfig"] = None) -> ServingEngine:
+        """The engine's async serving runtime, started.
+
+        ``config`` may be set any time before the scheduler thread
+        starts (inline use doesn't read it); changing the policy of an
+        already-started runtime is an error.
+        """
+        if config is not None:
+            with self._scheduler_lock:
+                if self._scheduler is None:
+                    self._scheduler = ServingEngine(self, config=config)
+                elif self._scheduler._closed:
+                    # a closed runtime is replaceable, like in `scheduler`
+                    self._scheduler = ServingEngine(
+                        self, config=config, stats=self._scheduler.stats
+                    )
+                elif not self._scheduler.started:
+                    self._scheduler.config = config
+                elif self._scheduler.config != config:
+                    raise ValueError(
+                        "this engine's serving runtime is already started "
+                        "with a different config"
+                    )
+        return self.scheduler.start()
+
     def run(
         self,
         cascade: Cascade,
@@ -138,13 +251,16 @@ class Engine:
         backend: Optional[str] = None,
         **kwargs,
     ) -> Dict[str, object]:
-        """Single-query execution through the cached plan.
+        """Single-query execution: a synchronous shim over the scheduler.
 
         ``mode`` (or its alias ``backend``) names a registered execution
         backend — e.g. ``mode="tile_ir"`` for simulated-kernel execution.
+        With the scheduler inline (the default) this executes on the
+        calling thread; with :meth:`serving` started, the request queues
+        and may be micro-batched with concurrent submissions.
         """
         mode = self._resolve_mode_alias(mode, backend)
-        return self.plan_for(cascade).execute(inputs, mode, **kwargs)
+        return self.scheduler.run(cascade, inputs, mode, **kwargs)
 
     def run_batch(
         self,
@@ -155,9 +271,22 @@ class Engine:
         backend: Optional[str] = None,
         **kwargs,
     ) -> Dict[str, object]:
-        """Vectorized execution of a batch with a leading batch axis."""
+        """Pre-formed batch execution: a synchronous shim over the scheduler."""
         mode = self._resolve_mode_alias(mode, backend)
-        return self.plan_for(cascade).execute_batch(batch_inputs, mode=mode, **kwargs)
+        return self.scheduler.run_batch(cascade, batch_inputs, mode, **kwargs)
+
+    def submit(
+        self,
+        cascade: Cascade,
+        inputs: Mapping[str, object],
+        mode: Optional[str] = "auto",
+        *,
+        backend: Optional[str] = None,
+        **kwargs,
+    ):
+        """Async single query: ``Future`` from the engine's scheduler."""
+        mode = self._resolve_mode_alias(mode, backend)
+        return self.scheduler.submit(cascade, inputs, mode, **kwargs)
 
     def stream(self, cascade: Cascade) -> StreamSession:
         """Open a stateful streaming session against the cached plan."""
@@ -171,6 +300,13 @@ class Engine:
     def reset(self) -> None:
         """Drop all cached plans (stats counters are preserved)."""
         self.cache.clear()
+
+    def close(self) -> None:
+        """Shut down the scheduler thread, if one was started."""
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.close()
 
 
 _DEFAULT_ENGINE = Engine()
@@ -192,18 +328,27 @@ def fused_for(cascade: Cascade) -> FusedCascade:
 
 
 __all__ = [
+    "AdmissionError",
     "BackendCapabilities",
     "BackendError",
     "BatchExecutor",
     "BatchTopKState",
     "BoundedCache",
     "CacheStats",
+    "DeviceStats",
     "EXECUTION_MODES",
     "Engine",
     "EngineStats",
     "ExecutionBackend",
     "FusionPlan",
     "PlanCache",
+    "QueueFullError",
+    "ServingClosedError",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingStats",
+    "ShardEstimate",
+    "ShardedBackend",
     "StreamSession",
     "TileEstimate",
     "TileIRBackend",
@@ -213,6 +358,7 @@ __all__ = [
     "fused_for",
     "fusion_compile_count",
     "get_backend",
+    "merge_batch_outputs",
     "normalize_batch_inputs",
     "plan_for",
     "register_backend",
@@ -220,6 +366,7 @@ __all__ = [
     "resolve_backend",
     "run_batched_tree",
     "run_batched_unfused",
+    "split_batch",
     "stack_queries",
     "unregister_backend",
 ]

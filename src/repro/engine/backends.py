@@ -23,6 +23,11 @@ Built-in backends:
   the :class:`~repro.ir.tile.TileInterpreter`, and annotated with the
   cost model's latency estimate.  Tile programs are compiled once per
   (plan, input geometry, GPU) and cached on the plan.
+* ``sharded`` — multi-device batch execution: the batch axis splits
+  into contiguous shards, each shard runs a ``shardable`` inner backend
+  (default ``fused_tree``) on its own simulated device (worker thread
+  with per-device counters and gpusim latency attribution), and shard
+  outputs merge back bitwise identical to one whole-batch call.
 
 Mode-name validation is centralized here (:func:`resolve_backend`) so an
 unknown name raises one uniform ``ValueError`` *before* any symbolic
@@ -33,6 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
@@ -57,13 +63,20 @@ class BackendCapabilities:
       axis (vectorized or compiled-once looped);
     * ``streamable`` — its state model supports O(1) streaming sessions;
     * ``simulated`` — attaches analytical cost-model estimates to the
-      plan (readable via ``FusionPlan.describe()``).
+      plan (readable via ``FusionPlan.describe()``);
+    * ``shardable`` — its batch path treats queries independently, so a
+      batch may be split along the leading axis and executed on several
+      devices with results concatenated back (the contract the
+      ``sharded`` backend relies on: for NumPy paths the reductions run
+      strictly along the length axis, making shard-and-concatenate
+      bitwise identical to one whole-batch call).
     """
 
     requires_fusion: bool = False
     batchable: bool = False
     streamable: bool = False
     simulated: bool = False
+    shardable: bool = False
 
 
 class ExecutionBackend(ABC):
@@ -241,7 +254,7 @@ class UnfusedBackend(ExecutionBackend):
     """Full-pass chain of reductions (Eq. 1); needs no fusion artifacts."""
 
     name = "unfused"
-    capabilities = BackendCapabilities(batchable=True)
+    capabilities = BackendCapabilities(batchable=True, shardable=True)
 
     def execute(self, plan, inputs, *, base_index: int = 0, **_params):
         from ..core.executor import unfused_impl
@@ -258,7 +271,9 @@ class FusedTreeBackend(ExecutionBackend):
     """Fused reduction tree (Eq. 6 + Eq. 11) over contiguous segments."""
 
     name = "fused_tree"
-    capabilities = BackendCapabilities(requires_fusion=True, batchable=True)
+    capabilities = BackendCapabilities(
+        requires_fusion=True, batchable=True, shardable=True
+    )
 
     def execute(self, plan, inputs, *, num_segments=4, branching=2, **_params):
         from ..core.executor import fused_tree_impl
@@ -320,7 +335,9 @@ class _TileCompilation:
     Holds the tensorized program(s) for the tuner's winning config (one
     kernel for Single-Segment, partial + combine for Multi-Segment), the
     layout mapping between engine input arrays and tile buffers, and the
-    GPU cost-model estimate.
+    GPU cost-model estimate.  A variant is compiled for a fixed number
+    of output ``rows``: 1 for per-query execution, B for the batched
+    fast path that folds the batch axis into the row axis.
     """
 
     def __init__(self, spec, programs, estimate: TileEstimate) -> None:
@@ -328,16 +345,10 @@ class _TileCompilation:
         self.programs = programs
         self.estimate = estimate
 
-    def run(self, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Interpret the tile program(s) on normalized (L, w) inputs."""
+    def run_tiles(self, data: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Interpret the tile program(s) on tile-layout buffers → (rows, w)."""
         from ..ir.tile import TileInterpreter
 
-        data: Dict[str, np.ndarray] = {}
-        for lay in self.spec.layouts:
-            arr = arrays[lay.name]
-            # per-row vars are (rows=1, L) in the tile model; shared
-            # (per_row=False) vars keep their (L, w) layout.
-            data[lay.name] = arr[:, 0][None, :] if lay.per_row else arr
         if len(self.programs) == 1:
             out = TileInterpreter(self.programs[0]).run(data)
         else:
@@ -347,9 +358,28 @@ class _TileCompilation:
                 {k: v for k, v in parts.items() if k.endswith("_part")}
             )
         return {
-            fr.reduction.name: out[fr.reduction.name][0]
+            fr.reduction.name: out[fr.reduction.name]
             for fr in self.spec.fused
         }
+
+    def run(self, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Interpret the tile program(s) on normalized (L, w) inputs."""
+        data: Dict[str, np.ndarray] = {}
+        for lay in self.spec.layouts:
+            arr = arrays[lay.name]
+            # per-row vars are (rows=1, L) in the tile model; shared
+            # (per_row=False) vars keep their (L, w) layout.
+            data[lay.name] = arr[:, 0][None, :] if lay.per_row else arr
+        return {name: out[0] for name, out in self.run_tiles(data).items()}
+
+    def run_batch_rows(
+        self, arrays: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Interpret a (B, L, 1) all-per-row batch as B tile rows → (B, w)."""
+        data = {
+            lay.name: arrays[lay.name][:, :, 0] for lay in self.spec.layouts
+        }
+        return self.run_tiles(data)
 
 
 class TileIRBackend(ExecutionBackend):
@@ -373,7 +403,7 @@ class TileIRBackend(ExecutionBackend):
 
     name = "tile_ir"
     capabilities = BackendCapabilities(
-        requires_fusion=True, batchable=True, simulated=True
+        requires_fusion=True, batchable=True, simulated=True, shardable=True
     )
     options = frozenset({"gpu"})
 
@@ -397,10 +427,31 @@ class TileIRBackend(ExecutionBackend):
         return self._compilation_for(plan, arrays, gpu).run(arrays)
 
     def execute_batch(self, plan, batch_inputs, *, gpu: object = "A10", **_params):
-        """Compile once, interpret per query; outputs stack to (B, w)."""
+        """Batched execution; vectorized when the geometry allows it.
+
+        When every element variable is per-row (width 1), the batch axis
+        folds into the tile program's ``rows`` axis (the ROADMAP's "true
+        vectorized tile batch path"): one program with ``rows=B``
+        executes the whole batch block-by-block instead of interpreting
+        B single-row programs.  Mixed-width cascades (a shared wide
+        variable such as attention's V is shared *within* one query but
+        differs across queries, so it cannot fold into rows) fall back
+        to compile-once, interpret-per-query.  Outputs are (B, w).
+        """
         from .batch import normalize_batch_inputs
 
         arrays, batch, _length = normalize_batch_inputs(plan.cascade, batch_inputs)
+        widths = tuple(
+            arrays[name].shape[2] for name in plan.cascade.element_vars
+        )
+        if all(width == 1 for width in widths):
+            compilation = self._compilation_for(
+                plan,
+                {name: arrays[name][0] for name in plan.cascade.element_vars},
+                gpu,
+                rows=batch,
+            )
+            return compilation.run_batch_rows(arrays)
         first = {name: arrays[name][0] for name in plan.cascade.element_vars}
         compilation = self._compilation_for(plan, first, gpu)
         rows = [
@@ -434,10 +485,11 @@ class TileIRBackend(ExecutionBackend):
         if not state:
             return None
         estimates = []
-        for (length, widths, gpu_name), compilation in sorted(
-            state.items(), key=lambda item: (item[0][0], item[0][2])
+        for (rows, length, widths, gpu_name), compilation in sorted(
+            state.items(), key=lambda item: (item[0][0], item[0][1], item[0][3])
         ):
             info = compilation.estimate.snapshot()
+            info["rows"] = rows
             info["length"] = length
             info["widths"] = dict(zip(plan.cascade.element_vars, widths))
             estimates.append(info)
@@ -447,7 +499,9 @@ class TileIRBackend(ExecutionBackend):
         """Latest cached estimate for one GPU (None before first execute)."""
         gpu_spec = self._gpu_spec(gpu)
         state = self._state_snapshot(plan)
-        for (_length, _widths, gpu_name), compilation in reversed(list(state.items())):
+        for (_rows, _length, _widths, gpu_name), compilation in reversed(
+            list(state.items())
+        ):
             if gpu_name == gpu_spec.name:
                 return compilation.estimate
         return None
@@ -471,7 +525,7 @@ class TileIRBackend(ExecutionBackend):
                 )
 
     def _compilation_for(
-        self, plan, arrays: Mapping[str, np.ndarray], gpu: object
+        self, plan, arrays: Mapping[str, np.ndarray], gpu: object, rows: int = 1
     ) -> _TileCompilation:
         self._check_supported(plan)
         gpu_spec = self._gpu_spec(gpu)
@@ -479,12 +533,12 @@ class TileIRBackend(ExecutionBackend):
         widths = tuple(
             arrays[name].shape[1] for name in plan.cascade.element_vars
         )
-        key = (length, widths, gpu_spec.name)
+        key = (rows, length, widths, gpu_spec.name)
         return self._tile_cache(plan).get_or_create(
-            key, lambda: self._compile(plan, length, widths, gpu_spec)
+            key, lambda: self._compile(plan, rows, length, widths, gpu_spec)
         )
 
-    def _compile(self, plan, length: int, widths, gpu_spec) -> _TileCompilation:
+    def _compile(self, plan, rows: int, length: int, widths, gpu_spec) -> _TileCompilation:
         from ..codegen.autotune import autotune
         from ..codegen.lower import CodegenSpec, ElementLayout, LoweringError
         from ..codegen.tensorize import (
@@ -497,7 +551,7 @@ class TileIRBackend(ExecutionBackend):
             for name, width in zip(plan.cascade.element_vars, widths)
         )
         spec = CodegenSpec(
-            fused=plan.fused, rows=1, length=length, layouts=layouts
+            fused=plan.fused, rows=rows, length=length, layouts=layouts
         )
         try:
             tuned = autotune(spec, gpu_spec, dtype="fp16", **TILE_TUNE_SPACE)
@@ -526,8 +580,296 @@ class TileIRBackend(ExecutionBackend):
         return _TileCompilation(spec, programs, estimate)
 
 
+# ---------------------------------------------------------------------------
+# sharded multi-device backend
+# ---------------------------------------------------------------------------
+@dataclass
+class DeviceStats:
+    """``Engine.stats``-style counters for one simulated device.
+
+    ``busy_seconds`` is wall-clock time the device's worker spent inside
+    the inner backend; ``simulated_seconds`` accumulates the gpusim cost
+    model's attribution for the shards this device served, so benchmark
+    reports can compare real interpreter time against what the modeled
+    hardware would have charged.
+    """
+
+    device: int
+    batches: int = 0
+    queries: int = 0
+    busy_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ShardEstimate:
+    """Cost-model attribution for one sharded batch dispatch.
+
+    ``latency_seconds`` is the modeled makespan: the slowest device's
+    shard latency, since devices run concurrently.
+    """
+
+    gpu: str
+    latency_seconds: float
+    num_devices: int
+    inner: str
+    queries: int
+
+    def snapshot(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class ShardedBackend(ExecutionBackend):
+    """Split one batch across N simulated devices and merge the results.
+
+    The batch axis is partitioned into contiguous shards
+    (:func:`~repro.engine.batch.split_batch`); each shard executes the
+    *inner* backend's batch path on its own worker thread (one per
+    simulated device), and the per-shard outputs concatenate back into
+    the full batch (:func:`~repro.engine.batch.merge_batch_outputs`).
+    Because every ``shardable`` inner backend reduces strictly along the
+    length axis, sharded results are bitwise identical to one
+    whole-batch call of the inner backend.
+
+    Per-device counters (:class:`DeviceStats`) record batches, queries,
+    wall-clock busy time, and a gpusim latency attribution: each shard
+    is modeled as one full pass over its input bytes on the requested
+    GPU, and the batch's modeled makespan (slowest device) is surfaced
+    via ``plan.describe()["sharded"]`` / :meth:`estimate_for`.
+    """
+
+    name = "sharded"
+    capabilities = BackendCapabilities(
+        requires_fusion=False, batchable=True, simulated=True
+    )
+    options = frozenset({"gpu", "inner"})
+
+    #: fp16 element size used by the traffic attribution model.
+    _ELEM_BYTES = 2.0
+
+    def __init__(self, num_devices: int = 4, inner: str = "fused_tree") -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.num_devices = num_devices
+        self.default_inner = inner
+        self.devices = tuple(DeviceStats(device=d) for d in range(num_devices))
+        self._stats_lock = threading.Lock()
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._round_robin = 0
+
+    # -- capability plumbing ------------------------------------------------
+    def _inner_backend(self, inner: Optional[str]) -> ExecutionBackend:
+        name = self.default_inner if inner is None else inner
+        if name == self.name:
+            raise ValueError("the sharded backend cannot shard itself")
+        backend = get_backend(name)
+        if not backend.capabilities.shardable:
+            raise ValueError(
+                f"backend {name!r} is not shardable; shardable backends: "
+                f"{[n for n, b in registered_backends() if b.capabilities.shardable]}"
+            )
+        return backend
+
+    def supports(self, plan) -> bool:
+        """Support under the *default* inner backend.
+
+        A per-call ``inner=`` override can widen this (e.g.
+        ``inner="unfused"`` shards unfusable cascades); the flag
+        reflects the backend as configured.
+        """
+        return self._inner_backend(None).supports(plan)
+
+    def prepare(self, plan) -> None:
+        # One-time costs stay with the inner backend's first execution:
+        # the inner is a per-call option, so eagerly preparing the
+        # default here would force fusion on plans a caller intends to
+        # shard with inner="unfused".
+        return None
+
+    def _executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_devices,
+                    thread_name_prefix="repro-device",
+                )
+            return self._pool
+
+    # -- execution ----------------------------------------------------------
+    @staticmethod
+    def _inner_options(backend: ExecutionBackend, gpu: object) -> Dict[str, object]:
+        """Forward ``gpu`` to inners that take it (e.g. ``tile_ir``)."""
+        return {"gpu": gpu} if "gpu" in backend.options else {}
+
+    def execute(self, plan, inputs, *, gpu: object = "A10", inner: Optional[str] = None, **params):
+        """Single query: route to one device (round-robin), no split."""
+        backend = self._inner_backend(inner)
+        with self._stats_lock:
+            device = self.devices[self._round_robin % self.num_devices]
+            self._round_robin += 1
+        start = time.perf_counter()
+        out = backend.execute(plan, inputs, **self._inner_options(backend, gpu), **params)
+        busy = time.perf_counter() - start
+        arrays = normalize_inputs(plan.cascade, dict(inputs))
+        simulated = self._shard_latency(
+            plan, self._gpu_spec(gpu), 1, next(iter(arrays.values())).shape[0],
+            {name: arr.shape[1] for name, arr in arrays.items()},
+        )
+        with self._stats_lock:
+            device.batches += 1
+            device.queries += 1
+            device.busy_seconds += busy
+            device.simulated_seconds += simulated
+        self._note_dispatch(plan, backend.name, self._gpu_spec(gpu).name, 1, 1, simulated)
+        return out
+
+    def execute_batch(
+        self,
+        plan,
+        batch_inputs,
+        *,
+        gpu: object = "A10",
+        inner: Optional[str] = None,
+        num_segments=4,
+        branching=2,
+        **_params,
+    ):
+        from .batch import merge_batch_outputs, normalize_batch_inputs, split_batch
+
+        backend = self._inner_backend(inner)
+        if not backend.capabilities.batchable:
+            raise BackendError(
+                f"inner backend {backend.name!r} does not support batched execution"
+            )
+        arrays, batch, length = normalize_batch_inputs(plan.cascade, batch_inputs)
+        widths = {
+            name: arrays[name].shape[2] for name in plan.cascade.element_vars
+        }
+        gpu_spec = self._gpu_spec(gpu)
+        shards = split_batch(plan.cascade, arrays, self.num_devices)
+
+        inner_options = self._inner_options(backend, gpu)
+
+        def run_shard(device: DeviceStats, rows, shard_arrays):
+            start = time.perf_counter()
+            out = backend.execute_batch(
+                plan, shard_arrays,
+                num_segments=num_segments, branching=branching,
+                **inner_options,
+            )
+            busy = time.perf_counter() - start
+            simulated = self._shard_latency(
+                plan, gpu_spec, len(rows), length, widths
+            )
+            with self._stats_lock:
+                device.batches += 1
+                device.queries += len(rows)
+                device.busy_seconds += busy
+                device.simulated_seconds += simulated
+            return out, simulated
+
+        if len(shards) == 1:
+            results = [run_shard(self.devices[0], shards[0][0], shards[0][1])]
+        else:
+            pool = self._executor()
+            futures = [
+                pool.submit(run_shard, self.devices[d], rows, shard_arrays)
+                for d, (rows, shard_arrays) in enumerate(shards)
+            ]
+            results = [f.result() for f in futures]
+        makespan = max(simulated for _out, simulated in results)
+        self._note_dispatch(
+            plan, backend.name, gpu_spec.name, len(shards), batch, makespan
+        )
+        return merge_batch_outputs([out for out, _simulated in results])
+
+    # -- attribution --------------------------------------------------------
+    @staticmethod
+    def _gpu_spec(gpu: object):
+        return TileIRBackend._gpu_spec(gpu)
+
+    def _shard_latency(
+        self, plan, gpu_spec, queries: int, length: int, widths: Mapping[str, int]
+    ) -> float:
+        """Modeled seconds for one shard: a full pass over its bytes.
+
+        The shard is modeled as one memory-bound kernel reading every
+        element of the shard once per reduction stage and writing the
+        per-query outputs — the first-order traffic of the fused tree.
+        """
+        from ..gpusim.costmodel import ResourceError, kernel_latency
+        from ..gpusim.kernel import KernelSpec
+
+        stages = len(plan.cascade.reductions)
+        elems = queries * length * sum(widths.values())
+        kernel = KernelSpec(
+            name=f"{plan.cascade.name}_shard",
+            grid=max(1, queries),
+            bytes_read=elems * self._ELEM_BYTES,
+            bytes_written=queries * stages * self._ELEM_BYTES,
+            flops=float(elems) * 2.0 * stages,
+        )
+        try:
+            return kernel_latency(gpu_spec, kernel)
+        except ResourceError:  # pragma: no cover - default footprint fits
+            return 0.0
+
+    def _note_dispatch(
+        self, plan, inner: str, gpu_name: str, devices_used: int,
+        queries: int, makespan: float,
+    ) -> None:
+        """Record the dispatch on the plan (read back by ``describe``)."""
+        with plan._state_lock:
+            state = plan.backend_state.setdefault(
+                self.name, {"batches": 0, "queries": 0, "estimates": {}}
+            )
+            state["batches"] += 1
+            state["queries"] += queries
+            state["estimates"][gpu_name] = ShardEstimate(
+                gpu=gpu_name,
+                latency_seconds=makespan,
+                num_devices=devices_used,
+                inner=inner,
+                queries=queries,
+            )
+
+    def device_snapshots(self) -> Tuple[Dict[str, object], ...]:
+        """Point-in-time per-device counters (for reports/benchmarks)."""
+        with self._stats_lock:
+            return tuple(device.snapshot() for device in self.devices)
+
+    def describe(self, plan) -> Optional[Dict[str, object]]:
+        with plan._state_lock:
+            state = plan.backend_state.get(self.name)
+            if state is None:
+                return None
+            return {
+                "batches": state["batches"],
+                "queries": state["queries"],
+                "num_devices": self.num_devices,
+                "estimates": {
+                    gpu: est.snapshot() for gpu, est in state["estimates"].items()
+                },
+            }
+
+    def estimate_for(self, plan, gpu: object = "A10") -> Optional[ShardEstimate]:
+        gpu_name = self._gpu_spec(gpu).name
+        with plan._state_lock:
+            state = plan.backend_state.get(self.name)
+            if state is None:
+                return None
+            return state["estimates"].get(gpu_name)
+
+
 # built-ins register at import time, in the order users should see them
 register_backend(UnfusedBackend())
 register_backend(FusedTreeBackend())
 register_backend(IncrementalBackend())
 register_backend(TileIRBackend())
+register_backend(ShardedBackend())

@@ -117,14 +117,86 @@ def normalize_batch_inputs(
 def stack_queries(
     cascade: Cascade, queries: Sequence[Mapping[str, np.ndarray]]
 ) -> Dict[str, np.ndarray]:
-    """Stack per-query input dicts into one batched input dict."""
+    """Stack per-query input dicts into one batched input dict.
+
+    Every query must share one length: the batch path vectorizes over a
+    dense leading axis, so ragged queries are rejected up front with the
+    offending lengths instead of a shape error from deep inside
+    ``np.stack``.
+    """
     if not queries:
         raise SpecError("need at least one query to batch")
     per_query = [normalize_inputs(cascade, dict(q)) for q in queries]
+    lengths = [next(iter(q.values())).shape[0] for q in per_query]
+    if len(set(lengths)) > 1:
+        raise SpecError(
+            f"cannot batch ragged queries: lengths {lengths} differ "
+            "(pad or group queries by length before batching)"
+        )
     return {
         name: np.stack([q[name] for q in per_query], axis=0)
         for name in cascade.element_vars
     }
+
+
+def split_batch(
+    cascade: Cascade,
+    batch_inputs: Mapping[str, np.ndarray],
+    parts: int,
+) -> List[Tuple[range, Dict[str, np.ndarray]]]:
+    """Split a batched input dict into contiguous shards along axis 0.
+
+    Returns ``[(rows, shard_inputs), ...]`` with at most ``parts``
+    shards (fewer when the batch is smaller than ``parts``); shards are
+    views, not copies.  The sharded execution backend splits work across
+    simulated devices with this helper, and because every batched
+    backend reduces strictly along the length axis, executing shards
+    independently and concatenating is bitwise identical to executing
+    the whole batch at once.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    arrays, batch, _length = normalize_batch_inputs(cascade, batch_inputs)
+    shards: List[Tuple[range, Dict[str, np.ndarray]]] = []
+    for rows in segment_bounds(batch, min(parts, batch)):
+        shards.append(
+            (
+                rows,
+                {
+                    name: arrays[name][rows.start : rows.stop]
+                    for name in cascade.element_vars
+                },
+            )
+        )
+    return shards
+
+
+def merge_batch_outputs(
+    outputs: Sequence[Mapping[str, BatchValue]]
+) -> Dict[str, BatchValue]:
+    """Concatenate per-shard batched outputs back along the batch axis.
+
+    The inverse of :func:`split_batch` on the output side: plain arrays
+    concatenate on axis 0, top-k carriers concatenate their
+    ``values``/``indices`` pairs.
+    """
+    if not outputs:
+        raise ValueError("need at least one shard output to merge")
+    if len(outputs) == 1:
+        return dict(outputs[0])
+    merged: Dict[str, BatchValue] = {}
+    for name in outputs[0]:
+        first = outputs[0][name]
+        if isinstance(first, BatchTopKState):
+            merged[name] = BatchTopKState(
+                values=np.concatenate([o[name].values for o in outputs], axis=0),
+                indices=np.concatenate([o[name].indices for o in outputs], axis=0),
+            )
+        else:
+            merged[name] = np.concatenate(
+                [np.asarray(o[name]) for o in outputs], axis=0
+            )
+    return merged
 
 
 def _batched_elementwise(expr, values, batch: int, length: int, element_vars) -> np.ndarray:

@@ -1,0 +1,526 @@
+"""Async serving runtime: request scheduler + admission control.
+
+This module turns the engine from a caller-batched library into a
+request-scheduled runtime.  Clients ``submit()`` independent single
+queries and receive :class:`concurrent.futures.Future` objects; a
+scheduler groups compatible requests — same plan, same resolved
+backend, same input geometry and execution parameters — into
+micro-batches under a configurable window / max-batch policy
+(continuous batching) and dispatches them through the existing
+``FusionPlan.execute_batch`` path, so a burst of 64 one-query clients
+gets the same vectorized execution a single caller handing over a
+pre-formed batch would.
+
+Admission control is a bounded queue with load shedding: once
+``max_queue_depth`` requests are waiting, further submissions fail fast
+with the typed :class:`QueueFullError` (callers distinguish "shed, try
+later" from execution errors, which surface through the future).
+
+Two operating modes share one dispatch path:
+
+* **inline** (default) — no scheduler thread; ``submit`` executes the
+  request synchronously on the calling thread and returns a completed
+  future.  ``Engine.run`` / ``Engine.run_batch`` are thin shims over an
+  inline scheduler, so library calls pay no thread hops.
+* **started** — ``start()`` (or ``Engine.serving()`` / the context
+  manager) launches the scheduler thread; ``submit`` enqueues and
+  returns immediately, and micro-batching happens across client
+  threads.
+
+Per-request latency, queue depth, shed counts and batch-size occupancy
+accumulate in :class:`ServingStats`, surfaced alongside the plan-cache
+counters through ``EngineStats.describe()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.spec import normalize_inputs
+from .backends import resolve_backend
+from .batch import BatchTopKState
+
+#: Sentinel distinguishing "argument not given" from an explicit None
+#: (``branching=None`` legitimately means "merge all segments flat").
+_UNSET = object()
+
+
+class AdmissionError(RuntimeError):
+    """A request was rejected before execution (shed or runtime closed)."""
+
+
+class QueueFullError(AdmissionError):
+    """Load shed: the scheduler's bounded queue is at ``max_queue_depth``."""
+
+
+class ServingClosedError(AdmissionError):
+    """The serving runtime has been closed; no new requests are accepted."""
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Scheduling policy knobs.
+
+    * ``max_queue_depth`` — admission bound; submissions beyond it shed
+      with :class:`QueueFullError`;
+    * ``max_batch`` — micro-batches never exceed this many requests;
+    * ``batch_window_s`` — after the first request of a group is picked
+      up, the scheduler waits up to this long for more compatible
+      requests before dispatching (the window closes early when
+      ``max_batch`` is reached, so full batches pay no wait).
+    """
+
+    max_queue_depth: int = 256
+    max_batch: int = 64
+    batch_window_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+
+
+class ServingStats:
+    """Thread-safe counters for one serving runtime.
+
+    Monotonic: ``submitted`` / ``completed`` / ``failed`` / ``shed`` /
+    ``batches`` / ``batched_requests``.  Gauges: ``queue_depth`` (live)
+    and ``peak_queue_depth``.  Latencies (submit → future resolution)
+    are kept in a bounded reservoir of the most recent
+    ``latency_window`` samples; ``snapshot()`` reports p50/p99 over it.
+    """
+
+    latency_window = 4096
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.peak_queue_depth = 0
+        self.queue_depth = 0
+        self._latencies: Deque[float] = deque(maxlen=self.latency_window)
+
+    def note_submitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth = queue_depth
+            self.peak_queue_depth = max(self.peak_queue_depth, queue_depth)
+
+    def note_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def note_queue_depth(self, queue_depth: int) -> None:
+        with self._lock:
+            self.queue_depth = queue_depth
+
+    def note_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.max_batch_size = max(self.max_batch_size, size)
+
+    def note_done(self, latency_s: float, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+            self._latencies.append(latency_s)
+
+    def latency_percentiles(self, qs: Sequence[float] = (50.0, 99.0)) -> Dict[str, float]:
+        with self._lock:
+            samples = list(self._latencies)
+        if not samples:
+            return {f"p{q:g}_latency_s": float("nan") for q in qs}
+        values = np.percentile(np.asarray(samples), qs)
+        return {
+            f"p{q:g}_latency_s": float(v) for q, v in zip(qs, np.atleast_1d(values))
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            snap: Dict[str, object] = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "queue_depth": self.queue_depth,
+                "peak_queue_depth": self.peak_queue_depth,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch_size": self.max_batch_size,
+                "mean_batch_size": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+            }
+        snap.update(self.latency_percentiles())
+        return snap
+
+
+class _Request:
+    """One scheduled unit of work (a single query or a pre-formed batch)."""
+
+    __slots__ = (
+        "plan", "inputs", "mode", "params", "options", "future",
+        "submitted_at", "key", "kind",
+    )
+
+    def __init__(self, plan, inputs, mode, params, options, key, kind) -> None:
+        self.plan = plan
+        self.inputs = inputs
+        self.mode = mode
+        self.params = params
+        self.options = options
+        self.key = key
+        self.kind = kind  # "query" (groupable) or "batch" (pre-formed)
+        self.future: Future = Future()
+        self.submitted_at = time.perf_counter()
+
+
+class ServingEngine:
+    """Request scheduler + admission control in front of one engine.
+
+    ``submit(cascade, inputs) -> Future`` is the client API.  With the
+    scheduler started, requests queue and compatible ones dispatch as
+    micro-batches; inline (not started), each request executes
+    synchronously on the caller's thread through the same dispatch code,
+    which is what makes ``Engine.run`` a thin shim over the scheduler.
+
+    Use as a context manager for scoped lifetimes::
+
+        with engine.serving() as srv:
+            futures = [srv.submit(cascade, q) for q in queries]
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        config: Optional[ServingConfig] = None,
+        stats: Optional[ServingStats] = None,
+    ) -> None:
+        if engine is None:
+            from . import Engine  # deferred: Engine is defined atop this module
+
+            engine = Engine()
+        self.engine = engine
+        self.config = config or ServingConfig()
+        # ``stats`` lets an owner carry counters across runtime restarts
+        # (Engine replaces a closed scheduler with a fresh inline one).
+        self.stats = stats or ServingStats()
+        self._queue: Deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "ServingEngine":
+        """Launch the scheduler thread (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise ServingClosedError("serving runtime is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-scheduler", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain the queue, then join the thread."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None and wait:
+            thread.join()
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- client API ---------------------------------------------------------
+    def submit(
+        self,
+        cascade,
+        inputs: Mapping[str, object],
+        mode: Optional[str] = "auto",
+        *,
+        num_segments: Optional[int] = None,
+        branching: object = _UNSET,
+        chunk_len: Optional[int] = None,
+        base_index: int = 0,
+        **backend_options,
+    ) -> Future:
+        """Schedule one query; returns a future resolving to its outputs.
+
+        Admission and validation happen on the calling thread: a full
+        queue raises :class:`QueueFullError`, a closed runtime raises
+        :class:`ServingClosedError`, unknown modes/options raise the
+        usual ``ValueError`` / ``TypeError`` — all *before* a future is
+        handed out.  Execution errors surface through the future.
+        """
+        plan = self.engine.plan_for(cascade)
+        backend = resolve_backend(mode, plan)
+        backend.check_options(backend_options)
+        arrays = normalize_inputs(plan.cascade, dict(inputs))
+        params = {
+            "num_segments": num_segments,
+            "branching": branching,
+            "chunk_len": chunk_len,
+            "base_index": base_index,
+        }
+        # A request can join a micro-batch when the batch path accepts
+        # its parameters: batchable backend, default chunking/indexing.
+        groupable = (
+            backend.capabilities.batchable
+            and chunk_len is None
+            and base_index == 0
+        )
+        if groupable:
+            length = next(iter(arrays.values())).shape[0]
+            widths = tuple(
+                arrays[name].shape[1] for name in plan.cascade.element_vars
+            )
+            branch_key = "flat" if branching is None else branching
+            key: Tuple = (
+                id(plan), backend.name, length, widths,
+                num_segments, branch_key if branching is not _UNSET else "default",
+                tuple(sorted(backend_options.items())),
+            )
+        else:
+            key = None  # never groups
+        request = _Request(
+            plan, arrays, backend.name, params, backend_options, key, "query"
+        )
+        return self._admit(request)
+
+    def submit_batch(
+        self,
+        cascade,
+        batch_inputs: Mapping[str, object],
+        mode: Optional[str] = "auto",
+        *,
+        num_segments: Optional[int] = None,
+        branching: object = _UNSET,
+        **backend_options,
+    ) -> Future:
+        """Schedule a pre-formed batch (leading batch axis) as one unit."""
+        plan = self.engine.plan_for(cascade)
+        backend = resolve_backend(mode, plan)
+        backend.check_options(backend_options)
+        params = {"num_segments": num_segments, "branching": branching}
+        request = _Request(
+            plan, batch_inputs, backend.name, params, backend_options, None, "batch"
+        )
+        return self._admit(request)
+
+    def run(self, cascade, inputs, mode: Optional[str] = "auto", **kwargs):
+        """Synchronous single query: ``submit(...).result()``."""
+        return self.submit(cascade, inputs, mode, **kwargs).result()
+
+    def run_batch(self, cascade, batch_inputs, mode: Optional[str] = "auto", **kwargs):
+        """Synchronous pre-formed batch: ``submit_batch(...).result()``."""
+        return self.submit_batch(cascade, batch_inputs, mode, **kwargs).result()
+
+    def drain(self) -> None:
+        """Block until every queued request has been dispatched."""
+        with self._cond:
+            self._cond.wait_for(lambda: not self._queue)
+
+    # -- admission ----------------------------------------------------------
+    def _admit(self, request: _Request) -> Future:
+        with self._cond:
+            if self._closed:
+                raise ServingClosedError("serving runtime is closed")
+            if self._thread is None:
+                inline = True
+            else:
+                if len(self._queue) >= self.config.max_queue_depth:
+                    self.stats.note_shed()
+                    raise QueueFullError(
+                        f"queue depth {len(self._queue)} at max_queue_depth="
+                        f"{self.config.max_queue_depth}; request shed"
+                    )
+                inline = False
+                self._queue.append(request)
+                self.stats.note_submitted(len(self._queue))
+                self._cond.notify_all()
+        if inline:
+            self.stats.note_submitted(0)
+            self._dispatch([request])
+        return request.future
+
+    # -- scheduling loop ----------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                head = self._queue.popleft()
+                group = [head]
+                if head.key is not None:
+                    self._collect_locked(group)
+                self.stats.note_queue_depth(len(self._queue))
+                self._cond.notify_all()  # wake drain() waiters
+            if head.key is not None and len(group) < self.config.max_batch:
+                self._await_window(group)
+            self._dispatch(group)
+
+    def _collect_locked(self, group: List[_Request]) -> None:
+        """Pull queued requests compatible with ``group[0]`` (lock held)."""
+        key, limit = group[0].key, self.config.max_batch
+        if len(group) >= limit:
+            return
+        kept: Deque[_Request] = deque()
+        while self._queue:
+            request = self._queue.popleft()
+            if request.key == key and len(group) < limit:
+                group.append(request)
+            else:
+                kept.append(request)
+        self._queue.extend(kept)
+
+    def _await_window(self, group: List[_Request]) -> None:
+        """Hold the group open up to ``batch_window_s`` for stragglers.
+
+        The window closes early when the batch fills, when the runtime
+        closes, or when *incompatible* work is waiting — holding the
+        single scheduler open for one group while other keys queue
+        would trade their latency for this group's occupancy.
+        """
+        deadline = time.perf_counter() + self.config.batch_window_s
+        while len(group) < self.config.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            with self._cond:
+                if not self._cond.wait_for(
+                    lambda: self._queue or self._closed, timeout=remaining
+                ):
+                    return
+                if self._closed and not self._queue:
+                    return
+                before = len(group)
+                self._collect_locked(group)
+                stalled = len(group) == before and bool(self._queue)
+                self.stats.note_queue_depth(len(self._queue))
+                self._cond.notify_all()
+            if stalled:
+                return
+
+    # -- dispatch (shared by inline and scheduled paths) --------------------
+    def _dispatch(self, group: List[_Request]) -> None:
+        head = group[0]
+        try:
+            if head.kind == "batch":
+                outputs = self._execute_batch_request(head)
+                self._resolve(group, [outputs])
+            elif len(group) == 1:
+                outputs = self._execute_single(head)
+                self._resolve(group, [outputs])
+            else:
+                self.stats.note_batch(len(group))
+                merged = self._execute_group(group)
+                self._resolve(group, self._scatter(head.plan, merged, len(group)))
+        except BaseException as err:
+            for request in group:
+                # A client may have cancelled a still-queued future;
+                # transitioning it again would raise InvalidStateError
+                # and kill the scheduler thread.
+                if request.future.set_running_or_notify_cancel():
+                    self.stats.note_done(
+                        time.perf_counter() - request.submitted_at, False
+                    )
+                    request.future.set_exception(err)
+
+    def _execute_single(self, request: _Request):
+        params = request.params
+        kwargs = dict(request.options)
+        if params["num_segments"] is not None:
+            kwargs["num_segments"] = params["num_segments"]
+        if params["branching"] is not _UNSET:  # None means "merge flat"
+            kwargs["branching"] = params["branching"]
+        if params["chunk_len"] is not None:
+            kwargs["chunk_len"] = params["chunk_len"]
+        kwargs["base_index"] = params["base_index"]
+        return request.plan.execute(request.inputs, request.mode, **kwargs)
+
+    def _batch_kwargs(self, request: _Request) -> Dict[str, object]:
+        kwargs: Dict[str, object] = dict(request.options)
+        if request.params.get("num_segments") is not None:
+            kwargs["num_segments"] = request.params["num_segments"]
+        branching = request.params.get("branching", _UNSET)
+        if branching is not _UNSET:
+            kwargs["branching"] = branching
+        return kwargs
+
+    def _execute_batch_request(self, request: _Request):
+        return request.plan.execute_batch(
+            request.inputs, mode=request.mode, **self._batch_kwargs(request)
+        )
+
+    def _execute_group(self, group: List[_Request]):
+        head = group[0]
+        stacked = {
+            name: np.stack([r.inputs[name] for r in group], axis=0)
+            for name in head.plan.cascade.element_vars
+        }
+        return head.plan.execute_batch(
+            stacked, mode=head.mode, **self._batch_kwargs(head)
+        )
+
+    @staticmethod
+    def _scatter(plan, merged, batch: int) -> List[Dict[str, object]]:
+        """Split batched outputs back into per-request output dicts."""
+        rows: List[Dict[str, object]] = []
+        for i in range(batch):
+            out: Dict[str, object] = {}
+            for name, value in merged.items():
+                if isinstance(value, BatchTopKState):
+                    out[name] = value.row(i)
+                else:
+                    out[name] = np.asarray(value)[i]
+            rows.append(out)
+        return rows
+
+    def _resolve(self, group: List[_Request], outputs: List) -> None:
+        for request, out in zip(group, outputs):
+            # Skip futures the client cancelled while they were queued
+            # (their share of the batch was computed, but nobody waits).
+            if request.future.set_running_or_notify_cancel():
+                self.stats.note_done(
+                    time.perf_counter() - request.submitted_at, True
+                )
+                request.future.set_result(out)
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else ("closed" if self._closed else "inline")
+        return (
+            f"<ServingEngine {state} queue={len(self._queue)}/"
+            f"{self.config.max_queue_depth} max_batch={self.config.max_batch}>"
+        )

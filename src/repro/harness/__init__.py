@@ -1,6 +1,14 @@
-"""Experiment harness: one runner per paper table/figure."""
+"""Experiment harness: paper figure runners + serving traffic replay."""
 
 from .report import relative_summary, series_table, speedup_table
+from .traffic import (
+    ReplayReport,
+    TrafficRequest,
+    build_request_stream,
+    poisson_arrivals,
+    replay,
+    sweep_offered_load,
+)
 from .runner import (
     fig5a_mha,
     fig5b_mla,
@@ -19,6 +27,12 @@ from .runner import (
 )
 
 __all__ = [
+    "ReplayReport",
+    "TrafficRequest",
+    "build_request_stream",
+    "poisson_arrivals",
+    "replay",
+    "sweep_offered_load",
     "relative_summary",
     "series_table",
     "speedup_table",

@@ -31,18 +31,17 @@ from ..workloads import attention, mla, moe, nonml, quant_gemm
 from ..workloads.configs import (
     INERTIA_CONFIGS,
     MHA_CONFIGS,
-    MHAConfig,
     MLA_CONFIGS,
-    MLAConfig,
     MOE_CONFIGS,
     QUANT_GEMM_CONFIGS,
-    QuantGemmConfig,
     VARIANCE_CONFIGS,
 )
+from ..workloads.serving_mix import SERVING_KINDS
 
 #: Workloads with an engine-level single-query wrapper (``engine_query``)
-#: usable by every execution backend, including ``tile_ir``.
-ENGINE_WORKLOADS = ("mha", "mla", "quant_gemm")
+#: usable by every execution backend, including ``tile_ir``; one source
+#: of truth with the serving traffic mix.
+ENGINE_WORKLOADS = SERVING_KINDS
 
 #: Reduced tuner search space used by the harness (fast, still real).
 TUNE_SPACE = dict(
@@ -211,22 +210,13 @@ def engine_workload(
 ) -> tuple:
     """(cascade, single-query inputs) for one engine-servable workload.
 
-    ``length``/``width`` override the paper-scale table dims so the
-    comparison runs at interactive sizes (the tile interpreter executes
-    generated programs element-by-element).
+    Thin wrapper over :func:`repro.workloads.serving_mix.query_for`
+    (the request generators live with the workloads so the serving
+    traffic driver and this comparison share one definition).
     """
-    if kind == "mha":
-        cfg = MHAConfig("bench", 1, 1, 1, length, width, "bench")
-        return attention.cascade(), attention.engine_query(cfg, rng)
-    if kind == "mla":
-        cfg = MLAConfig("bench", 1, 1, length, width, max(1, width // 4))
-        return mla.cascade(), mla.engine_query(cfg, rng)
-    if kind == "quant_gemm":
-        cfg = QuantGemmConfig("bench", 1, width, length, "bench")
-        return quant_gemm.cascade(), quant_gemm.engine_query(cfg, rng)
-    raise ValueError(
-        f"unknown engine workload {kind!r}; expected one of {ENGINE_WORKLOADS}"
-    )
+    from ..workloads.serving_mix import query_for
+
+    return query_for(kind, rng, length=length, width=width)
 
 
 def time_best(fn: Callable, repeats: int = 5) -> float:
@@ -303,14 +293,15 @@ def run_backend_comparison(
                 estimate = backend.estimate_for(plan, device_name)
                 if estimate is not None:
                     row["simulated_latency_seconds"] = estimate.latency_seconds
-                    row["tile_config"] = {
-                        "blk_rows": estimate.blk_rows,
-                        "blk_len": estimate.blk_len,
-                        "threads": estimate.threads,
-                        "pipeline_depth": estimate.pipeline_depth,
-                        "num_segments": estimate.num_segments,
-                        "strategy": estimate.strategy,
-                    }
+                    if hasattr(estimate, "blk_rows"):  # tile-program estimates
+                        row["tile_config"] = {
+                            "blk_rows": estimate.blk_rows,
+                            "blk_len": estimate.blk_len,
+                            "threads": estimate.threads,
+                            "pipeline_depth": estimate.pipeline_depth,
+                            "num_segments": estimate.num_segments,
+                            "strategy": estimate.strategy,
+                        }
             rows.append(row)
         counts = plan.execution_counts
         for row in rows:

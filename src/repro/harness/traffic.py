@@ -1,0 +1,200 @@
+"""Traffic replay: Poisson arrivals driven against the serving runtime.
+
+The driver models an open-loop client population: request arrival times
+are drawn from a Poisson process at a configured offered load, the
+request payloads are a mixed blend of engine-servable workloads
+(:func:`repro.workloads.serving_mix.request_mix`), and replay submits
+each request to a :class:`~repro.engine.serving.ServingEngine` at its
+arrival time, collecting per-request latency (arrival → completion) and
+shed counts.  The report carries throughput and p50/p99 latency, the
+numbers ``benchmarks/bench_serving.py`` sweeps against offered load
+into ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.serving import AdmissionError, ServingEngine
+from ..workloads.serving_mix import SERVING_KINDS, request_mix
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One replayable request: payload plus its scheduled arrival time."""
+
+    kind: str
+    cascade: object
+    inputs: Dict[str, np.ndarray]
+    arrival_s: float
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate_rps: float, count: int
+) -> np.ndarray:
+    """Cumulative arrival times (seconds) of a Poisson process."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return np.cumsum(rng.exponential(1.0 / rate_rps, size=count))
+
+
+def build_request_stream(
+    rng: np.random.Generator,
+    count: int,
+    rate_rps: float,
+    *,
+    kinds: Sequence[str] = SERVING_KINDS,
+    weights: Optional[Sequence[float]] = None,
+    length: int = 256,
+    width: int = 16,
+) -> List[TrafficRequest]:
+    """Poisson-timed mixed-workload request stream, ready to replay."""
+    arrivals = poisson_arrivals(rng, rate_rps, count)
+    mix = request_mix(
+        count, rng, kinds=kinds, weights=weights, length=length, width=width
+    )
+    return [
+        TrafficRequest(kind=kind, cascade=cascade, inputs=inputs, arrival_s=t)
+        for (kind, cascade, inputs), t in zip(mix, arrivals)
+    ]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one traffic replay at a fixed offered load."""
+
+    offered_rps: float
+    requests: int
+    completed: int
+    shed: int
+    failed: int
+    duration_s: float
+    latencies_s: List[float] = field(default_factory=list)
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "offered_rps": self.offered_rps,
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_latency_s": self.latency_percentile(50.0),
+            "p99_latency_s": self.latency_percentile(99.0),
+            "by_kind": dict(self.by_kind),
+        }
+
+
+def replay(
+    serving: ServingEngine,
+    requests: Sequence[TrafficRequest],
+    *,
+    mode: str = "auto",
+    offered_rps: Optional[float] = None,
+) -> ReplayReport:
+    """Submit a timed request stream; block until every future resolves.
+
+    The submitting thread paces itself to each request's ``arrival_s``
+    (open loop: a slow scheduler does not slow arrivals down, it grows
+    the queue until admission control sheds).  Per-request latency is
+    measured from the *scheduled arrival* to future completion, so
+    queueing delay — including time spent waiting for a micro-batch
+    window — is part of the number, exactly as a client would see it.
+    """
+    if not requests:
+        raise ValueError("need at least one request to replay")
+    if offered_rps is None:
+        horizon = requests[-1].arrival_s
+        offered_rps = len(requests) / horizon if horizon > 0 else float("inf")
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    outcomes = {"completed": 0, "shed": 0, "failed": 0}
+    by_kind: Dict[str, int] = {}
+    pending: List = []
+
+    start = time.perf_counter()
+
+    def on_done(arrival_abs: float, kind: str, future) -> None:
+        latency = time.perf_counter() - arrival_abs
+        with lock:
+            if future.exception() is None:
+                outcomes["completed"] += 1
+                latencies.append(latency)
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+            else:
+                outcomes["failed"] += 1
+
+    for request in requests:
+        now = time.perf_counter() - start
+        if request.arrival_s > now:
+            time.sleep(request.arrival_s - now)
+        arrival_abs = start + request.arrival_s
+        try:
+            future = serving.submit(request.cascade, request.inputs, mode)
+        except AdmissionError:
+            with lock:
+                outcomes["shed"] += 1
+            continue
+        future.add_done_callback(
+            lambda f, a=arrival_abs, k=request.kind: on_done(a, k, f)
+        )
+        pending.append(future)
+
+    for future in pending:
+        try:
+            future.result()
+        except Exception:
+            pass  # counted via the done callback
+    duration = time.perf_counter() - start
+
+    with lock:
+        return ReplayReport(
+            offered_rps=float(offered_rps),
+            requests=len(requests),
+            completed=outcomes["completed"],
+            shed=outcomes["shed"],
+            failed=outcomes["failed"],
+            duration_s=duration,
+            latencies_s=list(latencies),
+            by_kind=dict(by_kind),
+        )
+
+
+def sweep_offered_load(
+    serving: ServingEngine,
+    rates_rps: Sequence[float],
+    count: int,
+    *,
+    seed: int = 0,
+    length: int = 256,
+    width: int = 16,
+    kinds: Sequence[str] = SERVING_KINDS,
+) -> List[Tuple[float, ReplayReport]]:
+    """Replay the same-sized stream at each offered load, low to high."""
+    reports = []
+    for rate in sorted(rates_rps):
+        rng = np.random.default_rng(seed)
+        stream = build_request_stream(
+            rng, count, rate, kinds=kinds, length=length, width=width
+        )
+        reports.append((rate, replay(serving, stream, offered_rps=rate)))
+    return reports

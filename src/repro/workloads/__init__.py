@@ -1,6 +1,7 @@
 """The paper's evaluation workloads with configs, references and graphs."""
 
-from . import attention, mla, moe, nonml, quant_gemm
+from . import attention, mla, moe, nonml, quant_gemm, serving_mix
+from .serving_mix import SERVING_KINDS, query_for, request_mix
 from .configs import (
     INERTIA_CONFIGS,
     MHA_CONFIGS,
@@ -23,6 +24,10 @@ __all__ = [
     "moe",
     "nonml",
     "quant_gemm",
+    "serving_mix",
+    "SERVING_KINDS",
+    "query_for",
+    "request_mix",
     "INERTIA_CONFIGS",
     "MHA_CONFIGS",
     "MLA_CONFIGS",

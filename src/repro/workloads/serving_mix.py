@@ -1,0 +1,80 @@
+"""Request generators for the serving runtime's mixed traffic.
+
+One entry point per engine-servable workload kind: given an RNG and an
+interactive geometry, :func:`query_for` returns ``(cascade, inputs)``
+exactly as a client of :class:`~repro.engine.serving.ServingEngine`
+would submit them.  :func:`request_mix` draws a whole stream of mixed
+attention / MLA-decode / FP8-quant-GEMM requests, the workload blend the
+traffic-replay benchmark (:mod:`repro.harness.traffic`) drives against
+the scheduler.
+
+The geometry defaults are serving-scale, not paper-scale: single-query
+rows with a ``length``-long reduction axis, which is what the engine's
+per-request path actually sees in a decode loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import attention, mla, quant_gemm
+from .configs import MHAConfig, MLAConfig, QuantGemmConfig
+
+#: Workloads with an engine-level single-query wrapper usable by every
+#: execution backend, including ``tile_ir`` and ``sharded``.
+SERVING_KINDS = ("mha", "mla", "quant_gemm")
+
+
+def query_for(
+    kind: str, rng: np.random.Generator, *, length: int = 256, width: int = 16
+) -> Tuple[object, Dict[str, np.ndarray]]:
+    """(cascade, single-query inputs) for one engine-servable workload.
+
+    ``length``/``width`` override the paper-scale table dims so requests
+    run at interactive sizes (the tile interpreter executes generated
+    programs element-by-element).
+    """
+    if kind == "mha":
+        cfg = MHAConfig("bench", 1, 1, 1, length, width, "bench")
+        return attention.cascade(), attention.engine_query(cfg, rng)
+    if kind == "mla":
+        cfg = MLAConfig("bench", 1, 1, length, width, max(1, width // 4))
+        return mla.cascade(), mla.engine_query(cfg, rng)
+    if kind == "quant_gemm":
+        cfg = QuantGemmConfig("bench", 1, width, length, "bench")
+        return quant_gemm.cascade(), quant_gemm.engine_query(cfg, rng)
+    raise ValueError(
+        f"unknown serving workload {kind!r}; expected one of {SERVING_KINDS}"
+    )
+
+
+def request_mix(
+    count: int,
+    rng: np.random.Generator,
+    *,
+    kinds: Sequence[str] = SERVING_KINDS,
+    weights: Optional[Sequence[float]] = None,
+    length: int = 256,
+    width: int = 16,
+) -> List[Tuple[str, object, Dict[str, np.ndarray]]]:
+    """Draw ``count`` mixed requests: ``[(kind, cascade, inputs), ...]``.
+
+    ``weights`` biases the blend (uniform by default).  All requests of
+    one kind share a cascade structure, so the scheduler's plan cache
+    sees exactly ``len(kinds)`` signatures regardless of ``count``.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    probabilities = None
+    if weights is not None:
+        total = float(sum(weights))
+        probabilities = [w / total for w in weights]
+    drawn = rng.choice(len(kinds), size=count, p=probabilities)
+    requests = []
+    for index in drawn:
+        kind = kinds[int(index)]
+        cascade, inputs = query_for(kind, rng, length=length, width=width)
+        requests.append((kind, cascade, inputs))
+    return requests

@@ -67,14 +67,19 @@ class TestRegistry:
 
     def test_capability_flags(self):
         assert get_backend("unfused").capabilities == BackendCapabilities(
-            requires_fusion=False, batchable=True, streamable=False, simulated=False
+            requires_fusion=False, batchable=True, streamable=False,
+            simulated=False, shardable=True,
         )
         assert get_backend("fused_tree").capabilities.requires_fusion
         assert get_backend("fused_tree").capabilities.batchable
+        assert get_backend("fused_tree").capabilities.shardable
         assert get_backend("incremental").capabilities.streamable
         assert not get_backend("incremental").capabilities.batchable
         tile = get_backend("tile_ir").capabilities
         assert tile.requires_fusion and tile.batchable and tile.simulated
+        sharded = get_backend("sharded").capabilities
+        assert sharded.batchable and sharded.simulated
+        assert not sharded.shardable  # a sharder does not shard itself
 
     def test_unknown_name_error_is_uniform(self):
         with pytest.raises(ValueError, match="unknown execution mode 'nope'"):
@@ -432,9 +437,9 @@ class TestTileIRBackend:
         calls = []
         original = type(backend)._compile
 
-        def counting(self, plan, length, widths, gpu_spec):
-            calls.append((length, widths, gpu_spec.name))
-            return original(self, plan, length, widths, gpu_spec)
+        def counting(self, plan, rows, length, widths, gpu_spec):
+            calls.append((rows, length, widths, gpu_spec.name))
+            return original(self, plan, rows, length, widths, gpu_spec)
 
         monkeypatch.setattr(type(backend), "_compile", counting)
         engine = Engine()

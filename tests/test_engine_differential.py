@@ -211,3 +211,54 @@ def test_stream_prefix_consistency(seed):
             run_unfused(cascade, prefix),
             f"seed {seed}, prefix {stop}",
         )
+
+
+@pytest.mark.parametrize("seed", range(26, 38))
+def test_sharded_batches_bitwise_equal_fused_tree(seed):
+    """Sharding a batch across devices must not change a single bit.
+
+    Every shardable backend reduces strictly along the length axis, so
+    splitting the batch axis and concatenating shard outputs is the
+    same float operations in the same order — asserted exactly, not to
+    tolerance.
+    """
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(16, 64))
+    batch = int(rng.integers(1, 12))
+    cascade = random_cascade(rng, length)
+    batch_inputs = {
+        "x": rng.normal(size=(batch, length)),
+        "y": rng.normal(size=(batch, length)),
+    }
+
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    ref = plan.execute_batch(batch_inputs, mode="fused_tree")
+    got = plan.execute_batch(batch_inputs, mode="sharded")
+    for name, ref_value in ref.items():
+        if hasattr(ref_value, "values"):  # top-k carrier
+            np.testing.assert_array_equal(
+                got[name].values, ref_value.values,
+                err_msg=f"seed {seed}: {name}.values",
+            )
+            np.testing.assert_array_equal(
+                got[name].indices, ref_value.indices,
+                err_msg=f"seed {seed}: {name}.indices",
+            )
+        else:
+            np.testing.assert_array_equal(
+                np.asarray(got[name]), np.asarray(ref_value),
+                err_msg=f"seed {seed}: {name}",
+            )
+
+    # the unfused inner serves the same contract
+    got_unfused = plan.execute_batch(batch_inputs, mode="sharded", inner="unfused")
+    ref_unfused = plan.execute_batch(batch_inputs, mode="unfused")
+    for name, ref_value in ref_unfused.items():
+        if hasattr(ref_value, "values"):
+            np.testing.assert_array_equal(got_unfused[name].values, ref_value.values)
+            np.testing.assert_array_equal(got_unfused[name].indices, ref_value.indices)
+        else:
+            np.testing.assert_array_equal(
+                np.asarray(got_unfused[name]), np.asarray(ref_value)
+            )

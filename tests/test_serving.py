@@ -1,0 +1,499 @@
+"""Serving runtime tests: scheduler, admission control, sharded backend."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction, run_unfused
+from repro.core.ops import TopKState
+from repro.core.spec import SpecError
+from repro.engine import (
+    AdmissionError,
+    Engine,
+    QueueFullError,
+    ServingClosedError,
+    ServingConfig,
+    ServingEngine,
+    get_backend,
+    merge_batch_outputs,
+    split_batch,
+)
+from repro.symbolic import const, exp, var
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def topk_cascade(k: int = 3) -> Cascade:
+    x = var("x")
+    return Cascade(
+        "routing",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("sel", "topk", x, topk=k),
+        ),
+    )
+
+
+class TestInlineScheduler:
+    def test_engine_run_goes_through_scheduler(self):
+        engine = Engine()
+        out = engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        ref = run_unfused(softmax_cascade(), {"x": np.arange(8.0)})
+        np.testing.assert_allclose(out["t"], ref["t"])
+        serving = engine.stats.describe()["serving"]
+        assert serving["submitted"] == 1
+        assert serving["completed"] == 1
+
+    def test_submit_inline_returns_completed_future(self):
+        engine = Engine()
+        future = engine.submit(softmax_cascade(), {"x": np.arange(8.0)})
+        assert isinstance(future, Future)
+        assert future.done()
+        np.testing.assert_allclose(
+            future.result()["t"],
+            run_unfused(softmax_cascade(), {"x": np.arange(8.0)})["t"],
+        )
+
+    def test_inline_execution_errors_surface_through_result(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            engine.run(softmax_cascade(), {"x": np.arange(8.0)}, mode="nope")
+        with pytest.raises(TypeError, match="unexpected options"):
+            engine.run(softmax_cascade(), {"x": np.arange(8.0)}, bogus=1)
+        with pytest.raises(SpecError):
+            engine.run(softmax_cascade(), {})
+
+    def test_run_batch_shim_matches_plan_execute_batch(self):
+        engine = Engine()
+        batch = {"x": np.random.default_rng(0).normal(size=(4, 16))}
+        via_engine = engine.run_batch(softmax_cascade(), batch)
+        direct = engine.plan_for(softmax_cascade()).execute_batch(batch)
+        np.testing.assert_array_equal(via_engine["t"], direct["t"])
+
+    def test_describe_merges_cache_and_serving(self):
+        engine = Engine()
+        engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        info = engine.stats.describe()
+        assert info["cache"]["hits"] == 1
+        assert info["cache"]["misses"] == 1
+        assert info["cache"]["evictions"] == 0
+        assert info["cache"]["plans"] == 1
+        assert info["backend_executions"]["fused_tree"] == 2
+        assert info["serving"]["submitted"] == 2
+
+
+class TestAsyncScheduler:
+    def test_concurrent_submissions_micro_batch(self):
+        engine = Engine()
+        cascade = softmax_cascade(1.5)
+        rng = np.random.default_rng(1)
+        datas = [rng.normal(size=32) for _ in range(24)]
+        with engine.serving(
+            ServingConfig(max_batch=16, batch_window_s=0.01)
+        ) as serving:
+            futures = [None] * len(datas)
+
+            def client(i):
+                futures[i] = serving.submit(cascade, {"x": datas[i]})
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(datas))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            results = [f.result() for f in futures]
+        for data, out in zip(datas, results):
+            ref = run_unfused(cascade, {"x": data})
+            np.testing.assert_allclose(out["t"], ref["t"], rtol=1e-9)
+            np.testing.assert_allclose(out["m"], ref["m"], rtol=1e-9)
+        snap = serving.stats.snapshot()
+        assert snap["completed"] == len(datas)
+        # at least one real micro-batch formed (scheduling is timing-
+        # dependent, but 24 threads against a 10ms window always overlap)
+        assert snap["max_batch_size"] > 1
+        assert snap["batches"] >= 1
+
+    def test_incompatible_shapes_never_share_a_batch(self):
+        engine = Engine()
+        cascade = softmax_cascade(2.0)
+        with engine.serving(
+            ServingConfig(max_batch=8, batch_window_s=0.01)
+        ) as serving:
+            futures = []
+
+            def client(length):
+                futures.append(
+                    (length, serving.submit(cascade, {"x": np.arange(float(length))}))
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(length,))
+                for length in (8, 12, 8, 12, 8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for length, future in futures:
+                ref = run_unfused(cascade, {"x": np.arange(float(length))})
+                np.testing.assert_allclose(future.result()["t"], ref["t"])
+
+    def test_topk_outputs_scatter_per_request(self):
+        engine = Engine()
+        cascade = topk_cascade(2)
+        rng = np.random.default_rng(2)
+        datas = [rng.normal(size=16) for _ in range(6)]
+        with engine.serving(
+            ServingConfig(max_batch=6, batch_window_s=0.01)
+        ) as serving:
+            futures = [None] * len(datas)
+
+            def client(i):
+                futures[i] = serving.submit(cascade, {"x": datas[i]})
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(datas))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for data, future in zip(datas, futures):
+                out = future.result()
+                ref = run_unfused(cascade, {"x": data})
+                assert isinstance(out["sel"], TopKState)
+                np.testing.assert_allclose(out["sel"].values, ref["sel"].values)
+                np.testing.assert_array_equal(out["sel"].indices, ref["sel"].indices)
+
+    def test_non_batchable_mode_executes_solo(self):
+        engine = Engine()
+        cascade = softmax_cascade(3.0)
+        with engine.serving() as serving:
+            future = serving.submit(
+                cascade, {"x": np.arange(32.0)}, mode="incremental", chunk_len=8
+            )
+            ref = run_unfused(cascade, {"x": np.arange(32.0)})
+            np.testing.assert_allclose(future.result()["t"], ref["t"])
+        assert engine.plan_for(cascade).execution_counts["incremental"] == 1
+
+    def test_submit_batch_dispatches_as_one_unit(self):
+        engine = Engine()
+        cascade = softmax_cascade(4.0)
+        batch = {"x": np.random.default_rng(3).normal(size=(5, 16))}
+        with engine.serving() as serving:
+            out = serving.submit_batch(cascade, batch).result()
+        direct = engine.plan_for(cascade).execute_batch(batch)
+        np.testing.assert_array_equal(out["t"], direct["t"])
+
+    def test_validation_errors_raise_at_submit_time(self):
+        engine = Engine()
+        with engine.serving() as serving:
+            with pytest.raises(ValueError, match="unknown execution mode"):
+                serving.submit(softmax_cascade(), {"x": np.arange(4.0)}, mode="nah")
+            with pytest.raises(TypeError, match="unexpected options"):
+                serving.submit(softmax_cascade(), {"x": np.arange(4.0)}, wat=1)
+            with pytest.raises(SpecError):
+                serving.submit(softmax_cascade(), {"y": np.arange(4.0)})
+
+    def test_execution_errors_surface_through_future(self):
+        class Exploding(Exception):
+            pass
+
+        engine = Engine()
+        cascade = softmax_cascade(5.0)
+        plan = engine.plan_for(cascade)
+        backend = get_backend("fused_tree")
+        original = type(backend).execute_batch
+
+        def boom(self, plan, batch_inputs, **params):
+            raise Exploding("device on fire")
+
+        with engine.serving(
+            ServingConfig(max_batch=4, batch_window_s=0.01)
+        ) as serving:
+            type(backend).execute_batch = boom
+            try:
+                futures = [None, None]
+
+                def client(i):
+                    futures[i] = serving.submit(cascade, {"x": np.arange(8.0)})
+
+                threads = [
+                    threading.Thread(target=client, args=(i,)) for i in range(2)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                for future in futures:
+                    with pytest.raises(Exploding):
+                        future.result()
+            finally:
+                type(backend).execute_batch = original
+        assert serving.stats.snapshot()["failed"] >= 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_typed_error(self):
+        engine = Engine()
+        cascade = softmax_cascade(6.0)
+        rng = np.random.default_rng(4)
+        big = rng.normal(size=100_000)
+        serving = engine.serving(
+            ServingConfig(max_queue_depth=2, max_batch=2, batch_window_s=0.0)
+        )
+        shed = 0
+        accepted = []
+        lock = threading.Lock()
+
+        def flood():
+            nonlocal shed
+            try:
+                future = serving.submit(cascade, {"x": big})
+            except QueueFullError:
+                with lock:
+                    shed += 1
+                return
+            with lock:
+                accepted.append(future)
+
+        threads = [threading.Thread(target=flood) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for future in accepted:
+            future.result()
+        engine.close()
+        assert shed > 0
+        assert serving.stats.snapshot()["shed"] == shed
+        assert isinstance(QueueFullError("x"), AdmissionError)
+
+    def test_cancelled_future_does_not_kill_the_scheduler(self):
+        engine = Engine()
+        cascade = softmax_cascade(6.5)
+        serving = engine.serving(ServingConfig(max_batch=2, batch_window_s=0.05))
+        victim = serving.submit(cascade, {"x": np.arange(8.0)})
+        victim.cancel()  # queued => PENDING => cancellable
+        survivor = serving.submit(cascade, {"x": np.arange(16.0)})
+        ref = run_unfused(softmax_cascade(6.5), {"x": np.arange(16.0)})
+        np.testing.assert_allclose(survivor.result(timeout=10)["t"], ref["t"])
+        # the scheduler thread survived the cancelled future
+        again = serving.submit(cascade, {"x": np.arange(8.0)})
+        again.result(timeout=10)
+        engine.close()
+
+    def test_serving_restartable_with_new_config_after_close(self):
+        engine = Engine()
+        first = engine.serving(ServingConfig(max_batch=4))
+        first.submit(softmax_cascade(6.6), {"x": np.arange(8.0)}).result()
+        first.close()
+        second = engine.serving(ServingConfig(max_batch=8))
+        assert second is not first
+        assert second.config.max_batch == 8
+        out = second.submit(softmax_cascade(6.6), {"x": np.arange(8.0)}).result()
+        assert out["t"].shape == (1,)
+        # counters carried across the restart
+        assert second.stats.snapshot()["completed"] >= 2
+        engine.close()
+
+    def test_closed_runtime_rejects_submissions(self):
+        engine = Engine()
+        serving = engine.serving()
+        serving.close()
+        with pytest.raises(ServingClosedError):
+            serving.submit(softmax_cascade(), {"x": np.arange(4.0)})
+        with pytest.raises(ServingClosedError):
+            serving.start()
+
+    def test_close_drains_queued_requests(self):
+        engine = Engine()
+        cascade = softmax_cascade(7.0)
+        serving = engine.serving(ServingConfig(max_batch=4, batch_window_s=0.05))
+        futures = [
+            serving.submit(cascade, {"x": np.arange(16.0)}) for _ in range(3)
+        ]
+        serving.close()
+        for future in futures:
+            assert future.result()["t"].shape == (1,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue_depth": 0},
+            {"max_batch": 0},
+            {"batch_window_s": -1.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+class TestShardedBackend:
+    def test_batch_results_bitwise_equal_fused_tree(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.0)
+        batch = {"x": np.random.default_rng(5).normal(size=(13, 40))}
+        ref = engine.run_batch(cascade, batch, mode="fused_tree")
+        got = engine.run_batch(cascade, batch, mode="sharded")
+        for name in ref:
+            np.testing.assert_array_equal(np.asarray(got[name]), np.asarray(ref[name]))
+
+    def test_single_query_routes_to_a_device(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.1)
+        out = engine.run(cascade, {"x": np.arange(24.0)}, mode="sharded")
+        ref = run_unfused(cascade, {"x": np.arange(24.0)})
+        np.testing.assert_allclose(out["t"], ref["t"])
+        assert engine.plan_for(cascade).execution_counts["sharded"] == 1
+
+    def test_describe_reports_devices_and_makespan(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.2)
+        batch = {"x": np.random.default_rng(6).normal(size=(8, 32))}
+        engine.run_batch(cascade, batch, mode="sharded", gpu="H800")
+        info = engine.plan_for(cascade).describe()["sharded"]
+        assert info["queries"] == 8
+        assert info["batches"] == 1
+        assert info["estimates"]["H800"]["latency_seconds"] > 0
+        assert info["estimates"]["H800"]["inner"] == "fused_tree"
+        backend = get_backend("sharded")
+        est = backend.estimate_for(engine.plan_for(cascade), "H800")
+        assert est is not None and est.num_devices >= 1
+
+    def test_unshardable_inner_rejected(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.3)
+        batch = {"x": np.zeros((4, 8))}
+        with pytest.raises(ValueError, match="not shardable"):
+            engine.run_batch(cascade, batch, mode="sharded", inner="incremental")
+        with pytest.raises(ValueError, match="shard itself"):
+            engine.run_batch(cascade, batch, mode="sharded", inner="sharded")
+
+    def test_gpu_forwarded_to_simulated_inner(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.5)
+        batch = {"x": np.random.default_rng(11).normal(size=(4, 32))}
+        engine.run_batch(cascade, batch, mode="sharded", inner="tile_ir", gpu="H800")
+        tile_info = engine.plan_for(cascade).describe()["tile_ir"]
+        assert {e["gpu"] for e in tile_info["estimates"]} == {"H800"}
+
+    def test_inner_unfused_serves_unfusable_cascades(self):
+        x, m = var("x"), var("m")
+        entangled = Cascade(
+            "entangled",
+            ("x",),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(x * m)),
+            ),
+        )
+        engine = Engine()
+        batch = {"x": np.random.default_rng(7).normal(size=(6, 12))}
+        got = engine.run_batch(entangled, batch, mode="sharded", inner="unfused")
+        ref = engine.run_batch(entangled, batch, mode="unfused")
+        for name in ref:
+            np.testing.assert_array_equal(np.asarray(got[name]), np.asarray(ref[name]))
+
+    def test_through_the_scheduler(self):
+        engine = Engine()
+        cascade = softmax_cascade(8.4)
+        rng = np.random.default_rng(8)
+        datas = [rng.normal(size=20) for _ in range(9)]
+        with engine.serving(
+            ServingConfig(max_batch=9, batch_window_s=0.01)
+        ) as serving:
+            futures = [None] * len(datas)
+
+            def client(i):
+                futures[i] = serving.submit(cascade, {"x": datas[i]}, mode="sharded")
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(datas))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for data, future in zip(datas, futures):
+                ref = run_unfused(cascade, {"x": data})
+                np.testing.assert_allclose(future.result()["t"], ref["t"])
+
+
+class TestSplitMergeHelpers:
+    def test_split_round_trip(self):
+        cascade = softmax_cascade(9.0)
+        batch = {"x": np.random.default_rng(9).normal(size=(10, 16))}
+        shards = split_batch(cascade, batch, 3)
+        assert [len(rows) for rows, _ in shards] == [3, 3, 4]
+        engine = Engine()
+        plan = engine.plan_for(cascade)
+        outs = [
+            plan.execute_batch(shard, mode="fused_tree") for _rows, shard in shards
+        ]
+        merged = merge_batch_outputs(outs)
+        whole = plan.execute_batch(batch, mode="fused_tree")
+        np.testing.assert_array_equal(merged["t"], whole["t"])
+
+    def test_split_fewer_rows_than_parts(self):
+        cascade = softmax_cascade(9.1)
+        shards = split_batch(cascade, {"x": np.zeros((2, 8))}, 5)
+        assert len(shards) == 2
+
+    def test_merge_topk_carriers(self):
+        cascade = topk_cascade(2)
+        batch = {"x": np.random.default_rng(10).normal(size=(7, 12))}
+        engine = Engine()
+        plan = engine.plan_for(cascade)
+        whole = plan.execute_batch(batch, mode="fused_tree")
+        shards = split_batch(cascade, batch, 2)
+        merged = merge_batch_outputs(
+            [plan.execute_batch(s, mode="fused_tree") for _r, s in shards]
+        )
+        np.testing.assert_array_equal(merged["sel"].values, whole["sel"].values)
+        np.testing.assert_array_equal(merged["sel"].indices, whole["sel"].indices)
+
+    def test_validation(self):
+        cascade = softmax_cascade(9.2)
+        with pytest.raises(ValueError):
+            split_batch(cascade, {"x": np.zeros((2, 8))}, 0)
+        with pytest.raises(ValueError):
+            merge_batch_outputs([])
+
+
+class TestStandaloneServingEngine:
+    def test_owns_private_engine_when_none_given(self):
+        serving = ServingEngine()
+        out = serving.run(softmax_cascade(11.0), {"x": np.arange(8.0)})
+        ref = run_unfused(softmax_cascade(11.0), {"x": np.arange(8.0)})
+        np.testing.assert_allclose(out["t"], ref["t"])
+        assert serving.engine.stats.misses == 1
+
+    def test_latency_percentiles_reported(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.run(softmax_cascade(11.1), {"x": np.arange(8.0)})
+        snap = engine.scheduler.stats.snapshot()
+        assert snap["p50_latency_s"] > 0
+        assert snap["p99_latency_s"] >= snap["p50_latency_s"]

@@ -1,0 +1,209 @@
+"""Edge cases for StreamSession and the batched top-k carrier.
+
+The serving scheduler leans on both: streams are the incremental
+backend's stateful path, and ``BatchTopKState`` is how top-k outputs
+scatter back to individual requests after a micro-batch.  These tests
+pin the boundary behavior — empty batches, batches of one, ragged
+lengths — to clear, typed errors instead of shape explosions from deep
+inside NumPy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction, run_unfused
+from repro.core.ops import TopKState
+from repro.core.spec import SpecError
+from repro.engine import (
+    BatchExecutor,
+    BatchTopKState,
+    Engine,
+    normalize_batch_inputs,
+    stack_queries,
+)
+from repro.symbolic import exp, var
+
+
+def softmax_cascade() -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("t", "sum", exp(x - m)),
+        ),
+    )
+
+
+def topk_cascade(k: int = 3) -> Cascade:
+    x = var("x")
+    return Cascade(
+        "routing",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("sel", "topk", x, topk=k),
+        ),
+    )
+
+
+class TestBatchEdges:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            normalize_batch_inputs(softmax_cascade(), {"x": np.zeros((0, 8))})
+        with pytest.raises(SpecError, match="at least one query"):
+            stack_queries(softmax_cascade(), [])
+        engine = Engine()
+        with pytest.raises(SpecError, match="non-empty"):
+            engine.run_batch(softmax_cascade(), {"x": np.zeros((0, 8))})
+
+    def test_zero_length_batch_rejected(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            normalize_batch_inputs(softmax_cascade(), {"x": np.zeros((4, 0))})
+
+    def test_batch_of_one_matches_single_query(self):
+        engine = Engine()
+        data = np.random.default_rng(0).normal(size=16)
+        batched = engine.run_batch(softmax_cascade(), {"x": data[None, :]})
+        single = engine.run(softmax_cascade(), {"x": data})
+        assert batched["t"].shape == (1, 1)
+        np.testing.assert_allclose(batched["t"][0], single["t"])
+
+    def test_ragged_lengths_rejected_with_clear_error(self):
+        queries = [
+            {"x": np.arange(8.0)},
+            {"x": np.arange(12.0)},
+            {"x": np.arange(8.0)},
+        ]
+        with pytest.raises(SpecError, match=r"ragged.*\[8, 12, 8\]"):
+            stack_queries(softmax_cascade(), queries)
+        engine = Engine()
+        executor = BatchExecutor(engine.plan_for(softmax_cascade()))
+        with pytest.raises(SpecError, match="ragged"):
+            executor.run_many(queries)
+
+    def test_mismatched_batch_shapes_rejected(self):
+        x, y, m = var("x"), var("y"), var("m")
+        cascade = Cascade(
+            "two_vars",
+            ("x", "y"),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(x - m) * y),
+            ),
+        )
+        with pytest.raises(SpecError, match="expected"):
+            normalize_batch_inputs(
+                cascade, {"x": np.zeros((3, 8)), "y": np.zeros((2, 8))}
+            )
+
+
+class TestBatchTopKState:
+    def test_batch_of_one_row_view(self):
+        engine = Engine()
+        data = np.random.default_rng(1).normal(size=20)
+        out = engine.run_batch(topk_cascade(3), {"x": data[None, :]})
+        state = out["sel"]
+        assert isinstance(state, BatchTopKState)
+        assert state.batch_size == 1
+        row = state.row(0)
+        assert isinstance(row, TopKState)
+        ref = run_unfused(topk_cascade(3), {"x": data})
+        np.testing.assert_allclose(row.values, ref["sel"].values)
+        np.testing.assert_array_equal(row.indices, ref["sel"].indices)
+
+    def test_row_views_are_copies(self):
+        engine = Engine()
+        batch = {"x": np.random.default_rng(2).normal(size=(2, 10))}
+        state = engine.run_batch(topk_cascade(2), batch)["sel"]
+        row = state.row(0)
+        row.values[0] = 123.0
+        row.indices[0] = -7
+        assert state.values[0, 0] != 123.0
+        assert state.indices[0, 0] != -7
+
+    def test_k_larger_than_length_pads(self):
+        engine = Engine()
+        out = engine.run_batch(topk_cascade(5), {"x": np.arange(6.0).reshape(2, 3)})
+        state = out["sel"]
+        assert state.values.shape == (2, 5)
+        assert np.all(np.isinf(state.values[:, 3:]) & (state.values[:, 3:] < 0))
+        assert np.all(state.indices[:, 3:] == -1)
+
+    def test_ties_resolve_like_the_scalar_full_pass(self):
+        # Tie order is only specified *within* one tree shape; compare
+        # the batched full pass against the scalar full pass (the
+        # segmented tree may legitimately order equal values differently).
+        data = np.zeros(8)  # all tied
+        engine = Engine()
+        batched = engine.run_batch(
+            topk_cascade(3), {"x": data[None, :]}, mode="unfused"
+        )
+        ref = run_unfused(topk_cascade(3), {"x": data})
+        np.testing.assert_array_equal(
+            batched["sel"].row(0).indices, ref["sel"].indices
+        )
+
+
+class TestStreamSessionEdges:
+    def test_values_before_any_feed_raises(self):
+        engine = Engine()
+        session = engine.stream(softmax_cascade())
+        with pytest.raises(RuntimeError, match="no data fed"):
+            session.values()
+
+    def test_empty_chunk_rejected(self):
+        engine = Engine()
+        session = engine.stream(softmax_cascade())
+        with pytest.raises(SpecError, match="non-empty"):
+            session.feed({"x": np.zeros(0)})
+        assert session.position == 0  # rejected chunk leaves state untouched
+
+    def test_single_element_chunks(self):
+        engine = Engine()
+        data = np.random.default_rng(3).normal(size=7)
+        session = engine.stream(softmax_cascade())
+        for value in data:
+            session.feed({"x": np.array([value])})
+        assert session.position == 7
+        ref = run_unfused(softmax_cascade(), {"x": data})
+        np.testing.assert_allclose(session.values()["t"], ref["t"])
+
+    def test_reset_allows_reuse(self):
+        engine = Engine()
+        session = engine.stream(softmax_cascade())
+        session.feed({"x": np.arange(4.0)})
+        session.reset()
+        assert session.position == 0
+        with pytest.raises(RuntimeError):
+            session.values()
+        session.feed({"x": np.arange(6.0)})
+        ref = run_unfused(softmax_cascade(), {"x": np.arange(6.0)})
+        np.testing.assert_allclose(session.values()["t"], ref["t"])
+
+    def test_topk_stream_indices_are_global(self):
+        engine = Engine()
+        data = np.random.default_rng(4).normal(size=24)
+        session = engine.stream(topk_cascade(4))
+        for start in range(0, 24, 8):
+            session.feed({"x": data[start : start + 8]})
+        ref = run_unfused(topk_cascade(4), {"x": data})
+        got = session.values()["sel"]
+        np.testing.assert_allclose(got.values, ref["sel"].values)
+        np.testing.assert_array_equal(got.indices, ref["sel"].indices)
+
+    def test_ragged_chunk_widths_rejected(self):
+        x, y, m = var("x"), var("y"), var("m")
+        cascade = Cascade(
+            "two_vars",
+            ("x", "y"),
+            (
+                Reduction("m", "max", x),
+                Reduction("t", "sum", exp(x - m) * y),
+            ),
+        )
+        engine = Engine()
+        session = engine.stream(cascade)
+        with pytest.raises(SpecError, match="length"):
+            session.feed({"x": np.arange(4.0), "y": np.arange(6.0)})
