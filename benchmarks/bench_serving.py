@@ -14,7 +14,13 @@ Three claims, asserted and recorded into
   hit;
 * **sharding** — the ``sharded`` backend splits a scheduler-formed
   batch across simulated devices with per-device counters and a gpusim
-  makespan attribution, bitwise identical to ``fused_tree``.
+  makespan attribution, bitwise identical to ``fused_tree``;
+* **ragged micro-batching** — mixed-length traffic under the
+  ``bucket="pow2"`` policy pads into masked micro-batches and sustains
+  >= 2x the per-request throughput of strict exact-geometry grouping
+  (``bucket="exact"``), which fragments the same traffic into tiny
+  batches.  The CI ``serving-smoke`` job runs this as the batching-
+  efficiency gate.
 
 Set ``BENCH_QUICK=1`` for the CI smoke configuration (smaller shapes,
 shorter streams).
@@ -152,6 +158,97 @@ def test_scheduled_batching_beats_per_request():
     )
 
 
+def test_ragged_mix_beats_exact_geometry_grouping():
+    """>= 2x per-request throughput on mixed-length traffic at 64 clients.
+
+    Every client issues attention requests whose KV lengths are drawn
+    uniformly from one pow2 bucket's range, so nearly every request has
+    a distinct length.  Under ``bucket="exact"`` (the strict PR 4
+    compatibility key) the scheduler can almost never group, so the
+    traffic degrades to per-request dispatch; under ``bucket="pow2"``
+    the same requests pad into masked ragged micro-batches and saturate
+    ``max_batch``.  Results must still match the per-query reference.
+    """
+    rng = np.random.default_rng(7)
+    cascade, _ = query_for("mha", rng, length=LENGTH, width=WIDTH)
+    # lengths spread across (L/2, L]: all in one pow2 bucket, ~all distinct
+    lengths = rng.integers(LENGTH // 2 + 8, LENGTH + 1, size=(CONCURRENCY, ROUNDS))
+    queries = [
+        [
+            query_for("mha", rng, length=int(lengths[i, r]), width=WIDTH)[1]
+            for r in range(ROUNDS)
+        ]
+        for i in range(CONCURRENCY)
+    ]
+    total_requests = CONCURRENCY * ROUNDS
+
+    def timed(bucket):
+        engine = Engine()
+        serving = engine.serving(
+            ServingConfig(
+                max_batch=CONCURRENCY, batch_window_s=0.003, bucket=bucket
+            )
+        )
+        engine.run(cascade, queries[0][0])  # compile + warm the plan
+        outputs = [None] * CONCURRENCY
+
+        def client(i: int) -> None:
+            for query in queries[i]:
+                outputs[i] = serving.submit(cascade, query).result()
+
+        elapsed = _concurrent_wall_seconds(client, CONCURRENCY)
+        snap = serving.stats.snapshot()
+        engine.close()
+        return elapsed, snap, outputs
+
+    exact_s, exact_snap, _ = timed("exact")
+    ragged_s, ragged_snap, ragged_outputs = timed("pow2")
+
+    # padded micro-batches must still produce per-query-exact results
+    check_engine = Engine()
+    for i in (0, CONCURRENCY // 2, CONCURRENCY - 1):
+        ref = check_engine.run(cascade, queries[i][-1], mode="unfused")
+        np.testing.assert_allclose(
+            ragged_outputs[i]["O"], ref["O"], rtol=1e-6, atol=1e-9
+        )
+
+    speedup = exact_s / ragged_s
+    update_bench_json(
+        "ragged_mix",
+        {
+            "concurrency": CONCURRENCY,
+            "rounds": ROUNDS,
+            "requests": total_requests,
+            "length_range": [int(lengths.min()), int(lengths.max())],
+            "distinct_lengths": int(np.unique(lengths).size),
+            "exact_s": exact_s,
+            "ragged_s": ragged_s,
+            "throughput_speedup": speedup,
+            "exact_rps": total_requests / exact_s,
+            "ragged_rps": total_requests / ragged_s,
+            "exact_mean_batch": exact_snap["mean_batch_size"],
+            "ragged_mean_batch": ragged_snap["mean_batch_size"],
+            "ragged_max_batch": ragged_snap["max_batch_size"],
+            "ragged_batches": ragged_snap["ragged_batches"],
+            "padding_efficiency": ragged_snap["padding_efficiency"],
+            "quick": QUICK,
+        },
+        path=BENCH_SERVING_JSON,
+    )
+    # the batching-efficiency gate: ragged grouping must actually batch...
+    assert ragged_snap["max_batch_size"] >= 8, (
+        "pow2 buckets formed no real ragged micro-batches"
+    )
+    assert (
+        ragged_snap["mean_batch_size"] >= exact_snap["mean_batch_size"]
+    ), "ragged bucketing batched less than exact-geometry grouping"
+    # ...and convert that into per-request throughput
+    assert speedup >= 2.0, (
+        f"ragged micro-batching only {speedup:.2f}x over exact-geometry "
+        f"grouping ({exact_s * 1e3:.1f} ms vs {ragged_s * 1e3:.1f} ms)"
+    )
+
+
 def test_traffic_replay_reports_latency_vs_offered_load():
     """Poisson mixed-workload replay: throughput + p50/p99 per offered load."""
     engine = Engine(
@@ -167,8 +264,11 @@ def test_traffic_replay_reports_latency_vs_offered_load():
         engine.run(cascade, inputs)
 
     rows = []
+    # mixed KV lengths: the pow2 bucket policy pads them into shared
+    # micro-batches instead of fragmenting by exact geometry
     for rate, report in sweep_offered_load(
-        serving, REPLAY_RATES, REPLAY_COUNT, seed=2, length=256, width=8
+        serving, REPLAY_RATES, REPLAY_COUNT, seed=2,
+        length=(160, 192, 224, 256), width=8,
     ):
         row = report.snapshot()
         rows.append(row)

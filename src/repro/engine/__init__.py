@@ -59,11 +59,14 @@ from .bounded import BoundedCache
 from .batch import (
     BatchExecutor,
     BatchTopKState,
+    RaggedBatch,
     StreamSession,
     merge_batch_outputs,
     normalize_batch_inputs,
     run_batched_tree,
     run_batched_unfused,
+    run_ragged_tree,
+    run_ragged_unfused,
     split_batch,
     stack_queries,
 )
@@ -125,10 +128,13 @@ class EngineStats:
           hit/miss/compile/eviction counters plus the live plan count;
         * ``"backend_executions"`` — per-backend execution totals across
           every plan the engine ever compiled;
-        * ``"serving"`` — the request scheduler's queue/latency/shed
-          counters (present once the engine has served any request —
-          ``Engine.run`` dispatches through the scheduler, so this
-          appears after the first call).
+        * ``"padding"`` — per-backend ragged padding efficiency
+          (useful positions / padded positions executed), summed over
+          the currently cached plans; present once any ragged batch ran;
+        * ``"serving"`` — the request scheduler's queue/latency/shed/
+          padding counters (present once the engine has served any
+          request — ``Engine.run`` dispatches through the scheduler, so
+          this appears after the first call).
         """
         engine = self._engine
         cache_info = engine.cache.stats.snapshot()
@@ -137,6 +143,21 @@ class EngineStats:
             "cache": cache_info,
             "backend_executions": self.backend_executions,
         }
+        padding: Dict[str, Dict[str, object]] = {}
+        for plan in engine.cache.plans():
+            for backend, counts in plan.padding_counts.items():
+                entry = padding.setdefault(
+                    backend, {"useful_positions": 0, "padded_positions": 0}
+                )
+                entry["useful_positions"] += counts["useful_positions"]
+                entry["padded_positions"] += counts["padded_positions"]
+        for entry in padding.values():
+            padded = entry["padded_positions"]
+            entry["efficiency"] = (
+                entry["useful_positions"] / padded if padded else 1.0
+            )
+        if padding:
+            info["padding"] = padding
         scheduler = engine._scheduler
         if scheduler is not None:
             info["serving"] = scheduler.stats.snapshot()
@@ -343,6 +364,7 @@ __all__ = [
     "FusionPlan",
     "PlanCache",
     "QueueFullError",
+    "RaggedBatch",
     "ServingClosedError",
     "ServingConfig",
     "ServingEngine",
@@ -366,6 +388,8 @@ __all__ = [
     "resolve_backend",
     "run_batched_tree",
     "run_batched_unfused",
+    "run_ragged_tree",
+    "run_ragged_unfused",
     "split_batch",
     "stack_queries",
     "unregister_backend",

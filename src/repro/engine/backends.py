@@ -69,7 +69,11 @@ class BackendCapabilities:
       devices with results concatenated back (the contract the
       ``sharded`` backend relies on: for NumPy paths the reductions run
       strictly along the length axis, making shard-and-concatenate
-      bitwise identical to one whole-batch call).
+      bitwise identical to one whole-batch call);
+    * ``ragged`` — implements ``execute_ragged`` over a padded
+      mixed-length :class:`~repro.engine.batch.RaggedBatch`: reductions
+      run masked, with padded positions contributing the monoid
+      identity, so mixed-length requests share one vectorized batch.
     """
 
     requires_fusion: bool = False
@@ -77,6 +81,7 @@ class BackendCapabilities:
     streamable: bool = False
     simulated: bool = False
     shardable: bool = False
+    ragged: bool = False
 
 
 class ExecutionBackend(ABC):
@@ -132,6 +137,20 @@ class ExecutionBackend(ABC):
             f"backend {self.name!r} does not support batched execution"
         )
 
+    def execute_ragged(self, plan, ragged, **params) -> Dict[str, object]:
+        """Run a padded mixed-length batch with masked reductions.
+
+        ``ragged`` is a :class:`~repro.engine.batch.RaggedBatch`;
+        implementations must fill every padded position's contribution
+        with the reduction's monoid identity so each row's outputs equal
+        a per-query run at its true length.  Implementations should also
+        record their padding overhead via ``plan._record_padding``.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not support ragged (mixed-length) "
+            "batches"
+        )
+
     def describe(self, plan) -> Optional[Dict[str, object]]:
         """Optional per-plan introspection merged into ``plan.describe()``."""
         return None
@@ -169,6 +188,7 @@ RESERVED_BACKEND_NAMES = frozenset(
         "fusable",
         "default_mode",
         "corrections",
+        "padding",
     }
 )
 
@@ -254,7 +274,7 @@ class UnfusedBackend(ExecutionBackend):
     """Full-pass chain of reductions (Eq. 1); needs no fusion artifacts."""
 
     name = "unfused"
-    capabilities = BackendCapabilities(batchable=True, shardable=True)
+    capabilities = BackendCapabilities(batchable=True, shardable=True, ragged=True)
 
     def execute(self, plan, inputs, *, base_index: int = 0, **_params):
         from ..core.executor import unfused_impl
@@ -266,13 +286,22 @@ class UnfusedBackend(ExecutionBackend):
 
         return run_batched_unfused(plan.cascade, batch_inputs)
 
+    def execute_ragged(self, plan, ragged, **_params):
+        from .batch import run_ragged_unfused
+
+        outputs = run_ragged_unfused(plan.cascade, ragged)
+        plan._record_padding(
+            self.name, ragged.useful_positions, ragged.padded_positions
+        )
+        return outputs
+
 
 class FusedTreeBackend(ExecutionBackend):
     """Fused reduction tree (Eq. 6 + Eq. 11) over contiguous segments."""
 
     name = "fused_tree"
     capabilities = BackendCapabilities(
-        requires_fusion=True, batchable=True, shardable=True
+        requires_fusion=True, batchable=True, shardable=True, ragged=True
     )
 
     def execute(self, plan, inputs, *, num_segments=4, branching=2, **_params):
@@ -284,6 +313,15 @@ class FusedTreeBackend(ExecutionBackend):
         from .batch import run_batched_tree
 
         return run_batched_tree(plan.fused, batch_inputs, num_segments, branching)
+
+    def execute_ragged(self, plan, ragged, *, num_segments=4, branching=2, **_params):
+        from .batch import run_ragged_tree
+
+        outputs = run_ragged_tree(plan.fused, ragged, num_segments, branching)
+        plan._record_padding(
+            self.name, ragged.useful_positions, ragged.padded_positions
+        )
+        return outputs
 
 
 class IncrementalBackend(ExecutionBackend):
@@ -309,6 +347,63 @@ TILE_TUNE_SPACE = dict(
     pipeline=(1, 2),
     segments=(1, 2, 4, 8),
 )
+
+#: Per-row validity input of masked (ragged) tile programs: 1.0 at real
+#: positions, 0.0 at padding.
+TILE_MASK_VAR = "ragged_mask"
+
+#: Finite stand-in for the ±inf identities inside masked tile programs.
+#: Arithmetic select (mask * gh + ...) cannot produce literal infinities
+#: without 0 * inf = nan hazards, so max/min padding clamps to ∓1e300 —
+#: near the double-precision edge (so only already-degenerate valid
+#: contributions beyond 1e300 would ever touch the clamp), yet finite,
+#: so it is absorbed by the reduce exactly like the true identity.
+_TILE_MASK_BIG = 1e300
+
+#: Identity value a masked tile program's state holds for a fully padded
+#: row/segment, per reduction operator (cf. ``_TILE_MASK_BIG``).
+_TILE_MASK_IDENTITY = {
+    "sum": 0.0,
+    "prod": 1.0,
+    "max": -_TILE_MASK_BIG,
+    "min": _TILE_MASK_BIG,
+}
+
+
+def _masked_tile_gh(gh, op_name: str):
+    """Rewrite a fresh-contribution term so padding yields the identity.
+
+    The mask enters as an ordinary per-row element variable.  sum/max/min
+    use min/max clamps rather than arithmetic select so that padded
+    positions whose raw ``gh`` evaluates to ±inf (e.g. exp of a padded
+    score against an empty segment's -1e30 running max) still collapse
+    to the identity instead of poisoning the row with nan:
+
+    * sum:  clamp(gh, mask * -BIG, mask * BIG)   → padding: clamp to ±0
+    * max:  min(gh, mask * 2BIG - BIG)           → padding: -BIG
+    * min:  max(gh, BIG - mask * 2BIG)           → padding: +BIG
+    * prod: gh * mask + (1 - mask)               → padding: 1
+    """
+    from ..symbolic import Binary, Const, Var
+
+    mask = Var(TILE_MASK_VAR)
+    big = Const(_TILE_MASK_BIG)
+    two_big = Const(2.0 * _TILE_MASK_BIG)
+    if op_name == "sum":
+        low = Binary("mul", mask, Const(-_TILE_MASK_BIG))
+        high = Binary("mul", mask, big)
+        return Binary("min", Binary("max", gh, low), high)
+    if op_name == "max":
+        return Binary("min", gh, Binary("sub", Binary("mul", mask, two_big), big))
+    if op_name == "min":
+        return Binary("max", gh, Binary("sub", big, Binary("mul", mask, two_big)))
+    if op_name == "prod":
+        return Binary(
+            "add", Binary("mul", gh, mask), Binary("sub", Const(1.0), mask)
+        )
+    raise BackendError(
+        f"no masked tile lowering for reduction operator {op_name!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -403,7 +498,8 @@ class TileIRBackend(ExecutionBackend):
 
     name = "tile_ir"
     capabilities = BackendCapabilities(
-        requires_fusion=True, batchable=True, simulated=True, shardable=True
+        requires_fusion=True, batchable=True, simulated=True, shardable=True,
+        ragged=True,
     )
     options = frozenset({"gpu"})
 
@@ -465,6 +561,98 @@ class TileIRBackend(ExecutionBackend):
             for name in plan.cascade.output_names
         }
 
+    def execute_ragged(self, plan, ragged, *, gpu: object = "A10", **_params):
+        """Mixed-length batch execution with the mask folded into the tiles.
+
+        Fast path (all element vars per-row, correction ratios mask-safe):
+        one *masked* tile program with ``rows=B`` is compiled for the
+        padded geometry — the validity mask becomes an extra per-row
+        input buffer and every reduction's fresh-contribution term is
+        rewritten so padded positions yield the monoid identity
+        (:func:`_masked_tile_gh`).  One program then executes the whole
+        ragged batch block-by-block, exactly extending the dense batch
+        fast path.
+
+        Cascades outside that class (a shared wide variable, or a
+        correction ratio that divides by a dependency and would go 0/0 on
+        a fully padded segment) fall back to grouping rows by exact
+        length and running the dense batch path per group — zero padding
+        waste, at the cost of one compilation per distinct length.
+        """
+        self._check_supported(plan)
+        arrays = ragged.arrays
+        element_vars = plan.cascade.element_vars
+        widths = tuple(arrays[name].shape[2] for name in element_vars)
+        gpu_spec = self._gpu_spec(gpu)
+        if all(width == 1 for width in widths) and self._mask_safe(plan):
+            key = (ragged.batch, ragged.max_length, widths, gpu_spec.name, "masked")
+            compilation = self._tile_cache(plan).get_or_create(
+                key,
+                lambda: self._compile(
+                    plan, ragged.batch, ragged.max_length, widths, gpu_spec,
+                    masked=True,
+                ),
+            )
+            data = {name: arrays[name][:, :, 0] for name in element_vars}
+            data[TILE_MASK_VAR] = ragged.mask.astype(float)
+            # padded positions may momentarily evaluate to ±inf before
+            # the mask clamp collapses them; keep the warnings quiet.
+            with np.errstate(all="ignore"):
+                outputs = compilation.run_tiles(data)
+            plan._record_padding(
+                self.name, ragged.useful_positions, ragged.padded_positions
+            )
+            return outputs
+        # -- per-length grouping fallback -----------------------------------
+        lengths = ragged.lengths
+        merged: Dict[str, np.ndarray] = {}
+        for length in sorted(set(int(l) for l in lengths)):
+            idx = np.nonzero(lengths == length)[0]
+            group = {
+                name: arrays[name][idx, :length] for name in element_vars
+            }
+            out = self.execute_batch(plan, group, gpu=gpu)
+            for name, value in out.items():
+                value = np.asarray(value)
+                if name not in merged:
+                    merged[name] = np.empty(
+                        (ragged.batch,) + value.shape[1:], dtype=value.dtype
+                    )
+                merged[name][idx] = value
+        # grouping trims every row to its true length: no padded work
+        plan._record_padding(
+            self.name, ragged.useful_positions, ragged.useful_positions
+        )
+        return merged
+
+    def _mask_safe(self, plan) -> bool:
+        """Can this plan's correction ratios survive fully padded segments?
+
+        A masked tile program holds the (clamped) identity in every
+        state fragment of a fully padded row/segment; correction ratios
+        are then evaluated at those identity values, with no Appendix
+        A.1 numeric repair available inside generated code.  Probe each
+        ratio there: a non-finite result (e.g. a ratio dividing by a
+        sum dependency, 0/0) means the masked program cannot represent
+        this cascade and the per-length fallback must serve it.
+        """
+        from ..core.fused import NEW_SUFFIX, PREV_SUFFIX
+
+        ops = {fr.reduction.name: fr.reduction.op_name for fr in plan.fused}
+        for fr in plan.fused:
+            if not fr.needs_correction:
+                continue
+            env: Dict[str, float] = {}
+            for dep in fr.dep_names:
+                identity = _TILE_MASK_IDENTITY[ops[dep]]
+                env[dep + PREV_SUFFIX] = identity
+                env[dep + NEW_SUFFIX] = identity
+            with np.errstate(all="ignore"):
+                ratio = np.asarray(fr.h_ratio.evaluate(env), dtype=float)
+            if not np.all(np.isfinite(ratio)):
+                return False
+        return True
+
     def _tile_cache(self, plan) -> BoundedCache:
         """The plan's bounded per-geometry compilation cache (lazy)."""
         with plan._state_lock:
@@ -485,13 +673,14 @@ class TileIRBackend(ExecutionBackend):
         if not state:
             return None
         estimates = []
-        for (rows, length, widths, gpu_name), compilation in sorted(
+        for (rows, length, widths, gpu_name, variant), compilation in sorted(
             state.items(), key=lambda item: (item[0][0], item[0][1], item[0][3])
         ):
             info = compilation.estimate.snapshot()
             info["rows"] = rows
             info["length"] = length
             info["widths"] = dict(zip(plan.cascade.element_vars, widths))
+            info["masked"] = variant == "masked"
             estimates.append(info)
         return {"compiled_variants": len(state), "estimates": estimates}
 
@@ -499,7 +688,7 @@ class TileIRBackend(ExecutionBackend):
         """Latest cached estimate for one GPU (None before first execute)."""
         gpu_spec = self._gpu_spec(gpu)
         state = self._state_snapshot(plan)
-        for (_rows, _length, _widths, gpu_name), compilation in reversed(
+        for (_rows, _length, _widths, gpu_name, _variant), compilation in reversed(
             list(state.items())
         ):
             if gpu_name == gpu_spec.name:
@@ -533,12 +722,36 @@ class TileIRBackend(ExecutionBackend):
         widths = tuple(
             arrays[name].shape[1] for name in plan.cascade.element_vars
         )
-        key = (rows, length, widths, gpu_spec.name)
+        key = (rows, length, widths, gpu_spec.name, "dense")
         return self._tile_cache(plan).get_or_create(
             key, lambda: self._compile(plan, rows, length, widths, gpu_spec)
         )
 
-    def _compile(self, plan, rows: int, length: int, widths, gpu_spec) -> _TileCompilation:
+    @staticmethod
+    def _masked_fused(fused):
+        """A copy of the fused artifacts with masked contribution terms.
+
+        Only ``gh`` changes (wrapped per :func:`_masked_tile_gh`); the
+        correction ratios, dependency structure and reduction operators
+        are untouched, so the masked program is the dense program plus
+        one extra per-row input and a clamp per reduction.
+        """
+        import dataclasses as _dc
+
+        from ..core.fused import FusedCascade
+        from ..symbolic import make_evaluator
+
+        reductions = []
+        for fr in fused:
+            masked_gh = _masked_tile_gh(fr.gh, fr.reduction.op_name)
+            reductions.append(
+                _dc.replace(fr, gh=masked_gh, _eval_gh=make_evaluator(masked_gh))
+            )
+        return FusedCascade(cascade=fused.cascade, reductions=tuple(reductions))
+
+    def _compile(
+        self, plan, rows: int, length: int, widths, gpu_spec, masked: bool = False
+    ) -> _TileCompilation:
         from ..codegen.autotune import autotune
         from ..codegen.lower import CodegenSpec, ElementLayout, LoweringError
         from ..codegen.tensorize import (
@@ -550,8 +763,12 @@ class TileIRBackend(ExecutionBackend):
             ElementLayout(name, width, per_row=(width == 1))
             for name, width in zip(plan.cascade.element_vars, widths)
         )
+        fused = plan.fused
+        if masked:
+            fused = self._masked_fused(fused)
+            layouts = layouts + (ElementLayout(TILE_MASK_VAR, 1, per_row=True),)
         spec = CodegenSpec(
-            fused=plan.fused, rows=rows, length=length, layouts=layouts
+            fused=fused, rows=rows, length=length, layouts=layouts
         )
         try:
             tuned = autotune(spec, gpu_spec, dtype="fp16", **TILE_TUNE_SPACE)
@@ -643,7 +860,7 @@ class ShardedBackend(ExecutionBackend):
 
     name = "sharded"
     capabilities = BackendCapabilities(
-        requires_fusion=False, batchable=True, simulated=True
+        requires_fusion=False, batchable=True, simulated=True, ragged=True
     )
     options = frozenset({"gpu", "inner"})
 
@@ -788,6 +1005,137 @@ class ShardedBackend(ExecutionBackend):
             plan, backend.name, gpu_spec.name, len(shards), batch, makespan
         )
         return merge_batch_outputs([out for out, _simulated in results])
+
+    def execute_ragged(
+        self,
+        plan,
+        ragged,
+        *,
+        gpu: object = "A10",
+        inner: Optional[str] = None,
+        num_segments=4,
+        branching=2,
+        **_params,
+    ):
+        """Length-aware multi-device execution of a mixed-length batch.
+
+        Rows are sorted by length and split into contiguous runs of
+        similar total work, so each device's shard re-pads only to *its
+        own* longest row — short-row shards do not pay for the batch's
+        global maximum.  Uniform shards run the inner backend's dense
+        batch path; mixed shards run its masked ragged path.  Outputs
+        scatter back to the original row order.
+        """
+        from .batch import BatchTopKState, merge_batch_outputs
+
+        backend = self._inner_backend(inner)
+        if not backend.capabilities.batchable:
+            raise BackendError(
+                f"inner backend {backend.name!r} does not support batched execution"
+            )
+        gpu_spec = self._gpu_spec(gpu)
+        widths = {name: arr.shape[2] for name, arr in ragged.arrays.items()}
+        shards = self._length_aware_shards(ragged)
+        if not backend.capabilities.ragged and any(
+            not shard.is_uniform for _idx, shard in shards
+        ):
+            raise BackendError(
+                f"inner backend {backend.name!r} does not support ragged "
+                "batches; shards with mixed lengths cannot execute on it"
+            )
+        inner_options = self._inner_options(backend, gpu)
+
+        def run_shard(device: DeviceStats, indices, shard):
+            start = time.perf_counter()
+            if shard.is_uniform:
+                out = backend.execute_batch(
+                    plan, shard.arrays,
+                    num_segments=num_segments, branching=branching,
+                    **inner_options,
+                )
+            else:
+                out = backend.execute_ragged(
+                    plan, shard,
+                    num_segments=num_segments, branching=branching,
+                    **inner_options,
+                )
+            busy = time.perf_counter() - start
+            simulated = self._shard_latency(
+                plan, gpu_spec, shard.batch, shard.max_length, widths
+            )
+            with self._stats_lock:
+                device.batches += 1
+                device.queries += shard.batch
+                device.busy_seconds += busy
+                device.simulated_seconds += simulated
+            return out, simulated
+
+        if len(shards) == 1:
+            results = [run_shard(self.devices[0], shards[0][0], shards[0][1])]
+        else:
+            pool = self._executor()
+            futures = [
+                pool.submit(run_shard, self.devices[d], indices, shard)
+                for d, (indices, shard) in enumerate(shards)
+            ]
+            results = [f.result() for f in futures]
+        makespan = max(simulated for _out, simulated in results)
+        self._note_dispatch(
+            plan, backend.name, gpu_spec.name, len(shards), ragged.batch, makespan
+        )
+        # per-device trimming is the padding win: charge what actually ran
+        executed = sum(shard.batch * shard.max_length for _idx, shard in shards)
+        plan._record_padding(self.name, ragged.useful_positions, executed)
+
+        # merge in shard order, then scatter back to the submitted order
+        merged = merge_batch_outputs([out for out, _simulated in results])
+        order = np.concatenate([indices for indices, _shard in shards])
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(order.shape[0])
+        final: Dict[str, object] = {}
+        for name, value in merged.items():
+            if isinstance(value, BatchTopKState):
+                final[name] = BatchTopKState(
+                    values=value.values[inverse], indices=value.indices[inverse]
+                )
+            else:
+                final[name] = np.asarray(value)[inverse]
+        return final
+
+    def _length_aware_shards(self, ragged):
+        """Contiguous runs of the length-sorted rows, balanced by work.
+
+        Sorting descending groups similar lengths together (minimal
+        re-padding per shard); the greedy boundary walk aims each shard
+        at an equal share of the total valid positions so the makespan
+        stays balanced even though long rows cluster.
+        """
+        order = np.argsort(-ragged.lengths, kind="stable")
+        lengths = ragged.lengths[order]
+        n = order.shape[0]
+        parts = min(self.num_devices, n)
+        shards = []
+        start = 0
+        remaining_total = float(lengths.sum())
+        for part in range(parts):
+            parts_left = parts - part
+            if parts_left == 1:
+                stop = n
+            else:
+                target = remaining_total / parts_left
+                stop = start + 1
+                acc = float(lengths[start])
+                # keep at least one row for every remaining shard
+                while stop < n - (parts_left - 1) and acc + float(
+                    lengths[stop]
+                ) <= target:
+                    acc += float(lengths[stop])
+                    stop += 1
+            indices = order[start:stop]
+            remaining_total -= float(lengths[start:stop].sum())
+            shards.append((indices, ragged.take(indices)))
+            start = stop
+        return shards
 
     # -- attribution --------------------------------------------------------
     @staticmethod

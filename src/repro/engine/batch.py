@@ -9,6 +9,18 @@ the per-query fused reduction tree (Eq. 6 + Eq. 11) — only the NumPy
 shapes change — so batched results agree with a per-query loop to
 floating-point noise while amortizing all Python-side dispatch.
 
+Mixed-length queries share the same vectorized pass through the
+:class:`RaggedBatch` carrier: rows are padded to the batch's longest
+length and every reduction runs *masked* — padded tail positions
+contribute the reduction's monoid identity (0 for sum, -inf for max,
+...), so they are absorbed without changing any row's result.  This is
+the same trick that makes the fused reduction tree insensitive to
+segment count: an identity-valued partial is a no-op under ⊕, and the
+correction factors H(identity)^-1 ⊗ H(new) collapse under the Appendix
+A.1 repair.  Padded results therefore equal the per-query loop exactly
+for order-insensitive monoids (max/min/top-k) and to floating-point
+association noise for sum/prod.
+
 :class:`StreamSession` is the stateful counterpart for streaming
 clients: it wraps the incremental form (Eq. 15/16) behind a ``feed``
 API, holding O(1) state between chunks of one logical query.
@@ -16,7 +28,7 @@ API, holding O(1) state between chunks of one logical query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -59,15 +71,34 @@ class _BatchTopK:
     def __init__(self, k: int) -> None:
         self.k = k
 
-    def from_batch(self, values: np.ndarray, base_index: int = 0) -> BatchTopKState:
+    def from_batch(
+        self,
+        values: np.ndarray,
+        base_index: int = 0,
+        valid: Optional[np.ndarray] = None,
+    ) -> BatchTopKState:
+        """Per-row top-k; ``valid`` masks padded positions of a ragged batch.
+
+        Masked positions carry the top-k identity (-inf value, -1 index),
+        so a padded row's state equals the per-query state at its true
+        length: real candidates sort identically, and any slots the valid
+        prefix cannot fill come back as the same -inf/-1 padding.
+        """
         values = np.asarray(values, dtype=float)
+        if valid is not None:
+            values = np.where(valid, values, -np.inf)
         batch, length = values.shape
         k = min(self.k, length)
         order = np.argsort(values, axis=1, kind="stable")[:, ::-1][:, :k]
         out_values = np.full((batch, self.k), -np.inf)
         out_indices = np.full((batch, self.k), -1, dtype=np.int64)
         out_values[:, :k] = np.take_along_axis(values, order, axis=1)
-        out_indices[:, :k] = order + base_index
+        chosen = order + base_index
+        if valid is not None:
+            chosen = np.where(
+                np.take_along_axis(valid, order, axis=1), chosen, -1
+            )
+        out_indices[:, :k] = chosen
         return BatchTopKState(values=out_values, indices=out_indices)
 
     def combine(self, a: BatchTopKState, b: BatchTopKState) -> BatchTopKState:
@@ -114,24 +145,218 @@ def normalize_batch_inputs(
     return normalized, batch, length
 
 
-def stack_queries(
-    cascade: Cascade, queries: Sequence[Mapping[str, np.ndarray]]
-) -> Dict[str, np.ndarray]:
-    """Stack per-query input dicts into one batched input dict.
+@dataclass(eq=False)  # dict-of-ndarray fields make generated __eq__ raise
+class RaggedBatch:
+    """A mixed-length micro-batch: padded arrays plus per-row lengths.
 
-    Every query must share one length: the batch path vectorizes over a
-    dense leading axis, so ragged queries are rejected up front with the
-    offending lengths instead of a shape error from deep inside
-    ``np.stack``.
+    ``arrays`` maps every element variable to a padded ``(B, L_max, w)``
+    array; ``lengths`` is the ``(B,)`` integer vector of true per-row
+    lengths.  Positions at or beyond a row's length are *padding*: the
+    masked execution paths replace their contributions with the
+    reduction's monoid identity, so padded rows compute the same result
+    as a per-query run at the true length.
+
+    Padding values are, by convention, replicas of the row's last valid
+    element (:meth:`from_queries` pads that way).  The masked NumPy
+    paths discard padded contributions regardless of the fill, but
+    finite, in-distribution padding keeps intermediate expression
+    evaluation (exp/div on padded positions) free of spurious inf/nan —
+    which the masked ``tile_ir`` program relies on.
+    """
+
+    arrays: Dict[str, np.ndarray]
+    lengths: np.ndarray
+    _mask: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.arrays:
+            raise SpecError("ragged batch needs at least one element input")
+        self.arrays = dict(self.arrays)  # never mutate the caller's dict
+        self.lengths = np.asarray(self.lengths, dtype=np.int64)
+        if self.lengths.ndim != 1 or self.lengths.shape[0] == 0:
+            raise SpecError("ragged lengths must be a non-empty 1-D vector")
+        batch = self.lengths.shape[0]
+        max_length = None
+        for name, arr in self.arrays.items():
+            arr = np.asarray(arr, dtype=float)
+            if arr.ndim == 2:
+                arr = arr[:, :, None]
+            if arr.ndim != 3:
+                raise SpecError(
+                    f"ragged input {name!r} must be (B, L_max) or (B, L_max, w), "
+                    f"got {arr.ndim}-D"
+                )
+            if max_length is None:
+                max_length = arr.shape[1]
+            if arr.shape[0] != batch or arr.shape[1] != max_length:
+                raise SpecError(
+                    f"ragged input {name!r} has shape {arr.shape[:2]}, "
+                    f"expected ({batch}, {max_length})"
+                )
+            self.arrays[name] = arr
+        if not max_length:
+            raise SpecError("ragged batch inputs must be non-empty")
+        if int(self.lengths.min()) < 1:
+            raise SpecError("every ragged row needs at least one valid position")
+        if int(self.lengths.max()) > max_length:
+            raise SpecError(
+                f"ragged lengths reach {int(self.lengths.max())} but the padded "
+                f"arrays only hold {max_length} positions"
+            )
+
+    @classmethod
+    def from_queries(
+        cls,
+        cascade: Cascade,
+        queries: Sequence[Mapping[str, np.ndarray]],
+        pad_to: Optional[int] = None,
+    ) -> "RaggedBatch":
+        """Pad per-query input dicts into one masked batch.
+
+        Rows pad to the longest query (or ``pad_to``, when given) by
+        replicating each row's last valid element, keeping padded
+        positions in-distribution for downstream expression evaluation.
+        """
+        if not queries:
+            raise SpecError("need at least one query to batch")
+        return cls.from_normalized(
+            cascade,
+            [normalize_inputs(cascade, dict(q)) for q in queries],
+            pad_to=pad_to,
+        )
+
+    @classmethod
+    def from_normalized(
+        cls,
+        cascade: Cascade,
+        per_query: Sequence[Mapping[str, np.ndarray]],
+        pad_to: Optional[int] = None,
+    ) -> "RaggedBatch":
+        """Pad already-normalized ``(L, w)`` query dicts (internal fast path)."""
+        lengths = np.array(
+            [next(iter(q.values())).shape[0] for q in per_query], dtype=np.int64
+        )
+        max_length = int(lengths.max())
+        if pad_to is not None:
+            if pad_to < max_length:
+                raise SpecError(
+                    f"pad_to={pad_to} is shorter than the longest query "
+                    f"({max_length})"
+                )
+            max_length = int(pad_to)
+        arrays: Dict[str, np.ndarray] = {}
+        for name in cascade.element_vars:
+            width = per_query[0][name].shape[1]
+            for i, q in enumerate(per_query):
+                if q[name].shape[1] != width:
+                    raise SpecError(
+                        f"cannot batch queries: input {name!r} has width "
+                        f"{q[name].shape[1]} in query {i}, expected {width}"
+                    )
+            out = np.empty((len(per_query), max_length, width))
+            for i, q in enumerate(per_query):
+                rows = q[name]
+                out[i, : rows.shape[0]] = rows
+                out[i, rows.shape[0] :] = rows[-1]  # replicate the last element
+            arrays[name] = out
+        return cls(arrays=arrays, lengths=lengths)
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def batch(self) -> int:
+        return self.lengths.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        return next(iter(self.arrays.values())).shape[1]
+
+    @property
+    def mask(self) -> np.ndarray:
+        """(B, L_max) validity mask: True where a position is real data."""
+        if self._mask is None:
+            self._mask = self.lengths[:, None] > np.arange(self.max_length)[None, :]
+        return self._mask
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every row fills the padded width (no masking needed)."""
+        return bool(np.all(self.lengths == self.max_length))
+
+    # -- padding accounting -------------------------------------------------
+    @property
+    def useful_positions(self) -> int:
+        """Positions holding real data: the sum of the true lengths."""
+        return int(self.lengths.sum())
+
+    @property
+    def padded_positions(self) -> int:
+        """Positions the padded execution actually touches: B * L_max."""
+        return self.batch * self.max_length
+
+    @property
+    def padding_efficiency(self) -> float:
+        """useful / padded — 1.0 means no wasted work."""
+        return self.useful_positions / self.padded_positions
+
+    # -- row access ---------------------------------------------------------
+    def row_inputs(self, i: int) -> Dict[str, np.ndarray]:
+        """Query ``i`` trimmed back to its true length (copies)."""
+        length = int(self.lengths[i])
+        return {name: arr[i, :length].copy() for name, arr in self.arrays.items()}
+
+    def take(self, indices: Sequence[int]) -> "RaggedBatch":
+        """Row subset re-padded to the subset's own longest length.
+
+        The length-aware sharded backend uses this to trim per-device
+        padding: a shard of short rows does not pay for the batch-global
+        ``L_max``.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 1 or idx.shape[0] == 0:
+            raise SpecError("take() needs at least one row index")
+        lengths = self.lengths[idx]
+        new_max = int(lengths.max())
+        arrays = {
+            name: arr[idx, :new_max] for name, arr in self.arrays.items()
+        }
+        return RaggedBatch(arrays=arrays, lengths=lengths)
+
+    def __repr__(self) -> str:
+        return (
+            f"RaggedBatch(batch={self.batch}, max_length={self.max_length}, "
+            f"efficiency={self.padding_efficiency:.2f})"
+        )
+
+
+def stack_queries(
+    cascade: Cascade,
+    queries: Sequence[Mapping[str, np.ndarray]],
+    allow_ragged: bool = False,
+) -> Union[Dict[str, np.ndarray], RaggedBatch]:
+    """Stack per-query input dicts into one batched input.
+
+    Equal-length queries stack into a dense dict of ``(B, L, w)`` arrays
+    (the strict path, and the default).  Ragged queries are rejected up
+    front with the offending input name and lengths — unless the caller
+    opts in with ``allow_ragged=True``, in which case they pad into a
+    masked :class:`RaggedBatch` that every ragged-capable backend can
+    execute as one vectorized micro-batch.
     """
     if not queries:
         raise SpecError("need at least one query to batch")
     per_query = [normalize_inputs(cascade, dict(q)) for q in queries]
     lengths = [next(iter(q.values())).shape[0] for q in per_query]
     if len(set(lengths)) > 1:
+        if allow_ragged:
+            return RaggedBatch.from_normalized(cascade, per_query)
+        # every element var shares its query's length, so the first var
+        # names the mismatch precisely enough to act on
+        name = cascade.element_vars[0]
         raise SpecError(
-            f"cannot batch ragged queries: lengths {lengths} differ "
-            "(pad or group queries by length before batching)"
+            f"cannot batch ragged queries: input {name!r} has lengths "
+            f"{lengths}, which differ across queries (pad or group queries "
+            "by length, or pass allow_ragged=True to pad into a masked "
+            "RaggedBatch)"
         )
     return {
         name: np.stack([q[name] for q in per_query], axis=0)
@@ -370,6 +595,195 @@ def run_batched_tree(
     return _squeeze_outputs(state_values(states[0]))
 
 
+# ---------------------------------------------------------------------------
+# masked (ragged) execution: padding contributes the monoid identity
+# ---------------------------------------------------------------------------
+def _masked(values: np.ndarray, mask: np.ndarray, identity: float) -> np.ndarray:
+    """Replace padded positions of (B, L, w) contributions with identity."""
+    return np.where(mask[:, :, None], values, identity)
+
+
+def run_ragged_unfused(
+    cascade: Cascade, ragged: RaggedBatch, base_index: int = 0
+) -> Dict[str, BatchValue]:
+    """Masked full-pass chain over a padded mixed-length batch.
+
+    Identical to :func:`run_batched_unfused` except that every
+    reduction's per-position contributions are replaced with the op's
+    identity at padded positions before reducing, so each row computes
+    the chain over exactly its valid prefix.  Works for unfusable
+    cascades too.
+    """
+    arrays = ragged.arrays
+    batch, length = ragged.batch, ragged.max_length
+    mask = ragged.mask
+    env: Dict[str, np.ndarray] = dict(arrays)
+    outputs: Dict[str, BatchValue] = {}
+    # padded positions may evaluate to inf/nan (e.g. a division by a
+    # masked-out dependency); the np.where discards them, so silence the
+    # transient warnings instead of leaking them to callers.
+    with np.errstate(all="ignore"):
+        for red in cascade.reductions:
+            values = _batched_elementwise(
+                red.fn, red.fn.evaluate(env), batch, length, cascade.element_vars
+            )
+            if red.is_topk:
+                if values.shape[2] != 1:
+                    raise SpecError("top-k reductions require width-1 inputs")
+                outputs[red.name] = _BatchTopK(red.topk).from_batch(
+                    values[:, :, 0], base_index, valid=mask
+                )
+            else:
+                masked = _masked(values, mask, red.op.identity)
+                result = np.asarray(red.op.reduce(masked, 1))[:, None, :]
+                outputs[red.name] = result
+                env[red.name] = result
+    return _squeeze_outputs(outputs)
+
+
+def ragged_segment_state(
+    fused,
+    arrays: Mapping[str, np.ndarray],
+    mask: np.ndarray,
+    base_index: int = 0,
+) -> Tuple[Dict[str, State], np.ndarray]:
+    """Masked first-level partials for one segment of a padded batch.
+
+    Returns the per-reduction states plus the ``(B,)`` count of valid
+    positions each row contributed — rows with zero valid positions in
+    this segment hold exact identity partials (0 for sum accumulators,
+    -inf for max, empty top-k), which merge as no-ops.
+    """
+    batch, length = mask.shape
+    element_vars = fused.cascade.element_vars
+    valid_counts = mask.sum(axis=1)
+    empty = valid_counts == 0
+    env: Dict[str, np.ndarray] = dict(arrays)
+    states: Dict[str, State] = {}
+    with np.errstate(all="ignore"):
+        for fr in fused:
+            red = fr.reduction
+            if fr.is_topk:
+                values = np.asarray(red.fn.evaluate(env), dtype=float)
+                if values.ndim == 3:
+                    if values.shape[2] != 1:
+                        raise SpecError("top-k reductions require width-1 inputs")
+                    values = values[:, :, 0]
+                states[red.name] = _BatchTopK(red.topk).from_batch(
+                    values, base_index, valid=mask
+                )
+                continue
+            if fr.is_multi_term:
+                accumulators = [
+                    np.sum(
+                        _masked(
+                            _batched_elementwise(
+                                term.g, term.eval_g(env), batch, length, element_vars
+                            ),
+                            mask,
+                            0.0,
+                        ),
+                        axis=1,
+                        keepdims=True,
+                    )
+                    for term in fr.terms
+                ]
+                value = np.asarray(fr.multi_term_value(accumulators, env))
+                if np.any(empty):
+                    # h_j(identity deps) may be inf/nan; the true value of
+                    # an empty multi-term partial is Σ h_j * 0 = 0
+                    value = np.where(empty[:, None, None], 0.0, value)
+                states[red.name] = MultiTermState(
+                    accumulators=accumulators, value=value
+                )
+                env[red.name] = value
+                continue
+            values = _batched_elementwise(
+                fr.gh, fr.eval_gh(env), batch, length, element_vars
+            )
+            masked = _masked(values, mask, red.op.identity)
+            value = np.asarray(red.op.reduce(masked, 1))[:, None, :]
+            states[red.name] = ScalarState(value=value)
+            env[red.name] = value
+    return states, valid_counts
+
+
+def ragged_merge_states(
+    fused,
+    left: Mapping[str, State],
+    right: Mapping[str, State],
+    left_valid: np.ndarray,
+    right_valid: np.ndarray,
+) -> Tuple[Dict[str, State], np.ndarray]:
+    """Merge masked partial states, tracking per-row valid counts.
+
+    One-side-empty rows need no special handling: an identity-valued
+    partial is absorbed by ⊕ and its correction factor collapses to the
+    ⊗-identity under the Appendix A.1 repair, so the merged row equals
+    the non-empty side exactly.  Rows empty on *both* sides are the one
+    case where correction ratios can go indeterminate (identity vs
+    identity); their merged values are restored to the exact identity
+    afterwards, which is the value an empty partial must carry.
+    """
+    valid = left_valid + right_valid
+    with np.errstate(all="ignore"):
+        merged = batched_merge_states(fused, left, right)
+    both_empty = valid == 0
+    if np.any(both_empty):
+        sel = both_empty[:, None, None]
+        for fr in fused:
+            name = fr.reduction.name
+            if fr.is_topk:
+                continue  # -inf/-1 carriers combine exactly already
+            state = merged[name]
+            if fr.is_multi_term:
+                state.value = np.where(sel, 0.0, state.value)
+            else:
+                state.value = np.where(sel, fr.reduction.op.identity, state.value)
+    return merged, valid
+
+
+def run_ragged_tree(
+    fused,
+    ragged: RaggedBatch,
+    num_segments: int = 4,
+    branching: Optional[int] = 2,
+) -> Dict[str, BatchValue]:
+    """Masked fused reduction tree over a padded mixed-length batch.
+
+    The segment/tree shape is derived from the padded length, exactly
+    like the dense path at ``L_max``; each segment's partials are masked
+    per row, so segments past a short row's length hold identity
+    partials that merge as no-ops.
+    """
+    arrays = ragged.arrays
+    mask = ragged.mask
+    segments = segment_bounds(ragged.max_length, num_segments)
+    states: List[Tuple[Dict[str, State], np.ndarray]] = [
+        ragged_segment_state(
+            fused,
+            _slice_batch(fused.cascade, arrays, rows),
+            mask[:, rows.start : rows.stop],
+            rows.start,
+        )
+        for rows in segments
+    ]
+    if branching is None or branching < 2:
+        branching = len(states)
+    while len(states) > 1:
+        grouped: List[Tuple[Dict[str, State], np.ndarray]] = []
+        for start in range(0, len(states), branching):
+            group = states[start : start + branching]
+            merged, valid = group[0]
+            for other_state, other_valid in group[1:]:
+                merged, valid = ragged_merge_states(
+                    fused, merged, other_state, valid, other_valid
+                )
+            grouped.append((merged, valid))
+        states = grouped
+    return _squeeze_outputs(state_values(states[0][0]))
+
+
 class BatchExecutor:
     """Vectorized many-query executor bound to one :class:`FusionPlan`.
 
@@ -403,13 +817,39 @@ class BatchExecutor:
         self.branching = branching
 
     def run(
-        self, batch_inputs: Mapping[str, np.ndarray], **backend_options
+        self,
+        batch_inputs: Union[Mapping[str, np.ndarray], RaggedBatch],
+        **backend_options,
     ) -> Dict[str, BatchValue]:
-        """Execute a batch given as arrays with a leading batch axis."""
+        """Execute a batch: dense arrays with a leading batch axis, or a
+        :class:`RaggedBatch` of padded mixed-length queries (masked
+        execution on every backend that declares the ``ragged``
+        capability)."""
         # Re-resolve by name so register_backend(..., replace=True)
         # applies to executors cached before the replacement.
         backend = get_backend(self.mode)
         backend.check_options(backend_options)
+        if isinstance(batch_inputs, RaggedBatch):
+            if batch_inputs.is_uniform:
+                # no masking needed; the dense path is bitwise identical
+                batch_inputs = batch_inputs.arrays
+            else:
+                from .backends import BackendError
+
+                if not backend.capabilities.ragged:
+                    raise BackendError(
+                        f"backend {backend.name!r} does not support ragged "
+                        "(mixed-length) batches; pad or group queries by length"
+                    )
+                outputs = backend.execute_ragged(
+                    self.plan,
+                    batch_inputs,
+                    num_segments=self.num_segments,
+                    branching=self.branching,
+                    **backend_options,
+                )
+                self.plan._record_execution(backend.name)
+                return outputs
         outputs = backend.execute_batch(
             self.plan,
             batch_inputs,
@@ -421,10 +861,20 @@ class BatchExecutor:
         return outputs
 
     def run_many(
-        self, queries: Sequence[Mapping[str, np.ndarray]], **backend_options
+        self,
+        queries: Sequence[Mapping[str, np.ndarray]],
+        allow_ragged: bool = False,
+        **backend_options,
     ) -> Dict[str, BatchValue]:
-        """Stack per-query input dicts, then execute them as one batch."""
-        return self.run(stack_queries(self.plan.cascade, queries), **backend_options)
+        """Stack per-query input dicts, then execute them as one batch.
+
+        With ``allow_ragged=True``, mixed-length queries pad into one
+        masked :class:`RaggedBatch` instead of raising.
+        """
+        return self.run(
+            stack_queries(self.plan.cascade, queries, allow_ragged=allow_ragged),
+            **backend_options,
+        )
 
 
 class StreamSession:

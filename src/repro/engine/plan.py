@@ -124,6 +124,9 @@ class FusionPlan:
         self._state_lock = threading.Lock()
         self._execution_counts: "Counter[str]" = Counter()
         self._execution_sinks: list = []
+        #: Ragged-execution padding accounting per backend name:
+        #: [useful positions, padded positions actually executed].
+        self._padding_counts: Dict[str, list] = {}
         self._batch_executors = BoundedCache(self.max_batch_executors)
 
     @classmethod
@@ -206,6 +209,37 @@ class FusionPlan:
         """Successful executions served by this plan, per backend name."""
         with self._state_lock:
             return dict(self._execution_counts)
+
+    def _record_padding(self, backend_name: str, useful: int, padded: int) -> None:
+        """Account one ragged dispatch's padding overhead for a backend.
+
+        ``useful`` is the sum of the true per-row lengths; ``padded`` is
+        the number of positions the backend actually executed (its padded
+        footprint — a length-aware backend may execute fewer than
+        ``B * L_max``).
+        """
+        with self._state_lock:
+            counts = self._padding_counts.setdefault(backend_name, [0, 0])
+            counts[0] += int(useful)
+            counts[1] += int(padded)
+
+    @property
+    def padding_counts(self) -> Dict[str, Dict[str, object]]:
+        """Per-backend padding efficiency of ragged executions.
+
+        ``useful_positions / padded_positions`` — 1.0 means every
+        executed position carried real data (no padding waste).
+        """
+        with self._state_lock:
+            snapshot = {name: tuple(c) for name, c in self._padding_counts.items()}
+        return {
+            name: {
+                "useful_positions": useful,
+                "padded_positions": padded,
+                "efficiency": useful / padded if padded else 1.0,
+            }
+            for name, (useful, padded) in snapshot.items()
+        }
 
     def execute(
         self,
@@ -308,6 +342,9 @@ class FusionPlan:
             "compile_seconds": self.compile_seconds,
             "executions": self.execution_counts,
         }
+        padding = self.padding_counts
+        if padding:
+            info["padding"] = padding
         if self.is_compiled:
             info["fusable"] = self.fusable
             if self.fusable:

@@ -4,12 +4,17 @@ This module turns the engine from a caller-batched library into a
 request-scheduled runtime.  Clients ``submit()`` independent single
 queries and receive :class:`concurrent.futures.Future` objects; a
 scheduler groups compatible requests — same plan, same resolved
-backend, same input geometry and execution parameters — into
-micro-batches under a configurable window / max-batch policy
-(continuous batching) and dispatches them through the existing
-``FusionPlan.execute_batch`` path, so a burst of 64 one-query clients
-gets the same vectorized execution a single caller handing over a
-pre-formed batch would.
+backend, same execution parameters, and input lengths within one
+*length bucket* (``ServingConfig.bucket``) — into micro-batches under a
+configurable window / max-batch policy (continuous batching) and
+dispatches them through the existing ``FusionPlan.execute_batch`` path,
+so a burst of 64 one-query clients gets the same vectorized execution a
+single caller handing over a pre-formed batch would.  Mixed-length
+requests within a bucket pad into a masked
+:class:`~repro.engine.batch.RaggedBatch` — padded positions contribute
+each reduction's monoid identity — so realistic ragged traffic no
+longer fragments into per-length micro-batches; the padding overhead is
+tracked in :class:`ServingStats`.
 
 Admission control is a bounded queue with load shedding: once
 ``max_queue_depth`` requests are waiting, further submissions fail fast
@@ -45,7 +50,7 @@ import numpy as np
 
 from ..core.spec import normalize_inputs
 from .backends import resolve_backend
-from .batch import BatchTopKState
+from .batch import BatchTopKState, RaggedBatch
 
 #: Sentinel distinguishing "argument not given" from an explicit None
 #: (``branching=None`` legitimately means "merge all segments flat").
@@ -74,12 +79,24 @@ class ServingConfig:
     * ``batch_window_s`` — after the first request of a group is picked
       up, the scheduler waits up to this long for more compatible
       requests before dispatching (the window closes early when
-      ``max_batch`` is reached, so full batches pay no wait).
+      ``max_batch`` is reached, so full batches pay no wait);
+    * ``bucket`` — the length-bucket policy deciding which input lengths
+      may share a micro-batch (mixed lengths within a bucket pad into a
+      masked :class:`~repro.engine.batch.RaggedBatch`):
+
+      - ``"pow2"`` (default) — lengths bucket to the next power of two,
+        so padding never more than doubles a row;
+      - ``"exact"`` — only identical lengths group (the strict PR 4
+        behavior: realistic mixed traffic fragments into tiny batches);
+      - ``(e1, e2, ...)`` — explicit ascending bucket edges; a length
+        maps to the smallest edge >= it, lengths beyond the last edge
+        bucket exactly.
     """
 
     max_queue_depth: int = 256
     max_batch: int = 64
     batch_window_s: float = 0.002
+    bucket: object = "pow2"
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -88,16 +105,52 @@ class ServingConfig:
             raise ValueError("max_batch must be >= 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if not isinstance(self.bucket, str):
+            try:
+                edges = tuple(int(e) for e in self.bucket)
+            except TypeError:
+                raise ValueError(
+                    f'bucket must be "pow2", "exact", or a sequence of edges; '
+                    f"got {self.bucket!r}"
+                ) from None
+            if not edges or any(e < 1 for e in edges) or any(
+                a >= b for a, b in zip(edges, edges[1:])
+            ):
+                raise ValueError(
+                    "bucket edges must be a non-empty strictly increasing "
+                    f"sequence of positive lengths; got {self.bucket!r}"
+                )
+            object.__setattr__(self, "bucket", edges)
+        elif self.bucket not in ("pow2", "exact"):
+            raise ValueError(
+                f'bucket must be "pow2", "exact", or a sequence of edges; '
+                f"got {self.bucket!r}"
+            )
+
+    def bucket_for(self, length: int) -> int:
+        """The padded length requests of ``length`` group under."""
+        if self.bucket == "exact":
+            return length
+        if self.bucket == "pow2":
+            return 1 << max(0, int(length) - 1).bit_length()
+        for edge in self.bucket:
+            if length <= edge:
+                return edge
+        return length  # beyond the last edge: group exactly
 
 
 class ServingStats:
     """Thread-safe counters for one serving runtime.
 
     Monotonic: ``submitted`` / ``completed`` / ``failed`` / ``shed`` /
-    ``batches`` / ``batched_requests``.  Gauges: ``queue_depth`` (live)
-    and ``peak_queue_depth``.  Latencies (submit → future resolution)
-    are kept in a bounded reservoir of the most recent
-    ``latency_window`` samples; ``snapshot()`` reports p50/p99 over it.
+    ``batches`` / ``batched_requests``, plus the ragged padding account
+    (``useful_positions`` / ``padded_positions``: real vs executed
+    positions across all micro-batches, so ``padding_efficiency`` shows
+    what fraction of the padded work carried data).  Gauges:
+    ``queue_depth`` (live) and ``peak_queue_depth``.  Latencies (submit
+    → future resolution) are kept in a bounded reservoir of the most
+    recent ``latency_window`` samples; ``snapshot()`` reports p50/p99
+    over it.
     """
 
     latency_window = 4096
@@ -110,6 +163,9 @@ class ServingStats:
         self.shed = 0
         self.batches = 0
         self.batched_requests = 0
+        self.ragged_batches = 0
+        self.useful_positions = 0
+        self.padded_positions = 0
         self.max_batch_size = 0
         self.peak_queue_depth = 0
         self.queue_depth = 0
@@ -129,11 +185,15 @@ class ServingStats:
         with self._lock:
             self.queue_depth = queue_depth
 
-    def note_batch(self, size: int) -> None:
+    def note_batch(self, size: int, useful: int = 0, padded: int = 0) -> None:
         with self._lock:
             self.batches += 1
             self.batched_requests += size
             self.max_batch_size = max(self.max_batch_size, size)
+            self.useful_positions += useful
+            self.padded_positions += padded
+            if padded > useful:
+                self.ragged_batches += 1
 
     def note_done(self, latency_s: float, ok: bool) -> None:
         with self._lock:
@@ -167,6 +227,14 @@ class ServingStats:
                 "max_batch_size": self.max_batch_size,
                 "mean_batch_size": (
                     self.batched_requests / self.batches if self.batches else 0.0
+                ),
+                "ragged_batches": self.ragged_batches,
+                "useful_positions": self.useful_positions,
+                "padded_positions": self.padded_positions,
+                "padding_efficiency": (
+                    self.useful_positions / self.padded_positions
+                    if self.padded_positions
+                    else 1.0
                 ),
             }
         snap.update(self.latency_percentiles())
@@ -301,12 +369,20 @@ class ServingEngine:
         )
         if groupable:
             length = next(iter(arrays.values())).shape[0]
+            # Ragged-capable backends group by length *bucket*: requests
+            # of different lengths within a bucket pad into one masked
+            # micro-batch.  Backends without masked execution keep the
+            # strict exact-geometry key.
+            if getattr(backend.capabilities, "ragged", False):
+                length_key = self.config.bucket_for(length)
+            else:
+                length_key = length
             widths = tuple(
                 arrays[name].shape[1] for name in plan.cascade.element_vars
             )
             branch_key = "flat" if branching is None else branching
             key: Tuple = (
-                id(plan), backend.name, length, widths,
+                id(plan), backend.name, length_key, widths,
                 num_segments, branch_key if branching is not _UNSET else "default",
                 tuple(sorted(backend_options.items())),
             )
@@ -444,8 +520,11 @@ class ServingEngine:
                 outputs = self._execute_single(head)
                 self._resolve(group, [outputs])
             else:
-                self.stats.note_batch(len(group))
-                merged = self._execute_group(group)
+                batch_inputs, useful, padded = self._stack_group(group)
+                self.stats.note_batch(len(group), useful, padded)
+                merged = head.plan.execute_batch(
+                    batch_inputs, mode=head.mode, **self._batch_kwargs(head)
+                )
                 self._resolve(group, self._scatter(head.plan, merged, len(group)))
         except BaseException as err:
             for request in group:
@@ -484,15 +563,28 @@ class ServingEngine:
             request.inputs, mode=request.mode, **self._batch_kwargs(request)
         )
 
-    def _execute_group(self, group: List[_Request]):
+    def _stack_group(self, group: List[_Request]):
+        """Form the micro-batch input for a compatible request group.
+
+        Equal-length groups stack densely (the strict PR 4 path, zero
+        padding); mixed-length groups — possible when the bucket policy
+        is not ``"exact"`` — pad into a masked
+        :class:`~repro.engine.batch.RaggedBatch`.  Returns the batch
+        input plus its useful/padded position counts for the stats.
+        """
         head = group[0]
-        stacked = {
-            name: np.stack([r.inputs[name] for r in group], axis=0)
-            for name in head.plan.cascade.element_vars
-        }
-        return head.plan.execute_batch(
-            stacked, mode=head.mode, **self._batch_kwargs(head)
+        lengths = [next(iter(r.inputs.values())).shape[0] for r in group]
+        if len(set(lengths)) == 1:
+            stacked = {
+                name: np.stack([r.inputs[name] for r in group], axis=0)
+                for name in head.plan.cascade.element_vars
+            }
+            positions = len(group) * lengths[0]
+            return stacked, positions, positions
+        ragged = RaggedBatch.from_normalized(
+            head.plan.cascade, [r.inputs for r in group]
         )
+        return ragged, ragged.useful_positions, ragged.padded_positions
 
     @staticmethod
     def _scatter(plan, merged, batch: int) -> List[Dict[str, object]]:

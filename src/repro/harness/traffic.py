@@ -52,10 +52,15 @@ def build_request_stream(
     *,
     kinds: Sequence[str] = SERVING_KINDS,
     weights: Optional[Sequence[float]] = None,
-    length: int = 256,
+    length=256,
     width: int = 16,
 ) -> List[TrafficRequest]:
-    """Poisson-timed mixed-workload request stream, ready to replay."""
+    """Poisson-timed mixed-workload request stream, ready to replay.
+
+    ``length`` may be an int or a sequence of KV lengths to draw from
+    per request (mixed-length traffic); see
+    :func:`repro.workloads.serving_mix.request_mix`.
+    """
     arrivals = poisson_arrivals(rng, rate_rps, count)
     mix = request_mix(
         count, rng, kinds=kinds, weights=weights, length=length, width=width
@@ -185,7 +190,7 @@ def sweep_offered_load(
     count: int,
     *,
     seed: int = 0,
-    length: int = 256,
+    length=256,
     width: int = 16,
     kinds: Sequence[str] = SERVING_KINDS,
 ) -> List[Tuple[float, ReplayReport]]:

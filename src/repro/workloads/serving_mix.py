@@ -15,7 +15,7 @@ per-request path actually sees in a decode loop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,20 +50,37 @@ def query_for(
     )
 
 
+def draw_length(rng: np.random.Generator, length: Union[int, Sequence[int]]) -> int:
+    """One KV length for a request: fixed, or drawn from a choice set.
+
+    Serving traffic rarely arrives at one uniform length; passing a
+    sequence here models a decode population with mixed KV depths — the
+    workload the scheduler's ragged micro-batching exists for.
+    """
+    if isinstance(length, (int, np.integer)):
+        return int(length)
+    choices = list(length)
+    if not choices:
+        raise ValueError("length choices must be non-empty")
+    return int(choices[int(rng.integers(len(choices)))])
+
+
 def request_mix(
     count: int,
     rng: np.random.Generator,
     *,
     kinds: Sequence[str] = SERVING_KINDS,
     weights: Optional[Sequence[float]] = None,
-    length: int = 256,
+    length: Union[int, Sequence[int]] = 256,
     width: int = 16,
 ) -> List[Tuple[str, object, Dict[str, np.ndarray]]]:
     """Draw ``count`` mixed requests: ``[(kind, cascade, inputs), ...]``.
 
-    ``weights`` biases the blend (uniform by default).  All requests of
-    one kind share a cascade structure, so the scheduler's plan cache
-    sees exactly ``len(kinds)`` signatures regardless of ``count``.
+    ``weights`` biases the blend (uniform by default).  ``length`` may
+    be a single KV length or a sequence of lengths to draw from per
+    request (mixed-length traffic).  All requests of one kind share a
+    cascade structure, so the scheduler's plan cache sees exactly
+    ``len(kinds)`` signatures regardless of ``count``.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
@@ -75,6 +92,8 @@ def request_mix(
     requests = []
     for index in drawn:
         kind = kinds[int(index)]
-        cascade, inputs = query_for(kind, rng, length=length, width=width)
+        cascade, inputs = query_for(
+            kind, rng, length=draw_length(rng, length), width=width
+        )
         requests.append((kind, cascade, inputs))
     return requests

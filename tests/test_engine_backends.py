@@ -68,17 +68,20 @@ class TestRegistry:
     def test_capability_flags(self):
         assert get_backend("unfused").capabilities == BackendCapabilities(
             requires_fusion=False, batchable=True, streamable=False,
-            simulated=False, shardable=True,
+            simulated=False, shardable=True, ragged=True,
         )
         assert get_backend("fused_tree").capabilities.requires_fusion
         assert get_backend("fused_tree").capabilities.batchable
         assert get_backend("fused_tree").capabilities.shardable
+        assert get_backend("fused_tree").capabilities.ragged
         assert get_backend("incremental").capabilities.streamable
         assert not get_backend("incremental").capabilities.batchable
+        assert not get_backend("incremental").capabilities.ragged
         tile = get_backend("tile_ir").capabilities
         assert tile.requires_fusion and tile.batchable and tile.simulated
+        assert tile.ragged
         sharded = get_backend("sharded").capabilities
-        assert sharded.batchable and sharded.simulated
+        assert sharded.batchable and sharded.simulated and sharded.ragged
         assert not sharded.shardable  # a sharder does not shard itself
 
     def test_unknown_name_error_is_uniform(self):

@@ -14,7 +14,15 @@ import numpy as np
 import pytest
 
 from repro.core import Cascade, NotFusableError, Reduction, run_unfused
-from repro.engine import BackendError, BatchExecutor, Engine, available_backends, get_backend
+from repro.engine import (
+    BackendError,
+    BatchExecutor,
+    Engine,
+    RaggedBatch,
+    available_backends,
+    get_backend,
+    stack_queries,
+)
 from repro.symbolic import Const, exp, var
 
 X, Y = var("x"), var("y")
@@ -190,6 +198,126 @@ def test_batched_path_matches_per_query_unfused(seed):
                 np.testing.assert_allclose(
                     out[name][i], ref_value, rtol=RTOL, atol=ATOL, err_msg=context
                 )
+
+
+def _assert_row_matches(out, ref, i: int, context: str) -> None:
+    """One padded batch row against its per-query reference outputs."""
+    for name, ref_value in ref.items():
+        if hasattr(ref_value, "values"):  # top-k carrier
+            row = out[name].row(i)
+            np.testing.assert_allclose(
+                row.values, ref_value.values, rtol=RTOL, atol=ATOL,
+                err_msg=f"{context}: {name}.values",
+            )
+            np.testing.assert_array_equal(
+                row.indices, ref_value.indices, err_msg=f"{context}: {name}.indices"
+            )
+        else:
+            np.testing.assert_allclose(
+                out[name][i], ref_value, rtol=RTOL, atol=ATOL,
+                err_msg=f"{context}: {name}",
+            )
+
+
+@pytest.mark.parametrize("seed", range(38, 52))
+def test_ragged_batches_match_per_query_loop(seed):
+    """Masked padded execution must equal the per-query loop, per backend.
+
+    Random mixed-length queries pad into one RaggedBatch; every backend
+    that declares the ``ragged`` capability (including the sharded
+    backend and top-k epilogues) must return, for every row, the same
+    outputs as ``run_unfused`` at that row's true length.
+    """
+    rng = np.random.default_rng(seed)
+    cascade = random_cascade(rng, 48)
+    batch = int(rng.integers(2, 9))
+    lengths = rng.integers(4, 64, size=batch)
+    lengths[int(rng.integers(batch))] = int(lengths.max()) + int(
+        rng.integers(1, 16)
+    )  # guarantee real raggedness
+    queries = [
+        {"x": rng.normal(size=int(l)), "y": rng.normal(size=int(l))}
+        for l in lengths
+    ]
+    refs = [run_unfused(cascade, q) for q in queries]
+
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    exercised = []
+    for name in available_backends():
+        backend = get_backend(name)
+        if not backend.capabilities.ragged:
+            continue
+        if not backend.supports(plan):
+            continue
+        executor = BatchExecutor(plan, mode=name)
+        out = executor.run_many(queries, allow_ragged=True)
+        for i, ref in enumerate(refs):
+            _assert_row_matches(out, ref, i, f"seed {seed}, backend {name}, row {i}")
+        exercised.append(name)
+    assert set(exercised) >= {"unfused", "fused_tree", "sharded"}
+    # padding overhead was accounted per backend (the sharded run also
+    # adds its inner backend's shard executions to that inner's account)
+    padding = plan.padding_counts
+    for name in exercised:
+        assert padding[name]["useful_positions"] >= int(sum(lengths)), name
+        assert 0.0 < padding[name]["efficiency"] <= 1.0
+
+
+@pytest.mark.parametrize("seed", range(52, 58))
+def test_ragged_topk_epilogue_matches_per_query(seed):
+    """Dedicated top-k coverage: padded rows keep exact values/indices,
+    including rows shorter than k (identity -inf/-1 padding)."""
+    rng = np.random.default_rng(seed)
+    x = var("x")
+    cascade = Cascade(
+        "routing",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("t", "sum", exp(x - var("m"))),
+            Reduction("sel", "topk", x, topk=4),
+        ),
+    )
+    lengths = [2, 3, int(rng.integers(5, 40)), int(rng.integers(5, 40)), 4]
+    queries = [{"x": rng.normal(size=l)} for l in lengths]
+    refs = [run_unfused(cascade, q) for q in queries]
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    for name in ("unfused", "fused_tree", "sharded"):
+        out = BatchExecutor(plan, mode=name).run_many(queries, allow_ragged=True)
+        for i, ref in enumerate(refs):
+            _assert_row_matches(out, ref, i, f"seed {seed}, backend {name}, row {i}")
+
+
+@pytest.mark.parametrize("seed", range(58, 64))
+def test_ragged_sharded_matches_whole_batch_per_row(seed):
+    """Length-aware sharding must not change any row's result beyond fp
+    noise, while trimming per-device padding below the naive footprint."""
+    rng = np.random.default_rng(seed)
+    cascade = random_cascade(rng, 48)
+    batch = int(rng.integers(6, 16))
+    lengths = rng.integers(4, 96, size=batch)
+    if len(set(int(l) for l in lengths)) == 1:
+        lengths[0] += 7
+    queries = [
+        {"x": rng.normal(size=int(l)), "y": rng.normal(size=int(l))}
+        for l in lengths
+    ]
+    engine = Engine()
+    plan = engine.plan_for(cascade)
+    ragged = stack_queries(cascade, queries, allow_ragged=True)
+    assert isinstance(ragged, RaggedBatch)
+    out = plan.execute_batch(ragged, mode="sharded")
+    for i, q in enumerate(queries):
+        _assert_row_matches(
+            out, run_unfused(cascade, q), i, f"seed {seed}, sharded row {i}"
+        )
+    padding = plan.padding_counts["sharded"]
+    assert padding["useful_positions"] == int(lengths.sum())
+    # trimming each shard to its own longest row must not execute more
+    # padding than the untrimmed whole-batch footprint
+    assert padding["padded_positions"] <= batch * int(lengths.max())
 
 
 @pytest.mark.parametrize("seed", range(20, 26))

@@ -134,8 +134,10 @@ class TestAsyncScheduler:
     def test_incompatible_shapes_never_share_a_batch(self):
         engine = Engine()
         cascade = softmax_cascade(2.0)
+        # lengths 8 and 12 fall in different pow2 buckets (8 vs 16), so
+        # even the ragged policy keeps them apart; exact makes it strict
         with engine.serving(
-            ServingConfig(max_batch=8, batch_window_s=0.01)
+            ServingConfig(max_batch=8, batch_window_s=0.01, bucket="exact")
         ) as serving:
             futures = []
 
@@ -155,6 +157,59 @@ class TestAsyncScheduler:
             for length, future in futures:
                 ref = run_unfused(cascade, {"x": np.arange(float(length))})
                 np.testing.assert_allclose(future.result()["t"], ref["t"])
+
+    def test_ragged_bucket_batches_mixed_lengths(self):
+        engine = Engine()
+        cascade = softmax_cascade(2.5)
+        rng = np.random.default_rng(21)
+        # all lengths land in the (16, 32] pow2 bucket, none equal
+        lengths = (17, 21, 25, 29, 32, 19, 27, 23)
+        datas = [rng.normal(size=l) for l in lengths]
+        with engine.serving(
+            ServingConfig(max_batch=8, batch_window_s=0.05)
+        ) as serving:
+            futures = [None] * len(datas)
+
+            def client(i):
+                futures[i] = serving.submit(cascade, {"x": datas[i]})
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(datas))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for data, future in zip(datas, futures):
+                ref = run_unfused(cascade, {"x": data})
+                np.testing.assert_allclose(future.result()["t"], ref["t"], rtol=1e-9)
+                np.testing.assert_allclose(future.result()["m"], ref["m"], rtol=1e-9)
+        snap = serving.stats.snapshot()
+        assert snap["completed"] == len(datas)
+        # mixed lengths shared micro-batches (timing-dependent how many,
+        # but 8 threads against a 50ms window always overlap)
+        assert snap["max_batch_size"] > 1
+        assert snap["ragged_batches"] >= 1
+        assert snap["useful_positions"] < snap["padded_positions"]
+        assert 0.0 < snap["padding_efficiency"] < 1.0
+
+    def test_bucket_policies(self):
+        assert ServingConfig(bucket="exact").bucket_for(100) == 100
+        pow2 = ServingConfig(bucket="pow2")
+        assert pow2.bucket_for(1) == 1
+        assert pow2.bucket_for(8) == 8
+        assert pow2.bucket_for(9) == 16
+        assert pow2.bucket_for(100) == 128
+        edges = ServingConfig(bucket=(16, 64, 256))
+        assert edges.bucket == (16, 64, 256)
+        assert edges.bucket_for(10) == 16
+        assert edges.bucket_for(16) == 16
+        assert edges.bucket_for(17) == 64
+        assert edges.bucket_for(300) == 300  # beyond the last edge: exact
+        for bad in ("nope", (), (0, 4), (8, 8), (16, 4)):
+            with pytest.raises(ValueError, match="bucket"):
+                ServingConfig(bucket=bad)
 
     def test_topk_outputs_scatter_per_request(self):
         engine = Engine()

@@ -15,9 +15,11 @@ from repro.core import Cascade, Reduction, run_unfused
 from repro.core.ops import TopKState
 from repro.core.spec import SpecError
 from repro.engine import (
+    BackendError,
     BatchExecutor,
     BatchTopKState,
     Engine,
+    RaggedBatch,
     normalize_batch_inputs,
     stack_queries,
 )
@@ -76,7 +78,8 @@ class TestBatchEdges:
             {"x": np.arange(12.0)},
             {"x": np.arange(8.0)},
         ]
-        with pytest.raises(SpecError, match=r"ragged.*\[8, 12, 8\]"):
+        # the strict default names the offending input and its lengths
+        with pytest.raises(SpecError, match=r"ragged.*'x'.*\[8, 12, 8\]"):
             stack_queries(softmax_cascade(), queries)
         engine = Engine()
         executor = BatchExecutor(engine.plan_for(softmax_cascade()))
@@ -97,6 +100,122 @@ class TestBatchEdges:
             normalize_batch_inputs(
                 cascade, {"x": np.zeros((3, 8)), "y": np.zeros((2, 8))}
             )
+
+
+class TestRaggedBatch:
+    def test_stack_queries_opt_in_returns_ragged_carrier(self):
+        queries = [{"x": np.arange(8.0)}, {"x": np.arange(12.0)}]
+        ragged = stack_queries(softmax_cascade(), queries, allow_ragged=True)
+        assert isinstance(ragged, RaggedBatch)
+        assert ragged.batch == 2
+        assert ragged.max_length == 12
+        assert list(ragged.lengths) == [8, 12]
+        np.testing.assert_array_equal(
+            ragged.mask[0], np.arange(12) < 8
+        )
+        assert ragged.useful_positions == 20
+        assert ragged.padded_positions == 24
+        assert ragged.padding_efficiency == pytest.approx(20 / 24)
+        # padding replicates each row's last valid element
+        np.testing.assert_array_equal(ragged.arrays["x"][0, 8:, 0], 7.0)
+
+    def test_uniform_queries_still_stack_dense(self):
+        queries = [{"x": np.arange(8.0)}, {"x": np.arange(8.0)}]
+        stacked = stack_queries(softmax_cascade(), queries, allow_ragged=True)
+        assert isinstance(stacked, dict)
+        assert stacked["x"].shape == (2, 8, 1)
+
+    def test_uniform_ragged_carrier_routes_to_dense_path(self):
+        # a RaggedBatch with equal lengths is executed on the dense path,
+        # bitwise identical to a plain batched call
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        data = np.random.default_rng(7).normal(size=(3, 16))
+        ragged = RaggedBatch(
+            arrays={"x": data[:, :, None].copy()},
+            lengths=np.full(3, 16),
+        )
+        dense = plan.execute_batch({"x": data})
+        got = plan.execute_batch(ragged)
+        np.testing.assert_array_equal(np.asarray(got["t"]), np.asarray(dense["t"]))
+        assert plan.padding_counts == {}  # no masked work ran
+
+    def test_carrier_validation(self):
+        with pytest.raises(SpecError, match="at least one element"):
+            RaggedBatch(arrays={}, lengths=np.array([1]))
+        with pytest.raises(SpecError, match="at least one valid position"):
+            RaggedBatch(
+                arrays={"x": np.zeros((2, 4))}, lengths=np.array([0, 4])
+            )
+        with pytest.raises(SpecError, match="only hold"):
+            RaggedBatch(
+                arrays={"x": np.zeros((2, 4))}, lengths=np.array([2, 9])
+            )
+        with pytest.raises(SpecError, match="pad_to"):
+            RaggedBatch.from_queries(
+                softmax_cascade(), [{"x": np.arange(8.0)}], pad_to=4
+            )
+
+    def test_row_inputs_round_trip(self):
+        queries = [{"x": np.arange(5.0)}, {"x": np.arange(9.0)}]
+        ragged = RaggedBatch.from_queries(softmax_cascade(), queries)
+        for i, q in enumerate(queries):
+            np.testing.assert_array_equal(
+                ragged.row_inputs(i)["x"][:, 0], q["x"]
+            )
+
+    def test_take_trims_to_subset_max(self):
+        queries = [{"x": np.arange(float(l))} for l in (4, 16, 6)]
+        ragged = RaggedBatch.from_queries(softmax_cascade(), queries)
+        subset = ragged.take([0, 2])
+        assert subset.max_length == 6
+        assert list(subset.lengths) == [4, 6]
+        np.testing.assert_array_equal(subset.arrays["x"][1, :, 0], np.arange(6.0))
+
+    def test_non_ragged_backend_rejects_mixed_lengths(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        ragged = stack_queries(
+            softmax_cascade(),
+            [{"x": np.arange(8.0)}, {"x": np.arange(12.0)}],
+            allow_ragged=True,
+        )
+
+        from repro.engine import ExecutionBackend, register_backend, unregister_backend
+        from repro.engine.backends import BackendCapabilities
+
+        class DenseOnly(ExecutionBackend):
+            name = "dense_only"
+            capabilities = BackendCapabilities(batchable=True)
+
+            def execute(self, plan, inputs, **params):  # pragma: no cover
+                raise NotImplementedError
+
+            def execute_batch(self, plan, batch_inputs, **params):
+                return {}
+
+        register_backend(DenseOnly())
+        try:
+            with pytest.raises(BackendError, match="ragged"):
+                plan.execute_batch(ragged, mode="dense_only")
+        finally:
+            unregister_backend("dense_only")
+
+    def test_padding_stats_surface_in_describe(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        ragged = stack_queries(
+            softmax_cascade(),
+            [{"x": np.arange(8.0)}, {"x": np.arange(12.0)}],
+            allow_ragged=True,
+        )
+        plan.execute_batch(ragged, mode="fused_tree")
+        info = plan.describe()["padding"]["fused_tree"]
+        assert info["useful_positions"] == 20
+        assert info["padded_positions"] == 24
+        assert info["efficiency"] == pytest.approx(20 / 24)
+        engine_info = engine.stats.describe()["padding"]["fused_tree"]
+        assert engine_info["useful_positions"] == 20
 
 
 class TestBatchTopKState:
