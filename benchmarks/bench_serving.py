@@ -26,6 +26,7 @@ Set ``BENCH_QUICK=1`` for the CI smoke configuration (smaller shapes,
 shorter streams).
 """
 
+import math
 import os
 import threading
 import time
@@ -34,7 +35,12 @@ import numpy as np
 from _bench_util import BENCH_SERVING_JSON, update_bench_json, write_result
 
 from repro.engine import Engine, ServingConfig, get_backend
+from repro.harness.report import bottleneck_table
 from repro.harness.traffic import build_request_stream, replay, sweep_offered_load
+from repro.obs import padding_waste_rows, tracing, workload_bottlenecks
+from repro.obs.trace import load_events as trace_load_events
+from repro.obs.trace import render as trace_render
+from repro.obs.trace import summarize as trace_summarize
 from repro.workloads.serving_mix import query_for
 
 QUICK = os.environ.get("BENCH_QUICK") == "1"
@@ -249,8 +255,16 @@ def test_ragged_mix_beats_exact_geometry_grouping():
     )
 
 
-def test_traffic_replay_reports_latency_vs_offered_load():
-    """Poisson mixed-workload replay: throughput + p50/p99 per offered load."""
+def test_traffic_replay_reports_latency_vs_offered_load(trace_out):
+    """Poisson mixed-workload replay: throughput + p50/p99 per offered load.
+
+    With ``--trace-out <path>`` the replay runs under the span recorder
+    and leaves three artifacts next to the path: the Chrome trace-event
+    file itself (open it in Perfetto), a plain-text trace summary
+    (``repro.obs.trace``), and the gpusim bottleneck report for the fig5
+    workloads.
+    """
+    tracer = tracing.enable_tracing() if trace_out else None
     engine = Engine(
         serving_config=ServingConfig(
             max_queue_depth=4 * REPLAY_COUNT, max_batch=32, batch_window_s=0.002
@@ -274,6 +288,7 @@ def test_traffic_replay_reports_latency_vs_offered_load():
         rows.append(row)
         assert report.completed == report.requests  # queue bound never hit
         assert report.latency_percentile(99.0) >= report.latency_percentile(50.0)
+    padding_rows = padding_waste_rows(serving.stats)
     engine.close()
 
     snap = engine.stats.describe()
@@ -285,6 +300,7 @@ def test_traffic_replay_reports_latency_vs_offered_load():
             "loads": rows,
             "serving_stats": snap["serving"],
             "cache": snap["cache"],
+            "padding_by_bucket": padding_rows,
             "quick": QUICK,
         },
         path=BENCH_SERVING_JSON,
@@ -299,6 +315,126 @@ def test_traffic_replay_reports_latency_vs_offered_load():
             f"p99 {row['p99_latency_s'] * 1e3:6.2f} ms, shed {row['shed']}"
         )
     write_result("bench_serving", "\n".join(lines))
+
+    if tracer is not None:
+        tracing.disable_tracing()
+        tracer.export_chrome(trace_out)
+        assert len(tracer) > 0, "traced replay recorded no spans"
+        summary = trace_summarize(trace_load_events(trace_out))
+        write_result("bench_serving_trace_summary", trace_render(summary))
+        report_rows = workload_bottlenecks(
+            kinds=("moe", "quant_gemm") if QUICK else ("mha", "mla", "moe", "quant_gemm")
+        )
+        write_result(
+            "bench_serving_bottlenecks",
+            bottleneck_table(report_rows, "gpusim bottleneck report (fig5 workloads)"),
+        )
+
+
+def test_tracing_overhead_within_budget():
+    """Tracing must be near-free when off and <10% when on.
+
+    Measured on the inline serving path (synchronous ``Engine.run``
+    through the scheduler) because its per-request time is stable;
+    concurrent wall-clock at this scale swings several-fold run-to-run
+    from batching nondeterminism, which would drown any tracing signal.
+    Three gates:
+
+    * **disabled guard** — with no active tracer, ``tracing.span`` is a
+      module-attribute load plus a ``None`` check returning a shared
+      no-op; the microbenchmark pins that under 2 µs/call (it measures
+      ~0.3 µs), so the ~dozen instrumentation sites a request crosses
+      cost single-digit microseconds against a ~500 µs request: the
+      <3% tracing-off budget with a wide margin.
+    * **end-to-end on/off** — N rounds on one shared engine, each
+      timing off then on back-to-back; the best per-round median ratio
+      must stay within 1.10x (the measured ratio is ~1.0: span
+      recording sits in the noise floor of the NumPy execute).
+    * tracing off must leave no tracer installed and record no spans.
+    """
+    import gc
+
+    rng = np.random.default_rng(11)
+    cascade, query = query_for("mha", rng, length=LENGTH, width=WIDTH)
+    engine = Engine()
+    engine.run(cascade, query)  # compile + warm the plan
+
+    per_sample = 60 if QUICK else 100
+
+    def per_request_s() -> float:
+        # median of per-request times: a GC pause or scheduler hiccup
+        # lands in one request's measurement instead of skewing the
+        # whole sample the way a mean over the loop would
+        times = []
+        for _ in range(per_sample):
+            start = time.perf_counter()
+            engine.run(cascade, query)
+            times.append(time.perf_counter() - start)
+        times.sort()
+        return times[len(times) // 2]
+
+    tracing.disable_tracing()
+    per_request_s()  # warmup
+    # each round measures off then on back-to-back and the gate takes the
+    # best per-round ratio: a host-load drift that spans rounds inflates
+    # off and on together instead of poisoning a global min-per-mode
+    off_s = math.inf
+    on_s = math.inf
+    ratio = math.inf
+    spans_recorded = 0
+    gc.collect()
+    gc.disable()  # keep collector pauses out of the on-vs-off comparison
+    try:
+        for _ in range(4 if QUICK else 6):
+            tracing.disable_tracing()
+            round_off = per_request_s()
+            assert tracing.active() is None  # a disabled run installs nothing
+            tracer = tracing.enable_tracing(capacity=1 << 17)
+            try:
+                round_on = per_request_s()
+            finally:
+                tracing.disable_tracing()
+            spans_recorded = len(tracer)
+            if round_on / round_off < ratio:
+                ratio = round_on / round_off
+                off_s, on_s = round_off, round_on
+    finally:
+        gc.enable()
+    engine.close()
+    assert spans_recorded >= per_sample  # every traced request recorded spans
+
+    # disabled-guard microbenchmark: amortized cost per span() call
+    calls = 20_000 if QUICK else 100_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with tracing.span("bench", "noop"):
+            pass
+    disabled_ns_per_call = (time.perf_counter() - start) / calls * 1e9
+
+    # the steady-state budget is <10%; the quick (CI smoke) gate leaves
+    # headroom for shared-runner noise — the recorded ratio keeps the
+    # real trajectory either way
+    budget = 1.25 if QUICK else 1.10
+    update_bench_json(
+        "tracing_overhead",
+        {
+            "requests_per_sample": per_sample,
+            "off_us_per_request": off_s * 1e6,
+            "on_us_per_request": on_s * 1e6,
+            "on_over_off": ratio,
+            "spans_recorded": spans_recorded,
+            "disabled_ns_per_span_call": disabled_ns_per_call,
+            "quick": QUICK,
+        },
+        path=BENCH_SERVING_JSON,
+    )
+    assert disabled_ns_per_call < 2_000, (
+        f"disabled tracing guard costs {disabled_ns_per_call:.0f} ns/call"
+    )
+    assert ratio <= budget, (
+        f"tracing-on serving is {ratio:.3f}x tracing-off "
+        f"({off_s * 1e6:.1f} us vs {on_s * 1e6:.1f} us per request)"
+    )
 
 
 def test_admission_control_sheds_over_capacity():

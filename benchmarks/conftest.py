@@ -10,6 +10,8 @@ Machine-readable numbers (the perf trajectory across PRs) accumulate in
 helpers are re-exported here for the existing figure benchmarks.
 """
 
+import pytest
+
 from _bench_util import (  # noqa: F401  (re-exported for benchmarks)
     BENCH_JSON,
     RESULTS_DIR,
@@ -17,3 +19,21 @@ from _bench_util import (  # noqa: F401  (re-exported for benchmarks)
     update_bench_json,
     write_result,
 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        default=None,
+        help=(
+            "record a Chrome trace-event file (viewable in Perfetto) plus a "
+            "trace summary and gpusim bottleneck report during the serving "
+            "replay benchmark"
+        ),
+    )
+
+
+@pytest.fixture
+def trace_out(request):
+    """Path for the replay benchmark's trace export (None = tracing off)."""
+    return request.config.getoption("--trace-out")

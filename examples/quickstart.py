@@ -162,3 +162,29 @@ print(
     f"ragged micro-batch(es); padding efficiency "
     f"{ragged.padding_efficiency:.0%} ✔"
 )
+
+# 10. Observe everything: enable request tracing, serve a traced request
+#     through the tile_ir (simulated-kernel) backend, export a Chrome
+#     trace viewable at https://ui.perfetto.dev, and ask the gpusim
+#     bottleneck profiler which engine dominates the plan.
+from repro.obs import profile_plan, tracing
+
+tracer = tracing.enable_tracing()
+with engine.serving() as serving:
+    serving.submit(softmax, {"x": rng.normal(size=512)}, mode="tile_ir").result()
+tracing.disable_tracing()
+trace_path = "quickstart_trace.json"
+tracer.export_chrome(trace_path)
+kinds = sorted({s.kind for s in tracer.spans()})
+
+profile = profile_plan(engine.plan_for(softmax), backend="tile_ir")
+print(
+    f"\ntraced 1 request into {len(tracer)} spans ({', '.join(kinds)}) -> "
+    f"{trace_path}; tile_ir bottleneck engine: {profile.bottleneck} "
+    f"({profile.busy_fraction(profile.bottleneck):.0%} busy) ✔"
+)
+print("one-scrape metrics:", engine.render_prometheus().count("\n"), "samples")
+
+import os
+
+os.remove(trace_path)  # quickstart leaves no artifacts behind

@@ -21,6 +21,9 @@ Public API tour:
   A10/A100/H800/MI308X hardware.
 * :mod:`repro.baselines` — PyTorch Eager / Dynamo-Inductor / TVM /
   FlashAttention2 / FlashMLA compiler models.
+* :mod:`repro.obs` — observability: request tracing (Chrome trace
+  export), the unified metrics registry (Prometheus text), and the
+  gpusim bottleneck profiler.
 * :mod:`repro.workloads` — the paper's evaluation workloads and configs.
 * :mod:`repro.harness` — experiment runners for every table and figure.
 """

@@ -39,6 +39,7 @@ from typing import Dict, Mapping, Optional
 
 from ..core.fused import FusedCascade
 from ..core.spec import Cascade
+from ..obs.metrics import MetricsRegistry, Sample
 from .backends import (
     BackendCapabilities,
     BackendError,
@@ -116,6 +117,22 @@ class EngineStats:
     def backend_executions(self) -> Dict[str, int]:
         return self._engine.cache.execution_totals()
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The engine's unified metrics registry (see ``Engine.metrics``)."""
+        return self._engine.metrics
+
+    def render_prometheus(self) -> str:
+        """Every layer's metrics in Prometheus text exposition format.
+
+        One scrape covers the whole engine: the scheduler's serving
+        instruments live in the registry directly, while cache, padding,
+        and simulated-device counters are adapted by collectors at
+        render time — so this is always a live snapshot, never a copy
+        that can go stale.
+        """
+        return self._engine.metrics.render_prometheus()
+
     def snapshot(self) -> Dict[str, object]:
         snap = self._engine.cache.stats.snapshot()
         snap["backend_executions"] = self.backend_executions
@@ -164,6 +181,31 @@ class EngineStats:
         return info
 
 
+def _collect_device_samples():
+    """Registry collector over the sharded backend's simulated devices.
+
+    The backend registry is process-wide, so these samples describe the
+    shared ``sharded`` backend rather than one engine — the same way a
+    node exporter describes the host every process runs on.  Silently
+    yields nothing if the backend was unregistered.
+    """
+    try:
+        backend = get_backend("sharded")
+    except BackendError:
+        return
+    for device in getattr(backend, "devices", ()):
+        labels = (("device", str(device.device)),)
+        yield Sample("device_batches_total", device.batches, labels,
+                     kind="counter", help="Shards executed per device")
+        yield Sample("device_queries_total", device.queries, labels,
+                     kind="counter", help="Queries executed per device")
+        yield Sample("device_busy_seconds_total", device.busy_seconds, labels,
+                     kind="counter", help="Wall-clock busy time per device")
+        yield Sample("device_simulated_seconds_total", device.simulated_seconds,
+                     labels, kind="counter",
+                     help="Cost-model attributed time per device")
+
+
 class Engine:
     """Facade tying the plan cache to the scheduler and execution backends.
 
@@ -188,6 +230,55 @@ class Engine:
         self._serving_config = serving_config
         self._scheduler: Optional[ServingEngine] = None
         self._scheduler_lock = threading.Lock()
+        #: One metrics registry for every layer of this engine: the
+        #: scheduler's ServingStats register their instruments here, and
+        #: collectors adapt the structures that keep their own
+        #: representation (plan-cache counters, per-plan padding
+        #: accounts, simulated-device counters) at collection time.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(self._collect_cache_samples)
+        self.metrics.register_collector(self._collect_padding_samples)
+        self.metrics.register_collector(_collect_device_samples)
+
+    # -- metrics collectors --------------------------------------------------
+    def _collect_cache_samples(self):
+        stats = self.cache.stats
+        yield Sample("plan_cache_hits_total", stats.hits, kind="counter",
+                     help="Plan-cache hits")
+        yield Sample("plan_cache_misses_total", stats.misses, kind="counter",
+                     help="Plan-cache misses")
+        yield Sample("plan_cache_compiles_total", stats.compiles, kind="counter",
+                     help="Plans compiled")
+        yield Sample("plan_cache_evictions_total", stats.evictions, kind="counter",
+                     help="Plans evicted (LRU)")
+        yield Sample("plan_cache_hit_rate", stats.hit_rate,
+                     help="Hits / requests")
+        yield Sample("plan_cache_plans", len(self.cache),
+                     help="Plans currently cached")
+        for name, count in sorted(self.cache.execution_totals().items()):
+            yield Sample(
+                "backend_executions_total", count, (("backend", name),),
+                kind="counter", help="Executions served, per backend",
+            )
+
+    def _collect_padding_samples(self):
+        for plan in self.cache.plans():
+            for backend, counts in plan.padding_counts.items():
+                labels = (("backend", backend), ("cascade", plan.cascade.name))
+                yield Sample(
+                    "plan_padding_useful_positions_total",
+                    counts["useful_positions"], labels, kind="counter",
+                    help="Real positions executed by ragged batches",
+                )
+                yield Sample(
+                    "plan_padding_padded_positions_total",
+                    counts["padded_positions"], labels, kind="counter",
+                    help="Positions executed incl. padding",
+                )
+
+    def render_prometheus(self) -> str:
+        """Every layer's metrics in Prometheus text exposition format."""
+        return self.metrics.render_prometheus()
 
     # -- compile + cache ----------------------------------------------------
     def plan_for(self, cascade: Cascade) -> FusionPlan:

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
@@ -46,6 +45,8 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from ..core.spec import normalize_inputs
+from ..obs import tracing
+from ..obs.clock import monotonic_s
 from .bounded import BoundedCache
 
 
@@ -771,13 +772,17 @@ class TileIRBackend(ExecutionBackend):
             fused=fused, rows=rows, length=length, layouts=layouts
         )
         try:
-            tuned = autotune(spec, gpu_spec, dtype="fp16", **TILE_TUNE_SPACE)
-            if tuned.num_segments == 1:
-                programs = (tensorize_single_segment(spec, tuned.config),)
-            else:
-                programs = tensorize_multi_segment(
-                    spec, tuned.config, tuned.num_segments
-                )
+            with tracing.span(
+                "tile_compile", plan.cascade.name,
+                rows=rows, length=length, gpu=gpu_spec.name, masked=masked,
+            ):
+                tuned = autotune(spec, gpu_spec, dtype="fp16", **TILE_TUNE_SPACE)
+                if tuned.num_segments == 1:
+                    programs = (tensorize_single_segment(spec, tuned.config),)
+                else:
+                    programs = tensorize_multi_segment(
+                        spec, tuned.config, tuned.num_segments
+                    )
         except LoweringError as err:
             raise BackendError(
                 f"cascade {plan.cascade.name!r} is outside the tile_ir "
@@ -930,9 +935,12 @@ class ShardedBackend(ExecutionBackend):
         with self._stats_lock:
             device = self.devices[self._round_robin % self.num_devices]
             self._round_robin += 1
-        start = time.perf_counter()
-        out = backend.execute(plan, inputs, **self._inner_options(backend, gpu), **params)
-        busy = time.perf_counter() - start
+        start = monotonic_s()
+        with tracing.span("shard", device=device.device, rows=1, inner=backend.name):
+            out = backend.execute(
+                plan, inputs, **self._inner_options(backend, gpu), **params
+            )
+        busy = monotonic_s() - start
         arrays = normalize_inputs(plan.cascade, dict(inputs))
         simulated = self._shard_latency(
             plan, self._gpu_spec(gpu), 1, next(iter(arrays.values())).shape[0],
@@ -943,7 +951,14 @@ class ShardedBackend(ExecutionBackend):
             device.queries += 1
             device.busy_seconds += busy
             device.simulated_seconds += simulated
-        self._note_dispatch(plan, backend.name, self._gpu_spec(gpu).name, 1, 1, simulated)
+        self._note_dispatch(
+            plan, backend.name, self._gpu_spec(gpu).name, 1, 1, simulated,
+            geometry=(
+                1,
+                next(iter(arrays.values())).shape[0],
+                {name: arr.shape[1] for name, arr in arrays.items()},
+            ),
+        )
         return out
 
     def execute_batch(
@@ -972,15 +987,22 @@ class ShardedBackend(ExecutionBackend):
         shards = split_batch(plan.cascade, arrays, self.num_devices)
 
         inner_options = self._inner_options(backend, gpu)
+        # Worker threads can't see the scheduler thread's span stack, so
+        # the dispatching span parents every shard span explicitly.
+        parent_span = tracing.current_span_id()
 
         def run_shard(device: DeviceStats, rows, shard_arrays):
-            start = time.perf_counter()
-            out = backend.execute_batch(
-                plan, shard_arrays,
-                num_segments=num_segments, branching=branching,
-                **inner_options,
-            )
-            busy = time.perf_counter() - start
+            start = monotonic_s()
+            with tracing.span(
+                "shard", parent_id=parent_span,
+                device=device.device, rows=len(rows), inner=backend.name,
+            ):
+                out = backend.execute_batch(
+                    plan, shard_arrays,
+                    num_segments=num_segments, branching=branching,
+                    **inner_options,
+                )
+            busy = monotonic_s() - start
             simulated = self._shard_latency(
                 plan, gpu_spec, len(rows), length, widths
             )
@@ -1002,7 +1024,8 @@ class ShardedBackend(ExecutionBackend):
             results = [f.result() for f in futures]
         makespan = max(simulated for _out, simulated in results)
         self._note_dispatch(
-            plan, backend.name, gpu_spec.name, len(shards), batch, makespan
+            plan, backend.name, gpu_spec.name, len(shards), batch, makespan,
+            geometry=(max(len(rows) for rows, _a in shards), length, widths),
         )
         return merge_batch_outputs([out for out, _simulated in results])
 
@@ -1044,22 +1067,28 @@ class ShardedBackend(ExecutionBackend):
                 "batches; shards with mixed lengths cannot execute on it"
             )
         inner_options = self._inner_options(backend, gpu)
+        parent_span = tracing.current_span_id()
 
         def run_shard(device: DeviceStats, indices, shard):
-            start = time.perf_counter()
-            if shard.is_uniform:
-                out = backend.execute_batch(
-                    plan, shard.arrays,
-                    num_segments=num_segments, branching=branching,
-                    **inner_options,
-                )
-            else:
-                out = backend.execute_ragged(
-                    plan, shard,
-                    num_segments=num_segments, branching=branching,
-                    **inner_options,
-                )
-            busy = time.perf_counter() - start
+            start = monotonic_s()
+            with tracing.span(
+                "shard", parent_id=parent_span,
+                device=device.device, rows=shard.batch, inner=backend.name,
+                uniform=shard.is_uniform,
+            ):
+                if shard.is_uniform:
+                    out = backend.execute_batch(
+                        plan, shard.arrays,
+                        num_segments=num_segments, branching=branching,
+                        **inner_options,
+                    )
+                else:
+                    out = backend.execute_ragged(
+                        plan, shard,
+                        num_segments=num_segments, branching=branching,
+                        **inner_options,
+                    )
+            busy = monotonic_s() - start
             simulated = self._shard_latency(
                 plan, gpu_spec, shard.batch, shard.max_length, widths
             )
@@ -1081,7 +1110,12 @@ class ShardedBackend(ExecutionBackend):
             results = [f.result() for f in futures]
         makespan = max(simulated for _out, simulated in results)
         self._note_dispatch(
-            plan, backend.name, gpu_spec.name, len(shards), ragged.batch, makespan
+            plan, backend.name, gpu_spec.name, len(shards), ragged.batch, makespan,
+            geometry=(
+                max(shard.batch for _idx, shard in shards),
+                max(shard.max_length for _idx, shard in shards),
+                widths,
+            ),
         )
         # per-device trimming is the padding win: charge what actually ran
         executed = sum(shard.batch * shard.max_length for _idx, shard in shards)
@@ -1142,27 +1176,37 @@ class ShardedBackend(ExecutionBackend):
     def _gpu_spec(gpu: object):
         return TileIRBackend._gpu_spec(gpu)
 
-    def _shard_latency(
-        self, plan, gpu_spec, queries: int, length: int, widths: Mapping[str, int]
-    ) -> float:
-        """Modeled seconds for one shard: a full pass over its bytes.
+    def shard_kernel(
+        self, plan, queries: int, length: int, widths: Mapping[str, int]
+    ):
+        """The :class:`~repro.gpusim.kernel.KernelSpec` modeling one shard.
 
         The shard is modeled as one memory-bound kernel reading every
         element of the shard once per reduction stage and writing the
         per-query outputs — the first-order traffic of the fused tree.
+        Exposed so the bottleneck profiler (:mod:`repro.obs.profile`) can
+        attribute a sharded dispatch to simulated engines with the exact
+        kernel the latency attribution used.
         """
-        from ..gpusim.costmodel import ResourceError, kernel_latency
         from ..gpusim.kernel import KernelSpec
 
         stages = len(plan.cascade.reductions)
         elems = queries * length * sum(widths.values())
-        kernel = KernelSpec(
+        return KernelSpec(
             name=f"{plan.cascade.name}_shard",
             grid=max(1, queries),
             bytes_read=elems * self._ELEM_BYTES,
             bytes_written=queries * stages * self._ELEM_BYTES,
             flops=float(elems) * 2.0 * stages,
         )
+
+    def _shard_latency(
+        self, plan, gpu_spec, queries: int, length: int, widths: Mapping[str, int]
+    ) -> float:
+        """Modeled seconds for one shard (see :meth:`shard_kernel`)."""
+        from ..gpusim.costmodel import ResourceError, kernel_latency
+
+        kernel = self.shard_kernel(plan, queries, length, widths)
         try:
             return kernel_latency(gpu_spec, kernel)
         except ResourceError:  # pragma: no cover - default footprint fits
@@ -1170,7 +1214,7 @@ class ShardedBackend(ExecutionBackend):
 
     def _note_dispatch(
         self, plan, inner: str, gpu_name: str, devices_used: int,
-        queries: int, makespan: float,
+        queries: int, makespan: float, geometry=None,
     ) -> None:
         """Record the dispatch on the plan (read back by ``describe``)."""
         with plan._state_lock:
@@ -1186,6 +1230,10 @@ class ShardedBackend(ExecutionBackend):
                 inner=inner,
                 queries=queries,
             )
+            if geometry is not None:
+                # (queries, length, widths) of the latest dispatch, kept so
+                # the bottleneck profiler can rebuild the shard kernel.
+                state["last_geometry"] = geometry
 
     def device_snapshots(self) -> Tuple[Dict[str, object], ...]:
         """Point-in-time per-device counters (for reports/benchmarks)."""

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..core.spec import Cascade
+from ..obs import tracing
 from .plan import FusionPlan, cascade_signature
 
 
@@ -119,38 +120,43 @@ class PlanCache:
     ) -> FusionPlan:
         """Return the cached plan for ``cascade``'s shape, compiling at most once."""
         signature = cascade_signature(cascade)
-        while True:
-            with self._lock:
-                plan = self._plans.get(signature)
-                if plan is not None:
-                    self._plans.move_to_end(signature)
-                    self.stats.hits += 1
-                    return plan
-                event = self._inflight.get(signature)
-                if event is None:
-                    self._inflight[signature] = threading.Event()
-                    self.stats.misses += 1
-                    break
-            event.wait()
+        # "plan" is the compile-or-hit span of the request lifecycle: a
+        # hit is near-instant, a miss carries the plan construction.
+        with tracing.span("plan", "compile_or_hit", cascade=cascade.name) as plan_span:
+            while True:
+                with self._lock:
+                    plan = self._plans.get(signature)
+                    if plan is not None:
+                        self._plans.move_to_end(signature)
+                        self.stats.hits += 1
+                        plan_span.set(hit=True)
+                        return plan
+                    event = self._inflight.get(signature)
+                    if event is None:
+                        self._inflight[signature] = threading.Event()
+                        self.stats.misses += 1
+                        break
+                event.wait()
 
-        try:
-            if compile_fn is None:
-                plan = FusionPlan(cascade, signature=signature)
-            else:
-                plan = compile_fn(cascade, signature)
-            plan.attach_execution_sink(self._note_execution)
-        except BaseException:
+            plan_span.set(hit=False)
+            try:
+                if compile_fn is None:
+                    plan = FusionPlan(cascade, signature=signature)
+                else:
+                    plan = compile_fn(cascade, signature)
+                plan.attach_execution_sink(self._note_execution)
+            except BaseException:
+                with self._lock:
+                    event = self._inflight.pop(signature)
+                event.set()
+                raise
             with self._lock:
+                self._plans[signature] = plan
+                self._plans.move_to_end(signature)
+                self.stats.compiles += 1
+                while len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+                    self.stats.evictions += 1
                 event = self._inflight.pop(signature)
             event.set()
-            raise
-        with self._lock:
-            self._plans[signature] = plan
-            self._plans.move_to_end(signature)
-            self.stats.compiles += 1
-            while len(self._plans) > self.maxsize:
-                self._plans.popitem(last=False)
-                self.stats.evictions += 1
-            event = self._inflight.pop(signature)
-        event.set()
-        return plan
+            return plan

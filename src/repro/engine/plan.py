@@ -25,13 +25,14 @@ from __future__ import annotations
 import copy
 import hashlib
 import threading
-import time
 from collections import Counter
 from typing import Dict, Mapping, Optional
 
 from ..core.acrf import NotFusableError
 from ..core.fused import FusedCascade, compile_fused
 from ..core.spec import Cascade
+from ..obs import tracing
+from ..obs.clock import monotonic_s
 from .backends import available_backends, registered_backends, resolve_backend
 from .bounded import BoundedCache
 
@@ -152,14 +153,15 @@ class FusionPlan:
         if self._fused is None and self._fusion_error is None:
             with self._lock:
                 if self._fused is None and self._fusion_error is None:
-                    start = time.perf_counter()
-                    try:
-                        self._fused = compile_fused(self.cascade)
-                    except NotFusableError as err:
-                        self._fusion_error = err
-                    finally:
-                        _record_fusion_compile()
-                        self.compile_seconds = time.perf_counter() - start
+                    with tracing.span("plan", "fuse", cascade=self.cascade.name):
+                        start = monotonic_s()
+                        try:
+                            self._fused = compile_fused(self.cascade)
+                        except NotFusableError as err:
+                            self._fusion_error = err
+                        finally:
+                            _record_fusion_compile()
+                            self.compile_seconds = monotonic_s() - start
         if self._fusion_error is not None:
             # Fresh copy per raise: re-raising one shared instance would
             # grow its traceback chain and race across threads.

@@ -40,7 +40,6 @@ counters through ``EngineStats.describe()``.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -49,6 +48,9 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.spec import normalize_inputs
+from ..obs import tracing
+from ..obs.clock import monotonic_s
+from ..obs.metrics import MetricsRegistry
 from .backends import resolve_backend
 from .batch import BatchTopKState, RaggedBatch
 
@@ -140,103 +142,208 @@ class ServingConfig:
 
 
 class ServingStats:
-    """Thread-safe counters for one serving runtime.
+    """Serving counters, registry-backed (see :mod:`repro.obs.metrics`).
+
+    Every quantity lives as an instrument in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (the owning engine's, so
+    one ``render_prometheus()`` covers all layers; a private one when
+    standalone), while the legacy attribute surface — ``submitted``,
+    ``queue_depth``, ``snapshot()`` & co. — reads through to those
+    instruments unchanged.
 
     Monotonic: ``submitted`` / ``completed`` / ``failed`` / ``shed`` /
     ``batches`` / ``batched_requests``, plus the ragged padding account
-    (``useful_positions`` / ``padded_positions``: real vs executed
-    positions across all micro-batches, so ``padding_efficiency`` shows
-    what fraction of the padded work carried data).  Gauges:
-    ``queue_depth`` (live) and ``peak_queue_depth``.  Latencies (submit
-    → future resolution) are kept in a bounded reservoir of the most
-    recent ``latency_window`` samples; ``snapshot()`` reports p50/p99
-    over it.
+    (``useful_positions`` / ``padded_positions``), which is additionally
+    attributed per length bucket (``padding_by_bucket()``) so the
+    bottleneck profiler can name the bucket wasting the most work.
+    Gauges: ``queue_depth`` (live), ``peak_queue_depth``,
+    ``max_batch_size``.  Latencies (submit → future resolution) stream
+    into a log-bucketed histogram — the whole run's distribution, not a
+    bounded reservoir that under-represents the tail on long runs — and
+    ``snapshot()`` reports p50/p99/p999 over it.
     """
 
-    latency_window = 4096
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._submitted = reg.counter(
+            "serving_requests_submitted_total", "Requests admitted"
+        )
+        self._completed = reg.counter(
+            "serving_requests_completed_total", "Requests resolved successfully"
+        )
+        self._failed = reg.counter(
+            "serving_requests_failed_total", "Requests resolved with an error"
+        )
+        self._shed = reg.counter(
+            "serving_requests_shed_total", "Requests rejected by admission control"
+        )
+        self._batches = reg.counter(
+            "serving_batches_total", "Micro-batches dispatched"
+        )
+        self._batched_requests = reg.counter(
+            "serving_batched_requests_total", "Requests served via micro-batches"
+        )
+        self._ragged_batches = reg.counter(
+            "serving_ragged_batches_total", "Micro-batches that needed padding"
+        )
+        self._useful = reg.counter(
+            "serving_useful_positions_total", "Real positions executed"
+        )
+        self._padded = reg.counter(
+            "serving_padded_positions_total", "Total positions executed (incl. padding)"
+        )
+        self._queue_depth = reg.gauge(
+            "serving_queue_depth", "Requests currently queued"
+        )
+        self._peak_queue_depth = reg.gauge(
+            "serving_peak_queue_depth", "Deepest queue observed"
+        )
+        self._max_batch_size = reg.gauge(
+            "serving_max_batch_size", "Largest micro-batch dispatched"
+        )
+        self._latency = reg.histogram(
+            "serving_request_latency_seconds",
+            "Submit-to-resolution latency (streaming log-bucketed histogram)",
+        )
+        self._bucket_useful = reg.counter(
+            "serving_bucket_useful_positions_total",
+            "Real positions executed, per length bucket",
+            labelnames=("bucket",),
+        )
+        self._bucket_padded = reg.counter(
+            "serving_bucket_padded_positions_total",
+            "Executed positions incl. padding, per length bucket",
+            labelnames=("bucket",),
+        )
+        self._buckets_lock = threading.Lock()
+        self._buckets_seen: set = set()
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.shed = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.ragged_batches = 0
-        self.useful_positions = 0
-        self.padded_positions = 0
-        self.max_batch_size = 0
-        self.peak_queue_depth = 0
-        self.queue_depth = 0
-        self._latencies: Deque[float] = deque(maxlen=self.latency_window)
+    # -- legacy attribute surface ------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
 
+    @property
+    def completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def shed(self) -> int:
+        return self._shed.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def batched_requests(self) -> int:
+        return self._batched_requests.value
+
+    @property
+    def ragged_batches(self) -> int:
+        return self._ragged_batches.value
+
+    @property
+    def useful_positions(self) -> int:
+        return self._useful.value
+
+    @property
+    def padded_positions(self) -> int:
+        return self._padded.value
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth.value
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return self._peak_queue_depth.value
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._max_batch_size.value
+
+    # -- recording ----------------------------------------------------------
     def note_submitted(self, queue_depth: int) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.queue_depth = queue_depth
-            self.peak_queue_depth = max(self.peak_queue_depth, queue_depth)
+        self._submitted.inc()
+        self._queue_depth.set(queue_depth)
+        self._peak_queue_depth.set_max(queue_depth)
 
     def note_shed(self) -> None:
-        with self._lock:
-            self.shed += 1
+        self._shed.inc()
 
     def note_queue_depth(self, queue_depth: int) -> None:
-        with self._lock:
-            self.queue_depth = queue_depth
+        self._queue_depth.set(queue_depth)
 
-    def note_batch(self, size: int, useful: int = 0, padded: int = 0) -> None:
-        with self._lock:
-            self.batches += 1
-            self.batched_requests += size
-            self.max_batch_size = max(self.max_batch_size, size)
-            self.useful_positions += useful
-            self.padded_positions += padded
-            if padded > useful:
-                self.ragged_batches += 1
+    def note_batch(
+        self, size: int, useful: int = 0, padded: int = 0,
+        bucket: Optional[int] = None,
+    ) -> None:
+        self._batches.inc()
+        self._batched_requests.inc(size)
+        self._max_batch_size.set_max(size)
+        self._useful.inc(useful)
+        self._padded.inc(padded)
+        if padded > useful:
+            self._ragged_batches.inc()
+        if bucket is not None:
+            self._bucket_useful.labels(bucket=bucket).inc(useful)
+            self._bucket_padded.labels(bucket=bucket).inc(padded)
+            with self._buckets_lock:
+                self._buckets_seen.add(bucket)
 
     def note_done(self, latency_s: float, ok: bool) -> None:
-        with self._lock:
-            if ok:
-                self.completed += 1
-            else:
-                self.failed += 1
-            self._latencies.append(latency_s)
+        if ok:
+            self._completed.inc()
+        else:
+            self._failed.inc()
+        self._latency.observe(latency_s)
 
-    def latency_percentiles(self, qs: Sequence[float] = (50.0, 99.0)) -> Dict[str, float]:
-        with self._lock:
-            samples = list(self._latencies)
-        if not samples:
-            return {f"p{q:g}_latency_s": float("nan") for q in qs}
-        values = np.percentile(np.asarray(samples), qs)
+    # -- reading ------------------------------------------------------------
+    def latency_percentiles(
+        self, qs: Sequence[float] = (50.0, 99.0, 99.9)
+    ) -> Dict[str, float]:
+        values = self._latency.percentiles(qs)
+        return {f"p{q:g}_latency_s": float(v) for q, v in zip(qs, values)}
+
+    def padding_by_bucket(self) -> Dict[int, Dict[str, int]]:
+        """Useful vs executed positions per length bucket."""
+        with self._buckets_lock:
+            buckets = sorted(self._buckets_seen)
         return {
-            f"p{q:g}_latency_s": float(v) for q, v in zip(qs, np.atleast_1d(values))
+            bucket: {
+                "useful": self._bucket_useful.labels(bucket=bucket).value,
+                "padded": self._bucket_padded.labels(bucket=bucket).value,
+            }
+            for bucket in buckets
         }
 
     def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            snap: Dict[str, object] = {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "failed": self.failed,
-                "shed": self.shed,
-                "queue_depth": self.queue_depth,
-                "peak_queue_depth": self.peak_queue_depth,
-                "batches": self.batches,
-                "batched_requests": self.batched_requests,
-                "max_batch_size": self.max_batch_size,
-                "mean_batch_size": (
-                    self.batched_requests / self.batches if self.batches else 0.0
-                ),
-                "ragged_batches": self.ragged_batches,
-                "useful_positions": self.useful_positions,
-                "padded_positions": self.padded_positions,
-                "padding_efficiency": (
-                    self.useful_positions / self.padded_positions
-                    if self.padded_positions
-                    else 1.0
-                ),
-            }
+        batches = self.batches
+        batched_requests = self.batched_requests
+        useful = self.useful_positions
+        padded = self.padded_positions
+        snap: Dict[str, object] = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "batches": batches,
+            "batched_requests": batched_requests,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": batched_requests / batches if batches else 0.0,
+            "ragged_batches": self.ragged_batches,
+            "useful_positions": useful,
+            "padded_positions": padded,
+            "padding_efficiency": useful / padded if padded else 1.0,
+        }
         snap.update(self.latency_percentiles())
         return snap
 
@@ -246,10 +353,11 @@ class _Request:
 
     __slots__ = (
         "plan", "inputs", "mode", "params", "options", "future",
-        "submitted_at", "key", "kind",
+        "submitted_at", "key", "kind", "trace", "queue_span",
     )
 
-    def __init__(self, plan, inputs, mode, params, options, key, kind) -> None:
+    def __init__(self, plan, inputs, mode, params, options, key, kind,
+                 trace=None) -> None:
         self.plan = plan
         self.inputs = inputs
         self.mode = mode
@@ -258,7 +366,13 @@ class _Request:
         self.key = key
         self.kind = kind  # "query" (groupable) or "batch" (pre-formed)
         self.future: Future = Future()
-        self.submitted_at = time.perf_counter()
+        self.submitted_at = monotonic_s()
+        self.trace = trace  # root "request" span handle (None when disabled)
+        self.queue_span = None  # open "queue" span while waiting
+
+    @property
+    def trace_id(self) -> Optional[int]:
+        return self.trace.span_id if self.trace is not None else None
 
 
 class ServingEngine:
@@ -291,7 +405,11 @@ class ServingEngine:
         self.config = config or ServingConfig()
         # ``stats`` lets an owner carry counters across runtime restarts
         # (Engine replaces a closed scheduler with a fresh inline one).
-        self.stats = stats or ServingStats()
+        # Fresh stats register on the owning engine's metrics registry so
+        # one Prometheus export covers cache + serving + padding.
+        self.stats = stats or ServingStats(
+            registry=getattr(engine, "metrics", None)
+        )
         self._queue: Deque[_Request] = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -350,10 +468,16 @@ class ServingEngine:
         usual ``ValueError`` / ``TypeError`` — all *before* a future is
         handed out.  Execution errors surface through the future.
         """
-        plan = self.engine.plan_for(cascade)
-        backend = resolve_backend(mode, plan)
-        backend.check_options(backend_options)
-        arrays = normalize_inputs(plan.cascade, dict(inputs))
+        root = tracing.start_span("request", "request")
+        try:
+            with tracing.span("admission", parent_id=root.span_id if root else None):
+                plan = self.engine.plan_for(cascade)
+                backend = resolve_backend(mode, plan)
+                backend.check_options(backend_options)
+                arrays = normalize_inputs(plan.cascade, dict(inputs))
+        except BaseException as err:
+            tracing.end_span(root, ok=False, error=repr(err))
+            raise
         params = {
             "num_segments": num_segments,
             "branching": branching,
@@ -388,8 +512,17 @@ class ServingEngine:
             )
         else:
             key = None  # never groups
+        if root is not None:
+            length = next(iter(arrays.values())).shape[0]
+            root.attrs.update(
+                backend=backend.name,
+                cascade=plan.cascade.name,
+                length=int(length),
+                bucket=key[2] if key is not None else None,
+            )
         request = _Request(
-            plan, arrays, backend.name, params, backend_options, key, "query"
+            plan, arrays, backend.name, params, backend_options, key, "query",
+            trace=root,
         )
         return self._admit(request)
 
@@ -404,12 +537,21 @@ class ServingEngine:
         **backend_options,
     ) -> Future:
         """Schedule a pre-formed batch (leading batch axis) as one unit."""
-        plan = self.engine.plan_for(cascade)
-        backend = resolve_backend(mode, plan)
-        backend.check_options(backend_options)
+        root = tracing.start_span("request", "request_batch")
+        try:
+            with tracing.span("admission", parent_id=root.span_id if root else None):
+                plan = self.engine.plan_for(cascade)
+                backend = resolve_backend(mode, plan)
+                backend.check_options(backend_options)
+        except BaseException as err:
+            tracing.end_span(root, ok=False, error=repr(err))
+            raise
+        if root is not None:
+            root.attrs.update(backend=backend.name, cascade=plan.cascade.name)
         params = {"num_segments": num_segments, "branching": branching}
         request = _Request(
-            plan, batch_inputs, backend.name, params, backend_options, None, "batch"
+            plan, batch_inputs, backend.name, params, backend_options, None,
+            "batch", trace=root,
         )
         return self._admit(request)
 
@@ -428,19 +570,32 @@ class ServingEngine:
 
     # -- admission ----------------------------------------------------------
     def _admit(self, request: _Request) -> Future:
+        # The queue span opens before the scheduler lock: contending for
+        # admission *is* queueing from the client's point of view, and
+        # it keeps span bookkeeping off the lock's critical section.  On
+        # the inline/shed/closed paths the handle is simply dropped
+        # unrecorded (handles only record when ended).
+        queue_span = tracing.start_span(
+            "queue", parent_id=request.trace_id, backend=request.mode
+        )
         with self._cond:
             if self._closed:
+                tracing.end_span(request.trace, ok=False, error="closed")
                 raise ServingClosedError("serving runtime is closed")
             if self._thread is None:
                 inline = True
             else:
                 if len(self._queue) >= self.config.max_queue_depth:
                     self.stats.note_shed()
+                    tracing.end_span(request.trace, ok=False, error="shed")
                     raise QueueFullError(
                         f"queue depth {len(self._queue)} at max_queue_depth="
                         f"{self.config.max_queue_depth}; request shed"
                     )
                 inline = False
+                if queue_span is not None:
+                    queue_span.attrs["depth"] = len(self._queue)
+                request.queue_span = queue_span
                 self._queue.append(request)
                 self.stats.note_submitted(len(self._queue))
                 self._cond.notify_all()
@@ -463,9 +618,22 @@ class ServingEngine:
                     self._collect_locked(group)
                 self.stats.note_queue_depth(len(self._queue))
                 self._cond.notify_all()  # wake drain() waiters
+            # span recording stays off the lock's critical section
+            for request in group:
+                self._end_queue_span(request)
             if head.key is not None and len(group) < self.config.max_batch:
-                self._await_window(group)
+                with tracing.span(
+                    "batch_form", "window", parent_id=head.trace_id
+                ) as window_span:
+                    self._await_window(group)
+                    window_span.set(batch=len(group))
             self._dispatch(group)
+
+    @staticmethod
+    def _end_queue_span(request: _Request) -> None:
+        if request.queue_span is not None:
+            tracing.end_span(request.queue_span)
+            request.queue_span = None
 
     def _collect_locked(self, group: List[_Request]) -> None:
         """Pull queued requests compatible with ``group[0]`` (lock held)."""
@@ -476,7 +644,7 @@ class ServingEngine:
         while self._queue:
             request = self._queue.popleft()
             if request.key == key and len(group) < limit:
-                group.append(request)
+                group.append(request)  # queue span ended by the caller, unlocked
             else:
                 kept.append(request)
         self._queue.extend(kept)
@@ -489,9 +657,9 @@ class ServingEngine:
         single scheduler open for one group while other keys queue
         would trade their latency for this group's occupancy.
         """
-        deadline = time.perf_counter() + self.config.batch_window_s
+        deadline = monotonic_s() + self.config.batch_window_s
         while len(group) < self.config.max_batch:
-            remaining = deadline - time.perf_counter()
+            remaining = deadline - monotonic_s()
             if remaining <= 0:
                 return
             with self._cond:
@@ -506,26 +674,54 @@ class ServingEngine:
                 stalled = len(group) == before and bool(self._queue)
                 self.stats.note_queue_depth(len(self._queue))
                 self._cond.notify_all()
+            for request in group[before:]:
+                self._end_queue_span(request)
             if stalled:
                 return
 
     # -- dispatch (shared by inline and scheduled paths) --------------------
     def _dispatch(self, group: List[_Request]) -> None:
         head = group[0]
+        root_id = head.trace_id
+        if len(group) > 1 and head.trace is not None:
+            # follower requests point at the head span that carried the
+            # micro-batch, so a trace viewer can jump between them.
+            for request in group[1:]:
+                if request.trace is not None:
+                    request.trace.attrs.setdefault("batched_with", root_id)
         try:
             if head.kind == "batch":
-                outputs = self._execute_batch_request(head)
-                self._resolve(group, [outputs])
+                with tracing.span(
+                    "execute", parent_id=root_id, backend=head.mode, batch="preformed"
+                ):
+                    outputs = self._execute_batch_request(head)
+                with tracing.span("merge", parent_id=root_id, batch=1):
+                    self._resolve(group, [outputs])
             elif len(group) == 1:
-                outputs = self._execute_single(head)
-                self._resolve(group, [outputs])
+                with tracing.span(
+                    "execute", parent_id=root_id, backend=head.mode, batch=1
+                ):
+                    outputs = self._execute_single(head)
+                with tracing.span("merge", parent_id=root_id, batch=1):
+                    self._resolve(group, [outputs])
             else:
-                batch_inputs, useful, padded = self._stack_group(group)
-                self.stats.note_batch(len(group), useful, padded)
-                merged = head.plan.execute_batch(
-                    batch_inputs, mode=head.mode, **self._batch_kwargs(head)
+                with tracing.span(
+                    "batch_form", "stack", parent_id=root_id, batch=len(group)
+                ):
+                    batch_inputs, useful, padded = self._stack_group(group)
+                self.stats.note_batch(
+                    len(group), useful, padded,
+                    bucket=head.key[2] if head.key is not None else None,
                 )
-                self._resolve(group, self._scatter(head.plan, merged, len(group)))
+                with tracing.span(
+                    "execute", parent_id=root_id, backend=head.mode,
+                    batch=len(group), useful=useful, padded=padded,
+                ):
+                    merged = head.plan.execute_batch(
+                        batch_inputs, mode=head.mode, **self._batch_kwargs(head)
+                    )
+                with tracing.span("merge", parent_id=root_id, batch=len(group)):
+                    self._resolve(group, self._scatter(head.plan, merged, len(group)))
         except BaseException as err:
             for request in group:
                 # A client may have cancelled a still-queued future;
@@ -533,9 +729,14 @@ class ServingEngine:
                 # and kill the scheduler thread.
                 if request.future.set_running_or_notify_cancel():
                     self.stats.note_done(
-                        time.perf_counter() - request.submitted_at, False
+                        monotonic_s() - request.submitted_at, False
                     )
+                    tracing.end_span(request.trace, ok=False, error=repr(err))
+                    request.trace = None
                     request.future.set_exception(err)
+                else:
+                    tracing.end_span(request.trace, ok=False, error="cancelled")
+                    request.trace = None
 
     def _execute_single(self, request: _Request):
         params = request.params
@@ -606,9 +807,14 @@ class ServingEngine:
             # (their share of the batch was computed, but nobody waits).
             if request.future.set_running_or_notify_cancel():
                 self.stats.note_done(
-                    time.perf_counter() - request.submitted_at, True
+                    monotonic_s() - request.submitted_at, True
                 )
+                tracing.end_span(request.trace, ok=True)
+                request.trace = None
                 request.future.set_result(out)
+            else:
+                tracing.end_span(request.trace, ok=False, error="cancelled")
+                request.trace = None
 
     def __repr__(self) -> str:
         state = "started" if self.started else ("closed" if self._closed else "inline")

@@ -1,10 +1,12 @@
 """Analytical GPU simulator: the hardware substrate for all benchmarks."""
 
 from .costmodel import (
+    KernelTimes,
     Occupancy,
     ResourceError,
     breakdown,
     kernel_latency,
+    kernel_times,
     occupancy,
     program_latency,
     speedup,
@@ -23,10 +25,12 @@ from .levels import (
 from .specs import A10, A100, GPUS, H800, MI308X, GPUSpec, gpu
 
 __all__ = [
+    "KernelTimes",
     "Occupancy",
     "ResourceError",
     "breakdown",
     "kernel_latency",
+    "kernel_times",
     "occupancy",
     "program_latency",
     "speedup",

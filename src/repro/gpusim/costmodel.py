@@ -28,6 +28,32 @@ from .specs import GPUSpec
 
 
 @dataclass(frozen=True)
+class KernelTimes:
+    """The cost model's intermediate quantities for one kernel.
+
+    ``kernel_latency`` reports only the scalar total; everything the
+    bottleneck profiler needs to attribute that total to simulated
+    engines — compute vs. DRAM time per wave, wave count, fixed
+    overheads, which pipe the math ran on — is here.  The identity
+    ``latency == launch_s + ramp_s + ceil(waves) * wave_time`` holds
+    exactly (same operations, same order as ``kernel_latency``).
+    """
+
+    occupancy: "Occupancy"
+    waves: float
+    compute_time: float  # seconds the resident CTA set spends on math, per wave
+    memory_time: float  # seconds the resident CTA set spends on DRAM, per wave
+    wave_time: float  # critical-path seconds per wave (with overlap credit)
+    launch_s: float
+    ramp_s: float
+    compute_engine: str  # "tensor_core" | "cuda_core"
+
+    @property
+    def latency(self) -> float:
+        return self.launch_s + self.ramp_s + math.ceil(self.waves) * self.wave_time
+
+
+@dataclass(frozen=True)
 class Occupancy:
     """Resolved occupancy of a kernel on a device."""
 
@@ -60,8 +86,8 @@ def waves_per_sm(gpu: GPUSpec, kernel: KernelSpec) -> float:
     return kernel.grid / (gpu.num_sms * occ.ctas_per_sm)
 
 
-def kernel_latency(gpu: GPUSpec, kernel: KernelSpec) -> float:
-    """Estimated execution latency of one kernel, in seconds."""
+def kernel_times(gpu: GPUSpec, kernel: KernelSpec) -> KernelTimes:
+    """The full time decomposition of one kernel on a device."""
     occ = occupancy(gpu, kernel)
     if not occ.feasible:
         raise ResourceError(
@@ -91,7 +117,21 @@ def kernel_latency(gpu: GPUSpec, kernel: KernelSpec) -> float:
     )
     ramp = gpu.mem_latency_ns * 1e-9
     launch = gpu.launch_overhead_s * kernel.launch_factor
-    return launch + ramp + math.ceil(waves) * wave_time
+    return KernelTimes(
+        occupancy=occ,
+        waves=waves,
+        compute_time=compute_time,
+        memory_time=memory_time,
+        wave_time=wave_time,
+        launch_s=launch,
+        ramp_s=ramp,
+        compute_engine="tensor_core" if kernel.tensor_cores else "cuda_core",
+    )
+
+
+def kernel_latency(gpu: GPUSpec, kernel: KernelSpec) -> float:
+    """Estimated execution latency of one kernel, in seconds."""
+    return kernel_times(gpu, kernel).latency
 
 
 class ResourceError(RuntimeError):

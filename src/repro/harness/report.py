@@ -49,6 +49,43 @@ def relative_summary(
     return geomean(ratios)
 
 
+def bottleneck_table(rows: Sequence[Dict[str, object]], title: str) -> str:
+    """Render the gpusim bottleneck report (one row per profiled program).
+
+    ``rows`` come from :meth:`repro.obs.ProgramProfile.to_row` /
+    :func:`repro.obs.workload_bottlenecks`: each names the dominant
+    engine for one workload and gives per-engine busy fractions of the
+    modeled critical path, so the table reads as "what would you have to
+    speed up to make this workload faster".
+    """
+    from ..obs.profile import ENGINES
+
+    id_columns = [
+        c for c in ("workload", "config", "gpu") if any(c in r for r in rows)
+    ]
+    busy_columns = [f"{engine}_busy_frac" for engine in ENGINES]
+    header = id_columns + ["bottleneck", "latency_us"] + busy_columns + [
+        "overhead_frac",
+        "idle_frac",
+    ]
+    lines = [title, "  ".join(f"{h:>16}" for h in header)]
+    for row in rows:
+        cells = [f"{str(row.get(c, '--')):>16}" for c in id_columns]
+        cells.append(f"{str(row.get('bottleneck', '--')):>16}")
+        latency = row.get("latency_seconds")
+        cells.append(
+            f"{latency * 1e6:>16.2f}" if latency is not None else " " * 14 + "--"
+        )
+        for column in busy_columns:
+            value = row.get(column)
+            cells.append(f"{value:>16.3f}" if value is not None else " " * 14 + "--")
+        for column in ("overhead_frac", "bottleneck_idle_frac"):
+            value = row.get(column)
+            cells.append(f"{value:>16.3f}" if value is not None else " " * 14 + "--")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
 def series_table(
     rows: Sequence[Dict[str, object]], columns: Sequence[str], title: str
 ) -> str:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..engine.serving import AdmissionError, ServingEngine
+from ..obs.clock import monotonic_s
 from ..workloads.serving_mix import SERVING_KINDS, request_mix
 
 
@@ -136,10 +137,14 @@ def replay(
     by_kind: Dict[str, int] = {}
     pending: List = []
 
-    start = time.perf_counter()
+    # One monotonic clock for the whole repo (repro.obs.clock): replay
+    # pacing, client-observed latency, and the engine's span/latency
+    # instrumentation all share the same timebase, so a replayed trace
+    # lines up with the serving stats it produced.
+    start = monotonic_s()
 
     def on_done(arrival_abs: float, kind: str, future) -> None:
-        latency = time.perf_counter() - arrival_abs
+        latency = monotonic_s() - arrival_abs
         with lock:
             if future.exception() is None:
                 outcomes["completed"] += 1
@@ -149,7 +154,7 @@ def replay(
                 outcomes["failed"] += 1
 
     for request in requests:
-        now = time.perf_counter() - start
+        now = monotonic_s() - start
         if request.arrival_s > now:
             time.sleep(request.arrival_s - now)
         arrival_abs = start + request.arrival_s
@@ -169,7 +174,7 @@ def replay(
             future.result()
         except Exception:
             pass  # counted via the done callback
-    duration = time.perf_counter() - start
+    duration = monotonic_s() - start
 
     with lock:
         return ReplayReport(

@@ -1,0 +1,82 @@
+"""Observability for the serving stack: tracing, metrics, profiling.
+
+Three pillars, one package:
+
+* :mod:`repro.obs.tracing` — request spans through the whole serving
+  lifecycle (admission → queue → batch formation → compile-or-hit →
+  execute → shard → merge), recorded in a bounded ring and exportable
+  as Chrome trace-event JSON for Perfetto.  Zero-cost when disabled.
+* :mod:`repro.obs.metrics` — one registry of counters, gauges, and
+  log-bucketed streaming histograms behind every layer's statistics,
+  with a Prometheus text exporter.
+* :mod:`repro.obs.profile` — gpusim bottleneck attribution: per-engine
+  busy/idle time for tile-IR and sharded executions, idle-slot
+  histograms, fig5 workload bottleneck rows, padding-waste per bucket.
+
+:mod:`repro.obs.clock` supplies the single monotonic clock all of the
+above (and the serving stack's latency stats) share.
+"""
+
+from .clock import NS_PER_S, monotonic_ns, monotonic_s, ns_to_s, ns_to_us
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+    Sample,
+    StreamingHistogram,
+)
+from .profile import (
+    ENGINES,
+    ProgramProfile,
+    padding_waste_rows,
+    profile_plan,
+    profile_program,
+    workload_bottlenecks,
+)
+from .tracing import (
+    Span,
+    SpanHandle,
+    Tracer,
+    active,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    end_span,
+    span,
+    start_span,
+)
+
+__all__ = [
+    # clock
+    "NS_PER_S",
+    "monotonic_ns",
+    "monotonic_s",
+    "ns_to_s",
+    "ns_to_us",
+    # metrics
+    "Counter",
+    "Gauge",
+    "MetricError",
+    "MetricsRegistry",
+    "Sample",
+    "StreamingHistogram",
+    # profiling
+    "ENGINES",
+    "ProgramProfile",
+    "padding_waste_rows",
+    "profile_plan",
+    "profile_program",
+    "workload_bottlenecks",
+    # tracing
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "active",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "end_span",
+    "span",
+    "start_span",
+]

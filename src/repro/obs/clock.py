@@ -1,0 +1,45 @@
+"""One monotonic clock for the whole serving stack.
+
+Before this module existed, timestamps were scattered across
+``time.perf_counter()`` call sites (and nothing stopped a future change
+from mixing in wall-clock ``time.time()``, which jumps under NTP).  Every
+layer that timestamps anything — span recording in
+:mod:`repro.obs.tracing`, request latency in
+:mod:`repro.engine.serving`, compile timing in
+:mod:`repro.engine.plan`, device busy time in
+:mod:`repro.engine.backends`, replay pacing in
+:mod:`repro.harness.traffic` — now calls these helpers, so trace
+timestamps and latency statistics are directly comparable: subtracting a
+span's start from a request's submit time is meaningful because both
+came from the same monotonic source.
+
+``monotonic_ns`` is the canonical clock (integer nanoseconds from
+``time.perf_counter_ns``, immune to float precision loss on long-lived
+processes); ``monotonic_s`` is the float-seconds convenience view of the
+*same* clock for latency arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Nanoseconds per second, for converting between the two views.
+NS_PER_S = 1_000_000_000
+
+#: The canonical monotonic clock: integer nanoseconds.
+monotonic_ns = time.perf_counter_ns
+
+
+def monotonic_s() -> float:
+    """Float seconds on the same monotonic clock as :func:`monotonic_ns`."""
+    return time.perf_counter_ns() / NS_PER_S
+
+
+def ns_to_s(ns: int) -> float:
+    """Convert a :func:`monotonic_ns` reading/delta to float seconds."""
+    return ns / NS_PER_S
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert nanoseconds to microseconds (Chrome trace-event unit)."""
+    return ns / 1_000.0

@@ -1,0 +1,417 @@
+"""Unified metrics registry: counters, gauges, streaming histograms.
+
+One registry per engine (plus private registries for standalone
+components) replaces the previous patchwork of ad-hoc counter classes —
+``ServingStats`` deques, ``CacheStats`` ints, per-device ``DeviceStats``
+dataclasses, per-plan padding dicts — with three instrument types behind
+one consistent, thread-safe API:
+
+* :class:`Counter` — monotonic totals (requests served, positions
+  padded).  Optional label dimensions (``labelnames``) give per-backend
+  / per-bucket / per-device breakdowns without inventing a new class
+  each time.
+* :class:`Gauge` — last-write-wins values (queue depth) plus
+  ``set_max`` for peak tracking (peak queue depth, max batch size).
+* :class:`StreamingHistogram` — log-bucketed streaming quantiles.
+  Observations land in geometric buckets (``growth`` per step, default
+  2^(1/16) ≈ 4.4% relative resolution), so p50/p99/p999 are available
+  over the *whole* run in O(buckets) memory — unlike a bounded
+  reservoir, the tail is never under-represented on long runs.
+
+Existing structures that already have a natural owner (the plan cache's
+``CacheStats``, per-plan padding counts) join the registry through
+*collectors*: callbacks sampled at collection time, so hot paths keep
+their current representation while the registry stays the single export
+surface.  :meth:`MetricsRegistry.render_prometheus` renders everything
+in the Prometheus text exposition format (histograms as summaries).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class MetricError(ValueError):
+    """Invalid metric declaration or use (name clash, bad labels)."""
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series point: a name, labels, and a value."""
+
+    name: str
+    value: object
+    labels: Tuple[Tuple[str, str], ...] = ()
+    kind: str = "gauge"  # "counter" | "gauge" | "summary"
+    help: str = ""
+
+
+def _label_items(labelnames: Sequence[str], labels: Mapping[str, object]):
+    if set(labels) != set(labelnames):
+        raise MetricError(
+            f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Tuple = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_items = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(self.name, self.value, self.label_items, self.kind, self.help)
+
+
+class Gauge:
+    """A value that can move both ways, with peak-tracking support."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Tuple = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_items = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value) -> None:
+        """Raise the gauge to ``value`` if it is a new peak (never lowers)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(self.name, self.value, self.label_items, self.kind, self.help)
+
+
+class StreamingHistogram:
+    """Log-bucketed streaming histogram with bounded-error quantiles.
+
+    Values map to geometric buckets: index ``floor(log(v / min_value) /
+    log(growth))``.  A quantile query walks the cumulative counts and
+    returns the geometric midpoint of the target bucket, clamped to the
+    exact observed min/max — so the relative error is bounded by the
+    bucket width (``growth - 1``) regardless of how many observations
+    streamed through, in O(occupied buckets) memory.  Non-positive
+    observations (latencies are positive; zero can appear from clock
+    granularity) collapse into a dedicated zero bucket.
+    """
+
+    kind = "summary"
+
+    #: Default quantiles rendered by the Prometheus exporter.
+    export_quantiles = (50.0, 90.0, 99.0, 99.9)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Tuple = (),
+        min_value: float = 1e-9,
+        growth: float = 2.0 ** (1.0 / 16.0),
+    ) -> None:
+        if min_value <= 0:
+            raise MetricError("min_value must be > 0")
+        if growth <= 1.0:
+            raise MetricError("growth must be > 1")
+        self.name = name
+        self.help = help
+        self.label_items = labels
+        self.min_value = min_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._lock = threading.Lock()
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value / self.min_value) / self._log_growth)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if value <= 0.0:
+                self._zero += 1
+            else:
+                index = self._index(value)
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (``q`` in [0, 100]) of all observations."""
+        return self.percentiles((q,))[0]
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        """Several percentiles from one consistent snapshot of the buckets."""
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return [math.nan for _ in qs]
+            zero = self._zero
+            buckets = sorted(self._buckets.items())
+            lo, hi = self._min, self._max
+        out = []
+        for q in qs:
+            target = max(1, math.ceil(q / 100.0 * count))
+            cumulative = zero
+            if cumulative >= target:
+                out.append(min(max(0.0, lo), hi))
+                continue
+            value = hi
+            for index, bucket_count in buckets:
+                cumulative += bucket_count
+                if cumulative >= target:
+                    value = self.min_value * self.growth ** (index + 0.5)
+                    break
+            out.append(min(max(value, lo), hi))
+        return out
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if count else math.nan
+            hi = self._max if count else math.nan
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else math.nan,
+            "min": lo,
+            "max": hi,
+        }
+
+    def samples(self) -> Iterable[Sample]:
+        values = self.percentiles(self.export_quantiles)
+        for q, value in zip(self.export_quantiles, values):
+            yield Sample(
+                self.name,
+                value,
+                self.label_items + (("quantile", f"{q / 100.0:g}"),),
+                self.kind,
+                self.help,
+            )
+        yield Sample(self.name + "_sum", self.sum, self.label_items, self.kind, self.help)
+        yield Sample(self.name + "_count", self.count, self.label_items, self.kind, self.help)
+
+
+class _Family:
+    """Labeled variant of one instrument: a child per label-value tuple."""
+
+    def __init__(self, factory, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self._factory = factory
+        self.name = name
+        self.help = help
+        self.kind = factory.kind
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple, object] = {}
+
+    def labels(self, **labels):
+        """The child instrument for one label-value combination."""
+        items = _label_items(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(items)
+            if child is None:
+                child = self._factory(self.name, self.help, items)
+                self._children[items] = child
+            return child
+
+    def children(self) -> Dict[Tuple, object]:
+        with self._lock:
+            return dict(self._children)
+
+    def samples(self) -> Iterable[Sample]:
+        for child in self.children().values():
+            yield from child.samples()
+
+
+class MetricsRegistry:
+    """Thread-safe home for every instrument of one subsystem.
+
+    Declaring the same name twice returns the existing instrument when
+    the type and labels match (so layered components can share one
+    registry without ownership protocols) and raises
+    :class:`MetricError` when they conflict.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: "Dict[str, object]" = {}
+        self._collectors: List[Callable[[], Iterable[Sample]]] = []
+
+    def _declare(self, factory, name: str, help: str, labelnames: Sequence[str], **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                wanted_family = bool(labelnames)
+                is_family = isinstance(existing, _Family)
+                if (
+                    existing.kind != factory.kind
+                    or is_family != wanted_family
+                    or (is_family and existing.labelnames != tuple(labelnames))
+                ):
+                    raise MetricError(
+                        f"metric {name!r} is already registered with a "
+                        "different type or label set"
+                    )
+                return existing
+            if labelnames:
+                instrument = _Family(factory, name, help, labelnames)
+            else:
+                instrument = factory(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return self._declare(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return self._declare(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        min_value: float = 1e-9,
+        growth: float = 2.0 ** (1.0 / 16.0),
+    ):
+        if labelnames:
+            # labeled histogram children share the family's bucket policy
+            factory = lambda n, h, labels=(): StreamingHistogram(  # noqa: E731
+                n, h, labels, min_value=min_value, growth=growth
+            )
+            factory.kind = StreamingHistogram.kind
+            return self._declare(factory, name, help, labelnames)
+        return self._declare(
+            StreamingHistogram, name, help, (), min_value=min_value, growth=growth
+        )
+
+    def register_collector(self, collector: Callable[[], Iterable[Sample]]) -> None:
+        """Attach a callback sampled at collection time.
+
+        Collectors adapt structures that keep their own representation
+        (``CacheStats`` ints, per-plan padding counts) into registry
+        exports without forcing a rewrite of their hot paths.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def instruments(self) -> Dict[str, object]:
+        with self._lock:
+            return dict(self._instruments)
+
+    def collect(self) -> List[Sample]:
+        """Every sample from every instrument and collector, point in time."""
+        samples: List[Sample] = []
+        for instrument in self.instruments().values():
+            samples.extend(instrument.samples())
+        with self._lock:
+            collectors = tuple(self._collectors)
+        for collector in collectors:
+            samples.extend(collector())
+        return samples
+
+    def value(self, name: str, **labels):
+        """Convenience lookup of one instrument's current value."""
+        instrument = self.instruments()[name]
+        if isinstance(instrument, _Family):
+            instrument = instrument.labels(**labels)
+        return instrument.value
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Counters keep their declared names (callers choose ``_total``
+        suffixes); histograms render as summaries (quantile series plus
+        ``_sum`` / ``_count``), which keeps the export O(metrics) rather
+        than O(occupied buckets).
+        """
+        samples = self.collect()
+        by_name: "Dict[str, List[Sample]]" = {}
+        order: List[str] = []
+        for sample in samples:
+            base = sample.name
+            for suffix in ("_sum", "_count"):
+                if sample.kind == "summary" and base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            if base not in by_name:
+                by_name[base] = []
+                order.append(base)
+            by_name[base].append(sample)
+        lines: List[str] = []
+        for base in order:
+            group = by_name[base]
+            head = group[0]
+            if head.help:
+                lines.append(f"# HELP {base} {head.help}")
+            prom_type = {"counter": "counter", "gauge": "gauge", "summary": "summary"}[
+                head.kind
+            ]
+            lines.append(f"# TYPE {base} {prom_type}")
+            for sample in group:
+                if sample.labels:
+                    rendered = ",".join(
+                        f'{k}="{v}"' for k, v in sample.labels
+                    )
+                    lines.append(f"{sample.name}{{{rendered}}} {sample.value}")
+                else:
+                    lines.append(f"{sample.name} {sample.value}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,318 @@
+"""Bottleneck profiler: attribute simulated time to gpusim engines.
+
+The analytical cost model (:mod:`repro.gpusim.costmodel`) prices each
+kernel as waves of resident CTAs whose compute and memory times overlap
+partially.  This module decomposes that price back into *per-engine busy
+time* — how many of the modeled seconds the tensor cores, CUDA cores,
+and DRAM system were actually doing work, versus idling behind the
+critical path — the "cycles lost per engine / idle-slot histogram"
+attribution the ROADMAP's schedule optimizer needs as its input signal.
+
+Attribution per kernel (exactly the cost model's quantities, via
+:func:`repro.gpusim.costmodel.kernel_times`):
+
+* the compute engine (``tensor_core`` when the kernel uses tensor-core
+  math, else ``cuda_core``) is busy ``ceil(waves) * compute_time``;
+* ``dram`` is busy ``ceil(waves) * memory_time``;
+* the kernel's critical path is ``ceil(waves) * wave_time`` plus the
+  fixed ``launch``/``ramp`` overhead;
+* each engine's *idle* time is the critical path minus its busy time —
+  slots where it waited on the other engine (or on overhead).
+
+Entry points:
+
+* :func:`profile_program` — any :class:`~repro.gpusim.kernel.Program`;
+* :func:`profile_plan` — a served :class:`FusionPlan`: rebuilds the
+  kernels the ``tile_ir`` backend tuned (or the ``sharded`` backend's
+  traffic kernel) from the plan's cached compilation state;
+* :func:`workload_bottlenecks` — the fig5 workloads, one row per
+  workload naming its bottleneck engine (rendered by
+  ``repro.harness.report.bottleneck_table``);
+* :func:`padding_waste_rows` — padding-waste attribution per serving
+  bucket, from the metrics registry's labeled counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..gpusim.costmodel import kernel_times
+from ..gpusim.kernel import Program
+from ..gpusim.specs import GPUSpec, gpu as gpu_by_name
+
+#: Engines the model distinguishes. ``overhead`` (launch + ramp) is
+#: tracked separately: it is serial time no engine can be blamed for.
+ENGINES = ("tensor_core", "cuda_core", "dram")
+
+#: fig5 device defaults (the paper's per-workload evaluation platforms).
+FIG5_DEVICES = {"mha": "A10", "mla": "H800", "moe": "A10", "quant_gemm": "H800"}
+
+#: Decile edges of the idle-slot histogram (fraction of a kernel's
+#: critical path one engine spent idle).
+IDLE_HISTOGRAM_BUCKETS = 10
+
+
+@dataclass
+class ProgramProfile:
+    """Per-engine attribution of one program's modeled execution."""
+
+    name: str
+    gpu: str
+    busy_seconds: Dict[str, float]
+    idle_seconds: Dict[str, float]
+    critical_seconds: float
+    overhead_seconds: float
+    latency_seconds: float
+    bottleneck: str
+    #: Decile histogram over (kernel, engine) idle fractions: how often
+    #: an engine sat idle for 0-10%, 10-20%, ... of a kernel's critical
+    #: path.  A mass near the right edge means whole engines are parked.
+    idle_slot_histogram: List[int]
+    kernels: List[Dict[str, object]] = field(default_factory=list)
+
+    def busy_fraction(self, engine: str) -> float:
+        if self.critical_seconds <= 0.0:
+            return 0.0
+        return self.busy_seconds.get(engine, 0.0) / self.critical_seconds
+
+    def snapshot(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def to_row(self, **extra) -> Dict[str, object]:
+        """Flat row for ``repro.harness.report.bottleneck_table``."""
+        row: Dict[str, object] = dict(extra)
+        row.update(
+            gpu=self.gpu,
+            bottleneck=self.bottleneck,
+            latency_seconds=self.latency_seconds,
+            overhead_frac=(
+                self.overhead_seconds / self.latency_seconds
+                if self.latency_seconds > 0
+                else 0.0
+            ),
+        )
+        for engine in ENGINES:
+            row[f"{engine}_busy_frac"] = self.busy_fraction(engine)
+        row["bottleneck_idle_frac"] = (
+            self.idle_seconds.get(self.bottleneck, 0.0) / self.critical_seconds
+            if self.critical_seconds > 0
+            else 0.0
+        )
+        return row
+
+
+def _resolve_gpu(gpu) -> GPUSpec:
+    if isinstance(gpu, GPUSpec):
+        return gpu
+    return gpu_by_name(str(gpu))
+
+
+def profile_program(gpu, program: Program) -> ProgramProfile:
+    """Decompose a kernel program into per-engine busy/idle time."""
+    gpu_spec = _resolve_gpu(gpu)
+    busy = {engine: 0.0 for engine in ENGINES}
+    critical = 0.0
+    overhead = 0.0
+    histogram = [0] * IDLE_HISTOGRAM_BUCKETS
+    kernel_rows: List[Dict[str, object]] = []
+    for kernel in program.kernels:
+        kt = kernel_times(gpu_spec, kernel)
+        waves = math.ceil(kt.waves)
+        kernel_critical = waves * kt.wave_time
+        engine_busy = {
+            kt.compute_engine: waves * kt.compute_time,
+            "dram": waves * kt.memory_time,
+        }
+        for engine, seconds in engine_busy.items():
+            busy[engine] += seconds
+        critical += kernel_critical
+        overhead += kt.launch_s + kt.ramp_s
+        for engine in ENGINES:
+            if kernel_critical <= 0.0:
+                continue
+            idle_frac = 1.0 - engine_busy.get(engine, 0.0) / kernel_critical
+            idle_frac = min(max(idle_frac, 0.0), 1.0)
+            index = min(
+                int(idle_frac * IDLE_HISTOGRAM_BUCKETS),
+                IDLE_HISTOGRAM_BUCKETS - 1,
+            )
+            histogram[index] += 1
+        kernel_rows.append(
+            {
+                "kernel": kernel.name,
+                "waves": waves,
+                "compute_engine": kt.compute_engine,
+                "compute_seconds": engine_busy[kt.compute_engine],
+                "dram_seconds": engine_busy["dram"],
+                "critical_seconds": kernel_critical,
+                "overhead_seconds": kt.launch_s + kt.ramp_s,
+                "limited_by": kt.occupancy.limited_by,
+            }
+        )
+    idle = {
+        engine: max(critical - seconds, 0.0) for engine, seconds in busy.items()
+    }
+    bottleneck = max(ENGINES, key=lambda engine: busy[engine])
+    return ProgramProfile(
+        name=program.name,
+        gpu=gpu_spec.name,
+        busy_seconds=busy,
+        idle_seconds=idle,
+        critical_seconds=critical,
+        overhead_seconds=overhead,
+        latency_seconds=critical + overhead,
+        bottleneck=bottleneck,
+        idle_slot_histogram=histogram,
+        kernels=kernel_rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# plan-level profiling: rebuild what the backends actually ran
+# ---------------------------------------------------------------------------
+def _tile_ir_program(plan, gpu_spec: GPUSpec) -> Optional[Program]:
+    """The kernels of the plan's latest tile_ir compilation on this GPU.
+
+    Mirrors the tuner's lowering exactly (``autotune._lower_candidate``):
+    the winning config's program(s) re-estimate with the stored threads
+    and pipeline depth — multi-segment combine kernels always run at
+    pipeline depth 1.
+    """
+    from ..codegen.kernels import estimate_kernel
+    from ..engine.backends import get_backend
+
+    backend = get_backend("tile_ir")
+    state = backend._state_snapshot(plan)
+    for key, compilation in reversed(list(state.items())):
+        _rows, _length, _widths, gpu_name, _variant = key
+        if gpu_name != gpu_spec.name:
+            continue
+        estimate = compilation.estimate
+        kernels = [
+            estimate_kernel(
+                compilation.programs[0],
+                estimate.threads,
+                estimate.pipeline_depth,
+                "fp16",
+            )
+        ]
+        if len(compilation.programs) > 1:
+            kernels.append(
+                estimate_kernel(
+                    compilation.programs[1], estimate.threads, 1, "fp16"
+                )
+            )
+        program = Program(name=f"{plan.cascade.name}[tile_ir]")
+        for kernel in kernels:
+            program.add(kernel)
+        return program
+    return None
+
+
+def _sharded_program(plan, gpu_spec: GPUSpec) -> Optional[Program]:
+    """The traffic kernel of the plan's latest sharded dispatch."""
+    from ..engine.backends import get_backend
+
+    backend = get_backend("sharded")
+    with plan._state_lock:
+        state = plan.backend_state.get("sharded")
+        geometry = state.get("last_geometry") if state else None
+    if geometry is None:
+        return None
+    queries, length, widths = geometry
+    kernel = backend.shard_kernel(plan, queries, length, widths)
+    program = Program(name=f"{plan.cascade.name}[sharded]")
+    program.add(kernel)
+    return program
+
+
+def profile_plan(plan, gpu="A10", backend: str = "tile_ir") -> Optional[ProgramProfile]:
+    """Engine attribution for what a backend actually ran on this plan.
+
+    Returns ``None`` when the plan has no recorded execution state for
+    the backend on the requested GPU (nothing ran yet, or a different
+    device served it).
+    """
+    gpu_spec = _resolve_gpu(gpu)
+    if backend == "tile_ir":
+        program = _tile_ir_program(plan, gpu_spec)
+    elif backend == "sharded":
+        program = _sharded_program(plan, gpu_spec)
+    else:
+        raise ValueError(
+            f"profiling covers the simulated backends ('tile_ir', 'sharded'); "
+            f"got {backend!r}"
+        )
+    if program is None:
+        return None
+    return profile_program(gpu_spec, program)
+
+
+# ---------------------------------------------------------------------------
+# fig5 workload bottleneck report
+# ---------------------------------------------------------------------------
+def workload_bottlenecks(
+    kinds: Sequence[str] = ("mha", "mla", "moe", "quant_gemm"),
+    config_index: int = 0,
+    devices: Optional[Mapping[str, str]] = None,
+) -> List[Dict[str, object]]:
+    """One bottleneck row per fig5 workload (tuned RedFuser program).
+
+    This is the report that seeds the ROADMAP's schedule-optimizer work:
+    it names the engine that bounds each workload on its paper device,
+    and how much of the critical path the other engines idle through.
+    """
+    from ..harness.runner import redfuser_program
+    from ..workloads.configs import (
+        MHA_CONFIGS,
+        MLA_CONFIGS,
+        MOE_CONFIGS,
+        QUANT_GEMM_CONFIGS,
+    )
+
+    configs = {
+        "mha": MHA_CONFIGS,
+        "mla": MLA_CONFIGS,
+        "moe": MOE_CONFIGS,
+        "quant_gemm": QUANT_GEMM_CONFIGS,
+    }
+    device_names = dict(FIG5_DEVICES)
+    if devices:
+        device_names.update(devices)
+    rows: List[Dict[str, object]] = []
+    for kind in kinds:
+        device = gpu_by_name(device_names[kind])
+        config = configs[kind][config_index]
+        program = redfuser_program(kind, config, device)
+        profile = profile_program(device, program)
+        rows.append(profile.to_row(workload=kind, config=config.name))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# padding-waste attribution per serving bucket
+# ---------------------------------------------------------------------------
+def padding_waste_rows(serving_stats) -> List[Dict[str, object]]:
+    """Padding overhead per bucket, from ``ServingStats`` labeled counters.
+
+    Each row attributes the ragged batcher's waste to one padded-length
+    bucket: ``waste_frac`` is the fraction of executed positions that
+    were padding — the quantity a bucket-edge retune would reclaim.
+    """
+    rows = []
+    for bucket, counts in sorted(serving_stats.padding_by_bucket().items()):
+        useful = counts["useful"]
+        padded = counts["padded"]
+        total = useful + padded
+        rows.append(
+            {
+                "bucket": bucket,
+                "useful_positions": useful,
+                "padded_positions": padded,
+                "waste_frac": padded / total if total else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,211 @@
+"""Trace summary CLI: ``python -m repro.obs.trace <trace.json>``.
+
+Reads a Chrome trace-event file written by
+:meth:`repro.obs.tracing.Tracer.export_chrome` and prints three views:
+
+* **top spans by exclusive time** — per (kind, name), total duration
+  minus time spent in child spans, so nested wrappers don't double-count;
+* **queue-wait vs execute per backend** — where requests spend their
+  life once admitted, split by the backend that served them;
+* **slowest-request drill-down** — the longest root ``request`` span,
+  printed as its full span tree with durations.
+
+All three are also available programmatically (:func:`summarize`) for
+tests and benchmark reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """The complete ("X") events of one Chrome trace file."""
+    with open(path) as fh:
+        trace = json.load(fh)
+    events = trace["traceEvents"] if isinstance(trace, dict) else trace
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def _children_index(events: Sequence[Dict[str, Any]]) -> Dict[Any, List[Dict[str, Any]]]:
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    for event in events:
+        parent = event.get("args", {}).get("parent_id")
+        if parent is not None:
+            children.setdefault(parent, []).append(event)
+    return children
+
+
+def summarize(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The CLI's three views as plain data."""
+    children = _children_index(events)
+
+    # -- exclusive time per (kind, name) ------------------------------------
+    exclusive: Dict[tuple, Dict[str, float]] = {}
+    for event in events:
+        span_id = event.get("args", {}).get("span_id")
+        child_time = sum(
+            child.get("dur", 0.0) for child in children.get(span_id, ())
+        )
+        self_time = max(event.get("dur", 0.0) - child_time, 0.0)
+        key = (event.get("cat", ""), event.get("name", ""))
+        entry = exclusive.setdefault(
+            key, {"count": 0, "total_us": 0.0, "exclusive_us": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_us"] += event.get("dur", 0.0)
+        entry["exclusive_us"] += self_time
+    top_spans = [
+        {
+            "kind": kind,
+            "name": name,
+            "count": entry["count"],
+            "total_us": entry["total_us"],
+            "exclusive_us": entry["exclusive_us"],
+        }
+        for (kind, name), entry in exclusive.items()
+    ]
+    top_spans.sort(key=lambda row: -row["exclusive_us"])
+
+    # -- queue wait vs execute per backend ----------------------------------
+    backends: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        cat = event.get("cat", "")
+        if cat not in ("queue", "execute"):
+            continue
+        backend = str(event.get("args", {}).get("backend", "?"))
+        entry = backends.setdefault(
+            backend,
+            {"queue_us": 0.0, "queue_spans": 0, "execute_us": 0.0, "execute_spans": 0},
+        )
+        entry[f"{cat}_us"] += event.get("dur", 0.0)
+        entry[f"{cat}_spans"] += 1
+    backend_rows = [
+        {
+            "backend": backend,
+            **entry,
+            "queue_frac": (
+                entry["queue_us"] / (entry["queue_us"] + entry["execute_us"])
+                if entry["queue_us"] + entry["execute_us"] > 0
+                else 0.0
+            ),
+        }
+        for backend, entry in sorted(backends.items())
+    ]
+
+    # -- slowest request drill-down -----------------------------------------
+    requests = [e for e in events if e.get("cat") == "request"]
+    slowest: Optional[Dict[str, Any]] = None
+    if requests:
+        root = max(requests, key=lambda e: e.get("dur", 0.0))
+
+        def _tree(event: Dict[str, Any]) -> Dict[str, Any]:
+            span_id = event.get("args", {}).get("span_id")
+            kids = sorted(
+                children.get(span_id, ()), key=lambda e: e.get("ts", 0.0)
+            )
+            return {
+                "kind": event.get("cat", ""),
+                "name": event.get("name", ""),
+                "dur_us": event.get("dur", 0.0),
+                "args": {
+                    k: v
+                    for k, v in event.get("args", {}).items()
+                    if k not in ("span_id", "parent_id")
+                },
+                "children": [_tree(kid) for kid in kids],
+            }
+
+        slowest = _tree(root)
+
+    return {
+        "num_spans": len(events),
+        "top_spans": top_spans,
+        "backends": backend_rows,
+        "slowest_request": slowest,
+    }
+
+
+def _format_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f}ms"
+    return f"{us:.1f}us"
+
+
+def render(summary: Dict[str, Any], top: int = 10) -> str:
+    lines: List[str] = [f"spans: {summary['num_spans']}", ""]
+
+    lines.append("top spans by exclusive time")
+    lines.append(
+        f"{'kind':>12}  {'name':>16}  {'count':>7}  {'exclusive':>12}  {'total':>12}"
+    )
+    for row in summary["top_spans"][:top]:
+        lines.append(
+            f"{row['kind']:>12}  {row['name']:>16}  {row['count']:>7}  "
+            f"{_format_us(row['exclusive_us']):>12}  {_format_us(row['total_us']):>12}"
+        )
+
+    if summary["backends"]:
+        lines.append("")
+        lines.append("queue wait vs execute per backend")
+        lines.append(
+            f"{'backend':>12}  {'queue':>12}  {'execute':>12}  {'queue frac':>10}"
+        )
+        for row in summary["backends"]:
+            lines.append(
+                f"{row['backend']:>12}  {_format_us(row['queue_us']):>12}  "
+                f"{_format_us(row['execute_us']):>12}  {row['queue_frac']:>10.1%}"
+            )
+
+    slowest = summary["slowest_request"]
+    if slowest is not None:
+        lines.append("")
+        lines.append("slowest request")
+
+        def _walk(node: Dict[str, Any], depth: int) -> None:
+            label = f"{node['kind']}:{node['name']}" if node["name"] != node["kind"] else node["kind"]
+            detail = ""
+            interesting = {
+                k: v for k, v in node["args"].items() if k in (
+                    "backend", "kind", "batch", "hit", "bucket", "device", "ok",
+                )
+            }
+            if interesting:
+                detail = "  " + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+            lines.append(
+                f"  {'  ' * depth}{label:<{max(28 - 2 * depth, 1)}} {_format_us(node['dur_us']):>12}{detail}"
+            )
+            for child in node["children"]:
+                _walk(child, depth + 1)
+
+        _walk(slowest, 0)
+
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Summarize a Chrome trace-event file recorded by repro.obs",
+    )
+    parser.add_argument("trace", help="path to a trace JSON file")
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows in the exclusive-time table"
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        print(f"error: cannot read trace {args.trace!r}: {err}", file=sys.stderr)
+        return 2
+    print(render(summarize(events), top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

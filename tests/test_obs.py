@@ -1,0 +1,367 @@
+"""Observability tests: tracing, metrics registry, trace-summary CLI."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction
+from repro.engine import Engine, ServingConfig
+from repro.obs import (
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+    Sample,
+    StreamingHistogram,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+)
+from repro.obs import tracing
+from repro.obs import trace as trace_cli
+from repro.symbolic import const, exp, var
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# tracer core
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_span_nesting_same_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer", "a"):
+            with tracer.span("inner", "b"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["b"].parent_id == spans["a"].span_id
+        assert spans["a"].parent_id is None
+        assert spans["a"].start_ns <= spans["b"].start_ns
+        assert spans["b"].end_ns <= spans["a"].end_ns
+
+    def test_ring_buffer_evicts_oldest_first(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span("k", f"s{i}"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert len(tracer) == 4
+
+    def test_explicit_parent_for_cross_thread_spans(self):
+        tracer = Tracer()
+        handle = tracer.start_span("request", "root")
+        recorded = []
+
+        def worker():
+            with tracer.span("shard", "w", parent_id=handle.span_id) as span:
+                recorded.append(span)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.end_span(handle, ok=True)
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["w"].parent_id == spans["root"].span_id
+        assert spans["root"].attrs["ok"] is True
+        assert spans["w"].tid != spans["root"].tid
+
+    def test_exception_marks_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("k", "boom"):
+                raise RuntimeError("nope")
+        (span,) = tracer.spans()
+        assert "error" in span.attrs
+
+    def test_chrome_export_shape(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("plan", "compile", hit=False):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        doc = json.loads(path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        (event,) = events
+        assert event["cat"] == "plan"
+        assert event["name"] == "compile"
+        assert event["dur"] >= 0
+        assert event["args"]["hit"] is False
+        assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_noop_singleton(self):
+        first = tracing.span("k", "a")
+        second = tracing.span("k", "b")
+        assert first is second
+        with first as span:
+            span.set(anything="goes")  # must not raise
+        assert span.span_id is None
+
+    def test_disabled_start_span_returns_none(self):
+        assert tracing.start_span("k", "a") is None
+        tracing.end_span(None, ok=True)  # must not raise
+        assert tracing.current_span_id() is None
+        assert tracing.active() is None
+
+    def test_enable_disable_roundtrip(self):
+        tracer = enable_tracing(capacity=16)
+        assert tracing.active() is tracer
+        with tracing.span("k", "while-on"):
+            pass
+        returned = disable_tracing()
+        assert returned is tracer
+        with tracing.span("k", "while-off"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["while-on"]
+
+    def test_inflight_handle_survives_disable(self):
+        tracer = enable_tracing()
+        handle = tracing.start_span("request", "late")
+        disable_tracing()
+        tracing.end_span(handle, ok=True)
+        (span,) = tracer.spans()
+        assert span.name == "late" and span.attrs["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter("jobs_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+        g.set_max(10)
+        g.set_max(4)
+        assert g.value == 10
+
+    def test_registry_idempotent_declare(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total")
+        b = reg.counter("hits_total")
+        assert a is b
+        with pytest.raises(MetricError):
+            reg.gauge("hits_total")
+
+    def test_labeled_family(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("exec_total", labelnames=("backend",))
+        fam.labels(backend="tile_ir").inc(2)
+        fam.labels(backend="sharded").inc()
+        assert reg.value("exec_total", backend="tile_ir") == 2
+        assert reg.value("exec_total", backend="sharded") == 1
+
+    def test_collector_samples_render(self):
+        reg = MetricsRegistry()
+        reg.register_collector(
+            lambda: [Sample("cache_hits_total", 7, kind="counter")]
+        )
+        text = reg.render_prometheus()
+        assert "cache_hits_total 7" in text
+        assert "# TYPE cache_hits_total counter" in text
+
+    def test_histogram_quantiles_match_numpy(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=-4.0, sigma=1.5, size=20_000)
+        hist = StreamingHistogram("latency_seconds")
+        for v in values:
+            hist.observe(float(v))
+        for q in (50.0, 90.0, 99.0, 99.9):
+            # inverted_cdf is the histogram's rank convention
+            # (smallest value with cumulative count >= ceil(q/100 * n))
+            exact = float(np.percentile(values, q, method="inverted_cdf"))
+            approx = hist.percentile(q)
+            # log-bucketed with growth 2**(1/16) => ~4.4% relative error
+            assert approx == pytest.approx(exact, rel=0.06)
+        assert hist.count == len(values)
+        assert hist.sum == pytest.approx(float(values.sum()), rel=1e-9)
+        assert hist.percentile(0.0) == pytest.approx(float(values.min()), rel=0.05)
+        assert hist.percentile(100.0) == pytest.approx(float(values.max()), rel=0.05)
+
+    def test_histogram_zero_and_empty(self):
+        hist = StreamingHistogram("h")
+        assert np.isnan(hist.percentile(50.0))
+        hist.observe(0.0)
+        assert hist.percentile(50.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# engine integration
+# ---------------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_single_request_trace_has_required_kinds(self, tmp_path):
+        tracer = enable_tracing()
+        engine = Engine()
+        serving = engine.serving(ServingConfig(max_batch=4))
+        try:
+            inputs = {"x": np.linspace(0.0, 1.0, 32)}
+            result = serving.submit(softmax_cascade(), inputs, "tile_ir").result(
+                timeout=60
+            )
+            assert "t" in result
+        finally:
+            serving.close()
+        kinds = {s.kind for s in tracer.spans()}
+        # acceptance: >= 6 distinct span kinds through the serving path
+        assert {"request", "queue", "batch_form", "plan", "execute", "merge"} <= kinds
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        doc = json.loads(path.read_text())
+        assert any(e.get("cat") == "execute" for e in doc["traceEvents"])
+
+    def test_concurrent_submissions_record_consistent_spans(self):
+        tracer = enable_tracing()
+        engine = Engine()
+        serving = engine.serving(ServingConfig(max_batch=8))
+        cascade = softmax_cascade()
+        errors = []
+
+        def client(seed: int):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(3):
+                    fut = serving.submit(cascade, {"x": rng.normal(size=24)})
+                    fut.result(timeout=60)
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            serving.close()
+        assert not errors
+        spans = tracer.spans()
+        roots = [s for s in spans if s.kind == "request"]
+        assert len(roots) == 12
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            assert span.end_ns >= span.start_ns
+            if span.parent_id is not None and span.parent_id in by_id:
+                parent = by_id[span.parent_id]
+                assert span.start_ns >= parent.start_ns
+        # every completed request root carries a terminal ok attribute
+        assert all(root.attrs.get("ok") is True for root in roots)
+
+    def test_disabled_tracing_records_nothing_through_engine(self):
+        engine = Engine()
+        serving = engine.serving()
+        try:
+            serving.submit(
+                softmax_cascade(), {"x": np.linspace(0.0, 1.0, 16)}
+            ).result(timeout=60)
+        finally:
+            serving.close()
+        assert tracing.active() is None
+
+    def test_unified_registry_covers_all_layers(self):
+        engine = Engine()
+        engine.run(softmax_cascade(), {"x": np.linspace(0.0, 1.0, 16)})
+        text = engine.render_prometheus()
+        assert "plan_cache_hits_total" in text
+        assert "serving_requests_submitted_total" in text
+        assert 'backend_executions_total{backend=' in text
+        assert engine.stats.render_prometheus() == text
+
+    def test_serving_stats_latency_percentiles(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.run(softmax_cascade(), {"x": np.linspace(0.0, 1.0, 16)})
+        snap = engine.scheduler.stats.snapshot()
+        assert snap["completed"] == 5
+        assert snap["p50_latency_s"] > 0.0
+        assert snap["p99_latency_s"] >= snap["p50_latency_s"]
+        assert snap["p99.9_latency_s"] >= snap["p99_latency_s"]
+
+    def test_legacy_stats_attributes_still_read(self):
+        engine = Engine()
+        engine.run(softmax_cascade(), {"x": np.linspace(0.0, 1.0, 16)})
+        stats = engine.scheduler.stats
+        assert stats.submitted == 1
+        assert stats.completed == 1
+        assert stats.shed == 0
+        assert stats.queue_depth == 0
+
+
+# ---------------------------------------------------------------------------
+# trace summary CLI
+# ---------------------------------------------------------------------------
+class TestTraceCLI:
+    def _traced_trace_file(self, tmp_path):
+        tracer = enable_tracing()
+        engine = Engine()
+        serving = engine.serving()
+        try:
+            for _ in range(3):
+                serving.submit(
+                    softmax_cascade(), {"x": np.linspace(0.0, 1.0, 32)}, "tile_ir"
+                ).result(timeout=60)
+        finally:
+            serving.close()
+        disable_tracing()
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        return path
+
+    def test_summarize_and_render(self, tmp_path):
+        path = self._traced_trace_file(tmp_path)
+        events = trace_cli.load_events(path)
+        summary = trace_cli.summarize(events)
+        assert summary["num_spans"] == len(events)
+        assert any(row["kind"] == "execute" for row in summary["top_spans"])
+        assert all(
+            row["exclusive_us"] <= row["total_us"] + 1e-9
+            for row in summary["top_spans"]
+        )
+        backend_rows = {row["backend"]: row for row in summary["backends"]}
+        assert "tile_ir" in backend_rows
+        backend = backend_rows["tile_ir"]
+        assert backend["execute_spans"] == 3
+        assert 0.0 <= backend["queue_frac"] <= 1.0
+        slowest = summary["slowest_request"]
+        assert slowest is not None and slowest["kind"] == "request"
+        assert slowest["children"]
+        text = trace_cli.render(summary)
+        assert "slowest request" in text.lower()
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        path = self._traced_trace_file(tmp_path)
+        assert trace_cli.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert trace_cli.main([str(tmp_path / "missing.json")]) != 0

@@ -1,0 +1,182 @@
+"""Bottleneck-profiler tests: engine attribution over the gpusim model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction
+from repro.engine import Engine
+from repro.gpusim import (
+    KernelSpec,
+    KernelTimes,
+    Program,
+    gpu,
+    kernel_latency,
+    kernel_times,
+    program_latency,
+)
+from repro.harness.report import bottleneck_table
+from repro.obs import (
+    ENGINES,
+    padding_waste_rows,
+    profile_plan,
+    profile_program,
+    workload_bottlenecks,
+)
+from repro.symbolic import const, exp, var
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def _kernel(tensor_cores: bool, flops: float, bytes_read: float) -> KernelSpec:
+    return KernelSpec(
+        name="k",
+        grid=256,
+        threads_per_cta=128,
+        flops=flops,
+        bytes_read=bytes_read,
+        bytes_written=bytes_read / 8,
+        tensor_cores=tensor_cores,
+    )
+
+
+class TestKernelTimes:
+    def test_latency_matches_kernel_latency(self):
+        device = gpu("A10")
+        for tensor_cores in (False, True):
+            for flops, read in ((1e9, 1e6), (1e6, 1e9), (5e7, 5e7)):
+                kernel = _kernel(tensor_cores, flops, read)
+                times = kernel_times(device, kernel)
+                assert isinstance(times, KernelTimes)
+                assert times.latency == kernel_latency(device, kernel)
+
+    def test_compute_engine_follows_tensor_core_flag(self):
+        device = gpu("H800")
+        assert kernel_times(device, _kernel(True, 1e9, 1e6)).compute_engine == (
+            "tensor_core"
+        )
+        assert kernel_times(device, _kernel(False, 1e9, 1e6)).compute_engine == (
+            "cuda_core"
+        )
+
+
+class TestProfileProgram:
+    def test_busy_idle_accounting(self):
+        device = gpu("A10")
+        program = Program(name="p")
+        program.add(_kernel(True, 4e12, 1e8))  # compute heavy
+        profile = profile_program(device, program)
+        assert profile.bottleneck == "tensor_core"
+        assert profile.latency_seconds == pytest.approx(
+            program_latency(device, program)
+        )
+        for engine in ENGINES:
+            busy = profile.busy_seconds[engine]
+            assert busy >= 0.0
+            assert busy <= profile.critical_seconds + 1e-12
+            assert profile.idle_seconds[engine] == pytest.approx(
+                profile.critical_seconds - busy
+            )
+        assert sum(profile.idle_slot_histogram) == len(ENGINES)
+
+    def test_memory_bound_program_blames_dram(self):
+        device = gpu("A10")
+        program = Program(name="p")
+        program.add(_kernel(False, 1e6, 4e9))  # memory heavy
+        profile = profile_program(device, program)
+        assert profile.bottleneck == "dram"
+        assert profile.busy_fraction("dram") > profile.busy_fraction("cuda_core")
+        # cuda cores idle most of the critical path => right-edge mass
+        assert profile.idle_slot_histogram[-1] >= 1
+
+    def test_to_row_shape(self):
+        device = gpu("A10")
+        program = Program(name="p")
+        program.add(_kernel(True, 1e12, 1e9))
+        row = profile_program(device, program).to_row(workload="x", config="c0")
+        assert row["workload"] == "x"
+        assert row["gpu"] == "A10"
+        assert row["bottleneck"] in ENGINES
+        for engine in ENGINES:
+            assert 0.0 <= row[f"{engine}_busy_frac"] <= 1.0
+        assert 0.0 <= row["overhead_frac"] <= 1.0
+
+
+class TestProfilePlan:
+    def test_tile_ir_plan_profile_after_execution(self):
+        engine = Engine()
+        cascade = softmax_cascade()
+        engine.run(cascade, {"x": np.linspace(0.0, 1.0, 64)}, "tile_ir")
+        profile = profile_plan(engine.plan_for(cascade), gpu="A10", backend="tile_ir")
+        assert profile is not None
+        assert profile.bottleneck in ENGINES
+        assert profile.latency_seconds > 0.0
+        assert profile.kernels
+
+    def test_unexecuted_plan_profiles_to_none(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        assert profile_plan(plan, backend="tile_ir") is None
+        assert profile_plan(plan, backend="sharded") is None
+
+    def test_sharded_plan_profile_after_batch(self):
+        engine = Engine()
+        cascade = softmax_cascade()
+        batch = {"x": np.random.default_rng(0).normal(size=(8, 32))}
+        engine.run_batch(cascade, batch, mode="sharded")
+        profile = profile_plan(engine.plan_for(cascade), backend="sharded")
+        assert profile is not None
+        assert profile.bottleneck in ENGINES
+        assert profile.latency_seconds > 0.0
+
+    def test_unknown_backend_rejected(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        with pytest.raises(ValueError):
+            profile_plan(plan, backend="unfused")
+
+
+class TestWorkloadBottlenecks:
+    def test_rows_and_table(self):
+        rows = workload_bottlenecks(kinds=("moe", "quant_gemm"))
+        assert [row["workload"] for row in rows] == ["moe", "quant_gemm"]
+        for row in rows:
+            assert row["bottleneck"] in ENGINES
+            assert row["latency_seconds"] > 0.0
+            total_busy = sum(row[f"{e}_busy_frac"] for e in ENGINES)
+            assert total_busy > 0.0
+        text = bottleneck_table(rows, "bottlenecks")
+        assert "bottlenecks" in text
+        assert "moe" in text and "quant_gemm" in text
+        for row in rows:
+            assert row["bottleneck"] in text
+
+
+class TestPaddingWaste:
+    def test_rows_from_serving_stats(self):
+        from repro.engine import ServingStats
+
+        stats = ServingStats()
+        stats.note_batch(4, useful=100, padded=28, bucket=128)
+        stats.note_batch(2, useful=50, padded=0, bucket=64)
+        rows = padding_waste_rows(stats)
+        by_bucket = {row["bucket"] for row in rows}
+        assert by_bucket == {64, 128}
+        for row in rows:
+            if row["bucket"] == 128:
+                assert row["useful_positions"] == 100
+                assert row["padded_positions"] == 28
+                assert row["waste_frac"] == pytest.approx(28 / 128)
+            else:
+                assert row["waste_frac"] == 0.0
