@@ -21,6 +21,12 @@ Three claims, asserted and recorded into
   (``bucket="exact"``), which fragments the same traffic into tiny
   batches.  The CI ``serving-smoke`` job runs this as the batching-
   efficiency gate.
+* **SLA isolation** — with a background hog tenant saturating the
+  bounded queue, the interactive class's p99 stays within 1.5x of its
+  uncontended p99 (priority queues + policy-driven shedding), every
+  shed is drawn from the lowest priority class, and the same load
+  under one FIFO class degrades the interactive tail several-fold.
+  The CI ``serving-smoke`` job runs this as the SLA gate.
 
 Set ``BENCH_QUICK=1`` for the CI smoke configuration (smaller shapes,
 shorter streams).
@@ -36,7 +42,7 @@ from _bench_util import BENCH_SERVING_JSON, update_bench_json, write_result
 
 from repro.engine import Engine, ServingConfig, get_backend
 from repro.harness.report import bottleneck_table
-from repro.harness.traffic import build_request_stream, replay, sweep_offered_load
+from repro.harness.traffic import replay, sweep_offered_load
 from repro.obs import padding_waste_rows, tracing, workload_bottlenecks
 from repro.obs.trace import load_events as trace_load_events
 from repro.obs.trace import render as trace_render
@@ -512,4 +518,143 @@ def test_sharded_backend_splits_scheduler_batches():
             "quick": QUICK,
         },
         path=BENCH_SERVING_JSON,
+    )
+
+
+def test_sla_priority_isolation_under_background_hog():
+    """A hog tenant saturating the queue must not move interactive p99.
+
+    Three replays of the same seeded traffic shapes:
+
+    * **uncontended** — the interactive tenant alone (tight deadlines,
+      short KV lengths, ``priority="interactive"``) establishes its
+      baseline p99;
+    * **priority** — a background hog tenant (bursty, ~2x the queue's
+      hog service rate, long KV lengths, ``priority="batch"``) saturates
+      the bounded queue; the gate is that the interactive p99 stays
+      within 1.5x of uncontended, every shed comes from the ``batch``
+      class (the policy drops lowest-priority/longest-bucket first),
+      and every interactive request completes;
+    * **fifo** — the identical contended stream with both tenants in one
+      class (the pre-SLA scheduler's behavior) must degrade the
+      interactive tenant's p99 well past the gate, which is what makes
+      the priority run's flat tail a property of the scheduler rather
+      than of the load.
+    """
+    from dataclasses import replace
+
+    from repro.harness.traffic import TenantProfile, adversarial_stream
+
+    inter_count = 64 if QUICK else 160
+    hog_count = 300 if QUICK else 800
+    interactive = TenantProfile(
+        tenant="interactive", rate_rps=400.0, count=inter_count,
+        priority="interactive", kinds=("mha",), length=(96, 112, 128),
+        width=WIDTH, deadline_s=(0.05, 0.1),
+    )
+    hog = TenantProfile(
+        tenant="hog", rate_rps=4000.0, count=hog_count, priority="batch",
+        kinds=("mha",), length=4096, width=WIDTH, burst_factor=2.0,
+    )
+
+    def run_replay(profiles, fifo=False):
+        rng = np.random.default_rng(17)
+        if fifo:
+            # one class for everyone = the old FIFO scheduler (shedding
+            # then falls back to rejecting arrivals, hog and web alike)
+            profiles = [
+                replace(p, priority="standard", deadline_s=None)
+                for p in profiles
+            ]
+        stream = adversarial_stream(rng, profiles)
+        engine = Engine()
+        warm_rng = np.random.default_rng(1)
+        for length in (128, 4096):  # compile + warm both geometries
+            cascade, query = query_for("mha", warm_rng, length=length, width=WIDTH)
+            engine.run(cascade, query)
+            plan = engine.plan_for(cascade)
+            plan.execute_batch(
+                {name: np.stack([value] * 8) for name, value in query.items()}
+            )
+        config = ServingConfig(
+            max_queue_depth=160, max_batch=8, batch_window_s=0.008
+        )
+        with engine.serving(config) as serving:
+            report = replay(serving, stream)
+            snap = serving.stats.snapshot()
+        engine.close()
+        return report, snap
+
+    def best_of(n, make):
+        # wall-clock p99 on a shared runner is noisy; repeat each
+        # condition and keep the best-measured run — external CPU
+        # contention only ever inflates the tail, never deflates it,
+        # so min-of-N strips runner noise without touching the
+        # scheduler property under test
+        runs = [make() for _ in range(n)]
+        return min(
+            runs,
+            key=lambda rs: rs[0].tenant_latency_percentile("interactive", 99.0),
+        )
+
+    uncontended, _ = best_of(2, lambda: run_replay([interactive]))
+    contended, snap = best_of(2, lambda: run_replay([interactive, hog]))
+    fifo_report, fifo_snap = best_of(
+        2, lambda: run_replay([interactive, hog], fifo=True)
+    )
+
+    p99_uncontended = uncontended.tenant_latency_percentile("interactive", 99.0)
+    p99_priority = contended.tenant_latency_percentile("interactive", 99.0)
+    p99_fifo = fifo_report.tenant_latency_percentile("interactive", 99.0)
+    priority_ratio = p99_priority / p99_uncontended
+    fifo_ratio = p99_fifo / p99_uncontended
+    shed_by_class = {
+        name: info["shed"] for name, info in snap["by_class"].items()
+    }
+
+    update_bench_json(
+        "sla_priority",
+        {
+            "interactive_requests": inter_count,
+            "hog_requests": hog_count,
+            "p99_uncontended_s": p99_uncontended,
+            "p99_priority_s": p99_priority,
+            "p99_fifo_s": p99_fifo,
+            "priority_ratio": priority_ratio,
+            "fifo_ratio": fifo_ratio,
+            "shed_by_class": shed_by_class,
+            "hog_completed": contended.completed_by_tenant.get("hog", 0),
+            "fifo_shed_by_class": {
+                name: info["shed"]
+                for name, info in fifo_snap["by_class"].items()
+            },
+            "deadline_misses": snap["deadline_misses"],
+            "quick": QUICK,
+        },
+        path=BENCH_SERVING_JSON,
+    )
+    write_result(
+        "bench_serving_sla",
+        f"SLA isolation ({inter_count} interactive vs {hog_count} hog reqs): "
+        f"interactive p99 uncontended {p99_uncontended * 1e3:.1f} ms, "
+        f"under hog {p99_priority * 1e3:.1f} ms ({priority_ratio:.2f}x), "
+        f"FIFO baseline {p99_fifo * 1e3:.1f} ms ({fifo_ratio:.2f}x); "
+        f"sheds by class {shed_by_class}",
+    )
+
+    # every interactive request finished; the hog saturated the queue
+    assert contended.completed_by_tenant.get("interactive", 0) == inter_count
+    assert shed_by_class.get("batch", 0) > 0, "hog never hit the queue bound"
+    # the shed policy drained the lowest class only
+    assert shed_by_class.get("interactive", 0) == 0
+    assert shed_by_class.get("standard", 0) == 0
+    # the SLA gate: priority isolation holds while FIFO degrades
+    assert priority_ratio <= 1.5, (
+        f"interactive p99 degraded {priority_ratio:.2f}x under the hog "
+        f"({p99_uncontended * 1e3:.1f} -> {p99_priority * 1e3:.1f} ms)"
+    )
+    assert fifo_ratio >= 2.0 and fifo_ratio > priority_ratio, (
+        f"FIFO baseline only degraded {fifo_ratio:.2f}x "
+        f"(priority run: {priority_ratio:.2f}x) — contention too weak "
+        "for the isolation gate to mean anything"
     )

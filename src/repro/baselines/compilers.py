@@ -25,8 +25,7 @@ on real hardware — which intermediates round-trip through global memory
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..gpusim.kernel import KernelSpec, Program
 from ..workloads.opgraph import KernelGroup, LogicalOp, OpGraph

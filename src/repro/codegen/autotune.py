@@ -9,12 +9,11 @@ target GPU; the fastest feasible configuration wins.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..gpusim.costmodel import ResourceError, kernel_latency
-from ..gpusim.kernel import KernelSpec, Program
+from ..gpusim.kernel import Program
 from ..gpusim.specs import GPUSpec
 from .kernels import estimate_kernel
 from .lower import CodegenSpec, LoweringError

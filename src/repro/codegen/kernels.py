@@ -18,7 +18,7 @@ auto-tuning evaluates real generated programs, not hand-waved numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..gpusim.kernel import KernelSpec
 from ..ir.tile import (
@@ -30,7 +30,7 @@ from ..ir.tile import (
     Reduce,
     TileProgram,
 )
-from ..symbolic import Expr, count_nodes
+from ..symbolic import Expr
 from ..symbolic.expr import Unary
 
 #: Flop-equivalents charged per expression node; transcendental unaries

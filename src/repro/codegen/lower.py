@@ -24,8 +24,8 @@ holds the ⊕-identity and H of it may be non-invertible (Appendix A.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..core.fused import NEW_SUFFIX, PREV_SUFFIX, FusedCascade, FusedReduction
 from ..ir.scalar import Function, FunctionBuilder, load
@@ -110,13 +110,13 @@ def _check_supported(spec: CodegenSpec) -> None:
             raise LoweringError("per-row element vars must have width 1")
 
 
-def _element_load(spec: CodegenSpec, name: str, r: Expr, l: Expr, d: Expr) -> Expr:
+def _element_load(spec: CodegenSpec, name: str, r: Expr, el: Expr, d: Expr) -> Expr:
     lay = spec.layout(name)
     if lay.per_row:
-        return load(name, r, l)
+        return load(name, r, el)
     if lay.width == 1:
-        return load(name, l, 0)
-    return load(name, l, d)
+        return load(name, el, 0)
+    return load(name, el, d)
 
 
 def _reused_by_later(spec: CodegenSpec, index: int) -> bool:
@@ -145,11 +145,11 @@ class _ChainEmitter:
             return name, (self.row, d)
         return name, (self.row,)
 
-    def _subst_contrib(self, fr: FusedReduction, l: Expr, d: Expr) -> Expr:
+    def _subst_contrib(self, fr: FusedReduction, el: Expr, d: Expr) -> Expr:
         """gh with element vars → loads and deps → state buffers."""
         mapping: Dict[str, Expr] = {}
         for lay in self.spec.layouts:
-            mapping[lay.name] = _element_load(self.spec, lay.name, self.row, l, d)
+            mapping[lay.name] = _element_load(self.spec, lay.name, self.row, el, d)
         for dep in fr.dep_names:
             mapping[dep] = load(dep, self.row)
         return fr.gh.substitute(mapping)
@@ -161,14 +161,14 @@ class _ChainEmitter:
             mapping[dep + NEW_SUFFIX] = load(dep, self.row)
         return fr.h_ratio.substitute(mapping)
 
-    def emit_seed(self, l: Expr) -> None:
+    def emit_seed(self, el: Expr) -> None:
         """Step 3 only — the peeled first iteration (Appendix A.1: H of
         an identity-valued state may be non-invertible, so the seed
         carries no correction)."""
         for fr in self.spec.fused:
-            self._emit_reduce_step(fr, l)
+            self._emit_reduce_step(fr, el)
 
-    def emit_update(self, l: Expr) -> None:
+    def emit_update(self, el: Expr) -> None:
         """Full three-step template for one element (Fig. 12a)."""
         for index, fr in enumerate(self.spec.fused):
             name = fr.reduction.name
@@ -195,9 +195,9 @@ class _ChainEmitter:
                         fr.otimes.apply_sym(load(name, self.row), ratio),
                     )
             # step 3: perform reduction
-            self._emit_reduce_step(fr, l)
+            self._emit_reduce_step(fr, el)
 
-    def _emit_reduce_step(self, fr: FusedReduction, l: Expr) -> None:
+    def _emit_reduce_step(self, fr: FusedReduction, el: Expr) -> None:
         name = fr.reduction.name
         width = self.spec.reduction_width(fr)
         if fr.is_multi_term:
@@ -205,7 +205,7 @@ class _ChainEmitter:
             # final epilogue handled by the caller.
             for j, term in enumerate(fr.terms):
                 mapping = {
-                    lay.name: _element_load(self.spec, lay.name, self.row, l, var("d"))
+                    lay.name: _element_load(self.spec, lay.name, self.row, el, var("d"))
                     for lay in self.spec.layouts
                 }
                 self.fb.reduce(
@@ -219,14 +219,14 @@ class _ChainEmitter:
                     name,
                     (self.row, d),
                     fr.reduction.op_name,
-                    self._subst_contrib(fr, l, d),
+                    self._subst_contrib(fr, el, d),
                 )
         else:
             self.fb.reduce(
                 name,
                 (self.row,),
                 fr.reduction.op_name,
-                self._subst_contrib(fr, l, var("d")),
+                self._subst_contrib(fr, el, var("d")),
             )
 
 
@@ -260,7 +260,7 @@ def _declare_state(spec: CodegenSpec, fb: FunctionBuilder) -> None:
             fb.buffer(name + "_prev", (spec.rows,))
 
 
-def _emit_producer(spec: CodegenSpec, fb: FunctionBuilder, r: Expr, l: Expr) -> None:
+def _emit_producer(spec: CodegenSpec, fb: FunctionBuilder, r: Expr, el: Expr) -> None:
     producer = spec.producer
     if producer is None:
         return
@@ -268,9 +268,9 @@ def _emit_producer(spec: CodegenSpec, fb: FunctionBuilder, r: Expr, l: Expr) -> 
     with fb.loop("pd", producer.inner_dim):
         fb.reduce(
             producer.target,
-            (r, l),
+            (r, el),
             "sum",
-            load(producer.lhs, r, d) * load(producer.rhs, l, d),
+            load(producer.lhs, r, d) * load(producer.rhs, el, d),
         )
 
 
@@ -294,7 +294,7 @@ def lower_single_segment(spec: CodegenSpec) -> Function:
     fb = FunctionBuilder(f"{spec.fused.cascade.name}_single_segment")
     _declare_buffers(spec, fb)
     _declare_state(spec, fb)
-    r, l = var("r"), var("l")
+    r, el = var("r"), var("l")
     zero = Const(0.0)
 
     with fb.loop("r", spec.rows):
@@ -303,8 +303,8 @@ def lower_single_segment(spec: CodegenSpec) -> Function:
         _emit_producer(spec, fb, r, zero)
         emitter.emit_seed(zero)
         with fb.loop("l", spec.length, start=1):
-            _emit_producer(spec, fb, r, l)
-            emitter.emit_update(l)
+            _emit_producer(spec, fb, r, el)
+            emitter.emit_update(el)
         _emit_multi_term_epilogue(spec, fb, r)
     return fb.build()
 
@@ -329,7 +329,7 @@ def lower_multi_segment(
     # ---- partial kernel --------------------------------------------------
     fb = FunctionBuilder(f"{spec.fused.cascade.name}_partial")
     _declare_buffers(spec, fb)
-    r, s, l = var("r"), var("split"), var("l")
+    r, s, el = var("r"), var("split"), var("l")
     for index, fr in enumerate(spec.fused):
         name = fr.reduction.name
         width = spec.reduction_width(fr)
@@ -349,7 +349,7 @@ def lower_multi_segment(
             _emit_producer_at(spec, fb, r, offset0)
             emitter.emit_seed(offset0)
             with fb.loop("l", seg_len, start=1):
-                offset = s * seg_len + l
+                offset = s * seg_len + el
                 _emit_producer_at(spec, fb, r, offset)
                 emitter.emit_update(offset)
     partial = fb.build()
@@ -425,10 +425,10 @@ class _PartialEmitter(_ChainEmitter):
         self.split = split
         self.seg_len = seg_len
 
-    def _subst_contrib(self, fr, l, d):
+    def _subst_contrib(self, fr, el, d):
         mapping: Dict[str, Expr] = {}
         for lay in self.spec.layouts:
-            mapping[lay.name] = _element_load(self.spec, lay.name, self.row, l, d)
+            mapping[lay.name] = _element_load(self.spec, lay.name, self.row, el, d)
         for dep in fr.dep_names:
             mapping[dep] = load(dep + "_part", self.row, self.split)
         return fr.gh.substitute(mapping)
@@ -442,7 +442,7 @@ class _PartialEmitter(_ChainEmitter):
             mapping[dep + NEW_SUFFIX] = load(dep + "_part", self.row, self.split)
         return fr.h_ratio.substitute(mapping)
 
-    def emit_update(self, l):
+    def emit_update(self, el):
         for index, fr in enumerate(self.spec.fused):
             name = fr.reduction.name
             if _reused_by_later(self.spec, index):
@@ -470,9 +470,9 @@ class _PartialEmitter(_ChainEmitter):
                         (self.row, self.split),
                         fr.otimes.apply_sym(target, ratio),
                     )
-            self._emit_reduce_step(fr, l)
+            self._emit_reduce_step(fr, el)
 
-    def _emit_reduce_step(self, fr, l):
+    def _emit_reduce_step(self, fr, el):
         name = fr.reduction.name
         width = self.spec.reduction_width(fr)
         if width > 1:
@@ -482,12 +482,12 @@ class _PartialEmitter(_ChainEmitter):
                     name + "_part",
                     (self.row, self.split, d),
                     fr.reduction.op_name,
-                    self._subst_contrib(fr, l, d),
+                    self._subst_contrib(fr, el, d),
                 )
         else:
             self.fb.reduce(
                 name + "_part",
                 (self.row, self.split),
                 fr.reduction.op_name,
-                self._subst_contrib(fr, l, var("d")),
+                self._subst_contrib(fr, el, var("d")),
             )

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.fused import NEW_SUFFIX, PREV_SUFFIX, FusedReduction
-from ..ir.scalar import Load, load
+from ..ir.scalar import load
 from ..ir.tile import (
     Copy,
     Fill,

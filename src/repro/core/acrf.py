@@ -28,17 +28,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..symbolic import (
-    Const,
-    EquivalenceUndecided,
-    Expr,
-    count_nodes,
-    numeric_equivalent,
-    simplify,
-)
+from ..symbolic import Const, EquivalenceUndecided, Expr, numeric_equivalent, simplify
 from ..symbolic.expand import expand_terms
 from .ops import CombineOp, compatible_combine
-from .spec import Cascade, Reduction
+from .spec import Cascade
 
 
 class NotFusableError(RuntimeError):

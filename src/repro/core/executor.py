@@ -35,12 +35,12 @@ makes every fold shape agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
-from .fused import FusedCascade, FusedReduction
-from .ops import TopK, TopKState
+from .fused import FusedCascade
+from .ops import TopKState
 from .spec import Cascade, normalize_inputs
 
 Value = Union[np.ndarray, TopKState]

@@ -11,7 +11,7 @@ is substituted, which keeps the fused expression (Eq. 28) well defined.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 import numpy as np
 

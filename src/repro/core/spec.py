@@ -21,13 +21,13 @@ Conventions used by all executors:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..symbolic import Expr
-from .ops import ReduceOp, TopK, reduce_op
+from .ops import TopK, reduce_op
 
 SCALAR_REDUCTIONS = ("sum", "prod", "max", "min")
 

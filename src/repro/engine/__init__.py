@@ -79,12 +79,15 @@ from .plan import (
     fusion_compile_count,
 )
 from .serving import (
+    PRIORITY_CLASSES,
     AdmissionError,
     QueueFullError,
     ServingClosedError,
     ServingConfig,
     ServingEngine,
     ServingStats,
+    TenantQuotaError,
+    priority_index,
 )
 
 
@@ -453,6 +456,7 @@ __all__ = [
     "EngineStats",
     "ExecutionBackend",
     "FusionPlan",
+    "PRIORITY_CLASSES",
     "PlanCache",
     "QueueFullError",
     "RaggedBatch",
@@ -463,6 +467,7 @@ __all__ = [
     "ShardEstimate",
     "ShardedBackend",
     "StreamSession",
+    "TenantQuotaError",
     "TileEstimate",
     "TileIRBackend",
     "available_backends",
@@ -474,6 +479,7 @@ __all__ = [
     "merge_batch_outputs",
     "normalize_batch_inputs",
     "plan_for",
+    "priority_index",
     "register_backend",
     "registered_backends",
     "resolve_backend",

@@ -607,7 +607,7 @@ class TileIRBackend(ExecutionBackend):
         # -- per-length grouping fallback -----------------------------------
         lengths = ragged.lengths
         merged: Dict[str, np.ndarray] = {}
-        for length in sorted(set(int(l) for l in lengths)):
+        for length in sorted(set(int(n) for n in lengths)):
             idx = np.nonzero(lengths == length)[0]
             group = {
                 name: arrays[name][idx, :length] for name in element_vars

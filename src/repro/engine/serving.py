@@ -1,4 +1,4 @@
-"""Async serving runtime: request scheduler + admission control.
+"""Async serving runtime: SLA-aware request scheduler + admission control.
 
 This module turns the engine from a caller-batched library into a
 request-scheduled runtime.  Clients ``submit()`` independent single
@@ -16,10 +16,35 @@ each reduction's monoid identity — so realistic ragged traffic no
 longer fragments into per-length micro-batches; the padding overhead is
 tracked in :class:`ServingStats`.
 
+Scheduling is SLA-aware and multi-tenant:
+
+* **priority classes** — every request carries one of
+  :data:`PRIORITY_CLASSES` (``"interactive"`` > ``"standard"`` >
+  ``"batch"``); the scheduler keeps one queue per class and always
+  serves the highest non-empty class first, so a background tenant
+  saturating the queue cannot sit in front of interactive traffic.
+* **per-tenant quotas** — ``submit(tenant=...)`` attributes each
+  request; with ``ServingConfig.tenant_quota`` set, a tenant whose
+  queued requests already meet the quota is shed with
+  :class:`TenantQuotaError` while other tenants keep being admitted.
+* **deadline/cost-aware batch formation** — ``submit(deadline_s=...)``
+  bounds how long the batching window may hold a request: the window
+  closes once any member's deadline, minus the modeled dispatch cost
+  (the gpusim estimate attached to the plan by simulated backends),
+  would otherwise pass.  A near-deadline request is never held open
+  just for batch fill.
+* **policy-driven shedding** — when the bounded queue is full, the
+  scheduler sheds the *worst* queued request (lowest priority class
+  first, longest length bucket within the class, newest arrival last)
+  rather than blindly rejecting the newest arrival; an incoming request
+  only displaces a victim strictly worse than itself.  A displaced
+  victim's future fails with :class:`QueueFullError`.
+
 Admission control is a bounded queue with load shedding: once
-``max_queue_depth`` requests are waiting, further submissions fail fast
-with the typed :class:`QueueFullError` (callers distinguish "shed, try
-later" from execution errors, which surface through the future).
+``max_queue_depth`` requests are waiting and no worse victim exists,
+further submissions fail fast with the typed :class:`QueueFullError`
+(callers distinguish "shed, try later" from execution errors, which
+surface through the future).
 
 Two operating modes share one dispatch path:
 
@@ -32,9 +57,14 @@ Two operating modes share one dispatch path:
   returns immediately, and micro-batching happens across client
   threads.
 
+``drain()`` blocks until the queue is empty **and** no request is in
+flight (pulled into a forming or executing micro-batch), so after it
+returns no work remains anywhere in the runtime.
+
 Per-request latency, queue depth, shed counts and batch-size occupancy
-accumulate in :class:`ServingStats`, surfaced alongside the plan-cache
-counters through ``EngineStats.describe()``.
+accumulate in :class:`ServingStats` — globally and per priority class /
+tenant — surfaced alongside the plan-cache counters through
+``EngineStats.describe()``.
 """
 
 from __future__ import annotations
@@ -51,12 +81,40 @@ from ..core.spec import normalize_inputs
 from ..obs import tracing
 from ..obs.clock import monotonic_s
 from ..obs.metrics import MetricsRegistry
-from .backends import resolve_backend
+from .backends import get_backend, resolve_backend
 from .batch import BatchTopKState, RaggedBatch
 
 #: Sentinel distinguishing "argument not given" from an explicit None
 #: (``branching=None`` legitimately means "merge all segments flat").
 _UNSET = object()
+
+#: Priority classes, best first.  ``submit(priority=...)`` accepts a
+#: class name or its index; the scheduler serves the highest non-empty
+#: class first and sheds from the lowest class first.
+PRIORITY_CLASSES = ("interactive", "standard", "batch")
+
+
+def priority_index(priority) -> int:
+    """Normalize a priority spec (class name or index) to a class index."""
+    if isinstance(priority, str):
+        if priority in PRIORITY_CLASSES:
+            return PRIORITY_CLASSES.index(priority)
+        raise ValueError(
+            f"unknown priority {priority!r}; expected one of "
+            f"{PRIORITY_CLASSES} or an index in [0, {len(PRIORITY_CLASSES)})"
+        )
+    try:
+        index = int(priority)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"priority must be a class name or index, got {priority!r}"
+        ) from None
+    if not 0 <= index < len(PRIORITY_CLASSES):
+        raise ValueError(
+            f"priority index {index} out of range; classes are "
+            f"{PRIORITY_CLASSES}"
+        )
+    return index
 
 
 class AdmissionError(RuntimeError):
@@ -65,6 +123,10 @@ class AdmissionError(RuntimeError):
 
 class QueueFullError(AdmissionError):
     """Load shed: the scheduler's bounded queue is at ``max_queue_depth``."""
+
+
+class TenantQuotaError(AdmissionError):
+    """Load shed: the tenant's queued requests reached ``tenant_quota``."""
 
 
 class ServingClosedError(AdmissionError):
@@ -76,12 +138,15 @@ class ServingConfig:
     """Scheduling policy knobs.
 
     * ``max_queue_depth`` — admission bound; submissions beyond it shed
-      with :class:`QueueFullError`;
+      (the policy sheds the lowest-priority / longest-bucket queued
+      victim first, and the incoming request only when nothing queued is
+      strictly worse);
     * ``max_batch`` — micro-batches never exceed this many requests;
     * ``batch_window_s`` — after the first request of a group is picked
       up, the scheduler waits up to this long for more compatible
       requests before dispatching (the window closes early when
-      ``max_batch`` is reached, so full batches pay no wait);
+      ``max_batch`` is reached or a member's deadline minus the modeled
+      dispatch cost approaches, so full or urgent batches pay no wait);
     * ``bucket`` — the length-bucket policy deciding which input lengths
       may share a micro-batch (mixed lengths within a bucket pad into a
       masked :class:`~repro.engine.batch.RaggedBatch`):
@@ -90,15 +155,24 @@ class ServingConfig:
         so padding never more than doubles a row;
       - ``"exact"`` — only identical lengths group (the strict PR 4
         behavior: realistic mixed traffic fragments into tiny batches);
-      - ``(e1, e2, ...)`` — explicit ascending bucket edges; a length
-        maps to the smallest edge >= it, lengths beyond the last edge
-        bucket exactly.
+      - ``(e1, e2, ...)`` — explicit ascending *integral* bucket edges;
+        a length maps to the smallest edge >= it, lengths beyond the
+        last edge bucket exactly.  Non-integral edges are rejected
+        (they used to be silently truncated).
+    * ``default_tenant`` / ``default_priority`` — attribution applied to
+      requests submitted without explicit ``tenant=`` / ``priority=``;
+    * ``tenant_quota`` — optional per-tenant bound on *queued* requests;
+      a tenant at its quota sheds with :class:`TenantQuotaError` while
+      other tenants keep being admitted (None disables quotas).
     """
 
     max_queue_depth: int = 256
     max_batch: int = 64
     batch_window_s: float = 0.002
     bucket: object = "pow2"
+    default_tenant: str = "default"
+    default_priority: str = "standard"
+    tenant_quota: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -109,12 +183,29 @@ class ServingConfig:
             raise ValueError("batch_window_s must be >= 0")
         if not isinstance(self.bucket, str):
             try:
-                edges = tuple(int(e) for e in self.bucket)
+                raw = tuple(self.bucket)
             except TypeError:
                 raise ValueError(
                     f'bucket must be "pow2", "exact", or a sequence of edges; '
                     f"got {self.bucket!r}"
                 ) from None
+            edges = []
+            for edge in raw:
+                try:
+                    integral = float(edge) == int(edge)
+                except (TypeError, ValueError, OverflowError):
+                    raise ValueError(
+                        "bucket edges must be integral lengths; got "
+                        f"{edge!r} in {self.bucket!r}"
+                    ) from None
+                if not integral:
+                    raise ValueError(
+                        "bucket edges must be integral lengths (a float "
+                        f"edge like {edge!r} would be silently truncated); "
+                        f"got {self.bucket!r}"
+                    )
+                edges.append(int(edge))
+            edges = tuple(edges)
             if not edges or any(e < 1 for e in edges) or any(
                 a >= b for a, b in zip(edges, edges[1:])
             ):
@@ -128,6 +219,9 @@ class ServingConfig:
                 f'bucket must be "pow2", "exact", or a sequence of edges; '
                 f"got {self.bucket!r}"
             )
+        priority_index(self.default_priority)  # validates, raises ValueError
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1 (or None to disable)")
 
     def bucket_for(self, length: int) -> int:
         """The padded length requests of ``length`` group under."""
@@ -152,15 +246,25 @@ class ServingStats:
     instruments unchanged.
 
     Monotonic: ``submitted`` / ``completed`` / ``failed`` / ``shed`` /
-    ``batches`` / ``batched_requests``, plus the ragged padding account
+    ``evicted`` / ``cancelled`` / ``deadline_misses`` / ``batches`` /
+    ``batched_requests``, plus the ragged padding account
     (``useful_positions`` / ``padded_positions``), which is additionally
     attributed per length bucket (``padding_by_bucket()``) so the
     bottleneck profiler can name the bucket wasting the most work.
-    Gauges: ``queue_depth`` (live), ``peak_queue_depth``,
-    ``max_batch_size``.  Latencies (submit → future resolution) stream
-    into a log-bucketed histogram — the whole run's distribution, not a
-    bounded reservoir that under-represents the tail on long runs — and
-    ``snapshot()`` reports p50/p99/p999 over it.
+    Submissions, completions, sheds and latencies are also attributed
+    per priority class (``by_class()`` — label ``priority``) and per
+    tenant (``by_tenant()``), which is what lets a benchmark verify
+    that shedding drains the lowest class first while the interactive
+    class's p99 stays flat.  Gauges: ``queue_depth`` (live),
+    ``peak_queue_depth``, ``max_batch_size``.  Latencies (submit →
+    future resolution) stream into log-bucketed histograms — the whole
+    run's distribution, not a bounded reservoir that under-represents
+    the tail on long runs — and ``snapshot()`` reports p50/p99/p999
+    over them.
+
+    The accounting invariant (asserted by the serving test suite): after
+    ``drain()``, ``submitted == completed + failed + cancelled +
+    evicted``; submit-time sheds are *never* counted as submitted.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -177,6 +281,18 @@ class ServingStats:
         )
         self._shed = reg.counter(
             "serving_requests_shed_total", "Requests rejected by admission control"
+        )
+        self._evicted = reg.counter(
+            "serving_requests_evicted_total",
+            "Admitted requests shed later by the queue-full policy",
+        )
+        self._cancelled = reg.counter(
+            "serving_requests_cancelled_total",
+            "Requests cancelled by their client before resolution",
+        )
+        self._deadline_misses = reg.counter(
+            "serving_deadline_misses_total",
+            "Requests resolved after their declared deadline",
         )
         self._batches = reg.counter(
             "serving_batches_total", "Micro-batches dispatched"
@@ -216,8 +332,45 @@ class ServingStats:
             "Executed positions incl. padding, per length bucket",
             labelnames=("bucket",),
         )
-        self._buckets_lock = threading.Lock()
+        self._class_submitted = reg.counter(
+            "serving_class_requests_submitted_total",
+            "Requests admitted, per priority class",
+            labelnames=("priority",),
+        )
+        self._class_completed = reg.counter(
+            "serving_class_requests_completed_total",
+            "Requests resolved successfully, per priority class",
+            labelnames=("priority",),
+        )
+        self._class_shed = reg.counter(
+            "serving_class_requests_shed_total",
+            "Requests shed by admission control, per priority class",
+            labelnames=("priority",),
+        )
+        self._class_latency = reg.histogram(
+            "serving_class_request_latency_seconds",
+            "Submit-to-resolution latency, per priority class",
+            labelnames=("priority",),
+        )
+        self._tenant_submitted = reg.counter(
+            "serving_tenant_requests_submitted_total",
+            "Requests admitted, per tenant",
+            labelnames=("tenant",),
+        )
+        self._tenant_completed = reg.counter(
+            "serving_tenant_requests_completed_total",
+            "Requests resolved successfully, per tenant",
+            labelnames=("tenant",),
+        )
+        self._tenant_shed = reg.counter(
+            "serving_tenant_requests_shed_total",
+            "Requests shed by admission control, per tenant",
+            labelnames=("tenant",),
+        )
+        self._labels_lock = threading.Lock()
         self._buckets_seen: set = set()
+        self._classes_seen: set = set()
+        self._tenants_seen: set = set()
 
     # -- legacy attribute surface ------------------------------------------
     @property
@@ -235,6 +388,18 @@ class ServingStats:
     @property
     def shed(self) -> int:
         return self._shed.value
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted.value
+
+    @property
+    def cancelled(self) -> int:
+        return self._cancelled.value
+
+    @property
+    def deadline_misses(self) -> int:
+        return self._deadline_misses.value
 
     @property
     def batches(self) -> int:
@@ -269,13 +434,48 @@ class ServingStats:
         return self._max_batch_size.value
 
     # -- recording ----------------------------------------------------------
-    def note_submitted(self, queue_depth: int) -> None:
+    def _note_class(self, counter, priority: Optional[str], amount: int = 1) -> None:
+        if priority is None:
+            return
+        counter.labels(priority=priority).inc(amount)
+        with self._labels_lock:
+            self._classes_seen.add(priority)
+
+    def _note_tenant(self, counter, tenant: Optional[str], amount: int = 1) -> None:
+        if tenant is None:
+            return
+        counter.labels(tenant=tenant).inc(amount)
+        with self._labels_lock:
+            self._tenants_seen.add(tenant)
+
+    def note_submitted(
+        self,
+        queue_depth: int,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> None:
         self._submitted.inc()
         self._queue_depth.set(queue_depth)
         self._peak_queue_depth.set_max(queue_depth)
+        self._note_class(self._class_submitted, priority)
+        self._note_tenant(self._tenant_submitted, tenant)
 
-    def note_shed(self) -> None:
+    def note_shed(
+        self,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        evicted: bool = False,
+    ) -> None:
         self._shed.inc()
+        if evicted:
+            self._evicted.inc()
+        self._note_class(self._class_shed, priority)
+        self._note_tenant(self._tenant_shed, tenant)
+
+    def note_cancelled(
+        self, tenant: Optional[str] = None, priority: Optional[str] = None
+    ) -> None:
+        self._cancelled.inc()
 
     def note_queue_depth(self, queue_depth: int) -> None:
         self._queue_depth.set(queue_depth)
@@ -294,15 +494,30 @@ class ServingStats:
         if bucket is not None:
             self._bucket_useful.labels(bucket=bucket).inc(useful)
             self._bucket_padded.labels(bucket=bucket).inc(padded)
-            with self._buckets_lock:
+            with self._labels_lock:
                 self._buckets_seen.add(bucket)
 
-    def note_done(self, latency_s: float, ok: bool) -> None:
+    def note_done(
+        self,
+        latency_s: float,
+        ok: bool,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline_missed: bool = False,
+    ) -> None:
         if ok:
             self._completed.inc()
+            self._note_class(self._class_completed, priority)
+            self._note_tenant(self._tenant_completed, tenant)
         else:
             self._failed.inc()
+        if deadline_missed:
+            self._deadline_misses.inc()
         self._latency.observe(latency_s)
+        if priority is not None:
+            self._class_latency.labels(priority=priority).observe(latency_s)
+            with self._labels_lock:
+                self._classes_seen.add(priority)
 
     # -- reading ------------------------------------------------------------
     def latency_percentiles(
@@ -313,7 +528,7 @@ class ServingStats:
 
     def padding_by_bucket(self) -> Dict[int, Dict[str, int]]:
         """Useful vs executed positions per length bucket."""
-        with self._buckets_lock:
+        with self._labels_lock:
             buckets = sorted(self._buckets_seen)
         return {
             bucket: {
@@ -321,6 +536,48 @@ class ServingStats:
                 "padded": self._bucket_padded.labels(bucket=bucket).value,
             }
             for bucket in buckets
+        }
+
+    def _classes(self) -> List[str]:
+        with self._labels_lock:
+            seen = set(self._classes_seen)
+        ordered = [name for name in PRIORITY_CLASSES if name in seen]
+        ordered.extend(sorted(seen - set(PRIORITY_CLASSES)))
+        return ordered
+
+    def by_class(self) -> Dict[str, Dict[str, object]]:
+        """Submitted/completed/shed counts and latency tail per class."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in self._classes():
+            latency = self._class_latency.labels(priority=name)
+            p50, p99 = latency.percentiles((50.0, 99.0))
+            out[name] = {
+                "submitted": self._class_submitted.labels(priority=name).value,
+                "completed": self._class_completed.labels(priority=name).value,
+                "shed": self._class_shed.labels(priority=name).value,
+                "p50_latency_s": float(p50),
+                "p99_latency_s": float(p99),
+            }
+        return out
+
+    def shed_by_class(self) -> Dict[str, int]:
+        """Shed counts per priority class (the shed-policy audit trail)."""
+        return {
+            name: self._class_shed.labels(priority=name).value
+            for name in self._classes()
+        }
+
+    def by_tenant(self) -> Dict[str, Dict[str, int]]:
+        """Submitted/completed/shed counts per tenant."""
+        with self._labels_lock:
+            tenants = sorted(self._tenants_seen)
+        return {
+            tenant: {
+                "submitted": self._tenant_submitted.labels(tenant=tenant).value,
+                "completed": self._tenant_completed.labels(tenant=tenant).value,
+                "shed": self._tenant_shed.labels(tenant=tenant).value,
+            }
+            for tenant in tenants
         }
 
     def snapshot(self) -> Dict[str, object]:
@@ -333,6 +590,9 @@ class ServingStats:
             "completed": self.completed,
             "failed": self.failed,
             "shed": self.shed,
+            "evicted": self.evicted,
+            "cancelled": self.cancelled,
+            "deadline_misses": self.deadline_misses,
             "queue_depth": self.queue_depth,
             "peak_queue_depth": self.peak_queue_depth,
             "batches": batches,
@@ -343,6 +603,8 @@ class ServingStats:
             "useful_positions": useful,
             "padded_positions": padded,
             "padding_efficiency": useful / padded if padded else 1.0,
+            "by_class": self.by_class(),
+            "by_tenant": self.by_tenant(),
         }
         snap.update(self.latency_percentiles())
         return snap
@@ -354,10 +616,12 @@ class _Request:
     __slots__ = (
         "plan", "inputs", "mode", "params", "options", "future",
         "submitted_at", "key", "kind", "trace", "queue_span",
+        "tenant", "priority", "deadline_at", "bucket",
     )
 
     def __init__(self, plan, inputs, mode, params, options, key, kind,
-                 trace=None) -> None:
+                 trace=None, tenant="default", priority=1,
+                 deadline_at=None, bucket=0) -> None:
         self.plan = plan
         self.inputs = inputs
         self.mode = mode
@@ -369,25 +633,37 @@ class _Request:
         self.submitted_at = monotonic_s()
         self.trace = trace  # root "request" span handle (None when disabled)
         self.queue_span = None  # open "queue" span while waiting
+        self.tenant = tenant
+        self.priority = priority  # class index into PRIORITY_CLASSES
+        self.deadline_at = deadline_at  # absolute monotonic deadline or None
+        self.bucket = bucket  # length bucket, for the shed policy
 
     @property
     def trace_id(self) -> Optional[int]:
         return self.trace.span_id if self.trace is not None else None
+
+    @property
+    def priority_name(self) -> str:
+        return PRIORITY_CLASSES[self.priority]
 
 
 class ServingEngine:
     """Request scheduler + admission control in front of one engine.
 
     ``submit(cascade, inputs) -> Future`` is the client API.  With the
-    scheduler started, requests queue and compatible ones dispatch as
-    micro-batches; inline (not started), each request executes
-    synchronously on the caller's thread through the same dispatch code,
-    which is what makes ``Engine.run`` a thin shim over the scheduler.
+    scheduler started, requests queue per priority class and compatible
+    ones dispatch as micro-batches; inline (not started), each request
+    executes synchronously on the caller's thread through the same
+    dispatch code, which is what makes ``Engine.run`` a thin shim over
+    the scheduler.
 
     Use as a context manager for scoped lifetimes::
 
         with engine.serving() as srv:
-            futures = [srv.submit(cascade, q) for q in queries]
+            futures = [
+                srv.submit(cascade, q, tenant="web", priority="interactive")
+                for q in queries
+            ]
             results = [f.result() for f in futures]
     """
 
@@ -410,7 +686,11 @@ class ServingEngine:
         self.stats = stats or ServingStats(
             registry=getattr(engine, "metrics", None)
         )
-        self._queue: Deque[_Request] = deque()
+        self._queues: Tuple[Deque[_Request], ...] = tuple(
+            deque() for _ in PRIORITY_CLASSES
+        )
+        self._tenant_queued: Dict[str, int] = {}
+        self._inflight = 0  # requests pulled off the queues, not yet resolved
         self._cond = threading.Condition()
         self._closed = False
         self._thread: Optional[threading.Thread] = None
@@ -454,6 +734,9 @@ class ServingEngine:
         inputs: Mapping[str, object],
         mode: Optional[str] = "auto",
         *,
+        tenant: Optional[str] = None,
+        priority: object = None,
+        deadline_s: Optional[float] = None,
         num_segments: Optional[int] = None,
         branching: object = _UNSET,
         chunk_len: Optional[int] = None,
@@ -462,15 +745,32 @@ class ServingEngine:
     ) -> Future:
         """Schedule one query; returns a future resolving to its outputs.
 
+        ``tenant`` attributes the request for quota enforcement and
+        per-tenant stats; ``priority`` is a class name from
+        :data:`PRIORITY_CLASSES` (or an index); ``deadline_s`` is a
+        relative latency budget — the batching window will not hold the
+        request beyond it (minus the modeled dispatch cost), and a
+        completion past the deadline counts as a deadline miss.
+
         Admission and validation happen on the calling thread: a full
-        queue raises :class:`QueueFullError`, a closed runtime raises
-        :class:`ServingClosedError`, unknown modes/options raise the
-        usual ``ValueError`` / ``TypeError`` — all *before* a future is
-        handed out.  Execution errors surface through the future.
+        queue raises :class:`QueueFullError`, a tenant over quota raises
+        :class:`TenantQuotaError`, a closed runtime raises
+        :class:`ServingClosedError`, unknown modes/options/priorities
+        raise the usual ``ValueError`` / ``TypeError`` — all *before* a
+        future is handed out.  Execution errors surface through the
+        future.
         """
         root = tracing.start_span("request", "request")
         try:
             with tracing.span("admission", parent_id=root.span_id if root else None):
+                cls = priority_index(
+                    self.config.default_priority if priority is None else priority
+                )
+                tenant_name = (
+                    self.config.default_tenant if tenant is None else str(tenant)
+                )
+                if deadline_s is not None and deadline_s <= 0:
+                    raise ValueError("deadline_s must be > 0")
                 plan = self.engine.plan_for(cascade)
                 backend = resolve_backend(mode, plan)
                 backend.check_options(backend_options)
@@ -484,6 +784,7 @@ class ServingEngine:
             "chunk_len": chunk_len,
             "base_index": base_index,
         }
+        length = next(iter(arrays.values())).shape[0]
         # A request can join a micro-batch when the batch path accepts
         # its parameters: batchable backend, default chunking/indexing.
         groupable = (
@@ -492,7 +793,6 @@ class ServingEngine:
             and base_index == 0
         )
         if groupable:
-            length = next(iter(arrays.values())).shape[0]
             # Ragged-capable backends group by length *bucket*: requests
             # of different lengths within a bucket pad into one masked
             # micro-batch.  Backends without masked execution keep the
@@ -505,25 +805,29 @@ class ServingEngine:
                 arrays[name].shape[1] for name in plan.cascade.element_vars
             )
             branch_key = "flat" if branching is None else branching
-            key: Tuple = (
+            key: Optional[Tuple] = (
                 id(plan), backend.name, length_key, widths,
                 num_segments, branch_key if branching is not _UNSET else "default",
                 tuple(sorted(backend_options.items())),
             )
         else:
             key = None  # never groups
+            length_key = length
         if root is not None:
-            length = next(iter(arrays.values())).shape[0]
             root.attrs.update(
                 backend=backend.name,
                 cascade=plan.cascade.name,
                 length=int(length),
-                bucket=key[2] if key is not None else None,
+                bucket=length_key,
+                tenant=tenant_name,
+                priority=PRIORITY_CLASSES[cls],
             )
         request = _Request(
             plan, arrays, backend.name, params, backend_options, key, "query",
-            trace=root,
+            trace=root, tenant=tenant_name, priority=cls, bucket=int(length_key),
         )
+        if deadline_s is not None:
+            request.deadline_at = request.submitted_at + float(deadline_s)
         return self._admit(request)
 
     def submit_batch(
@@ -532,6 +836,9 @@ class ServingEngine:
         batch_inputs: Mapping[str, object],
         mode: Optional[str] = "auto",
         *,
+        tenant: Optional[str] = None,
+        priority: object = None,
+        deadline_s: Optional[float] = None,
         num_segments: Optional[int] = None,
         branching: object = _UNSET,
         **backend_options,
@@ -540,6 +847,14 @@ class ServingEngine:
         root = tracing.start_span("request", "request_batch")
         try:
             with tracing.span("admission", parent_id=root.span_id if root else None):
+                cls = priority_index(
+                    self.config.default_priority if priority is None else priority
+                )
+                tenant_name = (
+                    self.config.default_tenant if tenant is None else str(tenant)
+                )
+                if deadline_s is not None and deadline_s <= 0:
+                    raise ValueError("deadline_s must be > 0")
                 plan = self.engine.plan_for(cascade)
                 backend = resolve_backend(mode, plan)
                 backend.check_options(backend_options)
@@ -547,12 +862,17 @@ class ServingEngine:
             tracing.end_span(root, ok=False, error=repr(err))
             raise
         if root is not None:
-            root.attrs.update(backend=backend.name, cascade=plan.cascade.name)
+            root.attrs.update(
+                backend=backend.name, cascade=plan.cascade.name,
+                tenant=tenant_name, priority=PRIORITY_CLASSES[cls],
+            )
         params = {"num_segments": num_segments, "branching": branching}
         request = _Request(
             plan, batch_inputs, backend.name, params, backend_options, None,
-            "batch", trace=root,
+            "batch", trace=root, tenant=tenant_name, priority=cls,
         )
+        if deadline_s is not None:
+            request.deadline_at = request.submitted_at + float(deadline_s)
         return self._admit(request)
 
     def run(self, cascade, inputs, mode: Optional[str] = "auto", **kwargs):
@@ -564,11 +884,91 @@ class ServingEngine:
         return self.submit_batch(cascade, batch_inputs, mode, **kwargs).result()
 
     def drain(self) -> None:
-        """Block until every queued request has been dispatched."""
+        """Block until no request is queued *or* in flight.
+
+        A request pulled off the queues into a forming micro-batch (or
+        held open in the batching window) is in flight, not queued;
+        ``drain()`` waits for both counts to reach zero, so when it
+        returns every admitted request's future has been resolved.
+        """
         with self._cond:
-            self._cond.wait_for(lambda: not self._queue)
+            self._cond.wait_for(
+                lambda: not self._queued_count() and self._inflight == 0
+            )
 
     # -- admission ----------------------------------------------------------
+    def _queued_count(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def _take_locked(self, request: _Request) -> None:
+        """Account a request leaving the queues for a group (lock held)."""
+        self._inflight += 1
+        count = self._tenant_queued.get(request.tenant, 0) - 1
+        if count > 0:
+            self._tenant_queued[request.tenant] = count
+        else:
+            self._tenant_queued.pop(request.tenant, None)
+
+    def _evict_locked(self, incoming: _Request) -> Optional[_Request]:
+        """Pick and remove the queued request the shed policy drops first.
+
+        Policy (lock held): lowest priority class first; within a class
+        the longest length bucket; within a bucket the newest arrival.
+        Only a victim *strictly* worse than ``incoming`` — lower class,
+        or same class with a longer bucket — is displaced; otherwise the
+        incoming request itself is the worst and None is returned (the
+        caller sheds it).
+        """
+        incoming_rank = (incoming.priority, incoming.bucket)
+        for cls in range(len(PRIORITY_CLASSES) - 1, incoming.priority - 1, -1):
+            queue = self._queues[cls]
+            victim = None
+            victim_rank = None
+            for request in queue:
+                rank = (cls, request.bucket)
+                if rank <= incoming_rank:
+                    continue  # not strictly worse than the incoming request
+                full_rank = rank + (request.submitted_at,)
+                if victim is None or full_rank > victim_rank:
+                    victim, victim_rank = request, full_rank
+            if victim is not None:
+                queue.remove(victim)
+                count = self._tenant_queued.get(victim.tenant, 0) - 1
+                if count > 0:
+                    self._tenant_queued[victim.tenant] = count
+                else:
+                    self._tenant_queued.pop(victim.tenant, None)
+                return victim
+        return None
+
+    def _shed_admitted(self, victim: _Request) -> None:
+        """Fail an evicted (already-admitted) request's future.
+
+        Runs *without* the scheduler lock held: resolving the future
+        invokes client done-callbacks, which must not run under
+        ``_cond``.
+        """
+        self._end_queue_span(victim)
+        if victim.future.set_running_or_notify_cancel():
+            self.stats.note_shed(
+                tenant=victim.tenant, priority=victim.priority_name, evicted=True
+            )
+            tracing.end_span(victim.trace, ok=False, error="shed")
+            victim.trace = None
+            victim.future.set_exception(
+                QueueFullError(
+                    "request shed from the full queue by admission policy "
+                    f"(priority {victim.priority_name!r}, "
+                    f"length bucket {victim.bucket})"
+                )
+            )
+        else:
+            self.stats.note_cancelled(
+                tenant=victim.tenant, priority=victim.priority_name
+            )
+            tracing.end_span(victim.trace, ok=False, error="cancelled")
+            victim.trace = None
+
     def _admit(self, request: _Request) -> Future:
         # The queue span opens before the scheduler lock: contending for
         # admission *is* queueing from the client's point of view, and
@@ -576,8 +976,10 @@ class ServingEngine:
         # the inline/shed/closed paths the handle is simply dropped
         # unrecorded (handles only record when ended).
         queue_span = tracing.start_span(
-            "queue", parent_id=request.trace_id, backend=request.mode
+            "queue", parent_id=request.trace_id, backend=request.mode,
+            tenant=request.tenant,
         )
+        victim: Optional[_Request] = None
         with self._cond:
             if self._closed:
                 tracing.end_span(request.trace, ok=False, error="closed")
@@ -585,49 +987,105 @@ class ServingEngine:
             if self._thread is None:
                 inline = True
             else:
-                if len(self._queue) >= self.config.max_queue_depth:
-                    self.stats.note_shed()
-                    tracing.end_span(request.trace, ok=False, error="shed")
-                    raise QueueFullError(
-                        f"queue depth {len(self._queue)} at max_queue_depth="
-                        f"{self.config.max_queue_depth}; request shed"
+                depth = self._queued_count()
+                quota = self.config.tenant_quota
+                if (
+                    quota is not None
+                    and self._tenant_queued.get(request.tenant, 0) >= quota
+                ):
+                    self.stats.note_shed(
+                        tenant=request.tenant, priority=request.priority_name
                     )
+                    self.stats.note_queue_depth(depth)
+                    tracing.end_span(request.trace, ok=False, error="quota")
+                    raise TenantQuotaError(
+                        f"tenant {request.tenant!r} already has {quota} "
+                        f"queued request(s) (tenant_quota={quota}); "
+                        "request shed"
+                    )
+                if depth >= self.config.max_queue_depth:
+                    victim = self._evict_locked(request)
+                    if victim is None:
+                        # The incoming request is the worst candidate:
+                        # shed it, and keep the queue-depth gauge honest
+                        # (shedding used to leave it stale).
+                        self.stats.note_shed(
+                            tenant=request.tenant, priority=request.priority_name
+                        )
+                        self.stats.note_queue_depth(depth)
+                        tracing.end_span(request.trace, ok=False, error="shed")
+                        raise QueueFullError(
+                            f"queue depth {depth} at max_queue_depth="
+                            f"{self.config.max_queue_depth} and no "
+                            "lower-priority victim queued; request shed"
+                        )
                 inline = False
                 if queue_span is not None:
-                    queue_span.attrs["depth"] = len(self._queue)
+                    queue_span.attrs["depth"] = self._queued_count()
                 request.queue_span = queue_span
-                self._queue.append(request)
-                self.stats.note_submitted(len(self._queue))
+                self._queues[request.priority].append(request)
+                self._tenant_queued[request.tenant] = (
+                    self._tenant_queued.get(request.tenant, 0) + 1
+                )
+                self.stats.note_submitted(
+                    self._queued_count(),
+                    tenant=request.tenant,
+                    priority=request.priority_name,
+                )
                 self._cond.notify_all()
+        if victim is not None:
+            self._shed_admitted(victim)
         if inline:
-            self.stats.note_submitted(0)
-            self._dispatch([request])
+            self.stats.note_submitted(
+                0, tenant=request.tenant, priority=request.priority_name
+            )
+            with self._cond:
+                self._inflight += 1
+            try:
+                self._dispatch([request])
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
         return request.future
 
     # -- scheduling loop ----------------------------------------------------
     def _loop(self) -> None:
         while True:
             with self._cond:
-                while not self._queue and not self._closed:
+                while not self._queued_count() and not self._closed:
                     self._cond.wait()
-                if not self._queue and self._closed:
+                if not self._queued_count() and self._closed:
                     return
-                head = self._queue.popleft()
+                head = None
+                for queue in self._queues:  # highest priority class first
+                    if queue:
+                        head = queue.popleft()
+                        break
+                self._take_locked(head)
                 group = [head]
                 if head.key is not None:
                     self._collect_locked(group)
-                self.stats.note_queue_depth(len(self._queue))
+                self.stats.note_queue_depth(self._queued_count())
                 self._cond.notify_all()  # wake drain() waiters
             # span recording stays off the lock's critical section
             for request in group:
                 self._end_queue_span(request)
-            if head.key is not None and len(group) < self.config.max_batch:
-                with tracing.span(
-                    "batch_form", "window", parent_id=head.trace_id
-                ) as window_span:
-                    self._await_window(group)
-                    window_span.set(batch=len(group))
-            self._dispatch(group)
+            try:
+                if head.key is not None and len(group) < self.config.max_batch:
+                    with tracing.span(
+                        "batch_form", "window", parent_id=head.trace_id
+                    ) as window_span:
+                        self._await_window(group)
+                        window_span.set(batch=len(group))
+                self._dispatch(group)
+            finally:
+                # the group (including window joiners) leaves flight only
+                # after every member's future has been resolved — this is
+                # what makes drain() cover in-flight work
+                with self._cond:
+                    self._inflight -= len(group)
+                    self._cond.notify_all()
 
     @staticmethod
     def _end_queue_span(request: _Request) -> None:
@@ -636,43 +1094,86 @@ class ServingEngine:
             request.queue_span = None
 
     def _collect_locked(self, group: List[_Request]) -> None:
-        """Pull queued requests compatible with ``group[0]`` (lock held)."""
+        """Pull queued requests compatible with ``group[0]`` (lock held).
+
+        Scans every priority class (highest first) — a lower-priority
+        request with the same micro-batch key rides along for free
+        rather than waiting behind the batch it could have joined.
+        """
         key, limit = group[0].key, self.config.max_batch
         if len(group) >= limit:
             return
-        kept: Deque[_Request] = deque()
-        while self._queue:
-            request = self._queue.popleft()
-            if request.key == key and len(group) < limit:
-                group.append(request)  # queue span ended by the caller, unlocked
-            else:
-                kept.append(request)
-        self._queue.extend(kept)
+        for queue in self._queues:
+            if len(group) >= limit and not queue:
+                continue
+            kept: Deque[_Request] = deque()
+            while queue:
+                request = queue.popleft()
+                if request.key == key and len(group) < limit:
+                    # queue span ended by the caller, unlocked
+                    group.append(request)
+                    self._take_locked(request)
+                else:
+                    kept.append(request)
+            queue.extend(kept)
+
+    def _dispatch_cost_s(self, request: _Request) -> float:
+        """Modeled one-dispatch cost for deadline-aware window bounding.
+
+        Simulated backends (``tile_ir``, ``sharded``) attach gpusim
+        latency estimates to plans as they execute; the freshest
+        estimate bounds how long the batching window may keep a
+        deadline-carrying request waiting.  Backends without estimates
+        cost 0 — the window then closes exactly at the deadline.
+        """
+        try:
+            backend = get_backend(request.mode)
+            estimate = backend.estimate_for(
+                request.plan, request.options.get("gpu", "A10")
+            )
+        except Exception:
+            return 0.0
+        if estimate is None:
+            return 0.0
+        return float(estimate.latency_seconds)
 
     def _await_window(self, group: List[_Request]) -> None:
         """Hold the group open up to ``batch_window_s`` for stragglers.
 
         The window closes early when the batch fills, when the runtime
-        closes, or when *incompatible* work is waiting — holding the
+        closes, when *incompatible* work is waiting — holding the
         single scheduler open for one group while other keys queue
-        would trade their latency for this group's occupancy.
+        would trade their latency for this group's occupancy — or when
+        any member's deadline, minus the modeled dispatch cost, is
+        about to pass (a near-deadline request is never held for batch
+        fill).
         """
-        deadline = monotonic_s() + self.config.batch_window_s
+        window_deadline = monotonic_s() + self.config.batch_window_s
+        cost_s = self._dispatch_cost_s(group[0])
+
+        def group_deadline() -> float:
+            deadline = window_deadline
+            for request in group:
+                if request.deadline_at is not None:
+                    deadline = min(deadline, request.deadline_at - cost_s)
+            return deadline
+
         while len(group) < self.config.max_batch:
-            remaining = deadline - monotonic_s()
+            remaining = group_deadline() - monotonic_s()
             if remaining <= 0:
                 return
             with self._cond:
                 if not self._cond.wait_for(
-                    lambda: self._queue or self._closed, timeout=remaining
+                    lambda: self._queued_count() or self._closed,
+                    timeout=remaining,
                 ):
                     return
-                if self._closed and not self._queue:
+                if self._closed and not self._queued_count():
                     return
                 before = len(group)
                 self._collect_locked(group)
-                stalled = len(group) == before and bool(self._queue)
-                self.stats.note_queue_depth(len(self._queue))
+                stalled = len(group) == before and bool(self._queued_count())
+                self.stats.note_queue_depth(self._queued_count())
                 self._cond.notify_all()
             for request in group[before:]:
                 self._end_queue_span(request)
@@ -729,12 +1230,17 @@ class ServingEngine:
                 # and kill the scheduler thread.
                 if request.future.set_running_or_notify_cancel():
                     self.stats.note_done(
-                        monotonic_s() - request.submitted_at, False
+                        monotonic_s() - request.submitted_at, False,
+                        tenant=request.tenant, priority=request.priority_name,
+                        deadline_missed=self._deadline_missed(request),
                     )
                     tracing.end_span(request.trace, ok=False, error=repr(err))
                     request.trace = None
                     request.future.set_exception(err)
                 else:
+                    self.stats.note_cancelled(
+                        tenant=request.tenant, priority=request.priority_name
+                    )
                     tracing.end_span(request.trace, ok=False, error="cancelled")
                     request.trace = None
 
@@ -801,24 +1307,38 @@ class ServingEngine:
             rows.append(out)
         return rows
 
+    @staticmethod
+    def _deadline_missed(request: _Request) -> bool:
+        return (
+            request.deadline_at is not None
+            and monotonic_s() > request.deadline_at
+        )
+
     def _resolve(self, group: List[_Request], outputs: List) -> None:
         for request, out in zip(group, outputs):
             # Skip futures the client cancelled while they were queued
-            # (their share of the batch was computed, but nobody waits).
+            # (their share of the batch was computed, but nobody waits);
+            # every cancelled request is counted exactly once.
             if request.future.set_running_or_notify_cancel():
                 self.stats.note_done(
-                    monotonic_s() - request.submitted_at, True
+                    monotonic_s() - request.submitted_at, True,
+                    tenant=request.tenant, priority=request.priority_name,
+                    deadline_missed=self._deadline_missed(request),
                 )
                 tracing.end_span(request.trace, ok=True)
                 request.trace = None
                 request.future.set_result(out)
             else:
+                self.stats.note_cancelled(
+                    tenant=request.tenant, priority=request.priority_name
+                )
                 tracing.end_span(request.trace, ok=False, error="cancelled")
                 request.trace = None
 
     def __repr__(self) -> str:
         state = "started" if self.started else ("closed" if self._closed else "inline")
         return (
-            f"<ServingEngine {state} queue={len(self._queue)}/"
-            f"{self.config.max_queue_depth} max_batch={self.config.max_batch}>"
+            f"<ServingEngine {state} queue={self._queued_count()}/"
+            f"{self.config.max_queue_depth} inflight={self._inflight} "
+            f"max_batch={self.config.max_batch}>"
         )

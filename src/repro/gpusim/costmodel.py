@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import List
 
 from .kernel import KernelSpec, Program
 from .specs import GPUSpec

@@ -10,7 +10,7 @@ the schedule overlaps memory with compute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List
 
 
 @dataclass(frozen=True)

@@ -6,9 +6,19 @@ request payloads are a mixed blend of engine-servable workloads
 (:func:`repro.workloads.serving_mix.request_mix`), and replay submits
 each request to a :class:`~repro.engine.serving.ServingEngine` at its
 arrival time, collecting per-request latency (arrival → completion) and
-shed counts.  The report carries throughput and p50/p99 latency, the
-numbers ``benchmarks/bench_serving.py`` sweeps against offered load
-into ``BENCH_serving.json``.
+shed counts.  The report carries throughput and p50/p99 latency — per
+tenant and per priority class as well as overall — the numbers
+``benchmarks/bench_serving.py`` sweeps against offered load into
+``BENCH_serving.json``.
+
+Adversarial multi-tenant traffic composes from :class:`TenantProfile`
+shapes: each profile is one tenant's rate, priority class, geometry,
+deadline distribution, and burstiness (:func:`bursty_arrivals` models
+an on/off process whose arrivals cluster while the mean load stays
+fixed).  :func:`adversarial_stream` merges the per-tenant streams in
+arrival order — e.g. one background hog saturating the queue against
+many interactive clients with tight deadlines, the scenario the SLA
+bench gates on.
 """
 
 from __future__ import annotations
@@ -20,19 +30,35 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine.serving import AdmissionError, ServingEngine
+from ..engine.serving import (
+    PRIORITY_CLASSES,
+    AdmissionError,
+    ServingEngine,
+    priority_index,
+)
 from ..obs.clock import monotonic_s
-from ..workloads.serving_mix import SERVING_KINDS, request_mix
+from ..workloads.serving_mix import (
+    SERVING_KINDS,
+    draw_deadline,
+    request_mix,
+)
 
 
 @dataclass(frozen=True)
 class TrafficRequest:
-    """One replayable request: payload plus its scheduled arrival time."""
+    """One replayable request: payload plus its scheduled arrival time.
+
+    ``tenant`` / ``priority`` / ``deadline_s`` pass straight through to
+    ``ServingEngine.submit``; None means "use the serving defaults".
+    """
 
     kind: str
     cascade: object
     inputs: Dict[str, np.ndarray]
     arrival_s: float
+    tenant: Optional[str] = None
+    priority: Optional[object] = None
+    deadline_s: Optional[float] = None
 
 
 def poisson_arrivals(
@@ -44,6 +70,70 @@ def poisson_arrivals(
     if count < 1:
         raise ValueError("count must be >= 1")
     return np.cumsum(rng.exponential(1.0 / rate_rps, size=count))
+
+
+def bursty_arrivals(
+    rng: np.random.Generator,
+    rate_rps: float,
+    count: int,
+    *,
+    burst_factor: float = 8.0,
+    duty: float = 0.25,
+    cycle_s: float = 0.05,
+) -> np.ndarray:
+    """Cumulative arrival times of an on/off (bursty) Poisson process.
+
+    The process alternates phases over a ``cycle_s`` period: an "on"
+    phase lasting ``duty`` of the cycle at ``burst_factor`` times the
+    nominal rate, and an "off" phase at whatever trickle keeps the mean
+    offered load at ``rate_rps``.  Arrivals cluster adversarially — the
+    queue sees deep spikes — while a load sweep still reads the same
+    average rate.  ``burst_factor=1`` degenerates to plain Poisson.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if burst_factor < 1:
+        raise ValueError("burst_factor must be >= 1")
+    if not 0 < duty < 1:
+        raise ValueError("duty must be in (0, 1)")
+    if cycle_s <= 0:
+        raise ValueError("cycle_s must be > 0")
+    if burst_factor == 1:
+        return poisson_arrivals(rng, rate_rps, count)
+    on_rate = rate_rps * burst_factor
+    # cap the duty cycle so the on phase never carries more than the
+    # whole mean load; duty*on + (1-duty)*off = rate fixes the off-phase
+    # trickle (floored so the off phase is never fully silent)
+    duty = min(duty, 1.0 / burst_factor)
+    off_rate = max(
+        rate_rps * 1e-2,
+        rate_rps * (1.0 - duty * burst_factor) / (1.0 - duty),
+    )
+    # inhomogeneous Poisson via time rescaling: each arrival consumes one
+    # unit-exponential mass, advanced piecewise through the on/off phases
+    # (a long off-phase gap must not leap over the bursts in between)
+    masses = rng.exponential(1.0, size=count)
+    times = np.empty(count)
+    t = 0.0
+    on = True
+    phase_left = duty * cycle_s  # explicit phase state: no float-modulo
+    for i in range(count):
+        mass = masses[i]
+        while True:
+            rate = on_rate if on else off_rate
+            if mass <= phase_left * rate:
+                step = mass / rate
+                t += step
+                phase_left -= step
+                break
+            t += phase_left
+            mass -= phase_left * rate
+            on = not on
+            phase_left = (duty if on else 1.0 - duty) * cycle_s
+        times[i] = t
+    return times
 
 
 def build_request_stream(
@@ -72,9 +162,92 @@ def build_request_stream(
     ]
 
 
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic shape for adversarial multi-tenant replay.
+
+    ``deadline_s`` follows :func:`repro.workloads.serving_mix.draw_deadline`
+    (None | fixed | per-request choice set); ``burst_factor > 1`` makes
+    the tenant's arrivals bursty (:func:`bursty_arrivals`).
+    """
+
+    tenant: str
+    rate_rps: float
+    count: int
+    priority: object = "standard"
+    kinds: Sequence[str] = SERVING_KINDS
+    weights: Optional[Sequence[float]] = None
+    length: object = 256
+    width: int = 16
+    deadline_s: object = None
+    burst_factor: float = 1.0
+
+
+def tenant_stream(
+    rng: np.random.Generator, profile: TenantProfile
+) -> List[TrafficRequest]:
+    """One tenant's timed request stream from its :class:`TenantProfile`."""
+    if profile.burst_factor > 1:
+        arrivals = bursty_arrivals(
+            rng, profile.rate_rps, profile.count,
+            burst_factor=profile.burst_factor,
+        )
+    else:
+        arrivals = poisson_arrivals(rng, profile.rate_rps, profile.count)
+    mix = request_mix(
+        profile.count, rng, kinds=profile.kinds, weights=profile.weights,
+        length=profile.length, width=profile.width,
+    )
+    return [
+        TrafficRequest(
+            kind=kind, cascade=cascade, inputs=inputs, arrival_s=t,
+            tenant=profile.tenant, priority=profile.priority,
+            deadline_s=draw_deadline(rng, profile.deadline_s),
+        )
+        for (kind, cascade, inputs), t in zip(mix, arrivals)
+    ]
+
+
+def adversarial_stream(
+    rng: np.random.Generator, profiles: Sequence[TenantProfile]
+) -> List[TrafficRequest]:
+    """Merge per-tenant streams into one arrival-ordered replay stream.
+
+    This is how the adversarial scenarios compose: a hog profile
+    (high rate, long lengths, ``priority="batch"``) merged with
+    interactive profiles (tight deadlines, ``priority="interactive"``)
+    hits the scheduler exactly as concurrent tenants would.
+    """
+    if not profiles:
+        raise ValueError("need at least one tenant profile")
+    merged: List[TrafficRequest] = []
+    for profile in profiles:
+        merged.extend(tenant_stream(rng, profile))
+    merged.sort(key=lambda request: request.arrival_s)
+    return merged
+
+
+def _class_name(priority: Optional[object]) -> str:
+    """Priority-class label a request's outcome is attributed under.
+
+    ``None`` reports as ``"standard"`` — the serving default class —
+    so unattributed legacy streams keep aggregating somewhere sensible.
+    """
+    if priority is None:
+        return PRIORITY_CLASSES[priority_index("standard")]
+    return PRIORITY_CLASSES[priority_index(priority)]
+
+
 @dataclass
 class ReplayReport:
-    """Outcome of one traffic replay at a fixed offered load."""
+    """Outcome of one traffic replay at a fixed offered load.
+
+    Alongside the aggregate counters, latencies and sheds break down by
+    tenant and by priority class (client-side, from future outcomes),
+    so a scenario can gate on e.g. "the interactive tenant's p99 stayed
+    flat and every shed came from the batch class" without trusting the
+    server's own accounting.
+    """
 
     offered_rps: float
     requests: int
@@ -84,6 +257,10 @@ class ReplayReport:
     duration_s: float
     latencies_s: List[float] = field(default_factory=list)
     by_kind: Dict[str, int] = field(default_factory=dict)
+    latencies_by_tenant: Dict[str, List[float]] = field(default_factory=dict)
+    completed_by_tenant: Dict[str, int] = field(default_factory=dict)
+    shed_by_class: Dict[str, int] = field(default_factory=dict)
+    deadline_misses: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -94,7 +271,21 @@ class ReplayReport:
             return float("nan")
         return float(np.percentile(np.asarray(self.latencies_s), q))
 
+    def tenant_latency_percentile(self, tenant: str, q: float) -> float:
+        latencies = self.latencies_by_tenant.get(tenant)
+        if not latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(latencies), q))
+
     def snapshot(self) -> Dict[str, object]:
+        by_tenant = {
+            tenant: {
+                "completed": self.completed_by_tenant.get(tenant, 0),
+                "p50_latency_s": self.tenant_latency_percentile(tenant, 50.0),
+                "p99_latency_s": self.tenant_latency_percentile(tenant, 99.0),
+            }
+            for tenant in sorted(self.latencies_by_tenant)
+        }
         return {
             "offered_rps": self.offered_rps,
             "requests": self.requests,
@@ -106,6 +297,9 @@ class ReplayReport:
             "p50_latency_s": self.latency_percentile(50.0),
             "p99_latency_s": self.latency_percentile(99.0),
             "by_kind": dict(self.by_kind),
+            "by_tenant": by_tenant,
+            "shed_by_class": dict(self.shed_by_class),
+            "deadline_misses": self.deadline_misses,
         }
 
 
@@ -133,8 +327,11 @@ def replay(
 
     lock = threading.Lock()
     latencies: List[float] = []
-    outcomes = {"completed": 0, "shed": 0, "failed": 0}
+    outcomes = {"completed": 0, "shed": 0, "failed": 0, "deadline_misses": 0}
     by_kind: Dict[str, int] = {}
+    latencies_by_tenant: Dict[str, List[float]] = {}
+    completed_by_tenant: Dict[str, int] = {}
+    shed_by_class: Dict[str, int] = {}
     pending: List = []
 
     # One monotonic clock for the whole repo (repro.obs.clock): replay
@@ -143,13 +340,25 @@ def replay(
     # lines up with the serving stats it produced.
     start = monotonic_s()
 
-    def on_done(arrival_abs: float, kind: str, future) -> None:
+    def on_done(arrival_abs: float, request: TrafficRequest, future) -> None:
         latency = monotonic_s() - arrival_abs
+        tenant = request.tenant if request.tenant is not None else "default"
         with lock:
-            if future.exception() is None:
+            error = future.exception()
+            if error is None:
                 outcomes["completed"] += 1
                 latencies.append(latency)
-                by_kind[kind] = by_kind.get(kind, 0) + 1
+                by_kind[request.kind] = by_kind.get(request.kind, 0) + 1
+                latencies_by_tenant.setdefault(tenant, []).append(latency)
+                completed_by_tenant[tenant] = completed_by_tenant.get(tenant, 0) + 1
+                if request.deadline_s is not None and latency > request.deadline_s:
+                    outcomes["deadline_misses"] += 1
+            elif isinstance(error, AdmissionError):
+                # admitted then evicted by the shed policy: still a shed,
+                # not an execution failure
+                outcomes["shed"] += 1
+                cls = _class_name(request.priority)
+                shed_by_class[cls] = shed_by_class.get(cls, 0) + 1
             else:
                 outcomes["failed"] += 1
 
@@ -159,13 +368,19 @@ def replay(
             time.sleep(request.arrival_s - now)
         arrival_abs = start + request.arrival_s
         try:
-            future = serving.submit(request.cascade, request.inputs, mode)
+            future = serving.submit(
+                request.cascade, request.inputs, mode,
+                tenant=request.tenant, priority=request.priority,
+                deadline_s=request.deadline_s,
+            )
         except AdmissionError:
             with lock:
                 outcomes["shed"] += 1
+                cls = _class_name(request.priority)
+                shed_by_class[cls] = shed_by_class.get(cls, 0) + 1
             continue
         future.add_done_callback(
-            lambda f, a=arrival_abs, k=request.kind: on_done(a, k, f)
+            lambda f, a=arrival_abs, r=request: on_done(a, r, f)
         )
         pending.append(future)
 
@@ -186,6 +401,13 @@ def replay(
             duration_s=duration,
             latencies_s=list(latencies),
             by_kind=dict(by_kind),
+            latencies_by_tenant={
+                tenant: list(values)
+                for tenant, values in latencies_by_tenant.items()
+            },
+            completed_by_tenant=dict(completed_by_tenant),
+            shed_by_class=dict(shed_by_class),
+            deadline_misses=outcomes["deadline_misses"],
         )
 
 

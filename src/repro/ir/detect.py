@@ -18,12 +18,12 @@ Given a scalar-IR function, the detector:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.spec import Cascade, Reduction
 from ..symbolic import Expr, Var
-from .scalar import ForLoop, Function, Load, ReduceUpdate, Stmt, Store, loads_in
+from .scalar import ForLoop, Function, Load, ReduceUpdate, Stmt, loads_in
 
 
 class DetectionError(RuntimeError):

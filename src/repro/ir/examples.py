@@ -60,7 +60,7 @@ def unfused_attention(q_len: int = 32, kv_len: int = 48, head_dim: int = 8) -> F
 
 def unfused_softmax(rows: int = 16, length: int = 64) -> Function:
     """Safe softmax: max + sum-exp reductions plus the normalize store."""
-    r, l = var("r"), var("l")
+    r, el = var("r"), var("l")
     fb = FunctionBuilder("unfused_softmax")
     fb.input_buffer("x", (rows, length))
     fb.buffer("m", (rows,))
@@ -68,12 +68,12 @@ def unfused_softmax(rows: int = 16, length: int = 64) -> Function:
     fb.output_buffer("y", (rows, length))
     with fb.loop("r", rows):
         with fb.loop("l", length):
-            fb.reduce("m", (r,), "max", load("x", r, l))
+            fb.reduce("m", (r,), "max", load("x", r, el))
         with fb.loop("l", length):
-            fb.reduce("t", (r,), "sum", exp(load("x", r, l) - load("m", r)))
+            fb.reduce("t", (r,), "sum", exp(load("x", r, el) - load("m", r)))
         with fb.loop("l", length):
             fb.store(
-                "y", (r, l), exp(load("x", r, l) - load("m", r)) / load("t", r)
+                "y", (r, el), exp(load("x", r, el) - load("m", r)) / load("t", r)
             )
     return fb.build()
 
@@ -82,7 +82,7 @@ def unfused_quant_gemm(
     m_rows: int = 8, k_len: int = 32, n_cols: int = 8, fp8_max: float = 448.0
 ) -> Function:
     """§3.4: abs-max reduction followed by the scaled GEMM (Eq. 17)."""
-    r, l, n = var("r"), var("l"), var("n")
+    r, el, n = var("r"), var("l"), var("n")
     fb = FunctionBuilder("unfused_quant_gemm")
     fb.input_buffer("A", (m_rows, k_len))
     fb.input_buffer("W", (k_len, n_cols))
@@ -90,21 +90,21 @@ def unfused_quant_gemm(
     fb.output_buffer("c", (m_rows, n_cols))
     with fb.loop("r", m_rows):
         with fb.loop("l", k_len):
-            fb.reduce("amax", (r,), "max", absv(load("A", r, l)))
+            fb.reduce("amax", (r,), "max", absv(load("A", r, el)))
         with fb.loop("l", k_len):
             with fb.loop("n", n_cols):
                 fb.reduce(
                     "c",
                     (r, n),
                     "sum",
-                    fp8_max * load("A", r, l) / load("amax", r) * load("W", l, n),
+                    fp8_max * load("A", r, el) / load("amax", r) * load("W", el, n),
                 )
     return fb.build()
 
 
 def unfused_variance(rows: int = 8, length: int = 64) -> Function:
     """Appendix A.6 Eq. 44: mean then centered second moment."""
-    r, l = var("r"), var("l")
+    r, el = var("r"), var("l")
     fb = FunctionBuilder("unfused_variance")
     fb.input_buffer("x", (rows, length))
     fb.buffer("mean", (rows,))
@@ -112,12 +112,12 @@ def unfused_variance(rows: int = 8, length: int = 64) -> Function:
     inv_n = 1.0 / length
     with fb.loop("r", rows):
         with fb.loop("l", length):
-            fb.reduce("mean", (r,), "sum", load("x", r, l) * inv_n)
+            fb.reduce("mean", (r,), "sum", load("x", r, el) * inv_n)
         with fb.loop("l", length):
             fb.reduce(
                 "variance",
                 (r,),
                 "sum",
-                (load("x", r, l) - load("mean", r)) ** 2 * inv_n,
+                (load("x", r, el) - load("mean", r)) ** 2 * inv_n,
             )
     return fb.build()

@@ -26,14 +26,12 @@ generated kernels can be validated numerically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..symbolic import Expr, as_expr
-from ..symbolic.expr import ExprLike
-from .scalar import Load
 
 SCOPES = ("global", "shared", "fragment")
 

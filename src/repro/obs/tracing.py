@@ -32,7 +32,7 @@ import json
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from .clock import monotonic_ns, ns_to_us
 

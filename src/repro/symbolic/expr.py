@@ -17,7 +17,7 @@ numeric equivalence in :mod:`repro.symbolic.equiv`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Union
+from typing import FrozenSet, Mapping, Union
 
 import numpy as np
 

@@ -116,7 +116,7 @@ class VarianceConfig:
 
     name: str
     bs: int
-    l: int
+    length: int
 
 
 VARIANCE_CONFIGS: Tuple[VarianceConfig, ...] = (

@@ -13,7 +13,6 @@ All three are cascaded reductions outside deep learning:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -47,7 +46,7 @@ def variance_reference(x: np.ndarray) -> np.ndarray:
 
 
 def variance_op_graph(config: VarianceConfig) -> OpGraph:
-    n = config.bs * config.l
+    n = config.bs * config.length
     x_t = TensorInfo("x", n, FP32)
     m_t = TensorInfo("mean", config.bs, FP32)
     d_t = TensorInfo("centered_sq", n, FP32)
@@ -66,7 +65,7 @@ def variance_redfuser_program(config: VarianceConfig) -> Program:
     """One fused pass: running Σx and Σx² accumulators, O(1) state."""
     # Multi-Segment strategy: each CTA streams a 4K-element segment and
     # the O(1) partial states merge via Eq. 11 (combine cost negligible).
-    n = config.bs * config.l
+    n = config.bs * config.length
     grid = max(1, n // 4096)
     return Program(
         name=f"variance_{config.name}_redfuser",

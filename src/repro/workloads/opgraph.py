@@ -11,7 +11,7 @@ output tensor once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 OP_KINDS = ("gemm", "reduction", "elementwise", "topk")
 

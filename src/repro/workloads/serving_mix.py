@@ -65,6 +65,32 @@ def draw_length(rng: np.random.Generator, length: Union[int, Sequence[int]]) -> 
     return int(choices[int(rng.integers(len(choices)))])
 
 
+def draw_deadline(
+    rng: np.random.Generator,
+    deadline_s: Union[None, float, Sequence[float]],
+) -> Optional[float]:
+    """One relative deadline (seconds) for a request.
+
+    ``None`` means no deadline, a scalar is a fixed budget, and a
+    sequence models a deadline *distribution* — each request draws one
+    choice, the way real traffic mixes tight interactive SLOs with lax
+    background budgets.  The scheduler's batching window respects the
+    drawn value (``submit(deadline_s=...)``).
+    """
+    if deadline_s is None:
+        return None
+    if isinstance(deadline_s, (int, float, np.integer, np.floating)):
+        value = float(deadline_s)
+    else:
+        choices = list(deadline_s)
+        if not choices:
+            raise ValueError("deadline choices must be non-empty")
+        value = float(choices[int(rng.integers(len(choices)))])
+    if value <= 0:
+        raise ValueError(f"deadlines must be > 0, got {value}")
+    return value
+
+
 def request_mix(
     count: int,
     rng: np.random.Generator,

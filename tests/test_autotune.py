@@ -1,6 +1,5 @@
 """Dedicated unit tests for the §4.4 auto-tuner (codegen/autotune.py)."""
 
-import numpy as np
 import pytest
 
 from repro.codegen import CodegenSpec, ElementLayout, LoweringError, autotune

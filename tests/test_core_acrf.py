@@ -1,6 +1,5 @@
 """Unit tests for the ACRF decomposition algorithm (§4.2, Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Cascade, NotFusableError, Reduction, analyze_cascade, decompose

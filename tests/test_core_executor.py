@@ -18,7 +18,7 @@ from repro.core import (
     run_unfused,
     state_values,
 )
-from repro.symbolic import absv, const, exp, sqrt, var, variables, vmax
+from repro.symbolic import const, exp, sqrt, var, variables, vmax
 
 
 @pytest.fixture(scope="module")

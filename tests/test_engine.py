@@ -1,6 +1,5 @@
 """Unit tests for the serving engine: plan cache, batch, and stream paths."""
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np

@@ -26,7 +26,7 @@ from repro.engine import (
     resolve_backend,
     unregister_backend,
 )
-from repro.symbolic import absv, const, exp, var
+from repro.symbolic import const, exp, var
 from repro.workloads import attention, mla, quant_gemm
 from repro.workloads.configs import MHAConfig, MLAConfig, QuantGemmConfig
 

@@ -236,8 +236,8 @@ def test_ragged_batches_match_per_query_loop(seed):
         rng.integers(1, 16)
     )  # guarantee real raggedness
     queries = [
-        {"x": rng.normal(size=int(l)), "y": rng.normal(size=int(l))}
-        for l in lengths
+        {"x": rng.normal(size=int(n)), "y": rng.normal(size=int(n))}
+        for n in lengths
     ]
     refs = [run_unfused(cascade, q) for q in queries]
 
@@ -280,7 +280,7 @@ def test_ragged_topk_epilogue_matches_per_query(seed):
         ),
     )
     lengths = [2, 3, int(rng.integers(5, 40)), int(rng.integers(5, 40)), 4]
-    queries = [{"x": rng.normal(size=l)} for l in lengths]
+    queries = [{"x": rng.normal(size=n)} for n in lengths]
     refs = [run_unfused(cascade, q) for q in queries]
     engine = Engine()
     plan = engine.plan_for(cascade)
@@ -298,11 +298,11 @@ def test_ragged_sharded_matches_whole_batch_per_row(seed):
     cascade = random_cascade(rng, 48)
     batch = int(rng.integers(6, 16))
     lengths = rng.integers(4, 96, size=batch)
-    if len(set(int(l) for l in lengths)) == 1:
+    if len(set(int(n) for n in lengths)) == 1:
         lengths[0] += 7
     queries = [
-        {"x": rng.normal(size=int(l)), "y": rng.normal(size=int(l))}
-        for l in lengths
+        {"x": rng.normal(size=int(n)), "y": rng.normal(size=int(n))}
+        for n in lengths
     ]
     engine = Engine()
     plan = engine.plan_for(cascade)

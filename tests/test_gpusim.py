@@ -1,6 +1,5 @@
 """Unit tests for the analytical GPU model."""
 
-import math
 
 import pytest
 

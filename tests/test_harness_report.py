@@ -73,7 +73,7 @@ class TestSpeedupTable:
 
     def test_missing_cells_render_blank(self):
         text = speedup_table(runner_rows(), "t")
-        h3_line = next(l for l in text.splitlines() if l.lstrip().startswith("H3"))
+        h3_line = next(ln for ln in text.splitlines() if ln.lstrip().startswith("H3"))
         assert len(h3_line.split()) == 3  # config + eager + redfuser, no tvm
 
 

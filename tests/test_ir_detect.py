@@ -88,16 +88,16 @@ class TestDetection:
         cascaded reduction — the lift must refuse it."""
         from repro.ir.detect import _lift_expr
 
-        r, l = var("r"), var("l")
+        r, el = var("r"), var("l")
         # "prefix[r, l]" is a chain buffer read *along the chain axis*.
-        scan_value = load("x", r, l) + load("prefix", r, l)
+        scan_value = load("x", r, el) + load("prefix", r, el)
         assert _lift_expr(scan_value, "l", ["prefix"], []) is None
 
     def test_bare_loop_variable_not_lifted(self):
         from repro.ir.detect import _lift_expr
 
-        r, l = var("r"), var("l")
-        assert _lift_expr(load("x", r, l) * l, "l", [], []) is None
+        r, el = var("r"), var("l")
+        assert _lift_expr(load("x", r, el) * el, "l", [], []) is None
 
 
 class TestDetectedCascadeExecutes:

@@ -3,14 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.ir import Function, FunctionBuilder, Load, load, loads_in, run_function
+from repro.ir import FunctionBuilder, load, loads_in, run_function
 from repro.ir.examples import (
     unfused_attention,
     unfused_quant_gemm,
     unfused_softmax,
     unfused_variance,
 )
-from repro.ir.scalar import ForLoop, ReduceUpdate, Store
+from repro.ir.scalar import ForLoop, ReduceUpdate
 from repro.symbolic import exp, var
 
 

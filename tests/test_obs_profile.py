@@ -1,6 +1,5 @@
 """Bottleneck-profiler tests: engine attribution over the gpusim model."""
 
-import math
 
 import numpy as np
 import pytest

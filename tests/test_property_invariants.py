@@ -21,15 +21,7 @@ from repro.core import (
     run_unfused,
     state_values,
 )
-from repro.symbolic import (
-    Binary,
-    Const,
-    Unary,
-    Var,
-    exp,
-    simplify,
-    var,
-)
+from repro.symbolic import Binary, Const, Var, exp, simplify, var
 
 finite = st.floats(
     min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False

@@ -1,7 +1,6 @@
 """Serving runtime tests: scheduler, admission control, sharded backend."""
 
 import threading
-import time
 from concurrent.futures import Future
 
 import numpy as np
@@ -164,7 +163,7 @@ class TestAsyncScheduler:
         rng = np.random.default_rng(21)
         # all lengths land in the (16, 32] pow2 bucket, none equal
         lengths = (17, 21, 25, 29, 32, 19, 27, 23)
-        datas = [rng.normal(size=l) for l in lengths]
+        datas = [rng.normal(size=n) for n in lengths]
         with engine.serving(
             ServingConfig(max_batch=8, batch_window_s=0.05)
         ) as serving:

@@ -1,0 +1,568 @@
+"""SLA scheduling tests: priorities, quotas, deadlines, drain, shedding.
+
+Covers the multi-tenant scheduler semantics end to end — priority-class
+ordering, per-tenant quota enforcement, policy-driven victim eviction,
+deadline-bounded batch windows — plus the accounting fixes that came
+with them: ``drain()`` waiting out in-flight work, the queue-depth
+gauge refreshing on shed, float bucket edges being rejected instead of
+silently truncated, and cancelled futures counting exactly once.  The
+load-bearing invariant, asserted after every drain here::
+
+    submitted == completed + failed + cancelled + evicted
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction, run_unfused
+from repro.engine import (
+    PRIORITY_CLASSES,
+    Engine,
+    QueueFullError,
+    ServingConfig,
+    TenantQuotaError,
+    get_backend,
+    priority_index,
+)
+from repro.harness.traffic import (
+    TenantProfile,
+    adversarial_stream,
+    bursty_arrivals,
+    poisson_arrivals,
+    replay,
+    tenant_stream,
+)
+from repro.symbolic import const, exp, var
+from repro.workloads.serving_mix import draw_deadline
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax_sla",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def assert_invariant(stats) -> None:
+    snap = stats.snapshot()
+    accounted = (
+        snap["completed"] + snap["failed"] + snap["cancelled"] + snap["evicted"]
+    )
+    assert snap["submitted"] == accounted, snap
+
+
+class _GatedBackend:
+    """Context manager stalling fused_tree execution on an event.
+
+    Patching the backend's single-query path lets a test park the
+    scheduler thread inside a dispatch deterministically — requests
+    submitted meanwhile stay queued until ``release()``.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def __enter__(self):
+        backend_type = type(get_backend("fused_tree"))
+        self._type = backend_type
+        self._original = backend_type.execute
+        gate, entered = self.gate, self.entered
+
+        def gated(backend_self, plan, inputs, **params):
+            entered.set()
+            assert gate.wait(timeout=30), "test never released the gate"
+            return self._original(backend_self, plan, inputs, **params)
+
+        backend_type.execute = gated
+        return self
+
+    def release(self) -> None:
+        self.gate.set()
+
+    def __exit__(self, *exc):
+        self._type.execute = self._original
+
+
+class TestDrainSemantics:
+    def test_drain_waits_for_request_in_batching_window(self):
+        """drain() must cover a request held open in _await_window."""
+        engine = Engine()
+        cascade = softmax_cascade(3.1)
+        serving = engine.serving(
+            ServingConfig(max_batch=8, batch_window_s=0.25)
+        )
+        future = serving.submit(cascade, {"x": np.arange(8.0)})
+        time.sleep(0.05)  # scheduler picked it up: queue empty, in window
+        serving.drain()
+        # pre-fix, drain returned as soon as the deque emptied while the
+        # request was still forming its batch
+        assert future.done()
+        assert serving._inflight == 0
+        assert_invariant(serving.stats)
+        engine.close()
+
+    def test_drain_waits_for_executing_dispatch(self):
+        engine = Engine()
+        cascade = softmax_cascade(3.2)
+        serving = engine.serving(
+            ServingConfig(max_batch=1, batch_window_s=0.0)
+        )
+        with _GatedBackend() as gated:
+            future = serving.submit(cascade, {"x": np.arange(8.0)})
+            assert gated.entered.wait(timeout=10)
+
+            def release_later():
+                time.sleep(0.05)
+                gated.release()
+
+            releaser = threading.Thread(target=release_later)
+            releaser.start()
+            serving.drain()  # must block across the executing dispatch
+            releaser.join()
+        assert future.done()
+        np.testing.assert_allclose(
+            future.result()["t"],
+            run_unfused(softmax_cascade(3.2), {"x": np.arange(8.0)})["t"],
+        )
+        assert_invariant(serving.stats)
+        engine.close()
+
+
+class TestShedAccounting:
+    def test_shed_refreshes_queue_depth_gauge(self):
+        engine = Engine()
+        cascade = softmax_cascade(3.3)
+        serving = engine.serving(
+            ServingConfig(max_queue_depth=2, max_batch=1, batch_window_s=0.0)
+        )
+        with _GatedBackend() as gated:
+            blocker = serving.submit(cascade, {"x": np.arange(8.0)})
+            assert gated.entered.wait(timeout=10)
+            queued = [
+                serving.submit(cascade, {"x": np.arange(8.0)})
+                for _ in range(2)
+            ]
+            # same class + bucket as everything queued: the incoming
+            # request is not strictly better than any victim, so it sheds
+            with pytest.raises(QueueFullError):
+                serving.submit(cascade, {"x": np.arange(8.0)})
+            # the gauge reflects the real depth (pre-fix it went stale)
+            assert serving.stats.queue_depth == 2
+            gated.release()
+            serving.drain()
+        for future in [blocker, *queued]:
+            assert future.result()["t"].shape == (1,)
+        snap = serving.stats.snapshot()
+        engine.close()
+        # a shed request was never submitted: rejected != submitted
+        assert snap["submitted"] == 3
+        assert snap["shed"] == 1
+        assert snap["evicted"] == 0
+        assert snap["queue_depth"] == 0
+        assert_invariant(serving.stats)
+
+
+class TestBucketEdgeValidation:
+    def test_float_edges_rejected_not_truncated(self):
+        # (2.5, 7.9) used to silently truncate to (2, 7)
+        with pytest.raises(ValueError, match="integral"):
+            ServingConfig(bucket=(2.5, 7.9))
+
+    def test_integral_float_edges_accepted_as_ints(self):
+        config = ServingConfig(bucket=(2.0, 8.0))
+        assert config.bucket == (2, 8)
+        assert all(isinstance(edge, int) for edge in config.bucket)
+        assert config.bucket_for(3) == 8
+
+    def test_non_numeric_edges_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            ServingConfig(bucket=(4, "eight"))
+
+
+class TestCancellationRace:
+    def test_cancel_queued_future_while_group_forms(self):
+        """Cancelling a request inside a forming batch must not leak.
+
+        The scheduler thread survives, siblings in the same micro-batch
+        resolve, and the cancelled request is counted exactly once.
+        """
+        engine = Engine()
+        cascade = softmax_cascade(3.4)
+        serving = engine.serving(
+            ServingConfig(max_batch=8, batch_window_s=0.3)
+        )
+        first = serving.submit(cascade, {"x": np.arange(8.0)})
+        time.sleep(0.05)  # first is now holding the window open
+        victim = serving.submit(cascade, {"x": np.arange(8.0)})
+        sibling = serving.submit(cascade, {"x": np.arange(8.0)})
+        assert victim.cancel()  # still PENDING: queued or in the group
+        serving.drain()
+        ref = run_unfused(softmax_cascade(3.4), {"x": np.arange(8.0)})
+        np.testing.assert_allclose(first.result()["t"], ref["t"])
+        np.testing.assert_allclose(sibling.result()["t"], ref["t"])
+        assert victim.cancelled()
+        # scheduler thread survived the cancelled sibling
+        again = serving.submit(cascade, {"x": np.arange(8.0)})
+        np.testing.assert_allclose(again.result(timeout=10)["t"], ref["t"])
+        snap = serving.stats.snapshot()
+        engine.close()
+        assert snap["cancelled"] == 1  # exactly once
+        assert snap["submitted"] == 4
+        assert snap["completed"] == 3
+        assert_invariant(serving.stats)
+
+
+class TestPriorityScheduling:
+    def test_higher_class_served_first(self):
+        """An interactive request overtakes earlier-queued batch work."""
+        engine = Engine()
+        cascade = softmax_cascade(3.5)
+        serving = engine.serving(
+            ServingConfig(max_batch=1, batch_window_s=0.0)
+        )
+        order = []
+        with _GatedBackend() as gated:
+            blocker = serving.submit(cascade, {"x": np.arange(8.0)})
+            assert gated.entered.wait(timeout=10)
+            low = serving.submit(
+                cascade, {"x": np.arange(32.0)}, priority="batch"
+            )
+            high = serving.submit(
+                cascade, {"x": np.arange(64.0)}, priority="interactive"
+            )
+            low.add_done_callback(lambda f: order.append("batch"))
+            high.add_done_callback(lambda f: order.append("interactive"))
+            gated.release()
+            serving.drain()
+        blocker.result()
+        engine.close()
+        assert order == ["interactive", "batch"]
+        assert_invariant(serving.stats)
+
+    def test_same_key_lower_priority_rides_along(self):
+        """A batch-class request with the same key joins the micro-batch."""
+        engine = Engine()
+        cascade = softmax_cascade(3.6)
+        serving = engine.serving(
+            ServingConfig(max_batch=8, batch_window_s=0.0)
+        )
+        with _GatedBackend() as gated:
+            blocker = serving.submit(cascade, {"x": np.arange(8.0)})
+            assert gated.entered.wait(timeout=10)
+            high = serving.submit(
+                cascade, {"x": np.arange(16.0)}, priority="interactive"
+            )
+            low = serving.submit(
+                cascade, {"x": np.arange(16.0)}, priority="batch"
+            )
+            gated.release()
+            serving.drain()
+        blocker.result(), high.result(), low.result()
+        snap = serving.stats.snapshot()
+        engine.close()
+        assert snap["max_batch_size"] >= 2  # they shared one dispatch
+        assert_invariant(serving.stats)
+
+    def test_priority_index_validation(self):
+        assert priority_index("interactive") == 0
+        assert priority_index("batch") == len(PRIORITY_CLASSES) - 1
+        assert priority_index(1) == 1
+        with pytest.raises(ValueError, match="unknown priority"):
+            priority_index("urgent")
+        with pytest.raises(ValueError, match="out of range"):
+            priority_index(97)
+        with pytest.raises(ValueError, match="class name or index"):
+            priority_index(object())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            ServingConfig(default_priority="zzz")
+        with pytest.raises(ValueError, match="tenant_quota"):
+            ServingConfig(tenant_quota=0)
+
+    def test_submit_rejects_unknown_priority(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="unknown priority"):
+            engine.scheduler.submit(
+                softmax_cascade(3.7), {"x": np.arange(4.0)}, priority="vip"
+            )
+        with pytest.raises(ValueError, match="deadline_s"):
+            engine.scheduler.submit(
+                softmax_cascade(3.7), {"x": np.arange(4.0)}, deadline_s=0.0
+            )
+
+
+class TestTenantQuota:
+    def test_quota_sheds_only_the_offending_tenant(self):
+        engine = Engine()
+        cascade = softmax_cascade(3.8)
+        serving = engine.serving(
+            ServingConfig(max_batch=1, batch_window_s=0.0, tenant_quota=2)
+        )
+        with _GatedBackend() as gated:
+            blocker = serving.submit(cascade, {"x": np.arange(8.0)})
+            assert gated.entered.wait(timeout=10)
+            hog = [
+                serving.submit(cascade, {"x": np.arange(8.0)}, tenant="hog")
+                for _ in range(2)
+            ]
+            with pytest.raises(TenantQuotaError):
+                serving.submit(cascade, {"x": np.arange(8.0)}, tenant="hog")
+            # another tenant is unaffected by the hog's quota
+            other = serving.submit(cascade, {"x": np.arange(8.0)}, tenant="web")
+            gated.release()
+            serving.drain()
+        for future in [blocker, *hog, other]:
+            assert future.result()["t"].shape == (1,)
+        by_tenant = serving.stats.by_tenant()
+        engine.close()
+        assert by_tenant["hog"]["shed"] == 1
+        assert by_tenant["hog"]["completed"] == 2
+        assert by_tenant["web"]["shed"] == 0
+        assert by_tenant["web"]["completed"] == 1
+        assert_invariant(serving.stats)
+
+
+class TestVictimEviction:
+    def test_interactive_displaces_worst_batch_victim(self):
+        """Full queue: the lowest-class, longest-bucket request is shed."""
+        engine = Engine()
+        cascade = softmax_cascade(3.9)
+        serving = engine.serving(
+            ServingConfig(max_queue_depth=2, max_batch=1, batch_window_s=0.0)
+        )
+        with _GatedBackend() as gated:
+            blocker = serving.submit(cascade, {"x": np.arange(8.0)})
+            assert gated.entered.wait(timeout=10)
+            short_batch = serving.submit(
+                cascade, {"x": np.arange(8.0)}, priority="batch"
+            )
+            long_batch = serving.submit(
+                cascade, {"x": np.arange(64.0)}, priority="batch"
+            )
+            # queue is full; an interactive arrival displaces the batch
+            # request with the longest length bucket, not the newest
+            interactive = serving.submit(
+                cascade, {"x": np.arange(8.0)}, priority="interactive"
+            )
+            with pytest.raises(QueueFullError):
+                long_batch.result(timeout=10)
+            gated.release()
+            serving.drain()
+        blocker.result(), short_batch.result(), interactive.result()
+        snap = serving.stats.snapshot()
+        shed_by_class = serving.stats.shed_by_class()
+        engine.close()
+        assert snap["evicted"] == 1
+        assert snap["shed"] == 1
+        assert shed_by_class.get("batch") == 1
+        assert shed_by_class.get("interactive", 0) == 0
+        # the victim *was* submitted, so eviction keeps the invariant
+        assert snap["submitted"] == 4
+        assert_invariant(serving.stats)
+
+    def test_incoming_sheds_when_nothing_queued_is_worse(self):
+        engine = Engine()
+        cascade = softmax_cascade(4.0)
+        serving = engine.serving(
+            ServingConfig(max_queue_depth=2, max_batch=1, batch_window_s=0.0)
+        )
+        with _GatedBackend() as gated:
+            blocker = serving.submit(
+                cascade, {"x": np.arange(8.0)}, priority="interactive"
+            )
+            assert gated.entered.wait(timeout=10)
+            queued = [
+                serving.submit(
+                    cascade, {"x": np.arange(8.0)}, priority="interactive"
+                )
+                for _ in range(2)
+            ]
+            with pytest.raises(QueueFullError):
+                serving.submit(
+                    cascade, {"x": np.arange(64.0)}, priority="batch"
+                )
+            gated.release()
+            serving.drain()
+        for future in [blocker, *queued]:
+            future.result()
+        snap = serving.stats.snapshot()
+        engine.close()
+        assert snap["evicted"] == 0  # nothing admitted was displaced
+        assert snap["shed"] == 1
+        assert serving.stats.shed_by_class().get("batch") == 1
+        assert_invariant(serving.stats)
+
+
+class TestDeadlines:
+    def test_deadline_bounds_the_batching_window(self):
+        """A near-deadline request is not held for batch fill."""
+        engine = Engine()
+        cascade = softmax_cascade(4.1)
+        serving = engine.serving(
+            ServingConfig(max_batch=64, batch_window_s=0.5)
+        )
+        start = time.monotonic()
+        future = serving.submit(
+            cascade, {"x": np.arange(8.0)}, deadline_s=0.05
+        )
+        future.result(timeout=10)
+        elapsed = time.monotonic() - start
+        engine.close()
+        # a lone request normally waits out the whole 0.5s window; the
+        # deadline cuts the window to ~0.05s
+        assert elapsed < 0.3, f"window ignored the deadline ({elapsed:.3f}s)"
+
+    def test_deadline_miss_counted(self):
+        engine = Engine()
+        cascade = softmax_cascade(4.2)
+        serving = engine.serving(
+            ServingConfig(max_batch=1, batch_window_s=0.0)
+        )
+        with _GatedBackend() as gated:
+            future = serving.submit(
+                cascade, {"x": np.arange(8.0)}, deadline_s=0.01
+            )
+            assert gated.entered.wait(timeout=10)
+            time.sleep(0.05)  # blow well past the deadline mid-dispatch
+            gated.release()
+            serving.drain()
+        future.result()
+        snap = serving.stats.snapshot()
+        engine.close()
+        assert snap["deadline_misses"] == 1
+        assert snap["completed"] == 1  # a miss still completes
+
+
+class TestPerClassStats:
+    def test_by_class_by_tenant_and_prometheus(self):
+        engine = Engine()
+        cascade = softmax_cascade(4.3)
+        scheduler = engine.scheduler  # inline: deterministic accounting
+        scheduler.run(
+            cascade, {"x": np.arange(8.0)},
+            tenant="web", priority="interactive",
+        )
+        scheduler.run(
+            cascade, {"x": np.arange(8.0)}, tenant="jobs", priority="batch"
+        )
+        scheduler.run(cascade, {"x": np.arange(8.0)})  # defaults
+        by_class = scheduler.stats.by_class()
+        by_tenant = scheduler.stats.by_tenant()
+        assert by_class["interactive"]["completed"] == 1
+        assert by_class["batch"]["completed"] == 1
+        assert by_class["standard"]["completed"] == 1
+        assert by_class["interactive"]["p99_latency_s"] > 0
+        # classes report best-first
+        assert list(by_class) == ["interactive", "standard", "batch"]
+        assert by_tenant["web"]["submitted"] == 1
+        assert by_tenant["jobs"]["submitted"] == 1
+        assert by_tenant["default"]["submitted"] == 1
+        scrape = engine.render_prometheus()
+        assert 'serving_class_requests_submitted_total{priority="interactive"} 1' in scrape
+        assert 'serving_tenant_requests_submitted_total{tenant="jobs"} 1' in scrape
+        engine.close()
+
+
+class TestTrafficHelpers:
+    def test_bursty_arrivals_cluster_at_fixed_mean_rate(self):
+        rng = np.random.default_rng(7)
+        times = bursty_arrivals(rng, 1000.0, 400, burst_factor=8.0)
+        assert times.shape == (400,)
+        assert np.all(np.diff(times) > 0)
+        mean_rate = 400 / times[-1]
+        assert 300.0 < mean_rate < 3000.0  # near-nominal mean load
+        # burstiness: inter-arrival gaps are far more dispersed than the
+        # Poisson process at the same mean rate
+        bursty_cv = np.std(np.diff(times)) / np.mean(np.diff(times))
+        poisson = poisson_arrivals(np.random.default_rng(7), 1000.0, 400)
+        poisson_cv = np.std(np.diff(poisson)) / np.mean(np.diff(poisson))
+        assert bursty_cv > 1.5 * poisson_cv
+
+    def test_bursty_arrivals_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="burst_factor"):
+            bursty_arrivals(rng, 10.0, 5, burst_factor=0.5)
+        with pytest.raises(ValueError, match="duty"):
+            bursty_arrivals(rng, 10.0, 5, duty=1.5)
+        with pytest.raises(ValueError, match="rate_rps"):
+            bursty_arrivals(rng, -1.0, 5)
+
+    def test_draw_deadline_modes(self):
+        rng = np.random.default_rng(0)
+        assert draw_deadline(rng, None) is None
+        assert draw_deadline(rng, 0.25) == 0.25
+        assert draw_deadline(rng, (0.05, 0.1)) in (0.05, 0.1)
+        with pytest.raises(ValueError, match="non-empty"):
+            draw_deadline(rng, ())
+        with pytest.raises(ValueError, match="> 0"):
+            draw_deadline(rng, -1.0)
+
+    def test_tenant_stream_carries_profile_attribution(self):
+        rng = np.random.default_rng(5)
+        profile = TenantProfile(
+            tenant="web", rate_rps=100.0, count=8, priority="interactive",
+            kinds=("mha",), length=64, width=8, deadline_s=(0.05, 0.1),
+        )
+        stream = tenant_stream(rng, profile)
+        assert len(stream) == 8
+        for request in stream:
+            assert request.tenant == "web"
+            assert request.priority == "interactive"
+            assert request.deadline_s in (0.05, 0.1)
+
+    def test_adversarial_stream_merges_in_arrival_order(self):
+        rng = np.random.default_rng(6)
+        profiles = [
+            TenantProfile(
+                tenant="a", rate_rps=200.0, count=6, kinds=("mha",),
+                length=32, width=8,
+            ),
+            TenantProfile(
+                tenant="b", rate_rps=300.0, count=6, kinds=("mha",),
+                length=32, width=8, priority="batch", burst_factor=4.0,
+            ),
+        ]
+        stream = adversarial_stream(rng, profiles)
+        assert len(stream) == 12
+        arrivals = [request.arrival_s for request in stream]
+        assert arrivals == sorted(arrivals)
+        assert {request.tenant for request in stream} == {"a", "b"}
+        with pytest.raises(ValueError, match="tenant profile"):
+            adversarial_stream(rng, [])
+
+    def test_replay_reports_tenant_and_class_breakdowns(self):
+        rng = np.random.default_rng(8)
+        profiles = [
+            TenantProfile(
+                tenant="web", rate_rps=300.0, count=10,
+                priority="interactive", kinds=("mha",), length=64, width=8,
+                deadline_s=0.5,
+            ),
+            TenantProfile(
+                tenant="jobs", rate_rps=300.0, count=10, priority="batch",
+                kinds=("mha",), length=64, width=8,
+            ),
+        ]
+        stream = adversarial_stream(rng, profiles)
+        engine = Engine()
+        with engine.serving(
+            ServingConfig(max_batch=8, batch_window_s=0.002)
+        ) as serving:
+            report = replay(serving, stream)
+        engine.close()
+        assert report.completed == 20
+        assert report.completed_by_tenant == {"web": 10, "jobs": 10}
+        assert report.tenant_latency_percentile("web", 99.0) > 0
+        snapshot = report.snapshot()
+        assert set(snapshot["by_tenant"]) == {"web", "jobs"}
+        assert snapshot["deadline_misses"] == report.deadline_misses

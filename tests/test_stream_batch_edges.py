@@ -165,7 +165,7 @@ class TestRaggedBatch:
             )
 
     def test_take_trims_to_subset_max(self):
-        queries = [{"x": np.arange(float(l))} for l in (4, 16, 6)]
+        queries = [{"x": np.arange(float(n))} for n in (4, 16, 6)]
         ragged = RaggedBatch.from_queries(softmax_cascade(), queries)
         subset = ragged.take([0, 2])
         assert subset.max_length == 6

@@ -11,7 +11,6 @@ from repro.symbolic import (
     log,
     numeric_equivalent,
     sample_env,
-    sqrt,
     var,
     variables,
 )

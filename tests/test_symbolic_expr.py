@@ -7,7 +7,6 @@ from repro.symbolic import (
     Binary,
     Const,
     Unary,
-    Var,
     absv,
     as_expr,
     const,

@@ -1,6 +1,5 @@
 """Unit tests for the algebraic simplifier."""
 
-import numpy as np
 import pytest
 
 from repro.symbolic import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import fuse, run_fused_tree, run_incremental, run_unfused
+from repro.core import fuse, run_fused_tree, run_incremental
 from repro.workloads import attention, mla, moe, nonml, quant_gemm
 from repro.workloads.configs import (
     INERTIA_CONFIGS,
