@@ -1,0 +1,184 @@
+"""Tile-IR schedule optimizer: simulated-cycle reduction on fig5 workloads.
+
+For each tile-servable fig5 workload (MHA on A10, MLA and Quant+GEMM on
+H800 — MoE routing's top-k epilogue is outside the tile_ir class) the
+tuner's winning kernel is re-costed under the engine-slot schedule model
+at ``opt_level=0`` (serial issue, the legacy behavior) and at
+``opt_level=2`` (dead code + unroll-by-two + temp renaming + slot
+scheduling with software-pipelined loop accounting).  Both levels are
+priced by the same schedule-aware model, so their ratio isolates what
+the optimizer reclaimed rather than a cost-model switch.
+
+Gate: the modeled cycle reduction must be >= 1.3x on at least two of the
+three workloads (the optimizer's acceptance bar; the rewrites themselves
+are bitwise-identity-checked in tests/test_tile_opt.py and
+tests/test_engine_differential.py).
+
+``BENCH_QUICK=1`` restricts each workload to its first config row.
+Numbers land in ``benchmarks/results/BENCH_tileopt.json`` and the MHA
+per-pass delta table in ``benchmarks/results/bench_tile_opt.txt``.
+"""
+
+import os
+
+from conftest import RESULTS_DIR, update_bench_json, write_result
+
+from repro.codegen.autotune import autotune
+from repro.codegen.opt import optimize_programs
+from repro.codegen.tensorize import (
+    tensorize_multi_segment,
+    tensorize_single_segment,
+)
+from repro.gpusim import A10, H800
+from repro.harness import optimization_table
+from repro.workloads import attention, mla, quant_gemm
+from repro.workloads.configs import (
+    MHA_CONFIGS,
+    MLA_CONFIGS,
+    QUANT_GEMM_CONFIGS,
+)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+BENCH_TILEOPT_JSON = RESULTS_DIR / "BENCH_tileopt.json"
+
+#: (workload, module, config table, fig5 device)
+WORKLOADS = (
+    ("mha", attention, MHA_CONFIGS, A10),
+    ("mla", mla, MLA_CONFIGS, H800),
+    ("quant_gemm", quant_gemm, QUANT_GEMM_CONFIGS, H800),
+)
+CONFIGS_PER_WORKLOAD = 1 if QUICK else 2
+
+GATE_SPEEDUP = 1.3
+GATE_WORKLOADS = 2
+
+_rows_cache = None
+
+
+def _winning_programs(module, config, gpu, instances):
+    """Tensorized tile programs for the tuner's winning configuration."""
+    spec, _ = module.fused_spec(config)
+    tuned = autotune(spec, gpu, instances=instances)
+    if tuned.num_segments == 1:
+        programs = (tensorize_single_segment(spec, tuned.config),)
+    else:
+        programs = tensorize_multi_segment(
+            spec, tuned.config, tuned.num_segments
+        )
+    return programs, tuned
+
+
+def _rows():
+    global _rows_cache
+    if _rows_cache is not None:
+        return _rows_cache
+    rows = []
+    for workload, module, configs, gpu in WORKLOADS:
+        for config in configs[:CONFIGS_PER_WORKLOAD]:
+            spec, instances = module.fused_spec(config)
+            programs, tuned = _winning_programs(
+                module, config, gpu, instances
+            )
+            opt = optimize_programs(
+                programs,
+                gpu,
+                opt_level=2,
+                threads=tuned.config.threads,
+                pipeline_depth=tuned.config.pipeline_depth,
+            )
+            rows.append(
+                {
+                    "workload": workload,
+                    "config": config.name,
+                    "gpu": gpu.name,
+                    "instances": instances,
+                    "latency_opt0_s": opt.baseline_seconds,
+                    "latency_opt2_s": opt.latency_seconds,
+                    "cycle_reduction": opt.speedup,
+                    "passes": [dict(p) for p in opt.passes],
+                }
+            )
+    _rows_cache = rows
+    return rows
+
+
+def _pass_table_rows(passes):
+    """Per-pass report rows in :func:`repro.obs.optimization_rows` shape."""
+    table = []
+    for report in passes:
+        before = report["latency_before_s"]
+        after = report["latency_after_s"]
+        row = {
+            "pass": report["pass"],
+            "latency_before_s": before,
+            "latency_after_s": after,
+            "speedup": before / max(after, 1e-30),
+        }
+        for engine, idle in report["idle_before_s"].items():
+            row[f"{engine}_idle_reclaimed_s"] = idle - report[
+                "idle_after_s"
+            ][engine]
+        table.append(row)
+    return table
+
+
+def test_tile_opt_cycle_reduction_gate():
+    rows = _rows()
+    # the optimizer must never make the modeled schedule worse
+    for row in rows:
+        assert row["cycle_reduction"] >= 1.0, row
+    best_per_workload = {}
+    for row in rows:
+        best_per_workload[row["workload"]] = max(
+            best_per_workload.get(row["workload"], 0.0),
+            row["cycle_reduction"],
+        )
+    hit = [w for w, s in best_per_workload.items() if s >= GATE_SPEEDUP]
+    assert len(hit) >= GATE_WORKLOADS, (
+        f"need >= {GATE_SPEEDUP}x modeled cycle reduction on >= "
+        f"{GATE_WORKLOADS} fig5 workloads, got {best_per_workload}"
+    )
+    update_bench_json(
+        "tile_opt",
+        {
+            "quick": QUICK,
+            "gate": {
+                "threshold": GATE_SPEEDUP,
+                "required_workloads": GATE_WORKLOADS,
+                "workloads_passing": sorted(hit),
+            },
+            "rows": [
+                {k: v for k, v in row.items() if k != "passes"}
+                for row in rows
+            ],
+        },
+        path=BENCH_TILEOPT_JSON,
+    )
+    mha_row = rows[0]
+    table = optimization_table(
+        _pass_table_rows(mha_row["passes"]),
+        f"Tile-IR optimizer passes: {mha_row['workload']} "
+        f"{mha_row['config']} on {mha_row['gpu']} "
+        f"({mha_row['cycle_reduction']:.2f}x overall)",
+    )
+    write_result("bench_tile_opt", table)
+
+
+def test_tile_opt_benchmark(benchmark):
+    """Time the optimizer pipeline itself on the MHA winner."""
+    workload, module, configs, gpu = WORKLOADS[0]
+    config = configs[0]
+    spec, instances = module.fused_spec(config)
+    programs, tuned = _winning_programs(module, config, gpu, instances)
+    result = benchmark(
+        lambda: optimize_programs(
+            programs,
+            gpu,
+            opt_level=2,
+            threads=tuned.config.threads,
+            pipeline_depth=tuned.config.pipeline_depth,
+        )
+    )
+    benchmark.extra_info["workload"] = f"{workload}/{config.name}"
+    benchmark.extra_info["cycle_reduction"] = result.speedup
+    assert result.speedup >= 1.0

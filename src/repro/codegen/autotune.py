@@ -35,6 +35,11 @@ class TuneResult:
     latency: float
     program: Program
     candidates_tried: int
+    #: Schedule-optimizer result for the winner when ``autotune`` was
+    #: called with ``opt_level > 0`` (``None`` otherwise).  Ranking is
+    #: always done with the legacy cost model; the optimizer re-costs
+    #: the winning candidate only.
+    opt: Optional[object] = None
 
     @property
     def strategy(self) -> str:
@@ -55,6 +60,7 @@ def autotune(
     segments: Sequence[int] = DEFAULT_SEGMENTS,
     dtype: str = "fp16",
     instances: int = 1,
+    opt_level: int = 0,
 ) -> TuneResult:
     """Search the §4.4 parameter space; return the fastest candidate.
 
@@ -62,6 +68,12 @@ def autotune(
     instances (batch * heads) so candidates are ranked at the grid scale
     they will actually run at — tile choices that only pay off at full
     occupancy are invisible at instance scale.
+
+    ``opt_level > 0`` additionally runs the tile-IR schedule optimizer
+    (:mod:`repro.codegen.opt`) over the *winning* candidate and replaces
+    the reported latency/kernels with the schedule-aware re-cost.  The
+    search ranking itself stays on the legacy cost model so the argmin
+    is unchanged.
     """
     best: Optional[TuneResult] = None
     tried = 0
@@ -100,12 +112,46 @@ def autotune(
                             )
     if best is None:
         raise LoweringError("no feasible configuration found")
+    latency = best.latency
+    program = best.program
+    opt = None
+    if opt_level > 0:
+        from .opt import optimize_programs
+
+        if best.num_segments == 1:
+            tile_programs = (tensorize_single_segment(spec, best.config),)
+        else:
+            tile_programs = tensorize_multi_segment(
+                spec, best.config, best.num_segments
+            )
+        opt = optimize_programs(
+            tile_programs,
+            gpu,
+            opt_level=opt_level,
+            dtype=dtype,
+            threads=best.config.threads,
+            pipeline_depth=best.config.pipeline_depth,
+        )
+        program = Program(name=best.program.name)
+        for kernel in opt.kernels.kernels:
+            if instances > 1:
+                # ScheduleProfile units are per CTA, so instance scaling
+                # only multiplies the grid-level totals.
+                kernel = kernel.with_(
+                    grid=kernel.grid * instances,
+                    bytes_read=kernel.bytes_read * instances,
+                    bytes_written=kernel.bytes_written * instances,
+                    flops=kernel.flops * instances,
+                )
+            program.add(kernel)
+        latency = sum(kernel_latency(gpu, k) for k in program.kernels)
     return TuneResult(
         config=best.config,
         num_segments=best.num_segments,
-        latency=best.latency,
-        program=best.program,
+        latency=latency,
+        program=program,
         candidates_tried=tried,
+        opt=opt,
     )
 
 

@@ -18,9 +18,9 @@ auto-tuning evaluates real generated programs, not hand-waved numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..gpusim.kernel import KernelSpec
+from ..gpusim.kernel import KernelSpec, ScheduleProfile
 from ..ir.tile import (
     Copy,
     Fill,
@@ -42,6 +42,15 @@ _TRANSCENDENTAL_FLOPS = 8.0
 #: copies, MMA/WGMMA gemms — §4.4 "hardware-aware implementations").
 REDFUSER_COMPUTE_EFF = 0.70
 REDFUSER_MEMORY_EFF = 0.85
+
+#: Name marker of temp-clone buffers minted by the schedule optimizer's
+#: renaming pass (``repro.codegen.opt.passes.rename_temps``).  Clones
+#: are not extra allocations in a real kernel — they name the rotating
+#: slots of the multi-buffered staging allocation this estimator already
+#: charges via ``(pipeline_depth - 1) * _streamed_shared_bytes`` — so
+#: footprint accounting skips them.  This also guarantees the optimizer
+#: never pushes a tuner-validated configuration out of feasibility.
+TEMP_CLONE_MARKER = "__r"
 
 
 def _expr_flops(e: Expr) -> float:
@@ -115,7 +124,20 @@ def _streamed_shared_bytes(program: TileProgram) -> int:
 
     walk(program.body, False)
     return sum(
-        b.nbytes for b in program.buffers if b.scope == "shared" and b.name in streamed
+        b.nbytes
+        for b in program.buffers
+        if b.scope == "shared"
+        and b.name in streamed
+        and TEMP_CLONE_MARKER not in b.name
+    )
+
+
+def _footprint_bytes(program: TileProgram, scope: str) -> int:
+    """Allocated bytes of one scope, excluding optimizer temp clones."""
+    return sum(
+        b.nbytes
+        for b in program.buffers
+        if b.scope == scope and TEMP_CLONE_MARKER not in b.name
     )
 
 
@@ -126,6 +148,7 @@ def estimate_kernel(
     dtype: str = "fp16",
     compute_efficiency: float = REDFUSER_COMPUTE_EFF,
     memory_efficiency: float = REDFUSER_MEMORY_EFF,
+    schedule: Optional[ScheduleProfile] = None,
 ) -> KernelSpec:
     """Derive a cost-model kernel descriptor from a generated program."""
     tally = _Tally()
@@ -135,16 +158,17 @@ def estimate_kernel(
     # Deeper software pipelines hide more of min(Tc, Tm) (§4.4); only the
     # per-stage staging tiles are double-buffered.
     overlap = min(0.95, 0.45 + 0.2 * pipeline_depth)
-    smem = program.shared_bytes() + (pipeline_depth - 1) * _streamed_shared_bytes(
-        program
-    )
+    smem = _footprint_bytes(program, "shared") + (
+        pipeline_depth - 1
+    ) * _streamed_shared_bytes(program)
     return KernelSpec(
         name=program.name,
         grid=blocks,
         threads_per_cta=threads,
         smem_bytes=max(smem, 1024),
         regs_per_thread=min(
-            255, 40 + program.fragment_bytes() // max(threads, 1) // 4
+            255,
+            40 + _footprint_bytes(program, "fragment") // max(threads, 1) // 4,
         ),
         bytes_read=tally.bytes_read * blocks,
         bytes_written=tally.bytes_written * blocks,
@@ -154,4 +178,5 @@ def estimate_kernel(
         compute_efficiency=compute_efficiency,
         memory_efficiency=memory_efficiency,
         overlap=overlap,
+        schedule=schedule,
     )

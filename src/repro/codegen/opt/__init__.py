@@ -1,0 +1,75 @@
+"""Profiler-guided tile-IR schedule optimizer.
+
+A pass pipeline over :class:`~repro.ir.tile.TileProgram` running between
+tensorization and the analytical cost model / NumPy interpreter: slot
+scheduling against gpusim's per-engine model, temp-buffer renaming to
+break false serial chains, software pipelining of segment loops, and
+dead-copy elimination — every pass bitwise-preserving under
+:class:`~repro.ir.tile.TileInterpreter`.
+"""
+
+from .deps import (
+    OpDag,
+    build_dag,
+    carried_buffers,
+    full_cover_write,
+    ops_conflict,
+    privatizable_buffers,
+    refs_disjoint,
+)
+from .passes import (
+    dead_code,
+    pipeline_loops,
+    rename_op,
+    rename_temps,
+    substitute_op,
+)
+from .pipeline import (
+    OPT_LEVELS,
+    PASS_NAMES,
+    OptResult,
+    optimize_programs,
+    passes_for_level,
+)
+from .schedule import (
+    ENGINES,
+    EngineRates,
+    OpCost,
+    ProgramSchedule,
+    RegionSchedule,
+    carried_chain,
+    engine_rates,
+    list_schedule,
+    op_cost,
+    schedule_program,
+)
+
+__all__ = [
+    "OpDag",
+    "build_dag",
+    "carried_buffers",
+    "full_cover_write",
+    "ops_conflict",
+    "privatizable_buffers",
+    "refs_disjoint",
+    "dead_code",
+    "pipeline_loops",
+    "rename_op",
+    "rename_temps",
+    "substitute_op",
+    "OPT_LEVELS",
+    "PASS_NAMES",
+    "OptResult",
+    "optimize_programs",
+    "passes_for_level",
+    "ENGINES",
+    "EngineRates",
+    "OpCost",
+    "ProgramSchedule",
+    "RegionSchedule",
+    "carried_chain",
+    "engine_rates",
+    "list_schedule",
+    "op_cost",
+    "schedule_program",
+]

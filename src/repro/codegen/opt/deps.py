@@ -1,0 +1,212 @@
+"""Dependence analysis over straight-line tile-op regions.
+
+The schedule optimizer's legality layer.  Everything here is
+conservative: two accesses conflict unless the rectangles are *provably*
+disjoint (constant-comparable offsets), and data-dependent accesses
+(``Parallel`` targets, ``Load``s inside value expressions) are treated
+as whole-buffer.  Reordering ops that the resulting DAG leaves unordered
+is therefore bitwise-safe for the NumPy interpreter: no write of one op
+can touch data another reads or writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ...ir.tile import (
+    Copy,
+    Fill,
+    ForStage,
+    Parallel,
+    TileAccess,
+    TileBuffer,
+    TileOp,
+    TileRef,
+    op_accesses,
+)
+from ...symbolic import Const, Var
+
+
+def _const_gap(a, b) -> Optional[int]:
+    """``b - a`` when the offsets are statically comparable, else None.
+
+    Structurally equal expressions (e.g. both ``bx * 128``) have gap 0
+    regardless of the runtime value of their variables.
+    """
+    if a == b:
+        return 0
+    if isinstance(a, Const) and isinstance(b, Const):
+        return int(b.value - a.value)
+    return None
+
+
+def refs_disjoint(a: TileRef, b: TileRef) -> bool:
+    """Provably non-overlapping rectangles of the same buffer."""
+    if len(a.offsets) != len(b.offsets):
+        return False
+    for off_a, off_b, len_a, len_b in zip(
+        a.offsets, b.offsets, a.lengths, b.lengths
+    ):
+        gap = _const_gap(off_a, off_b)
+        if gap is None:
+            continue  # cannot separate along this dim; try another
+        if gap >= len_a or -gap >= len_b:
+            return True
+    return False
+
+
+def accesses_conflict(a: TileAccess, b: TileAccess) -> bool:
+    """Do two accesses order the ops that perform them?"""
+    if a.buffer != b.buffer:
+        return False
+    if not (a.is_write or b.is_write):
+        return False  # read-read never orders
+    if a.ref is None or b.ref is None:
+        return True  # data-dependent access: whole buffer
+    return not refs_disjoint(a.ref, b.ref)
+
+
+def ops_conflict(
+    a: Sequence[TileAccess], b: Sequence[TileAccess]
+) -> bool:
+    return any(accesses_conflict(x, y) for x in a for y in b)
+
+
+@dataclass
+class OpDag:
+    """Dependence DAG over one straight-line op region.
+
+    Edges always point from a lower to a higher original index, so the
+    original order is a topological order.
+    """
+
+    ops: List[TileOp]
+    preds: List[List[int]]
+    succs: List[List[int]]
+
+
+def build_dag(ops: Sequence[TileOp]) -> OpDag:
+    accesses = [op_accesses(op) for op in ops]
+    n = len(ops)
+    preds: List[List[int]] = [[] for _ in range(n)]
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for j in range(n):
+        for i in range(j):
+            if ops_conflict(accesses[i], accesses[j]):
+                preds[j].append(i)
+                succs[i].append(j)
+    return OpDag(list(ops), preds, succs)
+
+
+def full_cover_write(op: TileOp, buf: TileBuffer) -> bool:
+    """Does ``op`` overwrite every element of ``buf`` without reading it?
+
+    This is the predicate behind both temp renaming (a covering write
+    starts a fresh live range) and loop privatization (a buffer whose
+    first in-body access is a covering write carries nothing across
+    iterations).
+    """
+    if isinstance(op, (Copy, Fill)):
+        ref = op.dst if isinstance(op, Copy) else op.ref
+        if ref.buffer != buf.name or len(ref.lengths) != len(buf.shape):
+            return False
+        if isinstance(op, Copy) and op.src.buffer == buf.name:
+            return False
+        return all(
+            isinstance(off, Const) and off.value == 0 and length == dim
+            for off, length, dim in zip(ref.offsets, ref.lengths, buf.shape)
+        )
+    if isinstance(op, Parallel):
+        if op.buffer != buf.name:
+            return False
+        if any(
+            acc.buffer == buf.name
+            for acc in op_accesses(op)
+            if not acc.is_write
+        ):
+            return False  # reads its own target: prior values survive
+        if len(op.indices) != len(buf.shape) or len(op.extents) != len(
+            buf.shape
+        ):
+            return False
+        return tuple(op.extents) == tuple(buf.shape) and all(
+            idx == Var(iv) for idx, iv in zip(op.indices, op.iter_vars)
+        )
+    return False
+
+
+def _buffers_by_name(buffers: Sequence[TileBuffer]) -> Dict[str, TileBuffer]:
+    return {b.name: b for b in buffers}
+
+
+def carried_buffers(
+    body: Sequence[TileOp], buffers: Sequence[TileBuffer]
+) -> FrozenSet[str]:
+    """Non-global buffers carrying a dependence across loop iterations.
+
+    A buffer written inside the body is *privatizable* (not carried) when
+    its first in-body access is a full-covering write — each iteration
+    starts from scratch, so an unrolled copy may use a private clone.
+    Anything else written in the body (accumulators read before written,
+    partial writes) is loop-carried.  Global buffers are always treated
+    as carried: the interpreter persists them across blocks and the
+    optimizer never clones them.
+    """
+    by_name = _buffers_by_name(buffers)
+    written = set()
+    for op in body:
+        for acc in op_accesses(op):
+            if acc.is_write:
+                written.add(acc.buffer)
+    carried = set()
+    decided = set()
+    for op in body:
+        covering = {
+            name
+            for name in written
+            if name in by_name and full_cover_write(op, by_name[name])
+        }
+        for acc in op_accesses(op):
+            name = acc.buffer
+            if name not in written or name in decided or name in carried:
+                continue
+            buf = by_name.get(name)
+            if buf is None or buf.scope == "global":
+                carried.add(name)
+                continue
+            if acc.is_write and name in covering:
+                decided.add(name)  # privatizable
+            else:
+                carried.add(name)  # first access reads or partially writes
+    return frozenset(carried)
+
+
+def privatizable_buffers(
+    body: Sequence[TileOp], buffers: Sequence[TileBuffer]
+) -> Tuple[str, ...]:
+    """Buffers an unroll may clone per copy, in declaration order."""
+    carried = carried_buffers(body, buffers)
+    written = set()
+    for op in body:
+        for acc in op_accesses(op):
+            if acc.is_write:
+                written.add(acc.buffer)
+    return tuple(
+        b.name
+        for b in buffers
+        if b.scope != "global" and b.name in written and b.name not in carried
+    )
+
+
+def reads_anywhere(ops: Sequence[TileOp]) -> FrozenSet[str]:
+    """Buffers read (including transitively inside loops) by a region."""
+    read = set()
+    for op in ops:
+        if isinstance(op, ForStage):
+            read |= reads_anywhere(op.body)
+            continue
+        for acc in op_accesses(op):
+            if not acc.is_write:
+                read.add(acc.buffer)
+    return frozenset(read)

@@ -1,0 +1,345 @@
+"""Semantics-preserving rewrites over :class:`TileProgram`.
+
+Four passes, run by :mod:`repro.codegen.opt.pipeline` in this order:
+
+1. ``dead_code`` — drop ops whose only effect is writing non-global
+   buffers nobody reads (cleanup for the templates' defensive fills and
+   for copies orphaned by other rewrites).
+2. ``pipeline_loops`` — unroll every segment loop (``ForStage``) by two.
+   On its own this changes nothing observable: the iteration sequence is
+   identical, only expressed as two body copies per trip.  Its job is to
+   give the renamer *two* staging writes per trip to privatize, which is
+   what makes cross-iteration overlap expressible in a loop whose body
+   the scheduler treats as a unit.
+3. ``rename_temps`` — split the live ranges of non-global temp buffers
+   at full-covering writes, giving every range but the last a private
+   clone.  This deletes the false WAR/WAW chains that serialize the
+   unrolled halves (and any same-buffer reuse inside a straight-line
+   region) without touching a single data value: clones are non-global,
+   so the interpreter allocates them per block like any other temp.
+4. ``slot_schedule`` — materialize the list scheduler's issue order into
+   the program body (see :mod:`repro.codegen.opt.schedule`).
+
+Every pass preserves the :class:`~repro.ir.tile.TileInterpreter`'s
+output bitwise: reorderings respect the conservative dependence DAG,
+renames only relabel dead-above/fully-overwritten storage, and the
+unroll substitutes the exact iteration indices the loop would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ...ir.scalar import Load
+from ...ir.tile import (
+    Copy,
+    Fill,
+    ForStage,
+    Gemm,
+    Parallel,
+    Reduce,
+    TileBuffer,
+    TileOp,
+    TileProgram,
+    TileRef,
+    op_accesses,
+)
+from ...symbolic import Const, Expr, Var
+from ...symbolic.expr import Binary, Unary
+from .deps import full_cover_write, reads_anywhere
+
+PassStats = Dict[str, int]
+
+
+# ---------------------------------------------------------------------------
+# rewrite helpers
+# ---------------------------------------------------------------------------
+def _subst_ref(ref: TileRef, mapping: Mapping[str, Expr]) -> TileRef:
+    return TileRef(
+        ref.buffer,
+        tuple(off.substitute(mapping) for off in ref.offsets),
+        ref.lengths,
+    )
+
+
+def substitute_op(op: TileOp, mapping: Mapping[str, Expr]) -> TileOp:
+    """Substitute loop/grid variables inside an op's index expressions."""
+    if isinstance(op, Copy):
+        return Copy(_subst_ref(op.src, mapping), _subst_ref(op.dst, mapping))
+    if isinstance(op, Gemm):
+        return Gemm(
+            _subst_ref(op.a, mapping),
+            _subst_ref(op.b, mapping),
+            _subst_ref(op.c, mapping),
+            op.transpose_b,
+        )
+    if isinstance(op, Reduce):
+        return Reduce(
+            _subst_ref(op.src, mapping),
+            _subst_ref(op.dst, mapping),
+            op.axis,
+            op.op,
+        )
+    if isinstance(op, Fill):
+        return Fill(_subst_ref(op.ref, mapping), op.value)
+    if isinstance(op, Parallel):
+        inner = {k: v for k, v in mapping.items() if k not in op.iter_vars}
+        if not inner:
+            return op
+        return Parallel(
+            op.buffer,
+            tuple(i.substitute(inner) for i in op.indices),
+            op.value.substitute(inner),
+            op.iter_vars,
+            op.extents,
+        )
+    if isinstance(op, ForStage):
+        inner = {k: v for k, v in mapping.items() if k != op.var}
+        return ForStage(
+            op.var, op.extent, tuple(substitute_op(b, inner) for b in op.body)
+        )
+    raise TypeError(f"unknown tile op {op!r}")
+
+
+def _rename_expr(e: Expr, names: Mapping[str, str]) -> Expr:
+    """Rename buffer references inside a value expression.
+
+    ``Expr.substitute`` cannot do this: it substitutes *variables*, and
+    replacing a ``Load`` wholesale would drop its indices.  This walker
+    rebuilds the tree relabeling ``Load.buffer`` only.
+    """
+    if isinstance(e, Load):
+        return Load(
+            names.get(e.buffer, e.buffer),
+            tuple(_rename_expr(i, names) for i in e.indices),
+        )
+    if isinstance(e, Unary):
+        return Unary(e.op, _rename_expr(e.arg, names))
+    if isinstance(e, Binary):
+        return Binary(e.op, _rename_expr(e.lhs, names), _rename_expr(e.rhs, names))
+    return e  # Const / Var carry no buffer references
+
+
+def _rename_ref(ref: TileRef, names: Mapping[str, str]) -> TileRef:
+    return TileRef(
+        names.get(ref.buffer, ref.buffer),
+        tuple(_rename_expr(off, names) for off in ref.offsets),
+        ref.lengths,
+    )
+
+
+def rename_op(op: TileOp, names: Mapping[str, str]) -> TileOp:
+    """Relabel every reference to the given buffers inside one op."""
+    if isinstance(op, Copy):
+        return Copy(_rename_ref(op.src, names), _rename_ref(op.dst, names))
+    if isinstance(op, Gemm):
+        return Gemm(
+            _rename_ref(op.a, names),
+            _rename_ref(op.b, names),
+            _rename_ref(op.c, names),
+            op.transpose_b,
+        )
+    if isinstance(op, Reduce):
+        return Reduce(
+            _rename_ref(op.src, names),
+            _rename_ref(op.dst, names),
+            op.axis,
+            op.op,
+        )
+    if isinstance(op, Fill):
+        return Fill(_rename_ref(op.ref, names), op.value)
+    if isinstance(op, Parallel):
+        return Parallel(
+            names.get(op.buffer, op.buffer),
+            tuple(_rename_expr(i, names) for i in op.indices),
+            _rename_expr(op.value, names),
+            op.iter_vars,
+            op.extents,
+        )
+    if isinstance(op, ForStage):
+        return ForStage(
+            op.var, op.extent, tuple(rename_op(b, names) for b in op.body)
+        )
+    raise TypeError(f"unknown tile op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# pass 1: dead copy/fill elimination
+# ---------------------------------------------------------------------------
+def dead_code(program: TileProgram) -> Tuple[TileProgram, PassStats]:
+    """Remove ops whose writes reach no global buffer and no later read.
+
+    Backward liveness sweep.  Loop bodies are handled conservatively:
+    every buffer read anywhere in a body is live throughout it (reads of
+    the *next* iteration happen after writes of this one), and kills at
+    full-covering writes remain sound because a value overwritten before
+    the body's end is unobservable from any later iteration position.
+    """
+    global_names = {b.name for b in program.buffers if b.scope == "global"}
+    by_name = {b.name: b for b in program.buffers}
+    removed = 0
+
+    def sweep(ops: Sequence[TileOp], live: set) -> List[TileOp]:
+        nonlocal removed
+        out: List[TileOp] = []
+        for op in reversed(list(ops)):
+            if isinstance(op, ForStage):
+                body_reads = set(reads_anywhere(op.body))
+                new_body = sweep(op.body, live | body_reads)
+                live |= body_reads
+                if new_body:
+                    out.append(ForStage(op.var, op.extent, tuple(new_body)))
+                else:
+                    removed += 1  # the whole loop was dead
+                continue
+            accs = op_accesses(op)
+            writes = {a.buffer for a in accs if a.is_write}
+            reads = {a.buffer for a in accs if not a.is_write}
+            if writes and not (writes & global_names) and not (writes & live):
+                removed += 1
+                continue
+            for name in writes:
+                buf = by_name.get(name)
+                if buf is not None and full_cover_write(op, buf):
+                    live.discard(name)
+            live |= reads
+            out.append(op)
+        out.reverse()
+        return out
+
+    new_body = sweep(program.body, set(global_names))
+    rewritten = TileProgram(
+        name=program.name,
+        buffers=program.buffers,
+        grid=program.grid,
+        body=tuple(new_body),
+    )
+    return rewritten, {"ops_removed": removed}
+
+
+# ---------------------------------------------------------------------------
+# pass 2: segment-loop pipelining (unroll-by-two)
+# ---------------------------------------------------------------------------
+def pipeline_loops(program: TileProgram) -> Tuple[TileProgram, PassStats]:
+    """Unroll every top-level ``ForStage`` by two (plus odd epilogue).
+
+    ``for s in range(n): B(s)`` becomes
+    ``for s in range(n // 2): B(2s); B(2s + 1)`` followed by
+    ``B(n - 1)`` when ``n`` is odd; single-trip loops are flattened.
+    The iteration sequence — and hence the interpreter output — is
+    identical; the doubled body is what gives ``rename_temps`` a second
+    staging generation to privatize.
+    """
+    new_body: List[TileOp] = []
+    unrolled = 0
+    flattened = 0
+    for op in program.body:
+        if not isinstance(op, ForStage):
+            new_body.append(op)
+            continue
+        if op.extent == 1:
+            zero = Const(0)
+            new_body.extend(substitute_op(b, {op.var: zero}) for b in op.body)
+            flattened += 1
+            continue
+        stage = Var(op.var)
+        even = Binary("mul", Const(2), stage)
+        odd = Binary("add", even, Const(1))
+        half_body = [substitute_op(b, {op.var: even}) for b in op.body] + [
+            substitute_op(b, {op.var: odd}) for b in op.body
+        ]
+        new_body.append(ForStage(op.var, op.extent // 2, tuple(half_body)))
+        if op.extent % 2:
+            last = Const(op.extent - 1)
+            new_body.extend(
+                substitute_op(b, {op.var: last}) for b in op.body
+            )
+        unrolled += 1
+    rewritten = TileProgram(
+        name=program.name,
+        buffers=program.buffers,
+        grid=program.grid,
+        body=tuple(new_body),
+    )
+    return rewritten, {"loops_unrolled": unrolled, "loops_flattened": flattened}
+
+
+# ---------------------------------------------------------------------------
+# pass 3: temp-buffer renaming (live-range splitting)
+# ---------------------------------------------------------------------------
+def _split_region(
+    ops: List[TileOp],
+    program_buffers: Sequence[TileBuffer],
+    clones: List[TileBuffer],
+    counters: Dict[str, int],
+) -> Tuple[List[TileOp], int]:
+    """Split live ranges of non-global buffers inside one region.
+
+    A full-covering write starts a fresh live range.  With ``n >= 2``
+    covering writes, ranges ``0 .. n-2`` each get a private clone; the
+    *last* range keeps the original name so live-out readers (later
+    regions, later iterations of a surrounding loop) still see the final
+    value, and ops before the first covering write keep reading the
+    live-in value under the original name.
+    """
+    by_name = {b.name: b for b in program_buffers}
+    renamed = 0
+    for buf in program_buffers:
+        if buf.scope == "global":
+            continue
+        cover_at = [i for i, op in enumerate(ops) if full_cover_write(op, buf)]
+        if len(cover_at) < 2:
+            continue
+        for k in range(len(cover_at) - 1):
+            counters[buf.name] = counters.get(buf.name, 0) + 1
+            clone_name = f"{buf.name}__r{counters[buf.name]}"
+            clones.append(
+                TileBuffer(clone_name, buf.shape, buf.scope, buf.dtype_bytes)
+            )
+            mapping = {buf.name: clone_name}
+            for i in range(cover_at[k], cover_at[k + 1]):
+                ops[i] = rename_op(ops[i], mapping)
+            renamed += 1
+    return ops, renamed
+
+
+def rename_temps(program: TileProgram) -> Tuple[TileProgram, PassStats]:
+    """Break false WAR/WAW chains by cloning reused temp buffers.
+
+    Applied independently to every straight-line region and every loop
+    body; clones inherit scope, so the interpreter's per-block allocation
+    of non-global buffers makes them private automatically.
+    """
+    clones: List[TileBuffer] = []
+    counters: Dict[str, int] = {}
+    renamed = 0
+    new_body: List[TileOp] = []
+    run: List[TileOp] = []
+
+    def flush() -> None:
+        nonlocal renamed
+        if not run:
+            return
+        ops, n = _split_region(list(run), program.buffers, clones, counters)
+        renamed += n
+        new_body.extend(ops)
+        run.clear()
+
+    for op in program.body:
+        if isinstance(op, ForStage):
+            flush()
+            body, n = _split_region(
+                list(op.body), program.buffers, clones, counters
+            )
+            renamed += n
+            new_body.append(ForStage(op.var, op.extent, tuple(body)))
+        else:
+            run.append(op)
+    flush()
+    rewritten = TileProgram(
+        name=program.name,
+        buffers=program.buffers + tuple(clones),
+        grid=program.grid,
+        body=tuple(new_body),
+    )
+    return rewritten, {"buffers_renamed": renamed}

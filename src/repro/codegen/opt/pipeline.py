@@ -1,0 +1,216 @@
+"""The tile-IR optimization pipeline (profiler-guided, per level).
+
+Runs between :mod:`repro.codegen.tensorize` and the cost-model /
+interpreter consumers inside the ``tile_ir`` backend:
+
+* ``opt_level=0`` — no rewrites.  Programs still get a *serial*
+  :class:`~repro.gpusim.kernel.ScheduleProfile` (critical path == all
+  work), so level 0 and level 2 are priced by the same engine-slot
+  model and their ratio isolates what scheduling reclaimed.
+* ``opt_level=1`` — dead-code elimination + slot scheduling (reorder
+  within regions; loops stay serial barriers).
+* ``opt_level=2`` — the full pipeline: dead code, segment-loop
+  unroll-by-two, temp renaming (which makes the unrolled halves
+  independent), slot scheduling with software-pipelined loop
+  accounting.
+
+Each pass is re-costed through :func:`repro.gpusim.costmodel.kernel_times`
+as it lands, producing the per-pass delta report surfaced in
+``FusionPlan.describe()["tile_ir"]`` and ``repro.obs.profile``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ...gpusim.costmodel import kernel_times
+from ...gpusim.kernel import Program
+from ...gpusim.specs import GPUSpec
+from ...ir.tile import TileProgram
+from ..kernels import estimate_kernel
+from .passes import dead_code, pipeline_loops, rename_temps
+from .schedule import ENGINES, schedule_program
+
+#: Pass names in pipeline order (level 2 runs all of them).
+PASS_NAMES = ("dead_code", "pipeline_loops", "rename_temps", "slot_schedule")
+
+OPT_LEVELS = (0, 1, 2)
+
+#: Costing flags (reorder, pipeline) that apply once a pass has landed.
+#: Reordering credit starts with the first scheduling-aware level; the
+#: pipelining credit starts at ``rename_temps`` because privatization is
+#: what makes cross-iteration overlap legal — the unroll alone leaves
+#: the halves chained through their shared staging buffers.
+_STAGE_FLAGS = {
+    "dead_code": lambda level: (level >= 1, False),
+    "pipeline_loops": lambda level: (True, False),
+    "rename_temps": lambda level: (True, True),
+    "slot_schedule": lambda level: (True, level >= 2),
+}
+
+_PASS_FNS = {
+    "dead_code": dead_code,
+    "pipeline_loops": pipeline_loops,
+    "rename_temps": rename_temps,
+}
+
+
+def passes_for_level(opt_level: int) -> Tuple[str, ...]:
+    if opt_level <= 0:
+        return ()
+    if opt_level == 1:
+        return ("dead_code", "slot_schedule")
+    return PASS_NAMES
+
+
+@dataclass(frozen=True)
+class OptResult:
+    """Everything the backend keeps from one optimizer run."""
+
+    opt_level: int
+    programs: Tuple[TileProgram, ...]  # optimized tile programs
+    kernels: Program  # gpusim kernels with schedules attached
+    latency_seconds: float  # estimate at the compiled level
+    baseline_seconds: float  # serial (level-0 accounting) estimate
+    passes: Tuple[Dict[str, object], ...]  # per-pass delta report
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / max(self.latency_seconds, 1e-30)
+
+
+def _cost(
+    programs: Sequence[TileProgram],
+    gpu: GPUSpec,
+    *,
+    threads: int,
+    pipeline_depth: int,
+    dtype: str,
+    reorder: bool,
+    pipeline: bool,
+) -> Tuple[Program, float, Dict[str, float]]:
+    """Price a program sequence under the given scheduling flags.
+
+    Returns the gpusim program (schedules attached), its latency, and
+    per-engine idle seconds under the quantized-wave critical path.
+    """
+    gprog = Program(name=programs[0].name if programs else "empty")
+    busy = {engine: 0.0 for engine in ENGINES}
+    critical = 0.0
+    latency = 0.0
+    for i, tp in enumerate(programs):
+        ps = schedule_program(
+            tp, gpu, dtype=dtype, reorder=reorder, pipeline=pipeline
+        )
+        depth = pipeline_depth if i == 0 else 1  # combine kernels: depth 1
+        kernel = estimate_kernel(tp, threads, depth, dtype, schedule=ps.profile)
+        gprog.add(kernel)
+        kt = kernel_times(gpu, kernel)
+        whole_waves = math.ceil(kt.waves)
+        critical += whole_waves * kt.wave_time
+        for engine in ENGINES:
+            busy[engine] += whole_waves * (kt.engine_times or {}).get(engine, 0.0)
+        latency += kt.latency
+    idle = {
+        engine: max(0.0, critical - busy[engine]) for engine in ENGINES
+    }
+    return gprog, latency, idle
+
+
+def optimize_programs(
+    programs: Sequence[TileProgram],
+    gpu: GPUSpec,
+    *,
+    opt_level: int = 2,
+    dtype: str = "fp16",
+    threads: int = 256,
+    pipeline_depth: int = 2,
+) -> OptResult:
+    """Run the pass pipeline over a kernel sequence and re-cost it.
+
+    ``programs`` is the tensorizer's output for one compiled variant —
+    one program for single-segment, ``(partial, combine)`` for
+    multi-segment.  The per-pass report attributes latency deltas to the
+    pass that physically enabled them (see ``_STAGE_FLAGS``).
+    """
+    if opt_level not in OPT_LEVELS:
+        raise ValueError(f"opt_level must be one of {OPT_LEVELS}, got {opt_level!r}")
+    progs: List[TileProgram] = list(programs)
+    _, baseline, idle = _cost(
+        progs,
+        gpu,
+        threads=threads,
+        pipeline_depth=pipeline_depth,
+        dtype=dtype,
+        reorder=False,
+        pipeline=False,
+    )
+    reports: List[Dict[str, object]] = []
+    current_latency = baseline
+    current_idle = idle
+    for name in passes_for_level(opt_level):
+        detail: Dict[str, int] = {}
+        if name == "slot_schedule":
+            scheduled: List[TileProgram] = []
+            reordered = pipelined = 0
+            for tp in progs:
+                ps = schedule_program(
+                    tp,
+                    gpu,
+                    dtype=dtype,
+                    reorder=True,
+                    pipeline=opt_level >= 2,
+                )
+                scheduled.append(ps.program)
+                reordered += ps.reordered_ops
+                pipelined += ps.pipelined_loops
+            detail = {"ops_reordered": reordered, "loops_pipelined": pipelined}
+            progs = scheduled
+        else:
+            rewritten: List[TileProgram] = []
+            for tp in progs:
+                tp, stats = _PASS_FNS[name](tp)
+                rewritten.append(tp)
+                for key, value in stats.items():
+                    detail[key] = detail.get(key, 0) + value
+            progs = rewritten
+        reorder, pipe = _STAGE_FLAGS[name](opt_level)
+        _, after_latency, after_idle = _cost(
+            progs,
+            gpu,
+            threads=threads,
+            pipeline_depth=pipeline_depth,
+            dtype=dtype,
+            reorder=reorder,
+            pipeline=pipe,
+        )
+        report: Dict[str, object] = {
+            "pass": name,
+            "latency_before_s": current_latency,
+            "latency_after_s": after_latency,
+            "idle_before_s": dict(current_idle),
+            "idle_after_s": dict(after_idle),
+        }
+        report.update(detail)
+        reports.append(report)
+        current_latency = after_latency
+        current_idle = after_idle
+    kernels, final_latency, _ = _cost(
+        progs,
+        gpu,
+        threads=threads,
+        pipeline_depth=pipeline_depth,
+        dtype=dtype,
+        reorder=opt_level >= 1,
+        pipeline=opt_level >= 2,
+    )
+    return OptResult(
+        opt_level=opt_level,
+        programs=tuple(progs),
+        kernels=kernels,
+        latency_seconds=final_latency,
+        baseline_seconds=baseline,
+        passes=tuple(reports),
+    )

@@ -1,0 +1,419 @@
+"""Per-engine slot model and list scheduler over tile-op regions.
+
+The model mirrors :mod:`repro.gpusim.costmodel`'s engine split: every
+tile op issues on exactly one of the three simulated engine slots —
+``gemm`` on the tensor cores, ``parallel``/``reduce``/``fill`` and
+on-chip copies on the CUDA cores, global-memory copies on the DRAM
+system — with a device-independent work amount (flops or bytes) priced
+against the engine's per-SM throughput share.  The greedy list scheduler
+issues ops in critical-path-priority order against one slot per engine,
+which is how idle-engine cycles get filled: while the tensor cores chew
+on one reduction's GEMM, the DRAM slot streams the next stage's tiles
+and the CUDA cores run corrections whose inputs are ready.
+
+``ForStage`` regions get software-pipelining accounting: a pipelined
+loop's steady-state initiation interval is bound by its busiest engine
+or by the loop-carried dependence chain (the accumulator recurrence),
+whichever is longer — the standard modulo-scheduling II bound.
+
+Everything rolls up into a :class:`~repro.gpusim.kernel.ScheduleProfile`
+(total + critical-path work per engine, per CTA) that
+:func:`repro.gpusim.costmodel.kernel_times` prices on any device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...gpusim.kernel import ScheduleProfile
+from ...gpusim.specs import GPUSpec
+from ...ir.tile import (
+    Copy,
+    Fill,
+    ForStage,
+    Gemm,
+    Parallel,
+    Reduce,
+    TileOp,
+    TileProgram,
+)
+from ..kernels import (
+    REDFUSER_COMPUTE_EFF,
+    REDFUSER_MEMORY_EFF,
+    _expr_flops,
+    _tile_elems,
+)
+from .deps import OpDag, build_dag, carried_buffers, op_accesses
+
+ENGINES = ("tensor_core", "cuda_core", "dram")
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Device-independent work of one op, split by engine."""
+
+    tensor_flops: float = 0.0
+    cuda_flops: float = 0.0
+    dram_bytes: float = 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.tensor_flops + other.tensor_flops,
+            self.cuda_flops + other.cuda_flops,
+            self.dram_bytes + other.dram_bytes,
+        )
+
+    def scaled(self, factor: float) -> "OpCost":
+        return OpCost(
+            self.tensor_flops * factor,
+            self.cuda_flops * factor,
+            self.dram_bytes * factor,
+        )
+
+
+ZERO_COST = OpCost()
+
+
+@dataclass(frozen=True)
+class EngineRates:
+    """One CTA's share of each engine's throughput on a device."""
+
+    tensor: float  # flop/s
+    cuda: float  # flop/s
+    dram: float  # byte/s
+
+    def duration(self, cost: OpCost) -> float:
+        return (
+            cost.tensor_flops / self.tensor
+            + cost.cuda_flops / self.cuda
+            + cost.dram_bytes / self.dram
+        )
+
+    def engine(self, cost: OpCost) -> str:
+        times = {
+            "tensor_core": cost.tensor_flops / self.tensor,
+            "cuda_core": cost.cuda_flops / self.cuda,
+            "dram": cost.dram_bytes / self.dram,
+        }
+        best = max(times.values())
+        for engine in ("tensor_core", "dram", "cuda_core"):
+            if times[engine] == best:
+                return engine
+        return "cuda_core"
+
+    def busy(self, cost: OpCost) -> Dict[str, float]:
+        return {
+            "tensor_core": cost.tensor_flops / self.tensor,
+            "cuda_core": cost.cuda_flops / self.cuda,
+            "dram": cost.dram_bytes / self.dram,
+        }
+
+
+def engine_rates(
+    gpu: GPUSpec,
+    dtype: str = "fp16",
+    compute_efficiency: float = REDFUSER_COMPUTE_EFF,
+    memory_efficiency: float = REDFUSER_MEMORY_EFF,
+) -> EngineRates:
+    return EngineRates(
+        tensor=gpu.peak_flops(dtype, True) * compute_efficiency / gpu.num_sms,
+        cuda=gpu.fp32_flops * compute_efficiency / gpu.num_sms,
+        dram=gpu.mem_bw * memory_efficiency / gpu.num_sms,
+    )
+
+
+def op_cost(op: TileOp, program: TileProgram) -> OpCost:
+    """Engine-work decomposition of one op (per block)."""
+    scopes = {b.name: b.scope for b in program.buffers}
+    dtypes = {b.name: b.dtype_bytes for b in program.buffers}
+    return _op_cost(op, scopes, dtypes)
+
+
+def _op_cost(op: TileOp, scopes, dtypes) -> OpCost:
+    if isinstance(op, Copy):
+        elems = _tile_elems(op.src.lengths)
+        bytes_ = 0.0
+        if scopes.get(op.src.buffer) == "global":
+            bytes_ += elems * dtypes.get(op.src.buffer, 4)
+        if scopes.get(op.dst.buffer) == "global":
+            bytes_ += elems * dtypes.get(op.dst.buffer, 4)
+        if bytes_ > 0.0:
+            return OpCost(dram_bytes=bytes_)
+        return OpCost(cuda_flops=float(elems))  # on-chip move
+    if isinstance(op, Gemm):
+        m, k = op.a.lengths
+        n = op.b.lengths[0] if op.transpose_b else op.b.lengths[1]
+        return OpCost(tensor_flops=2.0 * m * n * k)
+    if isinstance(op, Reduce):
+        return OpCost(cuda_flops=float(_tile_elems(op.src.lengths)))
+    if isinstance(op, Parallel):
+        elems = _tile_elems(op.extents)
+        cost = OpCost(cuda_flops=elems * _expr_flops(op.value))
+        if scopes.get(op.buffer) == "global":
+            cost = cost + OpCost(dram_bytes=elems * dtypes.get(op.buffer, 4))
+        return cost
+    if isinstance(op, Fill):
+        return OpCost(cuda_flops=float(_tile_elems(op.ref.lengths)))
+    if isinstance(op, ForStage):
+        total = ZERO_COST
+        for inner in op.body:
+            total = total + _op_cost(inner, scopes, dtypes)
+        return total.scaled(float(op.extent))
+    raise TypeError(f"unknown tile op {op!r}")
+
+
+@dataclass
+class RegionSchedule:
+    """Scheduling result for one straight-line op region."""
+
+    order: List[int]  # issue order (a topological order of the DAG)
+    span: float  # makespan, seconds per block
+    busy: Dict[str, float]  # per-engine busy seconds
+    units: OpCost  # total work
+    cp_units: OpCost  # work along the schedule's critical path
+
+
+def list_schedule(
+    ops: Sequence[TileOp],
+    costs: Sequence[OpCost],
+    rates: EngineRates,
+    dag: Optional[OpDag] = None,
+    reorder: bool = True,
+) -> RegionSchedule:
+    """Schedule a straight-line region against one slot per engine.
+
+    ``reorder=False`` models in-order issue: the serial chain is the
+    critical path and every second an engine is not executing its own
+    ops is idle — the ``opt_level=0`` accounting.
+    """
+    n = len(ops)
+    durations = [rates.duration(c) for c in costs]
+    total = ZERO_COST
+    busy = {engine: 0.0 for engine in ENGINES}
+    for cost in costs:
+        total = total + cost
+        for engine, seconds in rates.busy(cost).items():
+            busy[engine] += seconds
+    if not reorder or n <= 1:
+        return RegionSchedule(
+            order=list(range(n)),
+            span=sum(durations),
+            busy=busy,
+            units=total,
+            cp_units=total,  # serial: everything is on the chain
+        )
+
+    if dag is None:
+        dag = build_dag(ops)
+    # critical-path priority: longest downstream chain including self
+    priority = [0.0] * n
+    for i in range(n - 1, -1, -1):
+        below = max((priority[j] for j in dag.succs[i]), default=0.0)
+        priority[i] = durations[i] + below
+
+    engines = [rates.engine(c) for c in costs]
+    finish = [0.0] * n
+    critical_parent: List[Optional[int]] = [None] * n
+    engine_free = {engine: 0.0 for engine in ENGINES}
+    engine_last: Dict[str, Optional[int]] = {engine: None for engine in ENGINES}
+    remaining_preds = [len(dag.preds[i]) for i in range(n)]
+    ready = [i for i in range(n) if remaining_preds[i] == 0]
+    order: List[int] = []
+    while ready:
+        ready.sort(key=lambda i: (-priority[i], i))
+        op_index = ready.pop(0)
+        engine = engines[op_index]
+        start = engine_free[engine]
+        parent = engine_last[engine] if start > 0.0 else None
+        for pred in dag.preds[op_index]:
+            if finish[pred] >= start:
+                start = finish[pred]
+                parent = pred
+        finish[op_index] = start + durations[op_index]
+        critical_parent[op_index] = parent
+        engine_free[engine] = finish[op_index]
+        engine_last[engine] = op_index
+        order.append(op_index)
+        for succ in dag.succs[op_index]:
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.append(succ)
+    span = max(finish, default=0.0)
+    # walk the chain that produced the makespan, summing its work
+    cp_units = ZERO_COST
+    cursor: Optional[int] = max(range(n), key=lambda i: finish[i]) if n else None
+    while cursor is not None:
+        cp_units = cp_units + costs[cursor]
+        cursor = critical_parent[cursor]
+    return RegionSchedule(
+        order=order, span=span, busy=busy, units=total, cp_units=cp_units
+    )
+
+
+def carried_chain(
+    ops: Sequence[TileOp],
+    costs: Sequence[OpCost],
+    rates: EngineRates,
+    dag: OpDag,
+    carried: frozenset,
+) -> Tuple[float, OpCost]:
+    """Longest dependence path from a carried-buffer read to a write.
+
+    This is the loop's recurrence bound: work that must serialize
+    between consecutive iterations no matter how the rest of the body
+    overlaps.  Returns ``(seconds, work-units-along-the-chain)``.
+    """
+    n = len(ops)
+    if not carried or n == 0:
+        return 0.0, ZERO_COST
+    reads_carried = []
+    writes_carried = []
+    for op in ops:
+        accs = op_accesses(op)
+        reads_carried.append(
+            any(not a.is_write and a.buffer in carried for a in accs)
+        )
+        writes_carried.append(
+            any(a.is_write and a.buffer in carried for a in accs)
+        )
+    durations = [rates.duration(c) for c in costs]
+    best = [-1.0] * n  # longest source-rooted path ending at i, seconds
+    parent: List[Optional[int]] = [None] * n
+    for i in range(n):
+        if reads_carried[i]:
+            best[i] = durations[i]
+        for p in dag.preds[i]:
+            if best[p] >= 0.0 and best[p] + durations[i] > best[i]:
+                best[i] = best[p] + durations[i]
+                parent[i] = p
+    chain_time = 0.0
+    chain_end: Optional[int] = None
+    for i in range(n):
+        if writes_carried[i] and best[i] > chain_time:
+            chain_time = best[i]
+            chain_end = i
+    units = ZERO_COST
+    cursor = chain_end
+    while cursor is not None:
+        units = units + costs[cursor]
+        cursor = parent[cursor]
+    return chain_time, units
+
+
+@dataclass
+class ProgramSchedule:
+    """Full-program scheduling result on one device."""
+
+    program: TileProgram  # body materialized in issue order
+    profile: ScheduleProfile  # per-CTA work for the cost model
+    span: float  # per-block seconds on the scheduling device
+    busy: Dict[str, float] = field(
+        default_factory=lambda: {engine: 0.0 for engine in ENGINES}
+    )
+    reordered_ops: int = 0
+    pipelined_loops: int = 0
+
+
+def _regions(body: Sequence[TileOp]):
+    """Split a body into straight-line runs and loop regions."""
+    run: List[TileOp] = []
+    for op in body:
+        if isinstance(op, ForStage):
+            if run:
+                yield ("line", run)
+                run = []
+            yield ("loop", op)
+        else:
+            run.append(op)
+    if run:
+        yield ("line", run)
+
+
+def schedule_program(
+    program: TileProgram,
+    gpu: GPUSpec,
+    *,
+    dtype: str = "fp16",
+    reorder: bool = True,
+    pipeline: bool = False,
+    compute_efficiency: float = REDFUSER_COMPUTE_EFF,
+    memory_efficiency: float = REDFUSER_MEMORY_EFF,
+) -> ProgramSchedule:
+    """Schedule every region of a program; loops are barriers.
+
+    ``reorder`` materializes list-scheduled issue order inside each
+    region; ``pipeline`` additionally credits ``ForStage`` loops with
+    software-pipelined II accounting (used at ``opt_level >= 2``, after
+    the unroll + privatization passes have made overlap legal).
+    """
+    rates = engine_rates(gpu, dtype, compute_efficiency, memory_efficiency)
+    scopes = {b.name: b.scope for b in program.buffers}
+    dtypes = {b.name: b.dtype_bytes for b in program.buffers}
+    new_body: List[TileOp] = []
+    span = 0.0
+    busy = {engine: 0.0 for engine in ENGINES}
+    units = ZERO_COST
+    cp_units = ZERO_COST
+    reordered = 0
+    pipelined = 0
+    for kind, region in _regions(program.body):
+        if kind == "line":
+            ops = list(region)
+            costs = [_op_cost(op, scopes, dtypes) for op in ops]
+            rs = list_schedule(ops, costs, rates, reorder=reorder)
+            new_body.extend(ops[i] for i in rs.order)
+            reordered += sum(
+                1 for pos, i in enumerate(rs.order) if pos != i
+            )
+            span += rs.span
+            units = units + rs.units
+            cp_units = cp_units + rs.cp_units
+            for engine in ENGINES:
+                busy[engine] += rs.busy[engine]
+            continue
+        loop: ForStage = region
+        ops = list(loop.body)
+        costs = [_op_cost(op, scopes, dtypes) for op in ops]
+        dag = build_dag(ops)
+        rs = list_schedule(ops, costs, rates, dag=dag, reorder=reorder)
+        new_body.append(ForStage(loop.var, loop.extent, tuple(ops[i] for i in rs.order)))
+        reordered += sum(1 for pos, i in enumerate(rs.order) if pos != i)
+        extent = float(loop.extent)
+        units = units + rs.units.scaled(extent)
+        for engine in ENGINES:
+            busy[engine] += rs.busy[engine] * extent
+        if pipeline and loop.extent >= 2:
+            carried = carried_buffers(ops, program.buffers)
+            chain_time, chain_units = carried_chain(
+                ops, costs, rates, dag, carried
+            )
+            ii = max(max(rs.busy.values()), chain_time)
+            span += rs.span + (extent - 1.0) * ii
+            cp_units = cp_units + rs.cp_units + chain_units.scaled(extent - 1.0)
+            pipelined += 1
+        else:
+            span += rs.span * extent
+            cp_units = cp_units + rs.cp_units.scaled(extent)
+    profile = ScheduleProfile(
+        tensor_flops=units.tensor_flops,
+        cuda_flops=units.cuda_flops,
+        dram_bytes=units.dram_bytes,
+        cp_tensor_flops=cp_units.tensor_flops,
+        cp_cuda_flops=cp_units.cuda_flops,
+        cp_dram_bytes=cp_units.dram_bytes,
+    )
+    scheduled = TileProgram(
+        name=program.name,
+        buffers=program.buffers,
+        grid=program.grid,
+        body=tuple(new_body),
+    )
+    return ProgramSchedule(
+        program=scheduled,
+        profile=profile,
+        span=span,
+        busy=busy,
+        reordered_ops=reordered,
+        pipelined_loops=pipelined,
+    )

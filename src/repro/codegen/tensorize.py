@@ -45,6 +45,11 @@ from .lower import CodegenSpec, LoweringError, _reused_by_later
 
 _STATE_INITS = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
 
+#: Loop variable of the emitted segment loop.  The schedule optimizer
+#: (:mod:`repro.codegen.opt`) keys its software-pipelining transform on
+#: this name when unrolling ``ForStage`` bodies.
+STAGE_VAR = "stage"
+
 
 @dataclass(frozen=True)
 class TileConfig:
@@ -231,7 +236,7 @@ class _TileEmitter:
                 )
             )
 
-        stage = var("stage")
+        stage = var(STAGE_VAR)
         offset = stage_offset + stage * cfg.blk_len
         stage_body: List[TileOp] = []
         for lay in spec.layouts:
@@ -297,7 +302,7 @@ class _TileEmitter:
             )
         for index, fr in enumerate(spec.fused):
             stage_body.extend(self._reduction_ops(fr, index))
-        self.body.append(ForStage("stage", self.stages, tuple(stage_body)))
+        self.body.append(ForStage(STAGE_VAR, self.stages, tuple(stage_body)))
 
     def _element_tile_load(self, name: str, i: Expr, j: Expr, d: Expr) -> Expr:
         lay = self.spec.layout(name)

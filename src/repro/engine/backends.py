@@ -349,6 +349,12 @@ TILE_TUNE_SPACE = dict(
     segments=(1, 2, 4, 8),
 )
 
+#: Default tile-IR optimization level (see :mod:`repro.codegen.opt`):
+#: 0 = no rewrites (legacy overlap-heuristic estimate), 1 = dead-code +
+#: slot scheduling, 2 = full pipeline with loop unrolling, temp renaming
+#: and software-pipelined loop accounting.
+DEFAULT_TILE_OPT_LEVEL = 2
+
 #: Per-row validity input of masked (ragged) tile programs: 1.0 at real
 #: positions, 0.0 at padding.
 TILE_MASK_VAR = "ragged_mask"
@@ -420,6 +426,14 @@ class TileEstimate:
     num_segments: int
     strategy: str
     candidates_tried: int
+    #: Tile-IR optimizer level this variant was compiled at; at level
+    #: >= 1, ``latency_seconds`` is the schedule-aware re-cost of the
+    #: optimized programs (what ``_dispatch_cost_s`` and autotune see).
+    opt_level: int = 0
+    #: Per-pass delta report from :func:`repro.codegen.opt.optimize_programs`
+    #: (empty at level 0): latency and per-engine idle before/after each
+    #: pass, plus pass-specific counters.
+    opt_passes: Tuple[Dict[str, object], ...] = ()
 
     def snapshot(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -436,10 +450,16 @@ class _TileCompilation:
     fast path that folds the batch axis into the row axis.
     """
 
-    def __init__(self, spec, programs, estimate: TileEstimate) -> None:
+    def __init__(
+        self, spec, programs, estimate: TileEstimate, kernel_program=None
+    ) -> None:
         self.spec = spec
         self.programs = programs
         self.estimate = estimate
+        #: gpusim :class:`~repro.gpusim.kernel.Program` for this variant:
+        #: the optimizer's schedule-annotated kernels at level >= 1, the
+        #: tuner's legacy kernel descriptors at level 0.
+        self.kernel_program = kernel_program
 
     def run_tiles(self, data: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Interpret the tile program(s) on tile-layout buffers → (rows, w)."""
@@ -502,7 +522,7 @@ class TileIRBackend(ExecutionBackend):
         requires_fusion=True, batchable=True, simulated=True, shardable=True,
         ragged=True,
     )
-    options = frozenset({"gpu"})
+    options = frozenset({"gpu", "opt_level"})
 
     #: Bound on cached tile-program variants per plan: a serving loop
     #: over a growing KV length would otherwise retune + retain a
@@ -519,11 +539,19 @@ class TileIRBackend(ExecutionBackend):
             return False
         return True
 
-    def execute(self, plan, inputs, *, gpu: object = "A10", **_params):
+    def execute(
+        self, plan, inputs, *, gpu: object = "A10",
+        opt_level: object = None, **_params,
+    ):
         arrays = normalize_inputs(plan.cascade, dict(inputs))
-        return self._compilation_for(plan, arrays, gpu).run(arrays)
+        return self._compilation_for(
+            plan, arrays, gpu, opt_level=opt_level
+        ).run(arrays)
 
-    def execute_batch(self, plan, batch_inputs, *, gpu: object = "A10", **_params):
+    def execute_batch(
+        self, plan, batch_inputs, *, gpu: object = "A10",
+        opt_level: object = None, **_params,
+    ):
         """Batched execution; vectorized when the geometry allows it.
 
         When every element variable is per-row (width 1), the batch axis
@@ -547,10 +575,11 @@ class TileIRBackend(ExecutionBackend):
                 {name: arrays[name][0] for name in plan.cascade.element_vars},
                 gpu,
                 rows=batch,
+                opt_level=opt_level,
             )
             return compilation.run_batch_rows(arrays)
         first = {name: arrays[name][0] for name in plan.cascade.element_vars}
-        compilation = self._compilation_for(plan, first, gpu)
+        compilation = self._compilation_for(plan, first, gpu, opt_level=opt_level)
         rows = [
             compilation.run(
                 {name: arrays[name][i] for name in plan.cascade.element_vars}
@@ -562,7 +591,10 @@ class TileIRBackend(ExecutionBackend):
             for name in plan.cascade.output_names
         }
 
-    def execute_ragged(self, plan, ragged, *, gpu: object = "A10", **_params):
+    def execute_ragged(
+        self, plan, ragged, *, gpu: object = "A10",
+        opt_level: object = None, **_params,
+    ):
         """Mixed-length batch execution with the mask folded into the tiles.
 
         Fast path (all element vars per-row, correction ratios mask-safe):
@@ -585,13 +617,17 @@ class TileIRBackend(ExecutionBackend):
         element_vars = plan.cascade.element_vars
         widths = tuple(arrays[name].shape[2] for name in element_vars)
         gpu_spec = self._gpu_spec(gpu)
+        level = self._opt_level(opt_level)
         if all(width == 1 for width in widths) and self._mask_safe(plan):
-            key = (ragged.batch, ragged.max_length, widths, gpu_spec.name, "masked")
+            key = (
+                ragged.batch, ragged.max_length, widths, gpu_spec.name,
+                "masked", level,
+            )
             compilation = self._tile_cache(plan).get_or_create(
                 key,
                 lambda: self._compile(
                     plan, ragged.batch, ragged.max_length, widths, gpu_spec,
-                    masked=True,
+                    masked=True, opt_level=level,
                 ),
             )
             data = {name: arrays[name][:, :, 0] for name in element_vars}
@@ -612,7 +648,7 @@ class TileIRBackend(ExecutionBackend):
             group = {
                 name: arrays[name][idx, :length] for name in element_vars
             }
-            out = self.execute_batch(plan, group, gpu=gpu)
+            out = self.execute_batch(plan, group, gpu=gpu, opt_level=level)
             for name, value in out.items():
                 value = np.asarray(value)
                 if name not in merged:
@@ -674,7 +710,9 @@ class TileIRBackend(ExecutionBackend):
         if not state:
             return None
         estimates = []
-        for (rows, length, widths, gpu_name, variant), compilation in sorted(
+        for (
+            rows, length, widths, gpu_name, variant, opt_level
+        ), compilation in sorted(
             state.items(), key=lambda item: (item[0][0], item[0][1], item[0][3])
         ):
             info = compilation.estimate.snapshot()
@@ -689,9 +727,9 @@ class TileIRBackend(ExecutionBackend):
         """Latest cached estimate for one GPU (None before first execute)."""
         gpu_spec = self._gpu_spec(gpu)
         state = self._state_snapshot(plan)
-        for (_rows, _length, _widths, gpu_name, _variant), compilation in reversed(
-            list(state.items())
-        ):
+        for (
+            _rows, _length, _widths, gpu_name, _variant, _opt_level
+        ), compilation in reversed(list(state.items())):
             if gpu_name == gpu_spec.name:
                 return compilation.estimate
         return None
@@ -705,6 +743,25 @@ class TileIRBackend(ExecutionBackend):
             return gpu
         return gpu_by_name(str(gpu))
 
+    @staticmethod
+    def _opt_level(value: object) -> int:
+        """Normalize a caller-supplied ``opt_level`` option."""
+        from ..codegen.opt import OPT_LEVELS
+
+        if value is None:
+            return DEFAULT_TILE_OPT_LEVEL
+        try:
+            level = int(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise BackendError(
+                f"opt_level must be an integer in {OPT_LEVELS}, got {value!r}"
+            ) from None
+        if level not in OPT_LEVELS:
+            raise BackendError(
+                f"opt_level must be one of {OPT_LEVELS}, got {level}"
+            )
+        return level
+
     def _check_supported(self, plan) -> None:
         for fr in plan.fused:  # raises NotFusableError for unfusable plans
             if fr.is_topk or fr.is_multi_term:
@@ -715,17 +772,22 @@ class TileIRBackend(ExecutionBackend):
                 )
 
     def _compilation_for(
-        self, plan, arrays: Mapping[str, np.ndarray], gpu: object, rows: int = 1
+        self, plan, arrays: Mapping[str, np.ndarray], gpu: object,
+        rows: int = 1, opt_level: object = None,
     ) -> _TileCompilation:
         self._check_supported(plan)
         gpu_spec = self._gpu_spec(gpu)
+        level = self._opt_level(opt_level)
         length = next(iter(arrays.values())).shape[0]
         widths = tuple(
             arrays[name].shape[1] for name in plan.cascade.element_vars
         )
-        key = (rows, length, widths, gpu_spec.name, "dense")
+        key = (rows, length, widths, gpu_spec.name, "dense", level)
         return self._tile_cache(plan).get_or_create(
-            key, lambda: self._compile(plan, rows, length, widths, gpu_spec)
+            key,
+            lambda: self._compile(
+                plan, rows, length, widths, gpu_spec, opt_level=level
+            ),
         )
 
     @staticmethod
@@ -751,14 +813,18 @@ class TileIRBackend(ExecutionBackend):
         return FusedCascade(cascade=fused.cascade, reductions=tuple(reductions))
 
     def _compile(
-        self, plan, rows: int, length: int, widths, gpu_spec, masked: bool = False
+        self, plan, rows: int, length: int, widths, gpu_spec,
+        masked: bool = False, opt_level: object = None,
     ) -> _TileCompilation:
         from ..codegen.autotune import autotune
         from ..codegen.lower import CodegenSpec, ElementLayout, LoweringError
+        from ..codegen.opt import optimize_programs
         from ..codegen.tensorize import (
             tensorize_multi_segment,
             tensorize_single_segment,
         )
+
+        level = self._opt_level(opt_level)
 
         layouts = tuple(
             ElementLayout(name, width, per_row=(width == 1))
@@ -783,6 +849,28 @@ class TileIRBackend(ExecutionBackend):
                     programs = tensorize_multi_segment(
                         spec, tuned.config, tuned.num_segments
                     )
+                # Level 0 is the pre-optimizer behavior: unrewritten
+                # programs, legacy overlap-heuristic estimate.  Levels
+                # >= 1 run the pass pipeline over the tuner's winner and
+                # re-cost it with the schedule-aware engine model, so
+                # serving-path dispatch costing and autotune consumers
+                # see the optimized estimate.
+                latency = tuned.latency
+                kernel_program = tuned.program
+                opt_passes: tuple = ()
+                if level > 0:
+                    opt = optimize_programs(
+                        programs,
+                        gpu_spec,
+                        opt_level=level,
+                        dtype="fp16",
+                        threads=tuned.config.threads,
+                        pipeline_depth=tuned.config.pipeline_depth,
+                    )
+                    programs = opt.programs
+                    latency = opt.latency_seconds
+                    kernel_program = opt.kernels
+                    opt_passes = opt.passes
         except LoweringError as err:
             raise BackendError(
                 f"cascade {plan.cascade.name!r} is outside the tile_ir "
@@ -790,7 +878,7 @@ class TileIRBackend(ExecutionBackend):
             ) from err
         estimate = TileEstimate(
             gpu=gpu_spec.name,
-            latency_seconds=tuned.latency,
+            latency_seconds=latency,
             blk_rows=tuned.config.blk_rows,
             blk_len=tuned.config.blk_len,
             threads=tuned.config.threads,
@@ -798,8 +886,10 @@ class TileIRBackend(ExecutionBackend):
             num_segments=tuned.num_segments,
             strategy=tuned.strategy,
             candidates_tried=tuned.candidates_tried,
+            opt_level=level,
+            opt_passes=opt_passes,
         )
-        return _TileCompilation(spec, programs, estimate)
+        return _TileCompilation(spec, programs, estimate, kernel_program)
 
 
 # ---------------------------------------------------------------------------

@@ -12,7 +12,7 @@ from .costmodel import (
     speedup,
     waves_per_sm,
 )
-from .kernel import KernelSpec, Program
+from .kernel import KernelSpec, Program, ScheduleProfile
 from .levels import (
     LEVEL_NAMES,
     LevelLatency,
@@ -37,6 +37,7 @@ __all__ = [
     "waves_per_sm",
     "KernelSpec",
     "Program",
+    "ScheduleProfile",
     "LEVEL_NAMES",
     "LevelLatency",
     "SweepPoint",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
 
 from .kernel import KernelSpec, Program
 from .specs import GPUSpec
@@ -47,6 +47,14 @@ class KernelTimes:
     launch_s: float
     ramp_s: float
     compute_engine: str  # "tensor_core" | "cuda_core"
+    #: Per-wave busy seconds split across all three engines, for kernels
+    #: priced from a :class:`~repro.gpusim.kernel.ScheduleProfile`
+    #: (``None`` on the legacy overlap-heuristic path, where CUDA-core
+    #: and tensor-core work are not distinguished).
+    engine_times: Optional[Dict[str, float]] = None
+    #: Per-wave critical-path seconds of the scheduled dependence chain
+    #: (0.0 on the legacy path).
+    cp_time: float = 0.0
 
     @property
     def latency(self) -> float:
@@ -110,13 +118,55 @@ def kernel_times(gpu: GPUSpec, kernel: KernelSpec) -> KernelTimes:
         sm_bw *= boost
 
     resident = occ.ctas_per_sm
+    ramp = gpu.mem_latency_ns * 1e-9
+    launch = gpu.launch_overhead_s * kernel.launch_factor
+
+    sched = kernel.schedule
+    if sched is not None:
+        # -- schedule-aware accounting (tile-IR optimizer output) -----------
+        # Each engine runs its assigned work in parallel with the others;
+        # the wave is bound by the busiest engine or by the scheduled
+        # dependence chain (whose per-engine work legs serialize), never
+        # by the scalar overlap heuristic.
+        tensor_rate = (
+            gpu.peak_flops(kernel.dtype, True) * kernel.compute_efficiency
+            / gpu.num_sms
+        )
+        cuda_rate = gpu.fp32_flops * kernel.compute_efficiency / gpu.num_sms
+        # An underfilled grid leaves SMs with fewer CTAs than occupancy
+        # allows; per-SM contention scales with what is actually resident.
+        actual = min(resident, max(1, math.ceil(kernel.grid / gpu.num_sms)))
+        t_tensor = sched.tensor_flops * actual / tensor_rate
+        t_cuda = sched.cuda_flops * actual / cuda_rate
+        t_dram = sched.dram_bytes * actual / sm_bw
+        cp_time = actual * (
+            sched.cp_tensor_flops / tensor_rate
+            + sched.cp_cuda_flops / cuda_rate
+            + sched.cp_dram_bytes / sm_bw
+        )
+        wave_time = max(t_tensor, t_cuda, t_dram, cp_time)
+        return KernelTimes(
+            occupancy=occ,
+            waves=waves,
+            compute_time=t_tensor + t_cuda,
+            memory_time=t_dram,
+            wave_time=wave_time,
+            launch_s=launch,
+            ramp_s=ramp,
+            compute_engine="tensor_core" if t_tensor >= t_cuda else "cuda_core",
+            engine_times={
+                "tensor_core": t_tensor,
+                "cuda_core": t_cuda,
+                "dram": t_dram,
+            },
+            cp_time=cp_time,
+        )
+
     compute_time = flops_per_cta * resident / sm_flops
     memory_time = bytes_per_cta * resident / sm_bw
     wave_time = max(compute_time, memory_time) + (1.0 - kernel.overlap) * min(
         compute_time, memory_time
     )
-    ramp = gpu.mem_latency_ns * 1e-9
-    launch = gpu.launch_overhead_s * kernel.launch_factor
     return KernelTimes(
         occupancy=occ,
         waves=waves,

@@ -10,7 +10,30 @@ the schedule overlaps memory with compute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ScheduleProfile:
+    """Per-CTA engine-work decomposition of a *scheduled* kernel body.
+
+    Produced by the tile-IR schedule optimizer
+    (:mod:`repro.codegen.opt`): the body's work split by issuing engine
+    (tensor cores, CUDA cores, DRAM) plus the same quantities along the
+    schedule's critical path.  All quantities are device-independent
+    (flops and bytes, per CTA); :func:`repro.gpusim.costmodel.kernel_times`
+    prices a scheduled kernel as ``max(per-engine time, critical-path
+    time)`` instead of the scalar overlap heuristic.  A serial schedule
+    (``opt_level=0``) has ``cp_* == totals``: the critical path is the
+    whole program-order chain, so no overlap is credited at all.
+    """
+
+    tensor_flops: float = 0.0
+    cuda_flops: float = 0.0
+    dram_bytes: float = 0.0
+    cp_tensor_flops: float = 0.0
+    cp_cuda_flops: float = 0.0
+    cp_dram_bytes: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -31,6 +54,10 @@ class KernelSpec:
     memory_efficiency: float = 0.8  # fraction of peak bandwidth achieved
     overlap: float = 0.8  # fraction of min(Tc, Tm) hidden by pipelining
     launch_factor: float = 1.0  # host-side dispatch cost, in launch units
+    #: Per-CTA engine-work decomposition from the schedule optimizer;
+    #: when set, the cost model prices the kernel from it and ignores
+    #: the scalar ``overlap`` heuristic.
+    schedule: Optional[ScheduleProfile] = None
 
     def __post_init__(self) -> None:
         if self.grid < 1:

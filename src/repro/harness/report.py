@@ -86,6 +86,41 @@ def bottleneck_table(rows: Sequence[Dict[str, object]], title: str) -> str:
     return "\n".join(lines)
 
 
+def optimization_table(rows: Sequence[Dict[str, object]], title: str) -> str:
+    """Render the tile-IR optimizer's per-pass delta report.
+
+    ``rows`` come from :func:`repro.obs.optimization_rows`: one row per
+    pipeline pass with the modeled latency before/after, the speedup the
+    pass contributed, and the idle engine-seconds it reclaimed — the
+    profiler-side answer to "which rewrite bought what".
+    """
+    from ..obs.profile import ENGINES
+
+    reclaimed_columns = [f"{engine}_idle_reclaimed_s" for engine in ENGINES]
+    header = ["pass", "before_us", "after_us", "speedup"] + [
+        c.replace("_idle_reclaimed_s", "_reclaimed_us") for c in reclaimed_columns
+    ]
+    lines = [title, "  ".join(f"{h:>20}" for h in header)]
+    for row in rows:
+        cells = [f"{str(row.get('pass', '--')):>20}"]
+        for column in ("latency_before_s", "latency_after_s"):
+            value = row.get(column)
+            cells.append(
+                f"{value * 1e6:>20.3f}" if value is not None else " " * 18 + "--"
+            )
+        speedup = row.get("speedup")
+        cells.append(
+            f"{speedup:>20.3f}" if speedup is not None else " " * 18 + "--"
+        )
+        for column in reclaimed_columns:
+            value = row.get(column)
+            cells.append(
+                f"{value * 1e6:>20.3f}" if value is not None else " " * 18 + "--"
+            )
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
 def series_table(
     rows: Sequence[Dict[str, object]], columns: Sequence[str], title: str
 ) -> str:

@@ -177,6 +177,75 @@ class TileProgram:
 
 
 # ---------------------------------------------------------------------------
+# dependence extraction
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TileAccess:
+    """One buffer access performed by a :class:`TileOp`.
+
+    ``ref is None`` means the op touches the buffer at data-dependent
+    positions (a ``Parallel`` write target or a ``Load`` inside a value
+    expression); dependence analysis must treat it as the whole buffer.
+    """
+
+    buffer: str
+    ref: Optional[TileRef]
+    is_write: bool
+
+
+def op_accesses(op: TileOp) -> Tuple[TileAccess, ...]:
+    """The buffer accesses of one op, reads before writes.
+
+    Read-modify-write targets (``Gemm`` C, ``Reduce`` dst, a ``Parallel``
+    whose value loads its own target) appear as both a read and a write,
+    which is what makes accumulation chains loop-carried for the
+    schedule optimizer.  ``ForStage`` yields the union of its body.
+    """
+    from .scalar import loads_in
+
+    if isinstance(op, Copy):
+        return (
+            TileAccess(op.src.buffer, op.src, False),
+            TileAccess(op.dst.buffer, op.dst, True),
+        )
+    if isinstance(op, Gemm):
+        return (
+            TileAccess(op.a.buffer, op.a, False),
+            TileAccess(op.b.buffer, op.b, False),
+            TileAccess(op.c.buffer, op.c, False),  # C += ...: read-modify-write
+            TileAccess(op.c.buffer, op.c, True),
+        )
+    if isinstance(op, Reduce):
+        return (
+            TileAccess(op.src.buffer, op.src, False),
+            TileAccess(op.dst.buffer, op.dst, False),  # accumulating dst
+            TileAccess(op.dst.buffer, op.dst, True),
+        )
+    if isinstance(op, Fill):
+        return (TileAccess(op.ref.buffer, op.ref, True),)
+    if isinstance(op, Parallel):
+        reads = []
+        for expr in (op.value,) + op.indices:
+            for ld in loads_in(expr):
+                reads.append(TileAccess(ld.buffer, None, False))
+        return tuple(reads) + (TileAccess(op.buffer, None, True),)
+    if isinstance(op, ForStage):
+        out = []
+        for inner in op.body:
+            out.extend(op_accesses(inner))
+        return tuple(out)
+    raise TypeError(f"unknown tile op {op!r}")
+
+
+def op_reads(op: TileOp) -> Tuple[TileAccess, ...]:
+    return tuple(a for a in op_accesses(op) if not a.is_write)
+
+
+def op_writes(op: TileOp) -> Tuple[TileAccess, ...]:
+    return tuple(a for a in op_accesses(op) if a.is_write)
+
+
+# ---------------------------------------------------------------------------
 # interpreter
 # ---------------------------------------------------------------------------
 class TileInterpreter:

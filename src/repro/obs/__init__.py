@@ -29,6 +29,7 @@ from .metrics import (
 from .profile import (
     ENGINES,
     ProgramProfile,
+    optimization_rows,
     padding_waste_rows,
     profile_plan,
     profile_program,
@@ -64,6 +65,7 @@ __all__ = [
     # profiling
     "ENGINES",
     "ProgramProfile",
+    "optimization_rows",
     "padding_waste_rows",
     "profile_plan",
     "profile_program",

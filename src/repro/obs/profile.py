@@ -122,10 +122,18 @@ def profile_program(gpu, program: Program) -> ProgramProfile:
         kt = kernel_times(gpu_spec, kernel)
         waves = math.ceil(kt.waves)
         kernel_critical = waves * kt.wave_time
-        engine_busy = {
-            kt.compute_engine: waves * kt.compute_time,
-            "dram": waves * kt.memory_time,
-        }
+        if kt.engine_times is not None:
+            # schedule-aware kernels split CUDA-core from tensor-core
+            # work exactly; use the cost model's own decomposition
+            engine_busy = {
+                engine: waves * seconds
+                for engine, seconds in kt.engine_times.items()
+            }
+        else:
+            engine_busy = {
+                kt.compute_engine: waves * kt.compute_time,
+                "dram": waves * kt.memory_time,
+            }
         for engine, seconds in engine_busy.items():
             busy[engine] += seconds
         critical += kernel_critical
@@ -145,8 +153,8 @@ def profile_program(gpu, program: Program) -> ProgramProfile:
                 "kernel": kernel.name,
                 "waves": waves,
                 "compute_engine": kt.compute_engine,
-                "compute_seconds": engine_busy[kt.compute_engine],
-                "dram_seconds": engine_busy["dram"],
+                "compute_seconds": engine_busy.get(kt.compute_engine, 0.0),
+                "dram_seconds": engine_busy.get("dram", 0.0),
                 "critical_seconds": kernel_critical,
                 "overhead_seconds": kt.launch_s + kt.ramp_s,
                 "limited_by": kt.occupancy.limited_by,
@@ -176,10 +184,11 @@ def profile_program(gpu, program: Program) -> ProgramProfile:
 def _tile_ir_program(plan, gpu_spec: GPUSpec) -> Optional[Program]:
     """The kernels of the plan's latest tile_ir compilation on this GPU.
 
-    Mirrors the tuner's lowering exactly (``autotune._lower_candidate``):
-    the winning config's program(s) re-estimate with the stored threads
-    and pipeline depth — multi-segment combine kernels always run at
-    pipeline depth 1.
+    Compilations carry the kernel descriptors they were costed with
+    (``_TileCompilation.kernel_program`` — schedule-annotated at
+    ``opt_level >= 1``); older state without them falls back to
+    re-estimating from the stored config exactly as the tuner lowered it
+    (multi-segment combine kernels always run at pipeline depth 1).
     """
     from ..codegen.kernels import estimate_kernel
     from ..engine.backends import get_backend
@@ -187,9 +196,15 @@ def _tile_ir_program(plan, gpu_spec: GPUSpec) -> Optional[Program]:
     backend = get_backend("tile_ir")
     state = backend._state_snapshot(plan)
     for key, compilation in reversed(list(state.items())):
-        _rows, _length, _widths, gpu_name, _variant = key
+        _rows, _length, _widths, gpu_name, _variant, _opt_level = key
         if gpu_name != gpu_spec.name:
             continue
+        program = Program(name=f"{plan.cascade.name}[tile_ir]")
+        stored = getattr(compilation, "kernel_program", None)
+        if stored is not None:
+            for kernel in stored.kernels:
+                program.add(kernel)
+            return program
         estimate = compilation.estimate
         kernels = [
             estimate_kernel(
@@ -205,7 +220,6 @@ def _tile_ir_program(plan, gpu_spec: GPUSpec) -> Optional[Program]:
                     compilation.programs[1], estimate.threads, 1, "fp16"
                 )
             )
-        program = Program(name=f"{plan.cascade.name}[tile_ir]")
         for kernel in kernels:
             program.add(kernel)
         return program
@@ -249,6 +263,59 @@ def profile_plan(plan, gpu="A10", backend: str = "tile_ir") -> Optional[ProgramP
     if program is None:
         return None
     return profile_program(gpu_spec, program)
+
+
+# ---------------------------------------------------------------------------
+# per-pass optimizer delta report
+# ---------------------------------------------------------------------------
+def optimization_rows(plan, gpu="A10") -> List[Dict[str, object]]:
+    """Per-pass optimizer deltas for the plan's latest tile_ir variant.
+
+    One row per pipeline pass (``repro.codegen.opt``): the modeled
+    latency before/after the pass landed, the speedup it contributed,
+    how many idle seconds of each engine it reclaimed, and the pass's
+    own counters (ops removed, buffers renamed, loops pipelined, ops
+    reordered).  Picks the plan's newest ``tile_ir`` variant on this GPU
+    that carries a pass report, so an interleaved ``opt_level=0``
+    execution does not shadow an optimized one.  Empty when every
+    variant on this GPU was compiled at ``opt_level=0`` (or the plan
+    never executed on ``tile_ir`` here).  Rendered by
+    ``repro.harness.report.optimization_table``.
+    """
+    from ..engine.backends import get_backend
+
+    gpu_spec = _resolve_gpu(gpu)
+    backend = get_backend("tile_ir")
+    passes = None
+    for key, compilation in reversed(
+        list(backend._state_snapshot(plan).items())
+    ):
+        if key[3] == gpu_spec.name and compilation.estimate.opt_passes:
+            passes = compilation.estimate.opt_passes
+            break
+    if not passes:
+        return []
+    rows: List[Dict[str, object]] = []
+    for entry in passes:
+        before = float(entry["latency_before_s"])  # type: ignore[arg-type]
+        after = float(entry["latency_after_s"])  # type: ignore[arg-type]
+        row: Dict[str, object] = {
+            "pass": entry["pass"],
+            "latency_before_s": before,
+            "latency_after_s": after,
+            "speedup": before / after if after > 0.0 else 1.0,
+        }
+        idle_before = entry.get("idle_before_s", {})
+        idle_after = entry.get("idle_after_s", {})
+        for engine in ENGINES:
+            row[f"{engine}_idle_reclaimed_s"] = idle_before.get(
+                engine, 0.0
+            ) - idle_after.get(engine, 0.0)
+        for key, value in entry.items():
+            if isinstance(value, int):
+                row[key] = value
+        rows.append(row)
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -440,9 +440,9 @@ class TestTileIRBackend:
         calls = []
         original = type(backend)._compile
 
-        def counting(self, plan, rows, length, widths, gpu_spec):
+        def counting(self, plan, rows, length, widths, gpu_spec, **kw):
             calls.append((rows, length, widths, gpu_spec.name))
-            return original(self, plan, rows, length, widths, gpu_spec)
+            return original(self, plan, rows, length, widths, gpu_spec, **kw)
 
         monkeypatch.setattr(type(backend), "_compile", counting)
         engine = Engine()

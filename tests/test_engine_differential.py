@@ -341,6 +341,86 @@ def test_stream_prefix_consistency(seed):
         )
 
 
+def _tile_servable(rng: np.random.Generator, length: int):
+    """A random cascade the ``tile_ir`` backend accepts, plus its plan.
+
+    Terminal top-k stages are stripped (tile_ir refuses them by
+    contract, and this differential targets the schedule optimizer);
+    multi-term decompositions are skipped by resampling, which keeps the
+    draw deterministic per seed.
+    """
+    backend = get_backend("tile_ir")
+    engine = Engine()
+    for _ in range(64):
+        cascade = random_cascade(rng, length)
+        if cascade.reductions[-1].op_name == "topk":
+            cascade = Cascade(
+                cascade.name, cascade.element_vars, cascade.reductions[:-1]
+            )
+        plan = engine.plan_for(cascade)
+        if backend.supports(plan):
+            return cascade, plan
+    raise AssertionError("no tile-servable cascade in 64 draws")
+
+
+@pytest.mark.parametrize("seed", range(64, 76))
+def test_tile_opt_levels_bitwise_equal_dense(seed):
+    """The tile-IR optimizer must not change a single output bit.
+
+    Every rewrite (dead-code, unroll-by-two, temp renaming, DAG-safe
+    reordering) is specified to preserve the interpreter's float
+    sequence exactly, so ``opt_level=2`` is compared against
+    ``opt_level=0`` with exact equality, not tolerance.
+    """
+    rng = np.random.default_rng(seed)
+    length = int(rng.integers(16, 80))
+    cascade, plan = _tile_servable(rng, length)
+    inputs = {
+        "x": rng.normal(size=length),
+        "y": rng.normal(size=length),
+    }
+    out0 = plan.execute(inputs, mode="tile_ir", opt_level=0)
+    out2 = plan.execute(inputs, mode="tile_ir", opt_level=2)
+    for name, ref_value in out0.items():
+        np.testing.assert_array_equal(
+            np.asarray(out2[name]), np.asarray(ref_value),
+            err_msg=f"seed {seed}: {name}",
+        )
+    # and both agree with the unfused reference to tolerance
+    _assert_same(out2, run_unfused(cascade, inputs), f"seed {seed}, opt2")
+
+
+@pytest.mark.parametrize("seed", range(76, 82))
+def test_tile_opt_levels_bitwise_equal_ragged(seed):
+    """Optimizer bitwise-equality holds on masked/ragged execution too."""
+    rng = np.random.default_rng(seed)
+    cascade, plan = _tile_servable(rng, 32)
+    batch = int(rng.integers(2, 6))
+    # draw from a small length pool so the per-length grouping fallback
+    # compiles at most a handful of variants per level
+    pool = [8, 12, 20, 28]
+    lengths = [int(rng.choice(pool)) for _ in range(batch)]
+    lengths[0], lengths[-1] = 8, 28  # guarantee real raggedness
+    queries = [
+        {"x": rng.normal(size=n), "y": rng.normal(size=n)} for n in lengths
+    ]
+    executor = BatchExecutor(plan, mode="tile_ir")
+    out0 = executor.run_many(queries, allow_ragged=True, opt_level=0)
+    out2 = executor.run_many(queries, allow_ragged=True, opt_level=2)
+    for name, ref_value in out0.items():
+        np.testing.assert_array_equal(
+            np.asarray(out2[name]), np.asarray(ref_value),
+            err_msg=f"seed {seed}: {name}",
+        )
+    for i, q in enumerate(queries):
+        ref = run_unfused(cascade, q)
+        for name, value in ref.items():
+            np.testing.assert_allclose(
+                np.asarray(out2[name])[i], value, rtol=RTOL, atol=ATOL,
+                err_msg=f"seed {seed}, row {i}: {name}",
+            )
+
+
 @pytest.mark.parametrize("seed", range(26, 38))
 def test_sharded_batches_bitwise_equal_fused_tree(seed):
     """Sharding a batch across devices must not change a single bit.

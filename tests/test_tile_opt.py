@@ -1,0 +1,537 @@
+"""Unit tests for the tile-IR schedule optimizer (`repro.codegen.opt`).
+
+Every pass is exercised on hand-built :class:`TileProgram`s with known
+hazards — a dead defensive fill, a staging buffer reused across two
+loads (false WAR/WAW), a segment loop with a carried accumulator — and
+every rewrite is checked two ways: the structural property the pass
+claims (op removed, clone introduced, loop halved) and bitwise equality
+of the :class:`TileInterpreter` output before and after.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.opt import (
+    OPT_LEVELS,
+    PASS_NAMES,
+    build_dag,
+    carried_buffers,
+    dead_code,
+    engine_rates,
+    full_cover_write,
+    list_schedule,
+    op_cost,
+    optimize_programs,
+    passes_for_level,
+    pipeline_loops,
+    privatizable_buffers,
+    refs_disjoint,
+    rename_temps,
+    schedule_program,
+)
+from repro.engine import BackendError, Engine, get_backend
+from repro.gpusim import A10
+from repro.ir.tile import (
+    Copy,
+    Fill,
+    ForStage,
+    Gemm,
+    Reduce,
+    TileBuffer,
+    TileInterpreter,
+    TileProgram,
+    tile,
+)
+from repro.symbolic import Const, exp, var
+from repro.symbolic.expr import Binary, Var
+
+
+def run_program(program: TileProgram, inputs):
+    return TileInterpreter(program).run(inputs)
+
+
+def assert_same_outputs(a: TileProgram, b: TileProgram, inputs) -> None:
+    """Interpreter outputs must match bitwise on shared global buffers."""
+    out_a = run_program(a, inputs)
+    out_b = run_program(b, inputs)
+    for name in out_a:
+        if name in out_b:
+            np.testing.assert_array_equal(
+                out_a[name], out_b[name], err_msg=name
+            )
+
+
+# ---------------------------------------------------------------------------
+# hand-built fixture programs
+# ---------------------------------------------------------------------------
+def staging_reuse_program() -> TileProgram:
+    """Two load/store pairs sharing one staging buffer: a false WAR/WAW."""
+    return TileProgram(
+        name="staging_reuse",
+        buffers=(
+            TileBuffer("X", (8, 4), "global"),
+            TileBuffer("X2", (8, 4), "global"),
+            TileBuffer("Y", (8, 4), "global"),
+            TileBuffer("Y2", (8, 4), "global"),
+            TileBuffer("S", (8, 4), "shared"),
+        ),
+        grid=(),
+        body=(
+            Copy(tile("X", (0, 8), (0, 4)), tile("S", (0, 8), (0, 4))),
+            Copy(tile("S", (0, 8), (0, 4)), tile("Y", (0, 8), (0, 4))),
+            Copy(tile("X2", (0, 8), (0, 4)), tile("S", (0, 8), (0, 4))),
+            Copy(tile("S", (0, 8), (0, 4)), tile("Y2", (0, 8), (0, 4))),
+        ),
+    )
+
+
+def segment_loop_program(extent: int) -> TileProgram:
+    """Streamed reduction: copy a stage tile in, accumulate into `acc`."""
+    stage = Var("s")
+    return TileProgram(
+        name="segment_loop",
+        buffers=(
+            TileBuffer("X", (4 * extent, 4), "global"),
+            TileBuffer("S", (4, 4), "shared"),
+            TileBuffer("acc", (1, 4), "global"),
+        ),
+        grid=(),
+        body=(
+            ForStage(
+                "s",
+                extent,
+                (
+                    Copy(
+                        tile("X", (Binary("mul", stage, Const(4)), 4), (0, 4)),
+                        tile("S", (0, 4), (0, 4)),
+                    ),
+                    Reduce(
+                        tile("S", (0, 4), (0, 4)),
+                        tile("acc", (0, 1), (0, 4)),
+                        0,
+                        "sum",
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def segment_inputs(extent: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return {"X": rng.normal(size=(4 * extent, 4))}
+
+
+# ---------------------------------------------------------------------------
+# dependence analysis
+# ---------------------------------------------------------------------------
+class TestDeps:
+    def test_refs_disjoint_constant_offsets(self):
+        a = tile("B", (0, 4), (0, 4))
+        assert refs_disjoint(a, tile("B", (4, 4), (0, 4)))
+        assert not refs_disjoint(a, tile("B", (2, 4), (0, 4)))  # overlap
+        assert not refs_disjoint(a, tile("B", (0, 4), (0, 4)))  # identical
+
+    def test_refs_disjoint_symbolic_offsets(self):
+        bx = Binary("mul", Var("bx"), Const(8))
+        # same symbolic row offset: separated along the column dim
+        assert refs_disjoint(
+            tile("B", (bx, 8), (0, 4)), tile("B", (bx, 8), (4, 4))
+        )
+        # different variables: nothing provable, must conflict
+        by = Binary("mul", Var("by"), Const(8))
+        assert not refs_disjoint(
+            tile("B", (bx, 8), (0, 4)), tile("B", (by, 8), (0, 4))
+        )
+
+    def test_full_cover_write(self):
+        buf = TileBuffer("S", (8, 4), "shared")
+        assert full_cover_write(
+            Fill(tile("S", (0, 8), (0, 4)), 0.0), buf
+        )
+        # partial fill leaves live elements behind
+        assert not full_cover_write(
+            Fill(tile("S", (0, 4), (0, 4)), 0.0), buf
+        )
+        assert full_cover_write(
+            Copy(tile("X", (0, 8), (0, 4)), tile("S", (0, 8), (0, 4))), buf
+        )
+        # self-copy reads the buffer it covers: prior values flow through
+        assert not full_cover_write(
+            Copy(tile("S", (0, 8), (0, 4)), tile("S", (0, 8), (0, 4))), buf
+        )
+
+    def test_build_dag_orders_conflicts_only(self):
+        program = staging_reuse_program()
+        dag = build_dag(program.body)
+        assert dag.preds[1] == [0]  # RAW through S
+        assert 1 in dag.preds[2] and 0 in dag.preds[2]  # WAR + WAW on S
+        # every edge points forward: original order is topological
+        for j, preds in enumerate(dag.preds):
+            assert all(i < j for i in preds)
+
+    def test_carried_and_privatizable(self):
+        program = segment_loop_program(4)
+        loop = program.body[0]
+        carried = carried_buffers(loop.body, program.buffers)
+        # the accumulator is read-modify-write (and global): carried
+        assert "acc" in carried
+        # the staging tile is covered by its first write: private per trip
+        assert privatizable_buffers(loop.body, program.buffers) == ("S",)
+
+
+# ---------------------------------------------------------------------------
+# pass 1: dead code
+# ---------------------------------------------------------------------------
+class TestDeadCode:
+    def _program(self, extra_ops=()) -> TileProgram:
+        return TileProgram(
+            name="dead",
+            buffers=(
+                TileBuffer("X", (8, 4), "global"),
+                TileBuffer("Y", (8, 4), "global"),
+                TileBuffer("S", (8, 4), "shared"),
+                TileBuffer("D", (8, 4), "shared"),
+            ),
+            grid=(),
+            body=(
+                Copy(tile("X", (0, 8), (0, 4)), tile("S", (0, 8), (0, 4))),
+                Fill(tile("D", (0, 8), (0, 4)), 3.0),  # nobody reads D
+                Copy(tile("S", (0, 8), (0, 4)), tile("Y", (0, 8), (0, 4))),
+            )
+            + tuple(extra_ops),
+        )
+
+    def test_removes_unread_fill_keeps_live_chain(self):
+        program = self._program()
+        rewritten, stats = dead_code(program)
+        assert stats["ops_removed"] == 1
+        assert len(rewritten.body) == 2
+        assert all(
+            not (isinstance(op, Fill) and op.ref.buffer == "D")
+            for op in rewritten.body
+        )
+        inputs = {"X": np.arange(32.0).reshape(8, 4)}
+        assert_same_outputs(program, rewritten, inputs)
+
+    def test_removes_fully_dead_loop(self):
+        program = self._program(
+            extra_ops=(
+                ForStage(
+                    "s", 4, (Fill(tile("D", (0, 8), (0, 4)), 1.0),)
+                ),
+            )
+        )
+        rewritten, stats = dead_code(program)
+        # the standalone fill, the in-loop fill, and the emptied loop
+        assert stats["ops_removed"] == 3
+        assert not any(isinstance(op, ForStage) for op in rewritten.body)
+
+    def test_keeps_writes_read_by_later_loop(self):
+        stage = Var("s")
+        program = TileProgram(
+            name="live_into_loop",
+            buffers=(
+                TileBuffer("X", (8, 4), "global"),
+                TileBuffer("S", (8, 4), "shared"),
+                TileBuffer("acc", (1, 4), "global"),
+            ),
+            grid=(),
+            body=(
+                Copy(tile("X", (0, 8), (0, 4)), tile("S", (0, 8), (0, 4))),
+                ForStage(
+                    "s",
+                    2,
+                    (
+                        Reduce(
+                            tile(
+                                "S",
+                                (Binary("mul", stage, Const(4)), 4),
+                                (0, 4),
+                            ),
+                            tile("acc", (0, 1), (0, 4)),
+                            0,
+                            "sum",
+                        ),
+                    ),
+                ),
+            ),
+        )
+        rewritten, stats = dead_code(program)
+        assert stats["ops_removed"] == 0
+        assert len(rewritten.body) == 2
+
+
+# ---------------------------------------------------------------------------
+# pass 2: segment-loop unrolling
+# ---------------------------------------------------------------------------
+class TestPipelineLoops:
+    @pytest.mark.parametrize("extent", [2, 3, 4, 5, 7, 8])
+    def test_unroll_preserves_iteration_sequence(self, extent):
+        program = segment_loop_program(extent)
+        rewritten, stats = pipeline_loops(program)
+        assert stats["loops_unrolled"] == 1
+        loop = rewritten.body[0]
+        assert isinstance(loop, ForStage)
+        assert loop.extent == extent // 2
+        assert len(loop.body) == 4  # two copies of the two-op body
+        epilogue = rewritten.body[1:]
+        assert len(epilogue) == (2 if extent % 2 else 0)
+        assert_same_outputs(program, rewritten, segment_inputs(extent))
+
+    def test_single_trip_loop_flattens(self):
+        program = segment_loop_program(1)
+        rewritten, stats = pipeline_loops(program)
+        assert stats["loops_flattened"] == 1
+        assert not any(isinstance(op, ForStage) for op in rewritten.body)
+        assert_same_outputs(program, rewritten, segment_inputs(1))
+
+
+# ---------------------------------------------------------------------------
+# pass 3: temp renaming
+# ---------------------------------------------------------------------------
+class TestRenameTemps:
+    def test_breaks_false_chain_with_one_clone(self):
+        program = staging_reuse_program()
+        rewritten, stats = rename_temps(program)
+        assert stats["buffers_renamed"] == 1
+        clone_names = {b.name for b in rewritten.buffers} - {
+            b.name for b in program.buffers
+        }
+        assert clone_names == {"S__r1"}
+        # first pair now uses the clone; last range keeps the original so
+        # live-out readers see the final value
+        assert rewritten.body[0].dst.buffer == "S__r1"
+        assert rewritten.body[1].src.buffer == "S__r1"
+        assert rewritten.body[2].dst.buffer == "S"
+        assert rewritten.body[3].src.buffer == "S"
+        # the false WAR/WAW edges are gone: the two pairs are independent
+        dag = build_dag(rewritten.body)
+        assert dag.preds[2] == [] and dag.preds[3] == [2]
+        rng = np.random.default_rng(7)
+        inputs = {
+            "X": rng.normal(size=(8, 4)),
+            "X2": rng.normal(size=(8, 4)),
+        }
+        assert_same_outputs(program, rewritten, inputs)
+
+    def test_renames_inside_unrolled_loop_body(self):
+        program, _ = pipeline_loops(segment_loop_program(6))
+        rewritten, stats = rename_temps(program)
+        assert stats["buffers_renamed"] >= 1
+        loop = rewritten.body[0]
+        # the first unrolled half stages through the clone, the second
+        # keeps the original name (it is the trip's live-out generation)
+        assert loop.body[0].dst.buffer.startswith("S__r")
+        assert_same_outputs(
+            segment_loop_program(6), rewritten, segment_inputs(6)
+        )
+
+    def test_accumulators_never_cloned(self):
+        program, _ = pipeline_loops(segment_loop_program(6))
+        rewritten, _ = rename_temps(program)
+        assert all("acc" not in b.name or b.name == "acc"
+                   for b in rewritten.buffers)
+
+
+# ---------------------------------------------------------------------------
+# pass 4: slot scheduling
+# ---------------------------------------------------------------------------
+def mixed_engine_ops():
+    """A DRAM copy, a tensor-core GEMM, and a CUDA-core fill, independent."""
+    return [
+        Copy(tile("X", (0, 16), (0, 16)), tile("S", (0, 16), (0, 16))),
+        Gemm(
+            tile("A", (0, 16), (0, 16)),
+            tile("B", (0, 16), (0, 16)),
+            tile("C", (0, 16), (0, 16)),
+        ),
+        Fill(tile("F", (0, 16), (0, 16)), 0.0),
+    ]
+
+
+def mixed_engine_program() -> TileProgram:
+    return TileProgram(
+        name="mixed",
+        buffers=(
+            TileBuffer("X", (16, 16), "global"),
+            TileBuffer("S", (16, 16), "shared"),
+            TileBuffer("A", (16, 16), "shared"),
+            TileBuffer("B", (16, 16), "shared"),
+            TileBuffer("C", (16, 16), "fragment"),
+            TileBuffer("F", (16, 16), "shared"),
+        ),
+        grid=(),
+        body=tuple(mixed_engine_ops()),
+    )
+
+
+class TestListSchedule:
+    def test_independent_ops_overlap(self):
+        program = mixed_engine_program()
+        ops = list(program.body)
+        costs = [op_cost(op, program) for op in ops]
+        rates = engine_rates(A10)
+        serial = list_schedule(ops, costs, rates, reorder=False)
+        overlapped = list_schedule(ops, costs, rates, reorder=True)
+        assert serial.span == pytest.approx(sum(rates.duration(c) for c in costs))
+        # three engines, no dependences: the makespan is the slowest op
+        assert overlapped.span == pytest.approx(
+            max(rates.duration(c) for c in costs)
+        )
+        assert overlapped.span < serial.span
+
+    def test_reorder_respects_dependences(self):
+        program = staging_reuse_program()
+        ops = list(program.body)
+        costs = [op_cost(op, program) for op in ops]
+        rates = engine_rates(A10)
+        dag = build_dag(ops)
+        rs = list_schedule(ops, costs, rates, dag=dag, reorder=True)
+        position = {op_index: pos for pos, op_index in enumerate(rs.order)}
+        for j, preds in enumerate(dag.preds):
+            for i in preds:
+                assert position[i] < position[j]
+
+    def test_schedule_is_deterministic(self):
+        program = mixed_engine_program()
+        ops = list(program.body)
+        costs = [op_cost(op, program) for op in ops]
+        rates = engine_rates(A10)
+        first = list_schedule(ops, costs, rates, reorder=True)
+        second = list_schedule(ops, costs, rates, reorder=True)
+        assert first.order == second.order
+        assert first.span == second.span
+
+
+class TestScheduleProgram:
+    def test_pipelining_credits_loop_overlap(self):
+        program = segment_loop_program(8)
+        flat = schedule_program(program, A10, reorder=True, pipeline=False)
+        piped = schedule_program(program, A10, reorder=True, pipeline=True)
+        assert piped.pipelined_loops == 1
+        assert flat.pipelined_loops == 0
+        assert piped.span <= flat.span
+        # totals are identical: pipelining changes the critical path only
+        assert piped.profile.dram_bytes == flat.profile.dram_bytes
+        assert piped.profile.cp_dram_bytes <= flat.profile.cp_dram_bytes
+
+    def test_scheduled_body_preserves_interpreter_output(self):
+        program = staging_reuse_program()
+        ps = schedule_program(program, A10, reorder=True, pipeline=False)
+        rng = np.random.default_rng(11)
+        inputs = {
+            "X": rng.normal(size=(8, 4)),
+            "X2": rng.normal(size=(8, 4)),
+        }
+        assert_same_outputs(program, ps.program, inputs)
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+class TestOptimizePipeline:
+    def test_level_gating(self):
+        assert passes_for_level(0) == ()
+        assert passes_for_level(1) == ("dead_code", "slot_schedule")
+        assert passes_for_level(2) == PASS_NAMES
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_programs([segment_loop_program(4)], A10, opt_level=7)
+
+    def test_level0_is_serial_baseline(self):
+        result = optimize_programs([segment_loop_program(4)], A10, opt_level=0)
+        assert result.passes == ()
+        assert result.latency_seconds == pytest.approx(result.baseline_seconds)
+
+    def test_level2_report_and_speedup(self):
+        program = segment_loop_program(8)
+        result = optimize_programs([program], A10, opt_level=2)
+        assert tuple(r["pass"] for r in result.passes) == PASS_NAMES
+        for report in result.passes:
+            assert report["latency_before_s"] > 0
+            assert report["latency_after_s"] > 0
+            assert set(report["idle_before_s"]) == set(report["idle_after_s"])
+        assert result.latency_seconds <= result.baseline_seconds
+        assert result.speedup >= 1.0
+        # the optimized program still computes the same thing, bitwise
+        assert_same_outputs(
+            program, result.programs[0], segment_inputs(8)
+        )
+        # kernels carry schedules for the cost model
+        assert all(k.schedule is not None for k in result.kernels.kernels)
+
+
+# ---------------------------------------------------------------------------
+# backend integration
+# ---------------------------------------------------------------------------
+def softmax_cascade():
+    from repro.core import Cascade, Reduction
+
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("t", "sum", exp(x - m)),
+        ),
+    )
+
+
+class TestBackendIntegration:
+    def test_opt_levels_share_outputs_and_cache_separately(self):
+        engine = Engine()
+        cascade = softmax_cascade()
+        plan = engine.plan_for(cascade)
+        rng = np.random.default_rng(3)
+        inputs = {"x": rng.normal(size=64)}
+        out0 = plan.execute(inputs, mode="tile_ir", opt_level=0)
+        out2 = plan.execute(inputs, mode="tile_ir", opt_level=2)
+        out_default = plan.execute(inputs, mode="tile_ir")
+        for name in out0:
+            np.testing.assert_array_equal(out0[name], out2[name], err_msg=name)
+            np.testing.assert_array_equal(
+                out0[name], out_default[name], err_msg=name
+            )
+        info = plan.describe()["tile_ir"]
+        # level 0 and level 2 are distinct variants; the default level
+        # (2) reuses the level-2 compilation instead of adding a third
+        assert info["compiled_variants"] == 2
+        by_level = {e["opt_level"]: e for e in info["estimates"]}
+        assert set(by_level) == {0, 2}
+        assert by_level[0]["opt_passes"] == ()
+        assert tuple(r["pass"] for r in by_level[2]["opt_passes"]) == PASS_NAMES
+
+    def test_invalid_opt_level_raises_backend_error(self):
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        inputs = {"x": np.arange(16.0)}
+        with pytest.raises(BackendError):
+            plan.execute(inputs, mode="tile_ir", opt_level=7)
+        with pytest.raises(BackendError):
+            plan.execute(inputs, mode="tile_ir", opt_level="fast")
+
+    def test_optimization_rows_and_table(self):
+        from repro.harness import optimization_table
+        from repro.obs import optimization_rows
+
+        engine = Engine()
+        plan = engine.plan_for(softmax_cascade())
+        rng = np.random.default_rng(5)
+        plan.execute({"x": rng.normal(size=96)}, mode="tile_ir", opt_level=2)
+        rows = optimization_rows(plan)
+        assert tuple(r["pass"] for r in rows) == PASS_NAMES
+        for row in rows:
+            assert row["latency_before_s"] > 0
+            assert row["speedup"] > 0
+            assert "dram_idle_reclaimed_s" in row
+        text = optimization_table(rows, "tile-IR optimizer")
+        for name in PASS_NAMES:
+            assert name in text
+
+    def test_backend_supports_opt_level_option(self):
+        backend = get_backend("tile_ir")
+        assert "opt_level" in backend.options
+        assert 2 in OPT_LEVELS
