@@ -213,7 +213,37 @@ print(
     f"per-tenant accounting {serving.stats.by_tenant()} ✔"
 )
 
-# 11. Observe everything: enable request tracing, serve a traced request
+# 11. Scale past one process: persist compiled plans to a PlanStore
+#     (atomic JSON artifacts keyed by cascade signature, format version,
+#     and gpu/opt_level environment), then fork a WorkerPool whose
+#     workers warm-start from the store — zero recompiles — behind a
+#     Router that is sticky by cascade signature and fails over when a
+#     worker dies.
+import tempfile
+
+from repro.engine import PlanStore, Router, WorkerPool
+
+with tempfile.TemporaryDirectory() as plan_dir:
+    store = PlanStore(plan_dir)
+    seeder = Engine(plan_store=store)
+    seeder.run(softmax, {"x": data[:512]})  # compile once, artifact saved
+    assert store.describe()["saves"] == 1
+
+    with WorkerPool(2, store) as pool:
+        router = Router(pool)
+        routed = [
+            router.submit(softmax, {"x": q}).result()
+            for q in rng.normal(size=(6, 512))
+        ]
+        compiles = pool.fusion_compiles()  # workers loaded, never compiled
+        assert compiles == 0, compiles
+        snap = router.stats.snapshot()
+    print(
+        f"\nmulti-process tier: {len(routed)} requests over 2 warm workers "
+        f"({snap['sticky']} sticky, {compiles} recompiles) ✔"
+    )
+
+# 12. Observe everything: enable request tracing, serve a traced request
 #     through the tile_ir (simulated-kernel) backend, export a Chrome
 #     trace viewable at https://ui.perfetto.dev, and ask the gpusim
 #     bottleneck profiler which engine dominates the plan.

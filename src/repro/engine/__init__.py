@@ -78,6 +78,9 @@ from .plan import (
     cascade_signature,
     fusion_compile_count,
 )
+from .store import FORMAT_VERSION, PlanStore, PlanStoreStats, _iter_store_samples
+from .pool import WorkerError, WorkerPool
+from .router import Router, RouterStats, pick_worker
 from .serving import (
     PRIORITY_CLASSES,
     AdmissionError,
@@ -154,7 +157,18 @@ class EngineStats:
         * ``"serving"`` — the request scheduler's queue/latency/shed/
           padding counters (present once the engine has served any
           request — ``Engine.run`` dispatches through the scheduler, so
-          this appears after the first call).
+          this appears after the first call);
+        * ``"plan_store"`` — disk-artifact hit/miss/corrupt counters
+          (present only when the engine was built with ``plan_store=``);
+        * ``"workers"`` — per-worker stat sections, namespaced by worker
+          name (present only when a worker rollup is attached via
+          :meth:`Engine.attach_worker_rollup`, i.e. when this engine
+          fronts a multi-process tier).
+
+        The last two sections appear strictly *after* the existing keys
+        and only when their subsystem is configured, so single-process
+        output stays byte-compatible with existing consumers (the
+        harness report and the trace CLI).
         """
         engine = self._engine
         cache_info = engine.cache.stats.snapshot()
@@ -181,6 +195,14 @@ class EngineStats:
         scheduler = engine._scheduler
         if scheduler is not None:
             info["serving"] = scheduler.stats.snapshot()
+        store = engine.cache.store
+        if store is not None:
+            info["plan_store"] = store.describe()
+        rollup = engine._worker_rollup
+        if rollup is not None:
+            sections = rollup()
+            if sections:
+                info["workers"] = sections
         return info
 
 
@@ -228,11 +250,19 @@ class Engine:
         self,
         cache_size: int = 256,
         serving_config: Optional["ServingConfig"] = None,
+        plan_store=None,
     ) -> None:
-        self.cache = PlanCache(maxsize=cache_size)
+        # ``plan_store`` accepts a PlanStore or a directory path; a path
+        # builds a store stamped with the current default environment.
+        if plan_store is not None and not isinstance(plan_store, PlanStore):
+            plan_store = PlanStore(plan_store)
+        self.cache = PlanCache(maxsize=cache_size, store=plan_store)
         self._serving_config = serving_config
         self._scheduler: Optional[ServingEngine] = None
         self._scheduler_lock = threading.Lock()
+        #: Optional callable returning per-worker stat sections; set by
+        #: a fronting worker tier (see ``attach_worker_rollup``).
+        self._worker_rollup = None
         #: One metrics registry for every layer of this engine: the
         #: scheduler's ServingStats register their instruments here, and
         #: collectors adapt the structures that keep their own
@@ -242,6 +272,8 @@ class Engine:
         self.metrics.register_collector(self._collect_cache_samples)
         self.metrics.register_collector(self._collect_padding_samples)
         self.metrics.register_collector(_collect_device_samples)
+        if plan_store is not None:
+            self.metrics.register_collector(self._collect_store_samples)
 
     # -- metrics collectors --------------------------------------------------
     def _collect_cache_samples(self):
@@ -279,11 +311,42 @@ class Engine:
                     help="Positions executed incl. padding",
                 )
 
+    def _collect_store_samples(self):
+        store = self.cache.store
+        if store is not None:
+            yield from _iter_store_samples(store)
+
     def render_prometheus(self) -> str:
         """Every layer's metrics in Prometheus text exposition format."""
         return self.metrics.render_prometheus()
 
     # -- compile + cache ----------------------------------------------------
+    @property
+    def plan_store(self) -> Optional[PlanStore]:
+        """The disk artifact store behind the plan cache, if configured."""
+        return self.cache.store
+
+    def warm_start(self, limit: Optional[int] = None) -> int:
+        """Preload plans from the disk store (zero symbolic compiles).
+
+        Returns the number of plans loaded; 0 without a configured
+        store.  A forked/restarted worker calls this before serving so
+        its first request for every stored cascade shape is a memory
+        hit.
+        """
+        return self.cache.warm_start(limit)
+
+    def attach_worker_rollup(self, provider) -> None:
+        """Namespace a worker tier's stats into this engine's describe().
+
+        ``provider()`` returns ``{worker_name: sections}`` (or a falsy
+        value when nothing is known yet); it appears under the
+        ``"workers"`` key of :meth:`EngineStats.describe`, *after* all
+        single-process sections, so existing consumers see unchanged
+        output until a tier is attached.
+        """
+        self._worker_rollup = provider
+
     def plan_for(self, cascade: Cascade) -> FusionPlan:
         """The cached plan for this cascade shape (compiled at most once)."""
         return self.cache.get_or_compile(cascade)
@@ -455,11 +518,16 @@ __all__ = [
     "Engine",
     "EngineStats",
     "ExecutionBackend",
+    "FORMAT_VERSION",
     "FusionPlan",
     "PRIORITY_CLASSES",
     "PlanCache",
+    "PlanStore",
+    "PlanStoreStats",
     "QueueFullError",
     "RaggedBatch",
+    "Router",
+    "RouterStats",
     "ServingClosedError",
     "ServingConfig",
     "ServingEngine",
@@ -470,6 +538,8 @@ __all__ = [
     "TenantQuotaError",
     "TileEstimate",
     "TileIRBackend",
+    "WorkerError",
+    "WorkerPool",
     "available_backends",
     "cascade_signature",
     "default_engine",
@@ -478,6 +548,7 @@ __all__ = [
     "get_backend",
     "merge_batch_outputs",
     "normalize_batch_inputs",
+    "pick_worker",
     "plan_for",
     "priority_index",
     "register_backend",

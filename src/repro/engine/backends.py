@@ -37,6 +37,7 @@ compilation happens.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -970,6 +971,7 @@ class ShardedBackend(ExecutionBackend):
         self.devices = tuple(DeviceStats(device=d) for d in range(num_devices))
         self._stats_lock = threading.Lock()
         self._pool = None
+        self._pool_pid = None
         self._pool_lock = threading.Lock()
         self._round_robin = 0
 
@@ -1006,11 +1008,19 @@ class ShardedBackend(ExecutionBackend):
         from concurrent.futures import ThreadPoolExecutor
 
         with self._pool_lock:
+            if self._pool is not None and self._pool_pid != os.getpid():
+                # This backend instance lives in the process-global
+                # registry, so a forked child inherits the executor
+                # object but none of its worker threads — submitting to
+                # it would queue forever.  Abandon the inherited shell
+                # and build a fresh pool owned by this process.
+                self._pool = None
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.num_devices,
                     thread_name_prefix="repro-device",
                 )
+                self._pool_pid = os.getpid()
             return self._pool
 
     # -- execution ----------------------------------------------------------

@@ -56,10 +56,14 @@ class PlanCache:
     waiters so one of them retries.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, store=None) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        #: Optional :class:`~repro.engine.store.PlanStore`: the lookup
+        #: order becomes memory LRU -> disk artifact -> symbolic compile,
+        #: and every fresh compile persists its artifacts back to disk.
+        self.store = store
         self.stats = CacheStats()
         self._plans: "OrderedDict[str, FusionPlan]" = OrderedDict()
         self._inflight: Dict[str, threading.Event] = {}
@@ -140,10 +144,22 @@ class PlanCache:
 
             plan_span.set(hit=False)
             try:
-                if compile_fn is None:
-                    plan = FusionPlan(cascade, signature=signature)
-                else:
-                    plan = compile_fn(cascade, signature)
+                plan = None
+                if self.store is not None:
+                    # Disk tier: a restored plan is already compiled, so
+                    # the in-flight winner publishes it with zero
+                    # symbolic work (fusion_compile_count unmoved).
+                    plan = self.store.load_plan(signature, cascade)
+                if plan is None:
+                    if compile_fn is None:
+                        plan = FusionPlan(cascade, signature=signature)
+                    else:
+                        plan = compile_fn(cascade, signature)
+                    if self.store is not None:
+                        # Persist lazily, right after the first symbolic
+                        # compile (save_plan never raises — I/O failures
+                        # count into the store's own stats).
+                        plan.attach_compile_sink(self.store.save_plan)
                 plan.attach_execution_sink(self._note_execution)
             except BaseException:
                 with self._lock:
@@ -160,3 +176,38 @@ class PlanCache:
                 event = self._inflight.pop(signature)
             event.set()
             return plan
+
+    def warm_start(self, limit: Optional[int] = None) -> int:
+        """Preload plans from the disk store into the memory tier.
+
+        Returns the number of plans loaded.  A warm-started cache serves
+        its first request for every stored cascade shape as a memory
+        *hit* with zero symbolic compiles — the property the
+        multi-process worker tier (:mod:`repro.engine.pool`) asserts on
+        restart.  Loads stop at ``limit`` (default: the cache capacity);
+        artifacts that fail to load are skipped, counted by the store.
+        """
+        if self.store is None:
+            return 0
+        budget = self.maxsize if limit is None else min(limit, self.maxsize)
+        loaded = 0
+        for signature in self.store.signatures():
+            if loaded >= budget:
+                break
+            with self._lock:
+                if signature in self._plans:
+                    continue
+            plan = self.store.load_plan(signature)
+            if plan is None:
+                continue
+            plan.attach_execution_sink(self._note_execution)
+            with self._lock:
+                if signature in self._plans:
+                    continue
+                self._plans[signature] = plan
+                while len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+                    self.stats.evictions += 1
+            self.store.stats.note("warm_loads")
+            loaded += 1
+        return loaded

@@ -118,6 +118,11 @@ class FusionPlan:
         self.compile_seconds: Optional[float] = 0.0 if fused is not None else None
         self._fused = fused
         self._fusion_error: Optional[NotFusableError] = None
+        self._compile_sinks: list = []
+        # True once compile sinks have been (or need no longer be)
+        # notified for the existing artifacts; plans constructed already
+        # compiled notify late-attached sinks directly.
+        self._sinks_notified = fused is not None
         self._lock = threading.Lock()
         #: Scratch area backends use for per-plan compiled state (e.g.
         #: the tile_ir program cache), keyed by backend name.
@@ -135,6 +140,34 @@ class FusionPlan:
         """Wrap an already-compiled :class:`FusedCascade` (no recompile)."""
         return cls(fused.cascade, fused=fused, **kwargs)
 
+    @classmethod
+    def restored(
+        cls,
+        cascade: Cascade,
+        signature: str,
+        *,
+        fused: Optional[FusedCascade] = None,
+        fusion_error: Optional[NotFusableError] = None,
+        compile_seconds: Optional[float] = None,
+        **kwargs,
+    ) -> "FusionPlan":
+        """Rebuild a plan from persisted artifacts (no symbolic work).
+
+        Used by :class:`~repro.engine.store.PlanStore`: either ``fused``
+        (a reconstructed :class:`FusedCascade`) or ``fusion_error`` (the
+        memoized "not fusable" outcome) seeds the plan already-compiled,
+        so the first fused access performs zero ACRF runs and the
+        module-level :func:`fusion_compile_count` does not move.
+        ``compile_seconds`` carries the *original* compile cost for
+        reporting; it defaults to 0.0 (a restore costs no symbolic time).
+        """
+        plan = cls(cascade, signature=signature, fused=fused, **kwargs)
+        if fusion_error is not None:
+            plan._fusion_error = fusion_error
+            plan._sinks_notified = True
+        plan.compile_seconds = 0.0 if compile_seconds is None else compile_seconds
+        return plan
+
     @property
     def signature(self) -> str:
         """Structural signature (computed on first use, then frozen)."""
@@ -151,6 +184,7 @@ class FusionPlan:
         analysis also runs only once) when the cascade cannot be fused.
         """
         if self._fused is None and self._fusion_error is None:
+            newly_compiled = False
             with self._lock:
                 if self._fused is None and self._fusion_error is None:
                     with tracing.span("plan", "fuse", cascade=self.cascade.name):
@@ -162,6 +196,18 @@ class FusionPlan:
                         finally:
                             _record_fusion_compile()
                             self.compile_seconds = monotonic_s() - start
+                            newly_compiled = True
+            if newly_compiled:
+                # Outside the plan lock: sinks (e.g. the plan store's
+                # artifact writer) may do I/O, and the artifacts are
+                # frozen by now.  Exactly the winning thread fires them;
+                # the notified flag and the snapshot move together so a
+                # concurrent attach fires each sink exactly once.
+                with self._state_lock:
+                    self._sinks_notified = True
+                    sinks = tuple(self._compile_sinks)
+                for sink in sinks:
+                    sink(self)
         if self._fusion_error is not None:
             # Fresh copy per raise: re-raising one shared instance would
             # grow its traceback chain and race across threads.
@@ -185,6 +231,27 @@ class FusionPlan:
     @property
     def default_mode(self) -> str:
         return "fused_tree" if self.fusable else "unfused"
+
+    def attach_compile_sink(self, sink) -> None:
+        """Call ``sink(plan)`` once, right after the first symbolic compile.
+
+        Fires for failed analyses too (the ``not_fusable`` outcome is
+        also worth persisting), on the thread that won the compile race,
+        outside the plan lock.  Attaching after the plan is already
+        compiled fires the sink immediately — the caller wants the
+        artifact persisted either way.  Sinks must not raise; the plan
+        store's writer reports failures through its own counters.
+        """
+        fire = False
+        with self._state_lock:
+            if sink not in self._compile_sinks:
+                self._compile_sinks.append(sink)
+                # Fire late attachments only once the compile path has
+                # notified (or never will, for plans born compiled) —
+                # otherwise the winning thread's snapshot covers us.
+                fire = self._sinks_notified
+        if fire:
+            sink(self)
 
     # -- execution ----------------------------------------------------------
     def attach_execution_sink(self, sink) -> None:

@@ -1,0 +1,508 @@
+"""Multi-process worker tier: N serving engines warm-started from one store.
+
+A :class:`WorkerPool` forks (or spawns) ``num_workers`` processes, each
+hosting a full :class:`~repro.engine.Engine` with its serving runtime
+started and its plan cache warm-started from the shared
+:class:`~repro.engine.store.PlanStore` — so a freshly created worker
+performs **zero** symbolic compiles for every cascade shape the store
+has seen.  The data plane is a duplex pipe per worker carrying pickled
+request/response tuples; NumPy arrays round-trip through pickle with
+their float64 bits intact, so a response is bitwise identical to an
+in-process execution.
+
+Wire protocol (one tuple per message):
+
+* parent -> worker: ``("submit", req_id, cascade, inputs, mode, kwargs)``,
+  ``("control", seq, op)`` with ``op`` in ``ping``/``stats``/``drain``,
+  and ``("close",)``.
+* worker -> parent: ``("result", req_id, outputs)``,
+  ``("error", req_id, exception)``, ``("control", seq, payload)``.
+
+The parent runs one reader thread per worker that resolves the
+outstanding futures, so worker->parent sends always drain (no pipe
+deadlock); the worker's scheduler threads block on a full pipe at most
+until the reader catches up — ordinary backpressure.  A worker that dies
+fails its outstanding futures with :class:`WorkerError`; the router
+(:mod:`repro.engine.router`) fails over and the pool can
+:meth:`~WorkerPool.restart` the slot, warm again from the store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..obs.metrics import Sample, relabel
+from .plan import fusion_compile_count
+
+
+class WorkerError(RuntimeError):
+    """A worker process died or stopped answering."""
+
+
+def _worker_main(conn, worker_id: str, store_root, env, cache_size: int,
+                 warm: bool, serving_config=None) -> None:
+    """Entry point of one worker process: serve requests off the pipe."""
+    from . import Engine  # imported here so ``spawn`` contexts work too
+    from .store import PlanStore
+
+    # a forked worker inherits the parent's module-level compile counter;
+    # report compiles performed by *this* process only
+    compile_base = fusion_compile_count()
+    store = PlanStore(store_root, env=env) if store_root is not None else None
+    engine = Engine(
+        cache_size=cache_size, serving_config=serving_config, plan_store=store
+    )
+    warm_loaded = engine.warm_start() if (warm and store is not None) else 0
+    serving = engine.serving()
+    send_lock = threading.Lock()  # done-callbacks run on scheduler threads
+
+    def send(message) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (OSError, ValueError, BrokenPipeError):
+                pass  # parent gone; the main loop will see EOF and exit
+
+    def finish(req_id: int, future) -> None:
+        error = future.exception()
+        if error is None:
+            send(("result", req_id, future.result()))
+        else:
+            send(("error", req_id, error))
+
+    def stats_payload() -> Dict[str, object]:
+        payload = dict(engine.stats.describe())
+        payload["worker"] = worker_id
+        payload["pid"] = os.getpid()
+        payload["load"] = serving.load()
+        payload["fusion_compiles"] = fusion_compile_count() - compile_base
+        payload["warm_loaded"] = warm_loaded
+        payload["samples"] = list(engine.metrics.collect())
+        return payload
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "submit":
+            _, req_id, cascade, inputs, mode, kwargs = message
+            try:
+                future = serving.submit(cascade, inputs, mode, **kwargs)
+            except BaseException as err:  # admission/validation errors
+                send(("error", req_id, err))
+            else:
+                future.add_done_callback(
+                    lambda f, r=req_id: finish(r, f)
+                )
+        elif op == "control":
+            _, seq, what = message
+            if what == "ping":
+                send(("control", seq, {
+                    "worker": worker_id, "pid": os.getpid(),
+                    "load": serving.load(),
+                }))
+            elif what == "stats":
+                send(("control", seq, stats_payload()))
+            elif what == "drain":
+                serving.drain()
+                send(("control", seq, {"drained": True}))
+            else:
+                send(("control", seq, None))
+        elif op == "close":
+            break
+    engine.close()
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    def __init__(self, name: str, process, conn) -> None:
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.state_lock = threading.Lock()
+        self.pending: Dict[int, "Future"] = {}
+        self.control: Dict[int, List] = {}  # seq -> [Event, payload]
+        self.dead = False
+        self.last_ping: Optional[Dict[str, object]] = None
+        self.last_stats: Optional[Dict[str, object]] = None
+        self.reader: Optional[threading.Thread] = None
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+    @property
+    def outstanding(self) -> int:
+        with self.state_lock:
+            return len(self.pending)
+
+
+class WorkerPool:
+    """N warm-started serving workers behind pickled-pipe data planes.
+
+    Typical lifecycle::
+
+        store = PlanStore(cache_dir)
+        with WorkerPool(4, store) as pool:
+            future = pool.submit_to(0, cascade, inputs, tenant="web")
+            outputs = future.result()
+
+    ``submit_to`` addresses one worker explicitly — load balancing and
+    signature stickiness live one layer up, in
+    :class:`~repro.engine.router.Router`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        store=None,
+        *,
+        cache_size: int = 256,
+        warm_start: bool = True,
+        serving_config=None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        # the store may be a PlanStore (its root + env are forwarded so
+        # each worker builds its own handle), a bare path, or None
+        self._store_root = getattr(store, "root", store)
+        self._store_env = getattr(store, "env", None)
+        self._cache_size = cache_size
+        self._warm = warm_start
+        self._serving_config = serving_config
+        if start_method is None:
+            # fork is cheap and inherits the imported modules; fall back
+            # to the platform default where fork is unavailable
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._handles: List[Optional[_WorkerHandle]] = [None] * num_workers
+        self._req_ids = itertools.count(1)
+        self._seqs = itertools.count(1)
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Spawn every worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise WorkerError("worker pool is closed")
+            if self._started:
+                return self
+            self._started = True
+        for index in range(self.num_workers):
+            self._spawn(index)
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        name = f"w{index}"
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, name, self._store_root, self._store_env,
+                  self._cache_size, self._warm, self._serving_config),
+            name=f"repro-worker-{name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its end
+        handle = _WorkerHandle(name, process, parent_conn)
+        handle.reader = threading.Thread(
+            target=self._read_loop, args=(handle,),
+            name=f"repro-pool-reader-{name}", daemon=True,
+        )
+        handle.reader.start()
+        with self._lock:
+            self._handles[index] = handle
+        return handle
+
+    def _read_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            tag = message[0]
+            if tag == "result":
+                with handle.state_lock:
+                    future = handle.pending.pop(message[1], None)
+                if future is not None:
+                    future.set_result(message[2])
+            elif tag == "error":
+                with handle.state_lock:
+                    future = handle.pending.pop(message[1], None)
+                if future is not None:
+                    future.set_exception(message[2])
+            elif tag == "control":
+                with handle.state_lock:
+                    slot = handle.control.pop(message[1], None)
+                if slot is not None:
+                    slot[1] = message[2]
+                    slot[0].set()
+        # worker gone: fail everything still outstanding
+        handle.dead = True
+        with handle.state_lock:
+            pending = list(handle.pending.values())
+            handle.pending.clear()
+            controls = list(handle.control.values())
+            handle.control.clear()
+        error = WorkerError(f"worker {handle.name} died")
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+        for slot in controls:
+            slot[0].set()
+
+    # -- data plane ---------------------------------------------------------
+    def submit_to(self, index: int, cascade, inputs, mode: str = "auto",
+                  **kwargs) -> "Future":
+        """Schedule one request on worker ``index``; returns a Future.
+
+        ``kwargs`` pass through to the worker's
+        :meth:`~repro.engine.serving.ServingEngine.submit` — tenant,
+        priority, deadline_s, backend options — so the SLA scheduler
+        semantics are identical to the in-process path.  Raises
+        :class:`WorkerError` synchronously when the worker is not alive.
+        """
+        from concurrent.futures import Future
+
+        handle = self._handle(index)
+        if not handle.alive:
+            raise WorkerError(f"worker {handle.name} is not alive")
+        req_id = next(self._req_ids)
+        future: Future = Future()
+        with handle.state_lock:
+            handle.pending[req_id] = future
+        try:
+            with handle.send_lock:
+                handle.conn.send(("submit", req_id, cascade, inputs, mode, kwargs))
+        except (OSError, ValueError, BrokenPipeError) as err:
+            with handle.state_lock:
+                handle.pending.pop(req_id, None)
+            handle.dead = True
+            raise WorkerError(f"worker {handle.name} is not reachable") from err
+        return future
+
+    # -- control plane ------------------------------------------------------
+    def _handle(self, index: int) -> _WorkerHandle:
+        with self._lock:
+            if not self._started:
+                raise WorkerError("worker pool is not started")
+            handle = self._handles[index]
+        if handle is None:
+            raise WorkerError(f"worker w{index} was never spawned")
+        return handle
+
+    def _control(self, index: int, op: str, timeout: float):
+        handle = self._handle(index)
+        if not handle.alive:
+            raise WorkerError(f"worker {handle.name} is not alive")
+        seq = next(self._seqs)
+        slot = [threading.Event(), None]
+        with handle.state_lock:
+            handle.control[seq] = slot
+        try:
+            with handle.send_lock:
+                handle.conn.send(("control", seq, op))
+        except (OSError, ValueError, BrokenPipeError) as err:
+            with handle.state_lock:
+                handle.control.pop(seq, None)
+            handle.dead = True
+            raise WorkerError(f"worker {handle.name} is not reachable") from err
+        if not slot[0].wait(timeout) or (handle.dead and slot[1] is None):
+            with handle.state_lock:
+                handle.control.pop(seq, None)
+            raise WorkerError(
+                f"worker {handle.name} did not answer {op!r} within {timeout}s"
+            )
+        return slot[1]
+
+    def workers(self) -> Tuple[str, ...]:
+        return tuple(f"w{i}" for i in range(self.num_workers))
+
+    def alive(self) -> List[bool]:
+        """Liveness per worker slot (False before start/after death)."""
+        with self._lock:
+            handles = list(self._handles)
+        return [h is not None and h.alive for h in handles]
+
+    def outstanding(self) -> List[int]:
+        """Requests submitted but not yet resolved, per worker.
+
+        This is the router's queue-depth signal: it is tracked entirely
+        parent-side (no pipe round trip), so balancing decisions stay
+        O(workers) per request.
+        """
+        with self._lock:
+            handles = list(self._handles)
+        return [h.outstanding if h is not None else 0 for h in handles]
+
+    def ping(self, timeout: float = 5.0) -> List[Optional[Dict[str, object]]]:
+        """Health-check every worker; None entries are dead/unresponsive."""
+        out: List[Optional[Dict[str, object]]] = []
+        for index in range(self.num_workers):
+            try:
+                payload = self._control(index, "ping", timeout)
+            except WorkerError:
+                payload = None
+            else:
+                handle = self._handle(index)
+                handle.last_ping = payload
+            out.append(payload)
+        return out
+
+    def stats(self, timeout: float = 30.0) -> Dict[str, Dict[str, object]]:
+        """Live per-worker stat sections (engine describe + worker extras).
+
+        Each payload is the worker engine's ``stats.describe()`` plus
+        ``worker``/``pid``/``load``/``fusion_compiles``/``warm_loaded``
+        and its raw metric ``samples``.  Dead workers report
+        ``{"alive": False}``.  Responses are cached for the non-blocking
+        rollup consumers (:meth:`collect_samples`, an attached engine's
+        describe).
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for index in range(self.num_workers):
+            name = f"w{index}"
+            try:
+                payload = self._control(index, "stats", timeout)
+            except WorkerError:
+                out[name] = {"alive": False}
+                continue
+            payload["alive"] = True
+            handle = self._handle(index)
+            handle.last_stats = payload
+            out[name] = payload
+        return out
+
+    def cached_stats(self) -> Dict[str, Dict[str, object]]:
+        """Last-known per-worker stats without touching the pipes."""
+        with self._lock:
+            handles = list(self._handles)
+        out: Dict[str, Dict[str, object]] = {}
+        for index, handle in enumerate(handles):
+            if handle is None:
+                continue
+            payload = handle.last_stats
+            if payload is not None:
+                out[handle.name] = payload
+            elif not handle.alive:
+                out[f"w{index}"] = {"alive": False}
+        return out
+
+    def fusion_compiles(self, timeout: float = 30.0) -> int:
+        """Total symbolic compiles performed across all live workers."""
+        total = 0
+        for payload in self.stats(timeout).values():
+            total += int(payload.get("fusion_compiles", 0))
+        return total
+
+    def drain(self, timeout: float = 120.0) -> None:
+        """Block until every live worker's scheduler is empty."""
+        for index in range(self.num_workers):
+            try:
+                self._control(index, "drain", timeout)
+            except WorkerError:
+                continue  # dead workers have nothing left to drain
+
+    def restart(self, index: int, *, drain: bool = True,
+                timeout: float = 30.0) -> None:
+        """Gracefully recycle one worker slot.
+
+        A live worker is drained first (unless ``drain=False``), told to
+        close, and joined; the replacement warm-starts from the shared
+        store, so the recycled slot comes back with zero recompiles for
+        every persisted cascade shape.
+        """
+        with self._lock:
+            handle = self._handles[index]
+        if handle is not None:
+            if handle.alive and drain:
+                try:
+                    self._control(index, "drain", timeout)
+                except WorkerError:
+                    pass
+            self._shutdown_handle(handle, timeout=timeout)
+        self._spawn(index)
+
+    def _shutdown_handle(self, handle: _WorkerHandle, timeout: float) -> None:
+        if handle.alive:
+            try:
+                with handle.send_lock:
+                    handle.conn.send(("close",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        handle.process.join(timeout)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(5.0)
+        handle.dead = True
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.reader is not None:
+            handle.reader.join(5.0)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Shut every worker down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            if handle is not None:
+                self._shutdown_handle(handle, timeout=timeout)
+
+    # -- observability ------------------------------------------------------
+    def collect_samples(self) -> Iterable[Sample]:
+        """Cached worker samples relabeled with ``worker=<name>``.
+
+        Registry-collector compatible (non-blocking: reads the stats
+        cached by the last :meth:`stats` call).  Every worker engine's
+        own export — cache, serving, padding, plan-store counters —
+        re-exports under its worker label, plus a liveness gauge and the
+        pool-side outstanding depth per worker.
+        """
+        alive = self.alive()
+        depths = self.outstanding()
+        for index, name in enumerate(self.workers()):
+            yield Sample("worker_up", int(alive[index]), (("worker", name),),
+                         help="Worker process liveness")
+            yield Sample("worker_outstanding_requests", depths[index],
+                         (("worker", name),),
+                         help="Requests in flight to this worker")
+        for name, payload in self.cached_stats().items():
+            for sample in payload.get("samples", ()):
+                yield relabel(sample, worker=name)
+
+    def describe(self) -> Dict[str, object]:
+        """Pool-level summary (live stats fetch) for reports/tests."""
+        return {
+            "workers": self.stats(),
+            "alive": self.alive(),
+            "outstanding": self.outstanding(),
+        }

@@ -1,0 +1,307 @@
+"""Signature-sticky, depth-balanced request router over a worker pool.
+
+The :class:`Router` is the front end of the multi-process serving tier:
+it exposes the same ``submit(cascade, inputs, mode, *, tenant, priority,
+deadline_s, ...) -> Future`` surface as
+:class:`~repro.engine.serving.ServingEngine` (so
+:func:`repro.harness.traffic.replay` drives it unchanged), and decides
+*which* worker executes each request:
+
+* **sticky by cascade signature** — the structural
+  :func:`~repro.engine.plan.cascade_signature` hashes to a home worker,
+  so every request for one cascade shape lands on the same process and
+  its plan cache / batch-executor cache stay hot (requests for the same
+  shape also micro-batch together there);
+* **queue-depth balanced** — when the home worker's outstanding depth
+  exceeds the lightest worker's by more than ``imbalance``, the request
+  spills to the least-loaded live worker instead (stickiness is a
+  throughput optimization, never a hot-spot sentence);
+* **failure aware** — dead workers are skipped, a send that discovers a
+  dead worker fails over to the next candidate, and
+  :meth:`check_workers` restarts dead slots (warm from the shared plan
+  store).
+
+Tenant / priority class / deadline pass through verbatim, so the SLA
+scheduler (PR 7) enforces exactly the same policy per worker as it does
+in process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry, Sample
+from .plan import cascade_signature
+from .pool import WorkerError, WorkerPool
+from .serving import priority_index
+
+#: ``serving`` snapshot keys that aggregate by summation across workers.
+_SUM_KEYS = (
+    "submitted", "completed", "failed", "shed", "evicted", "cancelled",
+    "deadline_misses", "queue_depth", "batches", "batched_requests",
+    "ragged_batches", "useful_positions", "padded_positions",
+)
+#: ``serving`` snapshot keys that aggregate by maximum across workers.
+_MAX_KEYS = ("peak_queue_depth", "max_batch_size")
+
+
+class RouterStats:
+    """Routing-decision counters (thread-safe, monotonic)."""
+
+    def __init__(self, num_workers: int) -> None:
+        self._lock = threading.Lock()
+        self.routed = [0] * num_workers
+        self.sticky = 0
+        self.spilled = 0
+        self.failover = 0
+
+    def note(self, index: int, *, sticky: bool, failover: bool = False) -> None:
+        with self._lock:
+            self.routed[index] += 1
+            if failover:
+                self.failover += 1
+            elif sticky:
+                self.sticky += 1
+            else:
+                self.spilled += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            routed = list(self.routed)
+            sticky, spilled, failover = self.sticky, self.spilled, self.failover
+        total = sum(routed)
+        return {
+            "routed": total,
+            "sticky": sticky,
+            "spilled": spilled,
+            "failover": failover,
+            "sticky_rate": sticky / total if total else 1.0,
+            "by_worker": {f"w{i}": n for i, n in enumerate(routed)},
+        }
+
+
+def pick_worker(
+    signature: str,
+    outstanding: Sequence[int],
+    alive: Sequence[bool],
+    imbalance: int,
+) -> int:
+    """Pure routing decision, exposed for direct testing.
+
+    Returns the worker index for a request with the given cascade
+    signature: the signature's home worker when it is alive and within
+    ``imbalance`` of the lightest live worker's outstanding depth,
+    otherwise the least-loaded live worker (ties to the lowest index).
+    Raises :class:`WorkerError` when no worker is alive.
+    """
+    live = [i for i, ok in enumerate(alive) if ok]
+    if not live:
+        raise WorkerError("no live workers")
+    home = int(signature[:8], 16) % len(alive)
+    lightest = min(live, key=lambda i: (outstanding[i], i))
+    if alive[home] and outstanding[home] <= outstanding[lightest] + imbalance:
+        return home
+    return lightest
+
+
+class Router:
+    """Load-balancing front end with the ``ServingEngine.submit`` surface.
+
+    ``imbalance`` is the stickiness budget: how many more outstanding
+    requests the home worker may carry than the lightest worker before a
+    request spills.  0 is pure least-loaded; large values are pure
+    sticky.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        imbalance: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if imbalance < 0:
+            raise ValueError("imbalance must be >= 0")
+        self.pool = pool
+        self.imbalance = imbalance
+        self.stats = RouterStats(pool.num_workers)
+        self.registry = registry or MetricsRegistry()
+        self.registry.register_collector(self._collect_samples)
+        self.registry.register_collector(pool.collect_samples)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Router":
+        self.pool.start()
+        return self
+
+    def __enter__(self) -> "Router":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def drain(self, timeout: float = 120.0) -> None:
+        """Block until every worker's scheduler is empty."""
+        self.pool.drain(timeout)
+
+    # -- client API ---------------------------------------------------------
+    def submit(self, cascade, inputs, mode: str = "auto", **kwargs):
+        """Route one request; returns the worker's Future.
+
+        Keyword arguments (``tenant=``, ``priority=``, ``deadline_s=``,
+        backend options, chunking parameters) pass through to the chosen
+        worker's scheduler unchanged.  When every worker is dead this
+        raises :class:`WorkerError` synchronously, like a closed serving
+        runtime would.
+        """
+        # validate SLA attributes eagerly so a bad value raises here, as
+        # ServingEngine.submit does, instead of inside the remote worker
+        if "priority" in kwargs:
+            priority_index(kwargs["priority"])
+        deadline_s = kwargs.get("deadline_s")
+        if deadline_s is not None and not float(deadline_s) > 0:
+            raise ValueError("deadline_s must be > 0")
+        signature = cascade_signature(cascade)
+        tried: List[int] = []
+        failover = False
+        while True:
+            outstanding = self.pool.outstanding()
+            alive = list(self.pool.alive())
+            for index in tried:
+                alive[index] = False  # do not re-pick a worker that just failed
+            index = pick_worker(signature, outstanding, alive, self.imbalance)
+            sticky = index == int(signature[:8], 16) % len(alive)
+            try:
+                future = self.pool.submit_to(index, cascade, inputs, mode, **kwargs)
+            except WorkerError:
+                tried.append(index)
+                failover = True
+                continue
+            self.stats.note(index, sticky=sticky, failover=failover)
+            return future
+
+    def run(self, cascade, inputs, mode: str = "auto", **kwargs):
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(cascade, inputs, mode, **kwargs).result()
+
+    # -- health -------------------------------------------------------------
+    def check_workers(self, *, restart: bool = True,
+                      timeout: float = 5.0) -> List[bool]:
+        """Ping every worker; optionally restart dead slots (warm).
+
+        Returns post-check liveness.  Restarted workers warm-start from
+        the shared plan store, so recovery costs no symbolic compiles.
+        """
+        health = self.pool.ping(timeout)
+        if restart:
+            for index, payload in enumerate(health):
+                if payload is None:
+                    self.pool.restart(index, drain=False)
+        return self.pool.alive()
+
+    # -- observability ------------------------------------------------------
+    def _collect_samples(self):
+        snap = self.stats.snapshot()
+        yield Sample("router_requests_total", snap["routed"], kind="counter",
+                     help="Requests routed")
+        yield Sample("router_sticky_total", snap["sticky"], kind="counter",
+                     help="Requests routed to their signature's home worker")
+        yield Sample("router_spilled_total", snap["spilled"], kind="counter",
+                     help="Requests spilled off a deep home worker")
+        yield Sample("router_failover_total", snap["failover"], kind="counter",
+                     help="Requests rerouted off a dead worker")
+        for name in self.pool.workers():
+            yield Sample("router_routed_total", snap["by_worker"][name],
+                         (("worker", name),), kind="counter",
+                         help="Requests routed per worker")
+
+    def render_prometheus(self) -> str:
+        """Router + per-worker rollup in Prometheus exposition format.
+
+        Worker series come from the pool's cached stats (refresh with
+        ``pool.stats()`` or :meth:`describe` before scraping for live
+        values) relabeled with ``worker=<name>``.
+        """
+        return self.registry.render_prometheus()
+
+    def attach_to(self, engine) -> None:
+        """Roll this tier's stats into an engine's describe()/scrape.
+
+        The engine's :meth:`~repro.engine.EngineStats.describe` gains a
+        trailing ``"workers"`` namespace (cached worker sections plus a
+        ``"router"`` entry) and its Prometheus scrape gains the
+        worker-labeled series — with zero change to the single-process
+        sections, so existing consumers parse both shapes.
+        """
+        engine.attach_worker_rollup(self.worker_sections)
+        engine.metrics.register_collector(self._collect_samples)
+        engine.metrics.register_collector(self.pool.collect_samples)
+
+    def worker_sections(self) -> Dict[str, object]:
+        """Cached per-worker stat sections, namespaced by worker name."""
+        sections: Dict[str, object] = {}
+        for name, payload in self.pool.cached_stats().items():
+            section = {k: v for k, v in payload.items() if k != "samples"}
+            sections[name] = section
+        if sections:
+            sections["router"] = self.stats.snapshot()
+        return sections
+
+    def describe(self) -> Dict[str, object]:
+        """Aggregated tier stats in the ``EngineStats.describe`` shape.
+
+        Top-level sections (``cache``, ``backend_executions``,
+        ``serving``) sum the live per-worker numbers, so existing
+        consumers read the tier exactly like a big single engine; the
+        per-worker breakdown is namespaced under ``workers`` and routing
+        decisions under ``router``.  Latency percentiles do not
+        aggregate across processes and stay per worker.
+        """
+        workers = self.pool.stats()
+        cache_total: Dict[str, float] = {}
+        executions_total: Dict[str, int] = {}
+        serving_total: Dict[str, float] = {}
+        fusion_compiles = 0
+        for payload in workers.values():
+            if not payload.get("alive"):
+                continue
+            for key, value in payload.get("cache", {}).items():
+                if isinstance(value, (int, float)) and key != "hit_rate":
+                    cache_total[key] = cache_total.get(key, 0) + value
+            for backend, count in payload.get("backend_executions", {}).items():
+                executions_total[backend] = executions_total.get(backend, 0) + count
+            serving = payload.get("serving", {})
+            for key in _SUM_KEYS:
+                if key in serving:
+                    serving_total[key] = serving_total.get(key, 0) + serving[key]
+            for key in _MAX_KEYS:
+                if key in serving:
+                    serving_total[key] = max(serving_total.get(key, 0), serving[key])
+            fusion_compiles += int(payload.get("fusion_compiles", 0))
+        requests = cache_total.get("hits", 0) + cache_total.get("misses", 0)
+        if cache_total:
+            cache_total["hit_rate"] = (
+                cache_total.get("hits", 0) / requests if requests else 0.0
+            )
+        batches = serving_total.get("batches", 0)
+        if serving_total:
+            serving_total["mean_batch_size"] = (
+                serving_total.get("batched_requests", 0) / batches if batches else 0.0
+            )
+            padded = serving_total.get("padded_positions", 0)
+            serving_total["padding_efficiency"] = (
+                serving_total.get("useful_positions", 0) / padded if padded else 1.0
+            )
+        info: Dict[str, object] = {
+            "cache": cache_total,
+            "backend_executions": executions_total,
+            "serving": serving_total,
+            "fusion_compiles": fusion_compiles,
+            "workers": workers,
+            "router": self.stats.snapshot(),
+        }
+        return info

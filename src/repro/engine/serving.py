@@ -883,6 +883,17 @@ class ServingEngine:
         """Synchronous pre-formed batch: ``submit_batch(...).result()``."""
         return self.submit_batch(cascade, batch_inputs, mode, **kwargs).result()
 
+    def load(self) -> int:
+        """Requests queued plus in flight — the scheduler's depth signal.
+
+        This is what a worker process reports in health pings and what
+        the router's queue-depth balancing compares across workers
+        (:mod:`repro.engine.router`): it covers work pulled off the
+        queues into a forming micro-batch, not just the queued tail.
+        """
+        with self._cond:
+            return self._queued_count() + self._inflight
+
     def drain(self) -> None:
         """Block until no request is queued *or* in flight.
 

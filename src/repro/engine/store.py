@@ -1,0 +1,482 @@
+"""Disk-backed plan artifacts: persist compiled fusion plans across processes.
+
+A :class:`PlanStore` is the persistence tier behind
+:class:`~repro.engine.cache.PlanCache`: memory LRU -> disk artifact ->
+symbolic compile.  Every compiled :class:`~repro.engine.plan.FusionPlan`
+(including failed ACRF analyses, so "not fusable" is also remembered) is
+serialized to a versioned JSON artifact keyed by the structural
+:func:`~repro.engine.plan.cascade_signature`, and a restarted or
+freshly-forked worker process reconstructs the plan from disk with zero
+symbolic work — the "warm start" that makes a multi-process serving tier
+(:mod:`repro.engine.pool`) cheap to scale.
+
+Artifact layout and versioning::
+
+    <root>/
+      v<FORMAT_VERSION>-<env_tag>/     # one directory per (format, env)
+        <cascade_signature>.json       # one artifact per cascade structure
+        <cascade_signature>.json.tmp-* # in-flight atomic writes (transient)
+
+``env_tag`` hashes the environment dict (GPU model, optimizer level —
+anything that would make a cached artifact stale); a process with a
+different environment simply sees an empty directory and recompiles.
+Inside an artifact the format version and environment are repeated, so a
+mangled or hand-moved file is still detected.  Writes are atomic
+(``os.replace`` of a unique temp file), so a crashed writer can never
+leave a half-written artifact under the real name.  Loads never raise on
+bad artifacts: corrupt/truncated/mismatched files count into the store's
+``corrupt`` / ``version_mismatch`` counters and fall back to a recompile
+(which then overwrites the bad artifact — the store self-heals).
+
+Expressions serialize as tagged nested lists (``["c", 1.5]``,
+``["v", "m"]``, ``["u", "exp", ...]``, ``["b", "add", ..., ...]``).
+JSON round-trips Python floats exactly (``repr`` shortest-round-trip),
+so a reconstructed plan is *bitwise* identical in execution to the one
+that was saved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.acrf import Decomposition, NotFusableError, Term
+from ..core.fused import (
+    NEW_SUFFIX,
+    FusedCascade,
+    FusedReduction,
+    FusedTerm,
+    _rename,
+)
+from ..core.ops import combine_op
+from ..core.spec import Cascade, Reduction
+from ..obs.clock import monotonic_s
+from ..symbolic import Binary, Const, Expr, Unary, Var, make_evaluator
+
+#: Bump when the artifact payload layout changes; old artifacts land in a
+#: different directory and are recompiled, never misread.
+FORMAT_VERSION = 1
+
+
+class PlanStoreError(RuntimeError):
+    """An artifact exists but cannot be used (corrupt, wrong version)."""
+
+
+# -- expression codec ---------------------------------------------------------
+def expr_to_json(e: Expr) -> list:
+    """Encode an expression tree as tagged nested lists (JSON-safe)."""
+    if isinstance(e, Const):
+        return ["c", e.value]
+    if isinstance(e, Var):
+        return ["v", e.name]
+    if isinstance(e, Unary):
+        return ["u", e.op, expr_to_json(e.arg)]
+    if isinstance(e, Binary):
+        return ["b", e.op, expr_to_json(e.lhs), expr_to_json(e.rhs)]
+    raise TypeError(f"cannot serialize expression node {e!r}")
+
+
+def expr_from_json(node) -> Expr:
+    """Decode :func:`expr_to_json` output back into an expression tree."""
+    tag = node[0]
+    if tag == "c":
+        return Const(float(node[1]))
+    if tag == "v":
+        return Var(str(node[1]))
+    if tag == "u":
+        return Unary(str(node[1]), expr_from_json(node[2]))
+    if tag == "b":
+        return Binary(str(node[1]), expr_from_json(node[2]), expr_from_json(node[3]))
+    raise PlanStoreError(f"unknown expression tag {tag!r}")
+
+
+# -- cascade / fused-artifact codec ------------------------------------------
+def cascade_to_json(cascade: Cascade) -> Dict[str, object]:
+    return {
+        "name": cascade.name,
+        "element_vars": list(cascade.element_vars),
+        "reductions": [
+            {
+                "name": red.name,
+                "op_name": red.op_name,
+                "topk": red.topk,
+                "fn": expr_to_json(red.fn),
+            }
+            for red in cascade.reductions
+        ],
+    }
+
+
+def cascade_from_json(payload: Dict[str, object]) -> Cascade:
+    reductions = tuple(
+        Reduction(
+            name=str(red["name"]),
+            op_name=str(red["op_name"]),
+            fn=expr_from_json(red["fn"]),
+            topk=red["topk"],
+        )
+        for red in payload["reductions"]
+    )
+    return Cascade(
+        name=str(payload["name"]),
+        element_vars=tuple(str(v) for v in payload["element_vars"]),
+        reductions=reductions,
+    )
+
+
+def fused_to_json(fused: FusedCascade) -> List[Dict[str, object]]:
+    """Per-reduction fusion artifacts (everything ACRF derived)."""
+    out: List[Dict[str, object]] = []
+    for fr in fused.reductions:
+        entry: Dict[str, object] = {"dep_names": list(fr.dep_names)}
+        if fr.decomposition is None:  # top-k carrier: H = e, nothing to store
+            entry["kind"] = "topk"
+        elif fr.is_multi_term:
+            entry["kind"] = "multi"
+            entry["otimes"] = fr.decomposition.otimes.name
+            entry["terms"] = [
+                {"g": expr_to_json(t.g), "h": expr_to_json(t.h)} for t in fr.terms
+            ]
+        else:
+            entry["kind"] = "single"
+            entry["otimes"] = fr.decomposition.otimes.name
+            entry["g"] = expr_to_json(fr.decomposition.g)
+            entry["h"] = expr_to_json(fr.h)
+            entry["gh"] = expr_to_json(fr.gh)
+            entry["h_ratio"] = expr_to_json(fr.h_ratio)
+        out.append(entry)
+    return out
+
+
+def fused_from_json(
+    cascade: Cascade, reductions: List[Dict[str, object]]
+) -> FusedCascade:
+    """Rebuild a :class:`FusedCascade` from its artifact payload.
+
+    Mirrors the tail of :func:`repro.core.fused.compile_fused`, except
+    the expressions come from disk instead of the ACRF analysis — the
+    simplified ``gh`` / ``h_ratio`` forms were persisted, so no symbolic
+    work (decomposition, simplification, equivalence sampling) runs.
+    """
+    if len(reductions) != len(cascade.reductions):
+        raise PlanStoreError("artifact reduction count does not match cascade")
+    rebuilt: List[FusedReduction] = []
+    for red, entry in zip(cascade.reductions, reductions):
+        dep_names = tuple(str(d) for d in entry["dep_names"])
+        kind = entry["kind"]
+        if kind == "topk":
+            rebuilt.append(
+                FusedReduction(reduction=red, dep_names=dep_names, decomposition=None)
+            )
+            continue
+        otimes = combine_op(str(entry["otimes"]))
+        if kind == "multi":
+            terms = tuple(
+                Term(g=expr_from_json(t["g"]), h=expr_from_json(t["h"]))
+                for t in entry["terms"]
+            )
+            rebuilt.append(
+                FusedReduction(
+                    reduction=red,
+                    dep_names=dep_names,
+                    decomposition=Decomposition(otimes=otimes, terms=terms),
+                    terms=tuple(
+                        FusedTerm(
+                            g=t.g,
+                            h=t.h,
+                            eval_g=make_evaluator(t.g),
+                            eval_h=make_evaluator(t.h),
+                        )
+                        for t in terms
+                    ),
+                )
+            )
+            continue
+        if kind != "single":
+            raise PlanStoreError(f"unknown fused-reduction kind {kind!r}")
+        g = expr_from_json(entry["g"])
+        h = expr_from_json(entry["h"])
+        gh = expr_from_json(entry["gh"])
+        h_ratio = expr_from_json(entry["h_ratio"])
+        active_deps = tuple(n for n in dep_names if n in h.free_vars())
+        h_new = _rename(h, active_deps, NEW_SUFFIX)
+        rebuilt.append(
+            FusedReduction(
+                reduction=red,
+                dep_names=dep_names,
+                decomposition=Decomposition(otimes=otimes, terms=(Term(g=g, h=h),)),
+                gh=gh,
+                h=h,
+                h_ratio=h_ratio,
+                _eval_gh=make_evaluator(gh),
+                _eval_h_ratio=make_evaluator(h_ratio),
+                _eval_h_new=make_evaluator(h_new),
+            )
+        )
+    return FusedCascade(cascade=cascade, reductions=tuple(rebuilt))
+
+
+# -- the store ---------------------------------------------------------------
+class PlanStoreStats:
+    """Thread-safe counters describing one store's behavior."""
+
+    _FIELDS = (
+        "hits", "misses", "corrupt", "version_mismatch",
+        "saves", "save_errors", "warm_loads",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+        self.load_seconds_total = 0.0
+
+    def note(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def note_load_seconds(self, seconds: float) -> None:
+        with self._lock:
+            self.load_seconds_total += seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            snap = {name: getattr(self, name) for name in self._FIELDS}
+            snap["load_seconds_total"] = self.load_seconds_total
+            hits = snap["hits"]
+            lookups = hits + snap["misses"] + snap["corrupt"] + snap["version_mismatch"]
+            snap["hit_rate"] = hits / lookups if lookups else 0.0
+            snap["mean_load_seconds"] = (
+                self.load_seconds_total / hits if hits else 0.0
+            )
+        return snap
+
+
+def default_store_env() -> Dict[str, object]:
+    """Environment stamp baked into every artifact's key.
+
+    Anything that would make a persisted plan stale for a different
+    deployment belongs here; today that is the simulated GPU model and
+    the tile-IR optimizer level the ``tile_ir`` backend compiles
+    against.  Two processes with different stamps share a store root
+    without ever reading each other's artifacts.
+    """
+    gpu, opt_level = "A10", 2
+    try:  # read the live backend defaults so the stamp tracks them
+        from .backends import DEFAULT_TILE_OPT_LEVEL
+
+        opt_level = DEFAULT_TILE_OPT_LEVEL
+    except Exception:
+        pass
+    return {"gpu": str(gpu), "opt_level": int(opt_level)}
+
+
+def _env_tag(env: Dict[str, object]) -> str:
+    blob = json.dumps(env, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:8]
+
+
+class PlanStore:
+    """Versioned, atomic, corruption-tolerant plan artifacts on disk.
+
+    ``save_plan`` never raises (I/O errors count into ``save_errors``);
+    ``load_plan`` never raises on bad artifacts (they count into
+    ``corrupt`` / ``version_mismatch`` and the caller recompiles).  Both
+    are safe to share between concurrent processes: writes are atomic
+    temp-file renames, and the worst race outcome is the same artifact
+    written twice with identical bytes.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        env: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.env = dict(default_store_env() if env is None else env)
+        self.stats = PlanStoreStats()
+        self._dir = self.root / f"v{FORMAT_VERSION}-{_env_tag(self.env)}"
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        """The (format-version, environment)-keyed artifact directory."""
+        return self._dir
+
+    def path_for(self, signature: str) -> Path:
+        return self._dir / f"{signature}.json"
+
+    def signatures(self) -> Tuple[str, ...]:
+        """Signatures with an artifact on disk, in name order."""
+        try:
+            names = sorted(p.stem for p in self._dir.glob("*.json"))
+        except OSError:
+            return ()
+        return tuple(names)
+
+    def __contains__(self, signature: str) -> bool:
+        return self.path_for(signature).exists()
+
+    def __len__(self) -> int:
+        return len(self.signatures())
+
+    # -- save ----------------------------------------------------------------
+    def save_plan(self, plan) -> bool:
+        """Persist a compiled plan's artifacts; True when written.
+
+        Uncompiled plans are skipped (there is nothing to persist —
+        saving would just force the symbolic work this store exists to
+        avoid).  Failed analyses persist as ``not_fusable`` markers so a
+        warm worker does not rerun a doomed ACRF either.
+        """
+        if not plan.is_compiled:
+            return False
+        payload: Dict[str, object] = {
+            "format_version": FORMAT_VERSION,
+            "env": self.env,
+            "signature": plan.signature,
+            "cascade": cascade_to_json(plan.cascade),
+            "compile_seconds": plan.compile_seconds,
+        }
+        if plan._fusion_error is not None:
+            payload["status"] = "not_fusable"
+            payload["error"] = str(plan._fusion_error)
+        else:
+            payload["status"] = "fused"
+            payload["reductions"] = fused_to_json(plan._fused)
+        path = self.path_for(plan.signature)
+        try:
+            blob = json.dumps(payload, sort_keys=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=path.name + ".tmp-", dir=str(self._dir)
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            self.stats.note("save_errors")
+            return False
+        self.stats.note("saves")
+        return True
+
+    # -- load ----------------------------------------------------------------
+    def load_plan(self, signature: str, cascade: Optional[Cascade] = None):
+        """Reconstruct the stored plan for ``signature``, or None.
+
+        ``cascade`` is optional — the artifact carries the full cascade
+        spec, which is what lets :meth:`PlanCache.warm_start` preload
+        plans it has never seen a request for.  Every failure mode
+        (missing file, truncated JSON, format/environment mismatch,
+        payload that fails reconstruction) returns None after bumping
+        the matching counter; the caller recompiles and the save path
+        overwrites the bad artifact.
+        """
+        from .plan import FusionPlan  # deferred: plan.py must not import store
+
+        path = self.path_for(signature)
+        start = monotonic_s()
+        try:
+            blob = path.read_text()
+        except FileNotFoundError:
+            self.stats.note("misses")
+            return None
+        except (OSError, ValueError):  # ValueError: undecodable bytes
+            self.stats.note("corrupt")
+            return None
+        try:
+            payload = json.loads(blob)
+        except ValueError:
+            self.stats.note("corrupt")
+            return None
+        try:
+            if payload.get("format_version") != FORMAT_VERSION or (
+                payload.get("env") != self.env
+            ):
+                self.stats.note("version_mismatch")
+                return None
+            if payload.get("signature") != signature:
+                self.stats.note("corrupt")
+                return None
+            restored = cascade_from_json(payload["cascade"])
+            status = payload.get("status")
+            if status == "not_fusable":
+                plan = FusionPlan.restored(
+                    cascade if cascade is not None else restored,
+                    signature,
+                    fusion_error=NotFusableError(str(payload.get("error", ""))),
+                    compile_seconds=payload.get("compile_seconds"),
+                )
+            elif status == "fused":
+                fused = fused_from_json(restored, payload["reductions"])
+                plan = FusionPlan.restored(
+                    cascade if cascade is not None else restored,
+                    signature,
+                    fused=fused,
+                    compile_seconds=payload.get("compile_seconds"),
+                )
+            else:
+                self.stats.note("corrupt")
+                return None
+        except Exception:
+            # any malformed payload (missing keys, bad expression tags,
+            # spec validation failures) is a corrupt artifact, never a
+            # crash on the serving path
+            self.stats.note("corrupt")
+            return None
+        self.stats.note("hits")
+        self.stats.note_load_seconds(monotonic_s() - start)
+        return plan
+
+    # -- introspection -------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "root": str(self.root),
+            "directory": str(self._dir),
+            "format_version": FORMAT_VERSION,
+            "env": dict(self.env),
+            "artifacts": len(self),
+        }
+        info.update(self.stats.snapshot())
+        return info
+
+    def __repr__(self) -> str:
+        return f"PlanStore({str(self._dir)!r}, artifacts={len(self)})"
+
+
+def _iter_store_samples(store: PlanStore) -> Iterable:
+    """Registry-collector samples for one store (see ``Engine``)."""
+    from ..obs.metrics import Sample
+
+    snap = store.stats.snapshot()
+    counters = (
+        ("plan_store_hits_total", "hits", "Artifacts loaded from disk"),
+        ("plan_store_misses_total", "misses", "Lookups with no artifact"),
+        ("plan_store_corrupt_total", "corrupt",
+         "Corrupt/truncated artifacts skipped"),
+        ("plan_store_version_mismatch_total", "version_mismatch",
+         "Stale-format artifacts skipped"),
+        ("plan_store_saves_total", "saves", "Artifacts written"),
+        ("plan_store_save_errors_total", "save_errors",
+         "Artifact writes that failed"),
+        ("plan_store_warm_loads_total", "warm_loads",
+         "Plans preloaded by warm_start"),
+    )
+    for name, field, help_text in counters:
+        yield Sample(name, snap[field], kind="counter", help=help_text)
+    yield Sample("plan_store_load_seconds_total", snap["load_seconds_total"],
+                 kind="counter", help="Cumulative artifact load latency")
+    yield Sample("plan_store_artifacts", len(store),
+                 help="Artifacts on disk for this environment")

@@ -304,13 +304,21 @@ class ReplayReport:
 
 
 def replay(
-    serving: ServingEngine,
+    serving,
     requests: Sequence[TrafficRequest],
     *,
     mode: str = "auto",
     offered_rps: Optional[float] = None,
 ) -> ReplayReport:
     """Submit a timed request stream; block until every future resolves.
+
+    ``serving`` is any front end with the
+    :meth:`~repro.engine.serving.ServingEngine.submit` surface
+    (``submit(cascade, inputs, mode, *, tenant=, priority=,
+    deadline_s=) -> Future``) — an in-process
+    :class:`~repro.engine.serving.ServingEngine` or a multi-process
+    :class:`~repro.engine.router.Router`; the same stream drives both,
+    which is how the differential and scaling benchmarks compare them.
 
     The submitting thread paces itself to each request's ``arrival_s``
     (open loop: a slow scheduler does not slow arrivals down, it grows

@@ -49,6 +49,24 @@ class Sample:
     help: str = ""
 
 
+def relabel(sample: Sample, **labels) -> Sample:
+    """A copy of ``sample`` with extra label dimensions appended.
+
+    Used by rollups that re-export another process's samples under an
+    identifying dimension — e.g. the worker pool tags every worker
+    engine's samples with ``worker="w0"`` before the router's Prometheus
+    scrape.  Existing labels are preserved; a clashing name raises so
+    one worker's series can never silently overwrite another's.
+    """
+    existing = {name for name, _ in sample.labels}
+    clash = existing & set(labels)
+    if clash:
+        raise MetricError(f"sample {sample.name!r} already has labels {sorted(clash)}")
+    extra = tuple((name, str(labels[name])) for name in sorted(labels))
+    return Sample(sample.name, sample.value, sample.labels + extra,
+                  sample.kind, sample.help)
+
+
 def _label_items(labelnames: Sequence[str], labels: Mapping[str, object]):
     if set(labels) != set(labelnames):
         raise MetricError(

@@ -1,0 +1,299 @@
+"""Tests for the persistent plan store: codecs, hardening, warm starts."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, NotFusableError, Reduction, run_unfused
+from repro.engine import (
+    FORMAT_VERSION,
+    Engine,
+    PlanStore,
+    cascade_signature,
+    fusion_compile_count,
+)
+from repro.engine.store import (
+    cascade_from_json,
+    cascade_to_json,
+    expr_from_json,
+    expr_to_json,
+)
+from repro.symbolic import absv, const, exp, log, sqrt, var
+
+
+def assert_outputs_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        left, right = a[key], b[key]
+        if hasattr(left, "values") and hasattr(left, "indices"):  # TopKState
+            np.testing.assert_array_equal(left.values, right.values)
+            np.testing.assert_array_equal(left.indices, right.indices)
+        else:
+            np.testing.assert_array_equal(left, right)
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def variance_cascade(n: int = 181) -> Cascade:
+    x, mean = var("x"), var("mean")
+    return Cascade(
+        "variance",
+        ("x",),
+        (
+            Reduction("mean", "sum", x * const(1.0 / n)),
+            Reduction("var", "sum", (x - mean) ** 2 * const(1.0 / n)),
+        ),
+    )
+
+
+def topk_cascade(k: int = 3) -> Cascade:
+    x = var("x")
+    return Cascade("select", ("x",), (Reduction("sel", "topk", x, topk=k),))
+
+
+def unfusable_cascade() -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "entangled",
+        ("x",),
+        (
+            Reduction("m", "max", x),
+            Reduction("t", "sum", exp(x * m)),  # x and m are not separable
+        ),
+    )
+
+
+ROUND_TRIP_CASCADES = [softmax_cascade(1.25), variance_cascade(97), topk_cascade(4)]
+
+
+class TestCodecs:
+    def test_expr_round_trip_is_equal(self):
+        x, m = var("x"), var("m")
+        e = exp(x * const(0.5) - m) + sqrt(absv(log(x + const(2.0)))) ** const(3.0)
+        assert expr_from_json(expr_to_json(e)) == e
+
+    def test_expr_float_bits_survive(self):
+        tricky = const(0.1 + 0.2)  # not exactly representable in decimal
+        blob = json.dumps(expr_to_json(tricky))
+        restored = expr_from_json(json.loads(blob))
+        assert restored.value == tricky.value
+
+    @pytest.mark.parametrize("cascade", ROUND_TRIP_CASCADES, ids=lambda c: c.name)
+    def test_cascade_round_trip_preserves_signature(self, cascade):
+        restored = cascade_from_json(cascade_to_json(cascade))
+        assert restored == cascade
+        assert cascade_signature(restored) == cascade_signature(cascade)
+
+
+class TestPlanRoundTrip:
+    @pytest.mark.parametrize("cascade", ROUND_TRIP_CASCADES, ids=lambda c: c.name)
+    def test_saved_plan_reloads_bitwise_identical(self, cascade, tmp_path):
+        rng = np.random.default_rng(7)
+        data = {"x": rng.normal(0, 2, size=193)}
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        reference = engine.run(cascade, data)
+        assert store.stats.saves == 1
+
+        before = fusion_compile_count()
+        warm = Engine(plan_store=PlanStore(tmp_path))
+        out = warm.run(cascade, data)
+        assert fusion_compile_count() == before  # zero symbolic work
+        assert_outputs_equal(out, reference)
+
+    def test_restored_plan_matches_unfused_reference(self, tmp_path):
+        cascade = variance_cascade(151)
+        data = {"x": np.random.default_rng(3).normal(1, 3, size=151)}
+        store = PlanStore(tmp_path)
+        Engine(plan_store=store).run(cascade, data)
+        plan = PlanStore(tmp_path).load_plan(cascade_signature(cascade))
+        out = plan.execute(data)
+        ref = run_unfused(cascade, data)
+        assert out["var"][0] == pytest.approx(ref["var"][0], rel=1e-9)
+
+    def test_not_fusable_outcome_round_trips(self, tmp_path):
+        cascade = unfusable_cascade()
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        engine.run(cascade, {"x": np.arange(6.0)})  # falls back to unfused
+        assert store.stats.saves == 1
+
+        before = fusion_compile_count()
+        plan = PlanStore(tmp_path).load_plan(cascade_signature(cascade))
+        assert plan is not None
+        assert plan.is_compiled
+        assert not plan.fusable  # memoized outcome, no fresh analysis
+        with pytest.raises(NotFusableError):
+            plan.fused
+        assert fusion_compile_count() == before
+
+    def test_load_without_cascade_rebuilds_spec_from_artifact(self, tmp_path):
+        cascade = softmax_cascade(2.5)
+        store = PlanStore(tmp_path)
+        Engine(plan_store=store).run(cascade, {"x": np.arange(8.0)})
+        plan = PlanStore(tmp_path).load_plan(cascade_signature(cascade))
+        assert plan.cascade == cascade
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = PlanStore(tmp_path)
+        Engine(plan_store=store).run(softmax_cascade(), {"x": np.arange(4.0)})
+        leftovers = [
+            p for p in Path(store.directory).iterdir() if p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+
+class TestHardening:
+    def _seed(self, tmp_path, cascade=None):
+        cascade = cascade or softmax_cascade(1.5)
+        store = PlanStore(tmp_path)
+        Engine(plan_store=store).run(cascade, {"x": np.arange(8.0)})
+        return cascade, store.path_for(cascade_signature(cascade))
+
+    def test_truncated_artifact_falls_back_to_recompile(self, tmp_path):
+        cascade, path = self._seed(tmp_path)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        before = fusion_compile_count()
+        out = engine.run(cascade, {"x": np.arange(8.0)})
+        assert fusion_compile_count() == before + 1  # recompiled
+        assert store.stats.corrupt == 1
+        assert np.isfinite(out["t"]).all()
+        # the recompile overwrote the bad artifact: next load is healthy
+        healed = PlanStore(tmp_path)
+        assert healed.load_plan(cascade_signature(cascade)) is not None
+        assert healed.stats.corrupt == 0
+
+    def test_garbage_bytes_count_as_corrupt(self, tmp_path):
+        cascade, path = self._seed(tmp_path)
+        path.write_bytes(b"\x00\xffnot json at all")
+        store = PlanStore(tmp_path)
+        assert store.load_plan(cascade_signature(cascade)) is None
+        assert store.stats.corrupt == 1
+
+    def test_format_version_mismatch_is_counted_not_fatal(self, tmp_path):
+        cascade, path = self._seed(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        store = PlanStore(tmp_path)
+        assert store.load_plan(cascade_signature(cascade)) is None
+        assert store.stats.version_mismatch == 1
+        assert store.stats.corrupt == 0
+
+    def test_env_mismatch_partitions_directories(self, tmp_path):
+        cascade, _ = self._seed(tmp_path)
+        other = PlanStore(tmp_path, env={"gpu": "H800", "opt_level": 2})
+        assert other.load_plan(cascade_signature(cascade)) is None
+        assert other.stats.misses == 1  # different directory, not corruption
+
+    def test_signature_mismatch_inside_payload_is_corrupt(self, tmp_path):
+        cascade, path = self._seed(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["signature"] = "0" * 20
+        path.write_text(json.dumps(payload))
+        store = PlanStore(tmp_path)
+        assert store.load_plan(cascade_signature(cascade)) is None
+        assert store.stats.corrupt == 1
+
+    def test_missing_artifact_is_a_miss(self, tmp_path):
+        store = PlanStore(tmp_path)
+        assert store.load_plan("deadbeefdeadbeefdead") is None
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+
+
+class TestWarmStart:
+    def test_warm_start_loads_everything_without_compiles(self, tmp_path):
+        cascades = ROUND_TRIP_CASCADES
+        store = PlanStore(tmp_path)
+        seeder = Engine(plan_store=store)
+        for cascade in cascades:
+            seeder.run(cascade, {"x": np.arange(16.0)})
+        assert len(store) == len(cascades)
+
+        before = fusion_compile_count()
+        warm = Engine(plan_store=PlanStore(tmp_path))
+        loaded = warm.warm_start()
+        assert loaded == len(cascades)
+        for cascade in cascades:
+            warm.run(cascade, {"x": np.arange(16.0)})
+        assert fusion_compile_count() == before
+        assert warm.stats.hits == len(cascades)  # all served from memory
+
+    def test_warm_start_respects_limit_and_cache_size(self, tmp_path):
+        store = PlanStore(tmp_path)
+        seeder = Engine(plan_store=store)
+        for scale in (1.0, 2.0, 3.0):
+            seeder.run(softmax_cascade(scale), {"x": np.arange(4.0)})
+        warm = Engine(plan_store=PlanStore(tmp_path))
+        assert warm.warm_start(limit=2) == 2
+        assert warm.warm_start() == 1  # already-cached plans are skipped
+
+    def test_exactly_once_compile_under_contention_with_store(self, tmp_path):
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        before = fusion_compile_count()
+        barrier = threading.Barrier(8)
+
+        def request(_):
+            barrier.wait()
+            return engine.run(softmax_cascade(4.2), {"x": np.arange(8.0)})
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(request, range(8)))
+        assert fusion_compile_count() == before + 1
+        assert store.stats.saves == 1  # the compile sink fired exactly once
+
+    def test_store_counters_reach_prometheus(self, tmp_path):
+        engine = Engine(plan_store=PlanStore(tmp_path))
+        engine.run(softmax_cascade(), {"x": np.arange(4.0)})
+        text = engine.metrics.render_prometheus()
+        assert "plan_store_misses_total 1" in text
+        assert "plan_store_saves_total 1" in text
+        assert "plan_store_artifacts 1" in text
+
+
+class TestCrossProcessDeterminism:
+    def test_signature_is_stable_across_interpreters(self):
+        """The store key must not depend on interpreter hash seeds."""
+        script = (
+            "from repro.engine import cascade_signature\n"
+            "from repro.core import Cascade, Reduction\n"
+            "from repro.symbolic import const, exp, var\n"
+            "x, m = var('x'), var('m')\n"
+            "c = Cascade('softmax', ('x',), ("
+            "Reduction('m', 'max', x * const(1.25)),"
+            "Reduction('t', 'sum', exp(x * const(1.25) - m))))\n"
+            "print(cascade_signature(c))\n"
+        )
+        signatures = set()
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            signatures.add(out.stdout.strip())
+        local = cascade_signature(softmax_cascade(1.25))
+        assert signatures == {local}

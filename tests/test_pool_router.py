@@ -1,0 +1,357 @@
+"""Tests for the multi-process serving tier: worker pool and router."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction
+from repro.engine import (
+    Engine,
+    PlanStore,
+    Router,
+    ServingConfig,
+    WorkerError,
+    WorkerPool,
+    cascade_signature,
+    pick_worker,
+)
+from repro.symbolic import const, exp, var
+from repro.workloads.serving_mix import SERVING_KINDS, request_mix
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def assert_outputs_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        left, right = a[key], b[key]
+        if hasattr(left, "values") and hasattr(left, "indices"):  # TopKState
+            np.testing.assert_array_equal(left.values, right.values)
+            np.testing.assert_array_equal(left.indices, right.indices)
+        else:
+            np.testing.assert_array_equal(left, right)
+
+
+def seed_store(tmp_path, requests):
+    """Compile every request shape in process and persist the plans."""
+    store = PlanStore(tmp_path)
+    engine = Engine(plan_store=store)
+    baseline = [engine.run(c, i) for _, c, i in requests]
+    engine.close()
+    return store, baseline
+
+
+class TestPickWorker:
+    SIG_HOME_1 = "10000000aaaaaaaaaaaa"  # int("10000000", 16) % 2 == 0 ... see below
+
+    def _sig_with_home(self, home: int, n: int) -> str:
+        for prefix in range(4096):
+            sig = f"{prefix:08x}" + "a" * 12
+            if int(sig[:8], 16) % n == home:
+                return sig
+        raise AssertionError("unreachable")
+
+    def test_sticky_when_balanced(self):
+        sig = self._sig_with_home(1, 3)
+        assert pick_worker(sig, [5, 5, 5], [True] * 3, imbalance=4) == 1
+
+    def test_spills_to_least_loaded_beyond_imbalance(self):
+        sig = self._sig_with_home(1, 3)
+        assert pick_worker(sig, [0, 9, 2], [True] * 3, imbalance=4) == 0
+
+    def test_home_within_imbalance_budget_stays_home(self):
+        sig = self._sig_with_home(1, 3)
+        assert pick_worker(sig, [0, 4, 2], [True] * 3, imbalance=4) == 1
+
+    def test_dead_home_goes_least_loaded(self):
+        sig = self._sig_with_home(1, 3)
+        assert pick_worker(sig, [7, 0, 3], [True, False, True], imbalance=4) == 2
+
+    def test_ties_break_to_lowest_index(self):
+        sig = self._sig_with_home(2, 3)
+        assert pick_worker(sig, [1, 1, 9], [True] * 3, imbalance=0) == 0
+
+    def test_no_live_workers_raises(self):
+        with pytest.raises(WorkerError):
+            pick_worker("0" * 20, [0, 0], [False, False], imbalance=4)
+
+    def test_zero_imbalance_is_pure_least_loaded(self):
+        sig = self._sig_with_home(1, 2)
+        assert pick_worker(sig, [0, 1], [True, True], imbalance=0) == 0
+
+
+class TestWorkerPool:
+    def test_results_match_in_process_execution(self, tmp_path):
+        rng = np.random.default_rng(11)
+        requests = request_mix(8, rng, kinds=SERVING_KINDS, length=48, width=8)
+        store, baseline = seed_store(tmp_path, requests)
+        with WorkerPool(2, store) as pool:
+            futures = [
+                pool.submit_to(i % 2, c, inp) for i, (_, c, inp) in enumerate(requests)
+            ]
+            for future, reference in zip(futures, baseline):
+                assert_outputs_equal(future.result(timeout=60), reference)
+
+    def test_warm_workers_perform_zero_compiles(self, tmp_path):
+        rng = np.random.default_rng(5)
+        requests = request_mix(10, rng, kinds=SERVING_KINDS, length=48, width=8)
+        store, _ = seed_store(tmp_path, requests)
+        with WorkerPool(2, store) as pool:
+            futures = [pool.submit_to(i % 2, c, inp) for i, (_, c, inp) in enumerate(requests)]
+            for future in futures:
+                future.result(timeout=60)
+            assert pool.fusion_compiles() == 0
+            stats = pool.stats()
+            assert all(p["warm_loaded"] >= 1 for p in stats.values())
+
+    def test_cold_workers_each_compile(self, tmp_path):
+        cascade = softmax_cascade(3.5)
+        with WorkerPool(2) as pool:  # no store: nothing to warm from
+            for index in range(2):
+                pool.submit_to(index, cascade, {"x": np.arange(8.0)}).result(timeout=60)
+            assert pool.fusion_compiles() == 2  # once per process
+
+    def test_worker_error_propagates_to_future(self, tmp_path):
+        cascade = softmax_cascade()
+        with WorkerPool(1) as pool:
+            future = pool.submit_to(0, cascade, {"x": np.arange(4.0)})
+            future.result(timeout=60)
+            bad = pool.submit_to(0, cascade, {"x": "not an array"})
+            with pytest.raises(Exception):
+                bad.result(timeout=60)
+            # the worker survives a request-level failure
+            again = pool.submit_to(0, cascade, {"x": np.arange(4.0)})
+            again.result(timeout=60)
+
+    def test_killed_worker_fails_fast_and_restarts_warm(self, tmp_path):
+        rng = np.random.default_rng(2)
+        requests = request_mix(4, rng, kinds=SERVING_KINDS, length=32, width=8)
+        store, baseline = seed_store(tmp_path, requests)
+        with WorkerPool(1, store) as pool:
+            pool.submit_to(0, requests[0][1], requests[0][2]).result(timeout=60)
+            pool._handle(0).process.kill()
+            pool._handle(0).process.join(10)
+            pool._handle(0).reader.join(10)
+            assert pool.alive() == [False]
+            with pytest.raises(WorkerError):
+                pool.submit_to(0, requests[0][1], requests[0][2])
+            pool.restart(0, drain=False)
+            assert pool.alive() == [True]
+            out = pool.submit_to(0, requests[0][1], requests[0][2]).result(timeout=60)
+            assert_outputs_equal(out, baseline[0])
+            assert pool.fusion_compiles() == 0  # replacement warmed from store
+
+    def test_drain_and_stats_rollup(self, tmp_path):
+        rng = np.random.default_rng(9)
+        requests = request_mix(6, rng, kinds=SERVING_KINDS, length=32, width=8)
+        store, _ = seed_store(tmp_path, requests)
+        with WorkerPool(2, store) as pool:
+            futures = [
+                pool.submit_to(i % 2, c, inp, tenant=f"t{i % 3}")
+                for i, (_, c, inp) in enumerate(requests)
+            ]
+            pool.drain()
+            assert all(f.done() for f in futures)
+            stats = pool.stats()
+            assert set(stats) == {"w0", "w1"}
+            completed = sum(p["serving"]["completed"] for p in stats.values())
+            assert completed == len(requests)
+            tenants = set()
+            for payload in stats.values():
+                tenants.update(payload["serving"]["by_tenant"])
+            assert tenants == {"t0", "t1", "t2"}
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestRouter:
+    def test_sticky_routing_concentrates_one_signature(self, tmp_path):
+        cascade = softmax_cascade(1.75)
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        engine.run(cascade, {"x": np.arange(8.0)})
+        engine.close()
+        with WorkerPool(2, store) as pool:
+            router = Router(pool, imbalance=64)
+            futures = [
+                router.submit(cascade, {"x": np.arange(8.0)}) for _ in range(10)
+            ]
+            for future in futures:
+                future.result(timeout=60)
+            snap = router.stats.snapshot()
+            assert snap["sticky"] == 10
+            assert snap["spilled"] == 0
+            home = int(cascade_signature(cascade)[:8], 16) % 2
+            assert snap["by_worker"][f"w{home}"] == 10
+
+    def test_failover_reroutes_off_dead_worker(self, tmp_path):
+        cascade = softmax_cascade(2.25)
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        reference = engine.run(cascade, {"x": np.arange(12.0)})
+        engine.close()
+        home = int(cascade_signature(cascade)[:8], 16) % 2
+        with WorkerPool(2, store) as pool:
+            router = Router(pool)
+            pool._handle(home).process.kill()
+            pool._handle(home).process.join(10)
+            pool._handle(home).reader.join(10)
+            out = router.submit(cascade, {"x": np.arange(12.0)}).result(timeout=60)
+            assert_outputs_equal(out, reference)
+            assert router.stats.snapshot()["by_worker"][f"w{1 - home}"] == 1
+            # health check brings the dead slot back, warm
+            alive = router.check_workers(restart=True)
+            assert alive == [True, True]
+            assert pool.fusion_compiles() == 0
+
+    def test_tenant_priority_deadline_reach_workers(self, tmp_path):
+        cascade = softmax_cascade(0.5)
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        engine.run(cascade, {"x": np.arange(8.0)})
+        engine.close()
+        with WorkerPool(1, store) as pool:
+            router = Router(pool)
+            future = router.submit(
+                cascade, {"x": np.arange(8.0)},
+                tenant="gold", priority="interactive", deadline_s=30.0,
+            )
+            future.result(timeout=60)
+            router.drain()
+            payload = pool.stats()["w0"]
+            assert "gold" in payload["serving"]["by_tenant"]
+            assert payload["serving"]["by_class"]["interactive"]["completed"] == 1
+
+    def test_invalid_sla_attributes_raise_synchronously(self, tmp_path):
+        # parity with ServingEngine.submit: a bad priority/deadline must
+        # raise at the call site, not inside the remote worker's Future
+        cascade = softmax_cascade(0.5)
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        engine.run(cascade, {"x": np.arange(8.0)})
+        engine.close()
+        with WorkerPool(1, store) as pool:
+            router = Router(pool)
+            with pytest.raises(ValueError, match="priority"):
+                router.submit(cascade, {"x": np.arange(8.0)}, priority="vip")
+            with pytest.raises(ValueError, match="deadline_s"):
+                router.submit(cascade, {"x": np.arange(8.0)}, deadline_s=0.0)
+            assert router.stats.snapshot()["routed"] == 0
+
+    def test_describe_aggregates_like_one_engine(self, tmp_path):
+        rng = np.random.default_rng(21)
+        requests = request_mix(8, rng, kinds=SERVING_KINDS, length=32, width=8)
+        store, _ = seed_store(tmp_path, requests)
+        with WorkerPool(2, store) as pool:
+            router = Router(pool, imbalance=2)
+            futures = [router.submit(c, inp) for _, c, inp in requests]
+            for future in futures:
+                future.result(timeout=60)
+            router.drain()
+            info = router.describe()
+            assert info["serving"]["submitted"] == len(requests)
+            assert info["serving"]["completed"] == len(requests)
+            assert info["fusion_compiles"] == 0
+            assert set(info["workers"]) == {"w0", "w1"}
+            assert info["router"]["routed"] == len(requests)
+            assert sum(info["backend_executions"].values()) >= 1
+
+    def test_prometheus_scrape_has_router_and_worker_series(self, tmp_path):
+        cascade = softmax_cascade(1.1)
+        store = PlanStore(tmp_path)
+        engine = Engine(plan_store=store)
+        engine.run(cascade, {"x": np.arange(8.0)})
+        engine.close()
+        with WorkerPool(1, store) as pool:
+            router = Router(pool)
+            router.submit(cascade, {"x": np.arange(8.0)}).result(timeout=60)
+            pool.stats()  # refresh the cached payloads the scrape reads
+            text = router.render_prometheus()
+            assert "router_requests_total 1" in text
+            assert 'worker_up{worker="w0"} 1' in text
+            assert 'worker="w0"' in text
+
+
+class TestDescribeByteCompat:
+    """Satellite: single-process describe() must not change shape."""
+
+    BASELINE_KEYS = ["cache", "backend_executions", "serving"]
+
+    def test_plain_engine_gains_no_new_sections(self):
+        engine = Engine()
+        engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        info = engine.stats.describe()
+        assert list(info.keys()) == self.BASELINE_KEYS
+        json.dumps(info)  # still plain-JSON serializable
+
+    def test_new_sections_append_after_existing_keys(self, tmp_path):
+        engine = Engine(plan_store=PlanStore(tmp_path))
+        engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        keys = list(engine.stats.describe().keys())
+        assert keys[: len(self.BASELINE_KEYS)] == self.BASELINE_KEYS
+        assert keys[-1] == "plan_store"
+
+    def test_empty_rollup_adds_nothing(self):
+        engine = Engine()
+        engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        engine.attach_worker_rollup(dict)  # provider returning {}
+        assert "workers" not in engine.stats.describe()
+
+    def test_rollup_section_is_appended_last(self, tmp_path):
+        engine = Engine(plan_store=PlanStore(tmp_path))
+        engine.run(softmax_cascade(), {"x": np.arange(8.0)})
+        engine.attach_worker_rollup(lambda: {"w0": {"alive": True}})
+        keys = list(engine.stats.describe().keys())
+        assert keys[-2:] == ["plan_store", "workers"]
+
+
+class TestRouterDifferential:
+    """Acceptance: router path is bitwise-identical to in-process serving."""
+
+    @pytest.mark.parametrize("mode", ["auto", "sharded"])
+    def test_ragged_sla_traffic_matches_in_process(self, mode, tmp_path):
+        rng = np.random.default_rng(37)
+        requests = request_mix(
+            18, rng, kinds=SERVING_KINDS, length=(17, 48, 96), width=8
+        )
+        tenants = ("acme", "globex", "initech")
+        sla = [
+            {
+                "tenant": tenants[i % 3],
+                "priority": ("interactive", "standard", "batch")[i % 3],
+                "deadline_s": 60.0,
+            }
+            for i in range(len(requests))
+        ]
+
+        engine = Engine(plan_store=PlanStore(tmp_path))
+        serving = engine.serving(ServingConfig(max_queue_depth=256))
+        futures = [
+            serving.submit(c, inp, mode, **kw)
+            for (_, c, inp), kw in zip(requests, sla)
+        ]
+        baseline = [f.result(timeout=60) for f in futures]
+        engine.close()
+
+        with WorkerPool(2, PlanStore(tmp_path)) as pool:
+            router = Router(pool, imbalance=4)
+            routed = [
+                router.submit(c, inp, mode, **kw)
+                for (_, c, inp), kw in zip(requests, sla)
+            ]
+            for future, reference in zip(routed, baseline):
+                assert_outputs_equal(future.result(timeout=120), reference)
+            assert pool.fusion_compiles() == 0
