@@ -913,3 +913,176 @@ def test_multiprocess_warm_restart_smoke(tmp_path):
         },
         path=BENCH_SERVING_JSON,
     )
+
+
+def _same_outputs(a, b) -> bool:
+    """Bitwise comparison of two request outputs (arrays / TopK states)."""
+    if a is None or b is None or set(a) != set(b):
+        return False
+    for key in a:
+        left, right = a[key], b[key]
+        if hasattr(left, "values") and hasattr(left, "indices"):  # TopKState
+            if not (np.array_equal(left.values, right.values)
+                    and np.array_equal(left.indices, right.indices)):
+                return False
+        elif not np.array_equal(np.asarray(left), np.asarray(right)):
+            return False
+    return True
+
+
+def test_fault_recovery_chaos_replay(tmp_path):
+    """Chaos differential: seeded worker kills mid-replay, zero lost requests.
+
+    The same mixed-tenant stream replays twice: undisturbed through an
+    in-process serving engine (the reference), then through a supervised
+    2-worker router while a seeded :class:`~repro.harness.chaos.
+    ChaosPolicy` SIGKILLs workers mid-stream (plus a hang in the full
+    configuration).  The CI ``chaos-smoke`` gates: **zero client-visible
+    errors** (every retryable request completes, nothing sheds),
+    **bitwise-identical results** vs the reference, **every killed slot
+    recovers** (new pid answering pings) with bounded recovery time, and
+    the warm restarts perform **zero symbolic compiles**.  The chaos
+    report lands in ``benchmarks/results/SERVING_chaos_report.json`` for
+    the artifact upload and the ``fault_recovery`` section of
+    ``BENCH_serving.json``.
+    """
+    import json as _json
+
+    from _bench_util import RESULTS_DIR
+
+    from repro.engine import (
+        PlanStore,
+        Router,
+        SupervisorConfig,
+        WorkerPool,
+    )
+    from repro.harness.chaos import ChaosPolicy
+    from repro.workloads.serving_mix import SERVING_KINDS
+
+    rng = np.random.default_rng(47)
+    count = 80 if QUICK else 240
+    length = (32, 64) if QUICK else (64, 128)
+    # pace the stream over a few seconds so the kill window (20-80% of
+    # the horizon) lands while requests are genuinely in flight
+    horizon_s = 2.5 if QUICK else 4.0
+    rate = count / horizon_s
+    stream = _mixed_tenant_stream(rng, count, rate, length=length)
+    config = ServingConfig(max_queue_depth=4 * count)
+    store_dir = tmp_path / "plans"
+
+    # seed the store with every shape so workers (and restarts) are warm
+    store = PlanStore(store_dir)
+    seeder = Engine(plan_store=store)
+    for kind in SERVING_KINDS:
+        for one in length:
+            cascade, query = query_for(rng=rng, kind=kind, length=one, width=WIDTH)
+            seeder.run(cascade, query)
+    seeder.close()
+
+    # reference: the identical stream, undisturbed, in process
+    engine = Engine(plan_store=PlanStore(store_dir), serving_config=config)
+    engine.warm_start()
+    reference = replay(engine.serving(), stream, offered_rps=rate,
+                       collect_results=True)
+    engine.close()
+    assert reference.completed == count
+
+    policy = ChaosPolicy.seeded(
+        7, num_workers=2, horizon_s=stream[-1].arrival_s,
+        count=2 if QUICK else 3,
+        kinds=("kill",) if QUICK else ("kill", "hang"),
+        recovery_timeout_s=20.0,
+    )
+    supervisor_config = SupervisorConfig(
+        interval_s=0.05, ping_timeout_s=0.5,
+        backoff_base_s=0.05, backoff_max_s=0.5,
+        breaker_threshold=10, breaker_window_s=30.0,
+        restart_timeout_s=10.0,
+    )
+    with WorkerPool(2, PlanStore(store_dir), serving_config=config) as pool:
+        with Router(pool, imbalance=4, max_retries=3,
+                    supervisor_config=supervisor_config) as router:
+            run = policy.start(pool)
+            chaotic = replay(router, stream, offered_rps=rate,
+                             collect_results=True)
+            chaos = run.finish()
+            recompiles = pool.fusion_compiles()
+            router_snap = router.stats.snapshot()
+            degraded = router.degraded
+
+    mismatches = sum(
+        0 if _same_outputs(got, want) else 1
+        for got, want in zip(chaotic.results, reference.results)
+    )
+    zero_client_errors = (
+        chaotic.failed == 0 and chaotic.shed == 0
+        and chaotic.completed == count
+    )
+
+    section = {
+        "requests": count,
+        "workers": 2,
+        "offered_rps": rate,
+        "injected": chaos.injected,
+        "disruptive": chaos.disruptive,
+        "recovered": chaos.recovered,
+        "lost_workers": chaos.lost,
+        "recovery_p50_s": chaos.recovery_percentile(50.0),
+        "recovery_p99_s": chaos.recovery_percentile(99.0),
+        "retries": router_snap["retries"],
+        "retries_exhausted": router_snap["retries_exhausted"],
+        "failover": router_snap["failover"],
+        "degraded_requests": router_snap["degraded"],
+        "completed": chaotic.completed,
+        "shed": chaotic.shed,
+        "failed": chaotic.failed,
+        "client_failures": chaotic.failures,
+        "result_mismatches": mismatches,
+        "zero_client_errors": zero_client_errors,
+        "recompiles": recompiles,
+        "quick": QUICK,
+    }
+    update_bench_json("fault_recovery", section, path=BENCH_SERVING_JSON)
+    artifact = {
+        "chaos": chaos.snapshot(),
+        "replay": chaotic.snapshot(),
+        "reference": reference.snapshot(),
+        "router": router_snap,
+        "gates": {
+            "zero_client_errors": zero_client_errors,
+            "bitwise_identical": mismatches == 0,
+            "all_workers_recovered": chaos.lost == 0,
+            "zero_recompiles": recompiles == 0,
+        },
+    }
+    (RESULTS_DIR / "SERVING_chaos_report.json").write_text(
+        _json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    )
+    write_result(
+        "bench_serving_chaos",
+        f"Chaos replay ({count} reqs, 2 workers): {chaos.injected} faults "
+        f"({chaos.disruptive} disruptive), {chaos.recovered} recovered "
+        f"(p99 {chaos.recovery_percentile(99.0):.2f} s), "
+        f"{router_snap['retries']} retries, "
+        f"{router_snap['degraded']} degraded, "
+        f"{chaotic.completed}/{count} completed, {chaotic.failed} failed, "
+        f"{mismatches} result mismatches, {recompiles} recompiles",
+    )
+
+    # THE chaos gates: faults landed, every slot healed, and no client
+    # ever saw an error or a wrong bit
+    assert chaos.disruptive >= 1, "no disruptive fault was injected"
+    assert chaos.lost == 0, f"{chaos.lost} worker slots never recovered"
+    assert chaos.recovery_percentile(99.0) <= 10.0, (
+        f"recovery p99 {chaos.recovery_percentile(99.0):.2f}s exceeds 10s"
+    )
+    assert zero_client_errors, (
+        f"client-visible damage: {chaotic.failed} failed, "
+        f"{chaotic.shed} shed ({chaotic.failures})"
+    )
+    assert mismatches == 0, (
+        f"{mismatches} requests returned different bits than the "
+        "undisturbed reference"
+    )
+    assert recompiles == 0, "chaos recovery recompiled plans"
+    assert not degraded, "tier still in degraded mode after recovery"

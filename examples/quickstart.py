@@ -220,8 +220,9 @@ print(
 #     Router that is sticky by cascade signature and fails over when a
 #     worker dies.
 import tempfile
+import time
 
-from repro.engine import PlanStore, Router, WorkerPool
+from repro.engine import PlanStore, Router, SupervisorConfig, WorkerPool
 
 with tempfile.TemporaryDirectory() as plan_dir:
     store = PlanStore(plan_dir)
@@ -230,17 +231,41 @@ with tempfile.TemporaryDirectory() as plan_dir:
     assert store.describe()["saves"] == 1
 
     with WorkerPool(2, store) as pool:
-        router = Router(pool)
-        routed = [
-            router.submit(softmax, {"x": q}).result()
-            for q in rng.normal(size=(6, 512))
-        ]
-        compiles = pool.fusion_compiles()  # workers loaded, never compiled
-        assert compiles == 0, compiles
-        snap = router.stats.snapshot()
+        fast = SupervisorConfig(interval_s=0.05, ping_timeout_s=0.5,
+                                backoff_base_s=0.05)
+        with Router(pool, supervisor_config=fast) as router:
+            routed = [
+                router.submit(softmax, {"x": q}).result()
+                for q in rng.normal(size=(6, 512))
+            ]
+            compiles = pool.fusion_compiles()  # workers loaded, never compiled
+            assert compiles == 0, compiles
+
+            # 11b. Kill and recover: SIGKILL one worker mid-service.  The
+            #      router's background supervisor detects the dead slot and
+            #      warm-restarts it from the store; requests in flight on it
+            #      would be resubmitted to the live sibling transparently.
+            victim_pid = pool.pids()[0]
+            pool.kill(0)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if pool.alive() == [True, True] and pool.pids()[0] != victim_pid:
+                    break  # slot holds a fresh, live process again
+                time.sleep(0.05)
+            assert pool.alive() == [True, True], "supervisor never healed w0"
+            healed = router.submit(softmax, {"x": data[:512]}).result()
+            assert np.allclose(healed["t"], plan.execute({"x": data[:512]})["t"])
+            recompiles = pool.fusion_compiles()  # restart warm: still zero
+            assert recompiles == 0, recompiles
+            snap = router.stats.snapshot()
+            restarts = router.supervisor.describe()["restarts"]
     print(
         f"\nmulti-process tier: {len(routed)} requests over 2 warm workers "
         f"({snap['sticky']} sticky, {compiles} recompiles) ✔"
+    )
+    print(
+        f"kill-and-recover: w0 pid {victim_pid} SIGKILLed, supervisor "
+        f"restarted it warm ({restarts} restart, {recompiles} recompiles) ✔"
     )
 
 # 12. Observe everything: enable request tracing, serve a traced request

@@ -79,11 +79,12 @@ from .plan import (
     fusion_compile_count,
 )
 from .store import FORMAT_VERSION, PlanStore, PlanStoreStats, _iter_store_samples
-from .pool import WorkerError, WorkerPool
-from .router import Router, RouterStats, pick_worker
+from .pool import RequestSerializationError, WorkerError, WorkerPool
+from .router import RetriesExhaustedError, Router, RouterStats, pick_worker
 from .serving import (
     PRIORITY_CLASSES,
     AdmissionError,
+    DeadlineExceededError,
     QueueFullError,
     ServingClosedError,
     ServingConfig,
@@ -92,6 +93,7 @@ from .serving import (
     TenantQuotaError,
     priority_index,
 )
+from .supervisor import Supervisor, SupervisorConfig
 
 
 class EngineStats:
@@ -513,6 +515,7 @@ __all__ = [
     "BatchTopKState",
     "BoundedCache",
     "CacheStats",
+    "DeadlineExceededError",
     "DeviceStats",
     "EXECUTION_MODES",
     "Engine",
@@ -526,6 +529,8 @@ __all__ = [
     "PlanStoreStats",
     "QueueFullError",
     "RaggedBatch",
+    "RequestSerializationError",
+    "RetriesExhaustedError",
     "Router",
     "RouterStats",
     "ServingClosedError",
@@ -535,6 +540,8 @@ __all__ = [
     "ShardEstimate",
     "ShardedBackend",
     "StreamSession",
+    "Supervisor",
+    "SupervisorConfig",
     "TenantQuotaError",
     "TileEstimate",
     "TileIRBackend",

@@ -14,7 +14,8 @@ Wire protocol (one tuple per message):
 
 * parent -> worker: ``("submit", req_id, cascade, inputs, mode, kwargs)``,
   ``("control", seq, op)`` with ``op`` in ``ping``/``stats``/``drain``,
-  and ``("close",)``.
+  ``("chaos", kind, arg)`` (fault injection, see
+  :mod:`repro.harness.chaos`), and ``("close",)``.
 * worker -> parent: ``("result", req_id, outputs)``,
   ``("error", req_id, exception)``, ``("control", seq, payload)``.
 
@@ -23,8 +24,10 @@ outstanding futures, so worker->parent sends always drain (no pipe
 deadlock); the worker's scheduler threads block on a full pipe at most
 until the reader catches up — ordinary backpressure.  A worker that dies
 fails its outstanding futures with :class:`WorkerError`; the router
-(:mod:`repro.engine.router`) fails over and the pool can
-:meth:`~WorkerPool.restart` the slot, warm again from the store.
+(:mod:`repro.engine.router`) resubmits the failed in-flight requests to
+a live worker and the pool can :meth:`~WorkerPool.restart` the slot,
+warm again from the store — the :class:`~repro.engine.supervisor.
+Supervisor` automates exactly that on a background heartbeat thread.
 """
 
 from __future__ import annotations
@@ -33,14 +36,27 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
+from multiprocessing.reduction import ForkingPickler
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs.clock import monotonic_s
 from ..obs.metrics import Sample, relabel
 from .plan import fusion_compile_count
 
 
 class WorkerError(RuntimeError):
     """A worker process died or stopped answering."""
+
+
+class RequestSerializationError(ValueError):
+    """One request's payload could not be pickled onto the wire.
+
+    This is a *request-level* error — the worker is healthy and keeps
+    serving; only the offending call fails.  Transport failures (dead
+    worker, closed pipe) raise :class:`WorkerError` instead, which is
+    what marks a worker slot dead and triggers failover.
+    """
 
 
 def _worker_main(conn, worker_id: str, store_root, env, cache_size: int,
@@ -84,6 +100,12 @@ def _worker_main(conn, worker_id: str, store_root, env, cache_size: int,
         payload["samples"] = list(engine.metrics.collect())
         return payload
 
+    # fault-injection state (repro.harness.chaos): crash_after counts
+    # down per incoming submit and dies *before* processing, so the
+    # request is genuinely lost in flight — the failure mode the
+    # router's retry path has to cover
+    crash_after: Optional[int] = None
+
     while True:
         try:
             message = conn.recv()
@@ -91,6 +113,10 @@ def _worker_main(conn, worker_id: str, store_root, env, cache_size: int,
             break
         op = message[0]
         if op == "submit":
+            if crash_after is not None:
+                crash_after -= 1
+                if crash_after <= 0:
+                    os._exit(9)  # simulated hard crash mid-request
             _, req_id, cascade, inputs, mode, kwargs = message
             try:
                 future = serving.submit(cascade, inputs, mode, **kwargs)
@@ -100,6 +126,24 @@ def _worker_main(conn, worker_id: str, store_root, env, cache_size: int,
                 future.add_done_callback(
                     lambda f, r=req_id: finish(r, f)
                 )
+        elif op == "chaos":
+            _, kind, arg = message
+            if kind == "hang":
+                # wedge hard: hold the send lock while sleeping, so the
+                # pipe stops draining in BOTH directions — in-flight
+                # results stall (their done-callbacks block on the
+                # lock), pings go unanswered, futures would hang
+                # forever without client-side deadlines
+                with send_lock:
+                    time.sleep(3600.0 if arg is None else float(arg))
+            elif kind == "delay":
+                # a stall (GC pause / CPU theft): the recv loop sleeps,
+                # already-submitted work still completes and responds
+                time.sleep(0.0 if arg is None else float(arg))
+            elif kind == "crash_after":
+                crash_after = 1 if arg is None else int(arg)
+                if crash_after <= 0:
+                    os._exit(9)
         elif op == "control":
             _, seq, what = message
             if what == "ping":
@@ -194,8 +238,30 @@ class WorkerPool:
         self._req_ids = itertools.count(1)
         self._seqs = itertools.count(1)
         self._lock = threading.Lock()
+        # serialize restarts per slot so a supervisor and a manual
+        # restart() never race spawning two processes into one slot
+        self._slot_locks = [threading.Lock() for _ in range(num_workers)]
         self._started = False
         self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def store_root(self):
+        """Plan-store root the workers warm-start from (may be None)."""
+        return self._store_root
+
+    @property
+    def store_env(self):
+        """Plan-store environment fingerprint forwarded to workers."""
+        return self._store_env
+
+    @property
+    def serving_config(self):
+        """ServingConfig each worker's scheduler is built with."""
+        return self._serving_config
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "WorkerPool":
@@ -284,7 +350,9 @@ class WorkerPool:
         :meth:`~repro.engine.serving.ServingEngine.submit` — tenant,
         priority, deadline_s, backend options — so the SLA scheduler
         semantics are identical to the in-process path.  Raises
-        :class:`WorkerError` synchronously when the worker is not alive.
+        :class:`WorkerError` synchronously when the worker is not alive,
+        :class:`RequestSerializationError` when the *payload* cannot be
+        pickled (the worker stays alive — only this request fails).
         """
         from concurrent.futures import Future
 
@@ -295,9 +363,22 @@ class WorkerPool:
         future: Future = Future()
         with handle.state_lock:
             handle.pending[req_id] = future
+        # serialize before touching the pipe: a pickling failure is the
+        # caller's bug, not the worker's death — it must not condemn the
+        # slot (or fail over, re-poisoning every other worker in turn)
+        try:
+            payload = ForkingPickler.dumps(
+                ("submit", req_id, cascade, inputs, mode, kwargs)
+            )
+        except Exception as err:
+            with handle.state_lock:
+                handle.pending.pop(req_id, None)
+            raise RequestSerializationError(
+                f"request for worker {handle.name} is not picklable: {err!r}"
+            ) from err
         try:
             with handle.send_lock:
-                handle.conn.send(("submit", req_id, cascade, inputs, mode, kwargs))
+                handle.conn.send_bytes(payload)
         except (OSError, ValueError, BrokenPipeError) as err:
             with handle.state_lock:
                 handle.pending.pop(req_id, None)
@@ -359,19 +440,73 @@ class WorkerPool:
             handles = list(self._handles)
         return [h.outstanding if h is not None else 0 for h in handles]
 
+    def ping_one(self, index: int,
+                 timeout: float = 5.0) -> Optional[Dict[str, object]]:
+        """Health-check one worker; None when dead or unresponsive.
+
+        A live process that does not answer within ``timeout`` — a *hung*
+        worker wedged mid-request or not draining its pipe — also returns
+        None; combined with :meth:`alive` this is how the supervisor
+        tells a hang (alive but mute) from a crash (not alive).
+        """
+        try:
+            payload = self._control(index, "ping", timeout)
+        except WorkerError:
+            return None
+        handle = self._handle(index)
+        handle.last_ping = payload
+        return payload
+
     def ping(self, timeout: float = 5.0) -> List[Optional[Dict[str, object]]]:
         """Health-check every worker; None entries are dead/unresponsive."""
-        out: List[Optional[Dict[str, object]]] = []
-        for index in range(self.num_workers):
-            try:
-                payload = self._control(index, "ping", timeout)
-            except WorkerError:
-                payload = None
-            else:
-                handle = self._handle(index)
-                handle.last_ping = payload
-            out.append(payload)
-        return out
+        return [self.ping_one(index, timeout)
+                for index in range(self.num_workers)]
+
+    def pids(self) -> List[Optional[int]]:
+        """OS pid per worker slot (None before spawn).
+
+        A slot whose pid changed was restarted — the chaos harness uses
+        this as its recovery signal.
+        """
+        with self._lock:
+            handles = list(self._handles)
+        return [h.process.pid if h is not None else None for h in handles]
+
+    def spawned(self) -> List[bool]:
+        """Whether each slot has ever had a process (dead ones count)."""
+        with self._lock:
+            handles = list(self._handles)
+        return [h is not None for h in handles]
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one worker (fault injection / hung-slot reclaim).
+
+        The reader thread observes EOF, fails the slot's in-flight
+        futures with :class:`WorkerError`, and the slot stays dead until
+        :meth:`restart` (or the supervisor) replaces it.
+        """
+        handle = self._handle(index)
+        if handle.process.is_alive():
+            handle.process.kill()
+
+    def inject(self, index: int, kind: str, arg=None) -> None:
+        """Send a ``("chaos", kind, arg)`` fault to one worker.
+
+        Kinds understood by the worker loop: ``"hang"`` (stop draining
+        the pipe for ``arg`` seconds — default: forever), ``"delay"``
+        (pause the recv loop ``arg`` seconds), ``"crash_after"``
+        (``os._exit(9)`` on the ``arg``-th subsequent submit).  Test-only
+        surface; see :mod:`repro.harness.chaos`.
+        """
+        handle = self._handle(index)
+        if not handle.alive:
+            raise WorkerError(f"worker {handle.name} is not alive")
+        try:
+            with handle.send_lock:
+                handle.conn.send(("chaos", kind, arg))
+        except (OSError, ValueError, BrokenPipeError) as err:
+            handle.dead = True
+            raise WorkerError(f"worker {handle.name} is not reachable") from err
 
     def stats(self, timeout: float = 30.0) -> Dict[str, Dict[str, object]]:
         """Live per-worker stat sections (engine describe + worker extras).
@@ -419,13 +554,27 @@ class WorkerPool:
             total += int(payload.get("fusion_compiles", 0))
         return total
 
-    def drain(self, timeout: float = 120.0) -> None:
-        """Block until every live worker's scheduler is empty."""
+    def drain(self, timeout: float = 120.0) -> bool:
+        """Block until every live worker's scheduler is empty.
+
+        ``timeout`` is a single shared budget across all slots (not
+        per-worker — an N-worker pool never blocks N× the requested
+        time).  Returns True when every live worker drained within the
+        budget, False when the deadline expired with workers still busy.
+        """
+        deadline = monotonic_s() + timeout
+        drained = True
         for index in range(self.num_workers):
+            remaining = max(0.0, deadline - monotonic_s())
             try:
-                self._control(index, "drain", timeout)
+                self._control(index, "drain", remaining)
             except WorkerError:
-                continue  # dead workers have nothing left to drain
+                # dead workers have nothing left to drain; a live one
+                # that blew the shared budget counts against the result
+                handle = self._handles[index]
+                if handle is not None and handle.alive:
+                    drained = False
+        return drained
 
     def restart(self, index: int, *, drain: bool = True,
                 timeout: float = 30.0) -> None:
@@ -434,18 +583,23 @@ class WorkerPool:
         A live worker is drained first (unless ``drain=False``), told to
         close, and joined; the replacement warm-starts from the shared
         store, so the recycled slot comes back with zero recompiles for
-        every persisted cascade shape.
+        every persisted cascade shape.  Raises :class:`WorkerError` once
+        the pool is closed (a background supervisor must not resurrect
+        workers into a shut-down pool).
         """
-        with self._lock:
-            handle = self._handles[index]
-        if handle is not None:
-            if handle.alive and drain:
-                try:
-                    self._control(index, "drain", timeout)
-                except WorkerError:
-                    pass
-            self._shutdown_handle(handle, timeout=timeout)
-        self._spawn(index)
+        with self._slot_locks[index]:
+            with self._lock:
+                if self._closed:
+                    raise WorkerError("worker pool is closed")
+                handle = self._handles[index]
+            if handle is not None:
+                if handle.alive and drain:
+                    try:
+                        self._control(index, "drain", timeout)
+                    except WorkerError:
+                        pass
+                self._shutdown_handle(handle, timeout=timeout)
+            self._spawn(index)
 
     def _shutdown_handle(self, handle: _WorkerHandle, timeout: float) -> None:
         if handle.alive:
@@ -457,6 +611,12 @@ class WorkerPool:
         handle.process.join(timeout)
         if handle.process.is_alive():
             handle.process.terminate()
+            handle.process.join(5.0)
+        if handle.process.is_alive():
+            # a wedged worker can mask SIGTERM (e.g. sleeping with its
+            # send lock held inside a C call); escalate so restart/close
+            # never leaks a zombie slot
+            handle.process.kill()
             handle.process.join(5.0)
         handle.dead = True
         try:

@@ -1,4 +1,4 @@
-"""Signature-sticky, depth-balanced request router over a worker pool.
+"""Signature-sticky, depth-balanced, self-healing router over a worker pool.
 
 The :class:`Router` is the front end of the multi-process serving tier:
 it exposes the same ``submit(cascade, inputs, mode, *, tenant, priority,
@@ -16,10 +16,24 @@ deadline_s, ...) -> Future`` surface as
   exceeds the lightest worker's by more than ``imbalance``, the request
   spills to the least-loaded live worker instead (stickiness is a
   throughput optimization, never a hot-spot sentence);
-* **failure aware** — dead workers are skipped, a send that discovers a
-  dead worker fails over to the next candidate, and
-  :meth:`check_workers` restarts dead slots (warm from the shared plan
-  store).
+* **fault tolerant** — dead and circuit-breaker-parked workers are
+  skipped; a send that discovers a dead worker fails over to the next
+  candidate; a worker that dies *mid-request* has its in-flight requests
+  transparently resubmitted to a live worker (bounded by ``max_retries``
+  per request, surfacing :class:`RetriesExhaustedError` when the budget
+  runs out); a background :class:`~repro.engine.supervisor.Supervisor`
+  heartbeats the pool and warm-restarts crashed/hung slots;
+* **deadline enforced client-side** — a request with ``deadline_s`` whose
+  worker wedges mid-request fails with
+  :class:`~repro.engine.serving.DeadlineExceededError` (after a grace
+  margin) instead of hanging forever;
+* **gracefully degraded** — when every slot is dead or parked, requests
+  fall back to a lazily-created in-process serving engine (warm from the
+  same plan store) instead of erroring, with a degraded-mode gauge.
+
+Retried requests re-execute from scratch on another worker, so the
+retry path assumes request idempotency — true for the pure-functional
+cascades this stack serves, where a re-execution is bitwise identical.
 
 Tenant / priority class / deadline pass through verbatim, so the SLA
 scheduler (PR 7) enforces exactly the same policy per worker as it does
@@ -31,10 +45,12 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.clock import monotonic_s
 from ..obs.metrics import MetricsRegistry, Sample
 from .plan import cascade_signature
-from .pool import WorkerError, WorkerPool
-from .serving import priority_index
+from .pool import RequestSerializationError, WorkerError, WorkerPool
+from .serving import DeadlineExceededError, priority_index
+from .supervisor import Supervisor, SupervisorConfig
 
 #: ``serving`` snapshot keys that aggregate by summation across workers.
 _SUM_KEYS = (
@@ -46,15 +62,51 @@ _SUM_KEYS = (
 _MAX_KEYS = ("peak_queue_depth", "max_batch_size")
 
 
+class RetriesExhaustedError(WorkerError):
+    """A request's workers kept dying and its retry budget ran out.
+
+    ``__cause__`` carries the final :class:`WorkerError`.  Raised on the
+    client future, never synchronously.
+    """
+
+
+class _ClientRequest:
+    """Router-side state for one client request across retries."""
+
+    __slots__ = ("future", "cascade", "inputs", "mode", "kwargs",
+                 "signature", "retries_left", "retries_used",
+                 "deadline_s", "deadline_at")
+
+    def __init__(self, cascade, inputs, mode, kwargs, signature,
+                 retries_left, deadline_s, deadline_at) -> None:
+        from concurrent.futures import Future
+
+        self.future: "Future" = Future()
+        self.cascade = cascade
+        self.inputs = inputs
+        self.mode = mode
+        self.kwargs = kwargs
+        self.signature = signature
+        self.retries_left = retries_left
+        self.retries_used = 0
+        self.deadline_s = deadline_s
+        self.deadline_at = deadline_at  # absolute monotonic or None
+
+
 class RouterStats:
     """Routing-decision counters (thread-safe, monotonic)."""
 
     def __init__(self, num_workers: int) -> None:
         self._lock = threading.Lock()
         self.routed = [0] * num_workers
+        self.failover_by_worker = [0] * num_workers
         self.sticky = 0
         self.spilled = 0
         self.failover = 0
+        self.retries = 0
+        self.retries_exhausted = 0
+        self.timeouts = 0
+        self.degraded = 0
 
     def note(self, index: int, *, sticky: bool, failover: bool = False) -> None:
         with self._lock:
@@ -66,18 +118,51 @@ class RouterStats:
             else:
                 self.spilled += 1
 
+    def note_failover_from(self, index: int) -> None:
+        """A send to worker ``index`` failed and the request moved on."""
+        with self._lock:
+            self.failover_by_worker[index] += 1
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def note_retries_exhausted(self) -> None:
+        with self._lock:
+            self.retries_exhausted += 1
+
+    def note_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def note_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             routed = list(self.routed)
+            failover_by_worker = list(self.failover_by_worker)
             sticky, spilled, failover = self.sticky, self.spilled, self.failover
+            retries = self.retries
+            retries_exhausted = self.retries_exhausted
+            timeouts = self.timeouts
+            degraded = self.degraded
         total = sum(routed)
         return {
             "routed": total,
             "sticky": sticky,
             "spilled": spilled,
             "failover": failover,
+            "retries": retries,
+            "retries_exhausted": retries_exhausted,
+            "timeouts": timeouts,
+            "degraded": degraded,
             "sticky_rate": sticky / total if total else 1.0,
             "by_worker": {f"w{i}": n for i, n in enumerate(routed)},
+            "failover_by_worker": {
+                f"w{i}": n for i, n in enumerate(failover_by_worker)
+            },
         }
 
 
@@ -112,6 +197,18 @@ class Router:
     requests the home worker may carry than the lightest worker before a
     request spills.  0 is pure least-loaded; large values are pure
     sticky.
+
+    ``max_retries`` is the default in-flight retry budget: how many times
+    one request may be resubmitted after its worker died mid-execution
+    (override per request with ``submit(..., max_retries=N)``).
+    ``supervise=True`` (default) runs a background
+    :class:`~repro.engine.supervisor.Supervisor` that restarts
+    crashed/hung workers; ``degraded_fallback=True`` serves from an
+    in-process engine when every slot is dead or parked.
+    ``deadline_grace_s`` pads the client-side deadline watchdog so a
+    request that completes slightly past its deadline still returns its
+    result (counted worker-side as a deadline miss, exactly as before) —
+    the watchdog only reaps futures whose worker truly wedged.
     """
 
     def __init__(
@@ -120,19 +217,47 @@ class Router:
         *,
         imbalance: int = 8,
         registry: Optional[MetricsRegistry] = None,
+        max_retries: int = 2,
+        supervise: bool = True,
+        supervisor_config: Optional[SupervisorConfig] = None,
+        degraded_fallback: bool = True,
+        deadline_grace_s: float = 0.5,
     ) -> None:
         if imbalance < 0:
             raise ValueError("imbalance must be >= 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if deadline_grace_s < 0:
+            raise ValueError("deadline_grace_s must be >= 0")
         self.pool = pool
         self.imbalance = imbalance
+        self.max_retries = max_retries
+        self.deadline_grace_s = deadline_grace_s
+        self.degraded_fallback = degraded_fallback
         self.stats = RouterStats(pool.num_workers)
         self.registry = registry or MetricsRegistry()
         self.registry.register_collector(self._collect_samples)
         self.registry.register_collector(pool.collect_samples)
+        self.supervisor: Optional[Supervisor] = None
+        if supervise:
+            self.supervisor = Supervisor(pool, supervisor_config)
+            self.registry.register_collector(self.supervisor.collect_samples)
+            self.supervisor.start()
+        self._closing = False
+        self._degraded_mode = False
+        self._degraded_engine = None
+        self._degraded_lock = threading.Lock()
+        # deadline watchdog: lazily started, condition-timed
+        self._watched: set = set()
+        self._watch_cond = threading.Condition()
+        self._watch_thread: Optional[threading.Thread] = None
+        self._watch_stop = False
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "Router":
         self.pool.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         return self
 
     def __enter__(self) -> "Router":
@@ -142,21 +267,44 @@ class Router:
         self.close()
 
     def close(self) -> None:
+        self._closing = True
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        with self._watch_cond:
+            self._watch_stop = True
+            self._watch_cond.notify_all()
+        thread = self._watch_thread
+        if thread is not None and thread.is_alive():
+            thread.join(5.0)
+        with self._degraded_lock:
+            degraded, self._degraded_engine = self._degraded_engine, None
+        if degraded is not None:
+            degraded.close()
         self.pool.close()
 
-    def drain(self, timeout: float = 120.0) -> None:
-        """Block until every worker's scheduler is empty."""
-        self.pool.drain(timeout)
+    def drain(self, timeout: float = 120.0) -> bool:
+        """Block until every worker's scheduler is empty (shared budget)."""
+        drained = self.pool.drain(timeout)
+        with self._degraded_lock:
+            degraded = self._degraded_engine
+        if degraded is not None:
+            degraded.serving().drain()
+        return drained
 
     # -- client API ---------------------------------------------------------
     def submit(self, cascade, inputs, mode: str = "auto", **kwargs):
-        """Route one request; returns the worker's Future.
+        """Route one request; returns a router-owned Future.
 
         Keyword arguments (``tenant=``, ``priority=``, ``deadline_s=``,
         backend options, chunking parameters) pass through to the chosen
-        worker's scheduler unchanged.  When every worker is dead this
-        raises :class:`WorkerError` synchronously, like a closed serving
-        runtime would.
+        worker's scheduler unchanged; ``max_retries=`` (router-level)
+        overrides the in-flight retry budget for this request.  The
+        returned future survives worker death: the request is resubmitted
+        to a live worker until it completes or the budget is exhausted
+        (:class:`RetriesExhaustedError`).  When every worker is dead or
+        parked this falls back to the in-process degraded engine, or —
+        with ``degraded_fallback=False`` — raises :class:`WorkerError`
+        synchronously, like a closed serving runtime would.
         """
         # validate SLA attributes eagerly so a bad value raises here, as
         # ServingEngine.submit does, instead of inside the remote worker
@@ -165,28 +313,242 @@ class Router:
         deadline_s = kwargs.get("deadline_s")
         if deadline_s is not None and not float(deadline_s) > 0:
             raise ValueError("deadline_s must be > 0")
-        signature = cascade_signature(cascade)
-        tried: List[int] = []
-        failover = False
-        while True:
-            outstanding = self.pool.outstanding()
-            alive = list(self.pool.alive())
-            for index in tried:
-                alive[index] = False  # do not re-pick a worker that just failed
-            index = pick_worker(signature, outstanding, alive, self.imbalance)
-            sticky = index == int(signature[:8], 16) % len(alive)
-            try:
-                future = self.pool.submit_to(index, cascade, inputs, mode, **kwargs)
-            except WorkerError:
-                tried.append(index)
-                failover = True
-                continue
-            self.stats.note(index, sticky=sticky, failover=failover)
-            return future
+        retries = kwargs.pop("max_retries", self.max_retries)
+        if retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        deadline_at = None
+        if deadline_s is not None:
+            deadline_at = (
+                monotonic_s() + float(deadline_s) + self.deadline_grace_s
+            )
+        record = _ClientRequest(
+            cascade, inputs, mode, kwargs, cascade_signature(cascade),
+            retries, deadline_s, deadline_at,
+        )
+        self._dispatch(record, first=True)
+        if deadline_at is not None and not record.future.done():
+            self._watch(record)
+        return record.future
 
     def run(self, cascade, inputs, mode: str = "auto", **kwargs):
         """Synchronous convenience: ``submit(...).result()``."""
         return self.submit(cascade, inputs, mode, **kwargs).result()
+
+    # -- dispatch / recovery ------------------------------------------------
+    def _dispatch(self, record: _ClientRequest, *, first: bool,
+                  failover: bool = False) -> None:
+        """Send ``record`` to a worker, failing over across candidates.
+
+        Two passes over the slots: the first masks every worker already
+        tried this dispatch, the second resets ``tried`` — a worker that
+        failed a send moments ago may have been restarted meanwhile, and
+        a transient failure must not condemn the whole tier while live
+        workers exist (the pre-supervisor router never reset ``tried``
+        and could raise with healthy workers available).
+        """
+        num = self.pool.num_workers
+        for attempt in range(2):
+            tried: List[int] = []
+            while True:
+                alive = list(self.pool.alive())
+                if self.supervisor is not None:
+                    for index, parked in enumerate(self.supervisor.parked()):
+                        if parked:
+                            alive[index] = False
+                for index in tried:
+                    alive[index] = False
+                if not any(alive):
+                    break
+                outstanding = self.pool.outstanding()
+                index = pick_worker(
+                    record.signature, outstanding, alive, self.imbalance
+                )
+                sticky = index == int(record.signature[:8], 16) % num
+                try:
+                    worker_future = self.pool.submit_to(
+                        index, record.cascade, record.inputs, record.mode,
+                        **record.kwargs,
+                    )
+                except RequestSerializationError:
+                    if first:
+                        raise  # caller bug; the worker is fine
+                    record.future.set_exception(  # pragma: no cover
+                        RequestSerializationError("retry payload unpicklable")
+                    )
+                    return
+                except WorkerError:
+                    self.stats.note_failover_from(index)
+                    tried.append(index)
+                    failover = True
+                    continue
+                self.stats.note(index, sticky=sticky, failover=failover)
+                if self._degraded_mode:
+                    self._degraded_mode = False
+                worker_future.add_done_callback(
+                    lambda f, r=record: self._on_worker_done(r, f)
+                )
+                return
+        self._degrade(record, first=first)
+
+    def _on_worker_done(self, record: _ClientRequest, worker_future) -> None:
+        """One execution attempt finished; resolve or retry the client."""
+        if record.future.done():
+            return  # deadline/cancellation already reaped it; drop late result
+        error = worker_future.exception()
+        if error is None:
+            try:
+                record.future.set_result(worker_future.result())
+            except Exception:
+                pass  # lost the race against the deadline watchdog
+            return
+        if isinstance(error, WorkerError) and not self._closing:
+            # the worker died mid-request; the request itself never
+            # failed — resubmit it while budget remains
+            if record.retries_left > 0:
+                record.retries_left -= 1
+                record.retries_used += 1
+                self.stats.note_retry()
+                try:
+                    self._dispatch(record, first=False, failover=True)
+                except Exception as err:  # defensive: dispatch never raises
+                    try:
+                        record.future.set_exception(err)
+                    except Exception:
+                        pass
+                return
+            self.stats.note_retries_exhausted()
+            exhausted = RetriesExhaustedError(
+                f"request failed after {record.retries_used} retries: {error}"
+            )
+            exhausted.__cause__ = error
+            error = exhausted
+        try:
+            record.future.set_exception(error)
+        except Exception:
+            pass  # lost the race against the deadline watchdog
+
+    # -- degraded mode ------------------------------------------------------
+    def _degrade(self, record: _ClientRequest, *, first: bool) -> None:
+        """Every slot is dead or parked: serve in-process or give up."""
+        if not self.degraded_fallback or self._closing:
+            error: Exception = WorkerError("no live workers")
+            if first:
+                raise error
+            if record.retries_used:
+                self.stats.note_retries_exhausted()
+                error = RetriesExhaustedError(
+                    f"request failed after {record.retries_used} retries: "
+                    "no live workers"
+                )
+            try:
+                record.future.set_exception(error)
+            except Exception:
+                pass
+            return
+        try:
+            engine = self._fallback_engine()
+            inner = engine.serving().submit(
+                record.cascade, record.inputs, record.mode, **record.kwargs
+            )
+        except BaseException as err:
+            if first:
+                raise
+            try:
+                record.future.set_exception(err)
+            except Exception:
+                pass
+            return
+        self._degraded_mode = True
+        self.stats.note_degraded()
+
+        def copy(inner_future, r=record):
+            if r.future.done():
+                return
+            err = inner_future.exception()
+            try:
+                if err is None:
+                    r.future.set_result(inner_future.result())
+                else:
+                    r.future.set_exception(err)
+            except Exception:
+                pass
+
+        inner.add_done_callback(copy)
+
+    def _fallback_engine(self):
+        """Lazily build the in-process degraded engine (warm from store)."""
+        with self._degraded_lock:
+            if self._degraded_engine is None:
+                from . import Engine
+                from .store import PlanStore
+
+                store = None
+                if self.pool.store_root is not None:
+                    store = PlanStore(self.pool.store_root,
+                                      env=self.pool.store_env)
+                engine = Engine(
+                    serving_config=self.pool.serving_config, plan_store=store
+                )
+                if store is not None:
+                    engine.warm_start()
+                engine.serving()  # start the scheduler: submits are async
+                self._degraded_engine = engine
+            return self._degraded_engine
+
+    @property
+    def degraded(self) -> bool:
+        """True while the last routed request fell back in-process."""
+        return self._degraded_mode
+
+    # -- deadline watchdog --------------------------------------------------
+    def _watch(self, record: _ClientRequest) -> None:
+        with self._watch_cond:
+            if self._watch_stop:
+                return
+            self._watched.add(record)
+            if self._watch_thread is None or not self._watch_thread.is_alive():
+                self._watch_thread = threading.Thread(
+                    target=self._watch_loop, name="repro-router-deadlines",
+                    daemon=True,
+                )
+                self._watch_thread.start()
+            self._watch_cond.notify()
+        record.future.add_done_callback(lambda f: self._unwatch(record))
+
+    def _unwatch(self, record: _ClientRequest) -> None:
+        with self._watch_cond:
+            self._watched.discard(record)
+
+    def _watch_loop(self) -> None:
+        while True:
+            with self._watch_cond:
+                if self._watch_stop:
+                    return
+                now = monotonic_s()
+                expired = [r for r in self._watched if r.deadline_at <= now]
+                for r in expired:
+                    self._watched.discard(r)
+                if not expired:
+                    nxt = min(
+                        (r.deadline_at for r in self._watched), default=None
+                    )
+                    self._watch_cond.wait(
+                        None if nxt is None else max(1e-3, nxt - now)
+                    )
+                    continue
+            # fail expired futures OUTSIDE the lock: set_exception runs
+            # done-callbacks synchronously (including _unwatch)
+            for r in expired:
+                error = DeadlineExceededError(
+                    f"deadline_s={r.deadline_s} expired "
+                    f"(+{self.deadline_grace_s}s grace) with no result — "
+                    "worker wedged or overloaded"
+                )
+                try:
+                    r.future.set_exception(error)
+                except Exception:
+                    continue  # the result won the race after all
+                self.stats.note_timeout()
 
     # -- health -------------------------------------------------------------
     def check_workers(self, *, restart: bool = True,
@@ -195,6 +557,8 @@ class Router:
 
         Returns post-check liveness.  Restarted workers warm-start from
         the shared plan store, so recovery costs no symbolic compiles.
+        The background supervisor automates this sweep; the method stays
+        for manual/synchronous health management.
         """
         health = self.pool.ping(timeout)
         if restart:
@@ -214,10 +578,28 @@ class Router:
                      help="Requests spilled off a deep home worker")
         yield Sample("router_failover_total", snap["failover"], kind="counter",
                      help="Requests rerouted off a dead worker")
+        yield Sample("router_retries_total", snap["retries"], kind="counter",
+                     help="In-flight requests resubmitted after worker death")
+        yield Sample("router_retries_exhausted_total",
+                     snap["retries_exhausted"], kind="counter",
+                     help="Requests failed with their retry budget spent")
+        yield Sample("router_request_timeouts_total", snap["timeouts"],
+                     kind="counter",
+                     help="Futures reaped by the client-side deadline watchdog")
+        yield Sample("router_degraded_requests_total", snap["degraded"],
+                     kind="counter",
+                     help="Requests served by the in-process fallback engine")
+        yield Sample("router_degraded_mode", int(self._degraded_mode),
+                     help="1 while requests fall back to the in-process engine")
         for name in self.pool.workers():
             yield Sample("router_routed_total", snap["by_worker"][name],
                          (("worker", name),), kind="counter",
                          help="Requests routed per worker")
+            yield Sample("router_failover_from_total",
+                         snap["failover_by_worker"][name],
+                         (("worker", name),), kind="counter",
+                         help="Failed sends that moved a request off this "
+                              "worker")
 
     def render_prometheus(self) -> str:
         """Router + per-worker rollup in Prometheus exposition format.
@@ -240,6 +622,8 @@ class Router:
         engine.attach_worker_rollup(self.worker_sections)
         engine.metrics.register_collector(self._collect_samples)
         engine.metrics.register_collector(self.pool.collect_samples)
+        if self.supervisor is not None:
+            engine.metrics.register_collector(self.supervisor.collect_samples)
 
     def worker_sections(self) -> Dict[str, object]:
         """Cached per-worker stat sections, namespaced by worker name."""
@@ -249,6 +633,8 @@ class Router:
             sections[name] = section
         if sections:
             sections["router"] = self.stats.snapshot()
+            if self.supervisor is not None:
+                sections["supervisor"] = self.supervisor.describe()
         return sections
 
     def describe(self) -> Dict[str, object]:
@@ -303,5 +689,8 @@ class Router:
             "fusion_compiles": fusion_compiles,
             "workers": workers,
             "router": self.stats.snapshot(),
+            "degraded_mode": self._degraded_mode,
         }
+        if self.supervisor is not None:
+            info["supervisor"] = self.supervisor.describe()
         return info

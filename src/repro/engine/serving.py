@@ -133,6 +133,16 @@ class ServingClosedError(AdmissionError):
     """The serving runtime has been closed; no new requests are accepted."""
 
 
+class DeadlineExceededError(RuntimeError):
+    """A request's ``deadline_s`` expired before a result arrived.
+
+    Raised client-side by the router's deadline watchdog: a future whose
+    worker wedged mid-request fails with this instead of hanging forever.
+    Not an :class:`AdmissionError` — the request *was* admitted; it
+    simply did not finish in time.
+    """
+
+
 @dataclass(frozen=True)
 class ServingConfig:
     """Scheduling policy knobs.

@@ -1,0 +1,266 @@
+"""Background worker supervisor: heartbeats, warm restarts, circuit breakers.
+
+The :class:`Supervisor` watches a :class:`~repro.engine.pool.WorkerPool`
+from a daemon thread and keeps its slots serving:
+
+* **heartbeat** — every ``interval_s`` it probes each spawned slot.  A
+  slot whose process exited is a *crash*; a slot whose process is alive
+  but does not answer :meth:`~repro.engine.pool.WorkerPool.ping_one`
+  within ``ping_timeout_s`` is a *hang* (wedged mid-request or no longer
+  draining its pipe) — both are unhealthy and get recycled.
+* **warm restart** — unhealthy slots are replaced via
+  :meth:`~repro.engine.pool.WorkerPool.restart` (hung processes are
+  SIGKILLed first so the restart never blocks on a mute worker).  The
+  replacement warm-starts from the shared plan store, so recovery costs
+  zero symbolic compiles.  Consecutive restarts of one slot back off
+  exponentially (``backoff_base_s`` doubling up to ``backoff_max_s``).
+* **circuit breaker** — ``breaker_threshold`` restarts of one slot
+  within ``breaker_window_s`` seconds park the slot: the supervisor
+  stops restarting it and the router stops routing to it.  After
+  ``breaker_reset_s`` of quiet the breaker half-opens and allows one
+  probation restart; a healthy probe closes it fully.
+
+:meth:`check_once` performs one full sweep synchronously, so tests can
+drive the exact same logic deterministically without the thread or any
+sleeps (pair with ``backoff_base_s=0``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..obs.clock import monotonic_s
+from ..obs.metrics import Sample
+from .pool import WorkerError, WorkerPool
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for the health loop, restart backoff, and circuit breaker."""
+
+    #: seconds between background sweeps.
+    interval_s: float = 0.25
+    #: a live worker that does not answer a ping this fast is hung.
+    ping_timeout_s: float = 2.0
+    #: first-restart delay after a failure; doubles per consecutive failure.
+    backoff_base_s: float = 0.05
+    #: backoff ceiling.
+    backoff_max_s: float = 2.0
+    #: restarts within ``breaker_window_s`` that park the slot.
+    breaker_threshold: int = 3
+    #: sliding window (seconds) the breaker counts restarts over.
+    breaker_window_s: float = 30.0
+    #: quiet time after parking before one probation restart is allowed.
+    breaker_reset_s: float = 10.0
+    #: budget for each restart (shutdown of the old process + spawn).
+    restart_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+
+class _SlotState:
+    """Supervisor-side bookkeeping for one worker slot."""
+
+    def __init__(self) -> None:
+        self.restart_times: List[float] = []  # breaker sliding window
+        self.backoff_s = 0.0
+        self.next_restart_at = 0.0
+        self.parked = False
+        self.parked_at = 0.0
+        self.restarts = 0
+        self.crashes = 0
+        self.hangs = 0
+
+
+class Supervisor:
+    """Self-healing loop over a worker pool (used by the Router).
+
+    ``start()`` launches the daemon thread; ``check_once()`` runs one
+    sweep inline (the thread and tests share this method).  The
+    supervisor never raises out of its loop and stops by itself when the
+    pool closes.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or SupervisorConfig()
+        self._slots = [_SlotState() for _ in range(pool.num_workers)]
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._checks = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Supervisor":
+        """Launch the background heartbeat thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-supervisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            if self.pool.closed:
+                break
+            try:
+                self.check_once()
+            except Exception:
+                # the health loop must outlive any single bad sweep; the
+                # next tick re-probes from scratch
+                pass
+
+    # -- health sweep -------------------------------------------------------
+    def check_once(self) -> List[Optional[str]]:
+        """Probe every spawned slot; heal the unhealthy ones.
+
+        Returns the per-slot action taken this sweep: None (healthy or
+        skipped), ``"restarted"``, ``"parked"``, or ``"backoff"``
+        (unhealthy but still inside its restart-delay window).
+        """
+        with self._lock:
+            self._checks += 1
+        actions: List[Optional[str]] = [None] * self.pool.num_workers
+        spawned = self.pool.spawned()
+        for index in range(self.pool.num_workers):
+            if not spawned[index] or self.pool.closed:
+                continue
+            actions[index] = self._check_slot(index)
+        return actions
+
+    def _check_slot(self, index: int) -> Optional[str]:
+        cfg = self.config
+        slot = self._slots[index]
+        now = monotonic_s()
+
+        if slot.parked:
+            # half-open: after a quiet period, allow one probation restart
+            if now - slot.parked_at < cfg.breaker_reset_s:
+                return None
+            with self._lock:
+                slot.parked = False
+                slot.restart_times.clear()  # probation gets a fresh window
+
+        alive = self.pool.alive()[index]
+        if alive:
+            payload = self.pool.ping_one(index, cfg.ping_timeout_s)
+            if payload is not None:
+                # healthy: consecutive-failure backoff resets
+                slot.backoff_s = 0.0
+                slot.next_restart_at = 0.0
+                return None
+            reason = "hang"
+        else:
+            reason = "crash"
+
+        with self._lock:
+            if reason == "hang":
+                slot.hangs += 1
+            else:
+                slot.crashes += 1
+
+        if now < slot.next_restart_at:
+            return "backoff"
+
+        # circuit breaker: too many restarts inside the sliding window
+        slot.restart_times = [
+            t for t in slot.restart_times if now - t <= cfg.breaker_window_s
+        ]
+        if len(slot.restart_times) >= cfg.breaker_threshold:
+            with self._lock:
+                slot.parked = True
+                slot.parked_at = now
+            return "parked"
+
+        if reason == "hang":
+            # a mute worker won't honor "close"; reclaim the slot first
+            # so restart never blocks on it
+            self.pool.kill(index)
+        try:
+            self.pool.restart(index, drain=False,
+                              timeout=cfg.restart_timeout_s)
+        except WorkerError:
+            return None  # pool closed mid-sweep
+        with self._lock:
+            slot.restarts += 1
+            slot.restart_times.append(now)
+            slot.backoff_s = (
+                cfg.backoff_base_s if slot.backoff_s == 0.0
+                else min(slot.backoff_s * 2.0, cfg.backoff_max_s)
+            )
+            slot.next_restart_at = now + slot.backoff_s
+        return "restarted"
+
+    # -- state --------------------------------------------------------------
+    def parked(self) -> List[bool]:
+        """Circuit-breaker state per slot (True = traffic rerouted)."""
+        with self._lock:
+            return [slot.parked for slot in self._slots]
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "running": self.running,
+                "checks": self._checks,
+                "restarts": sum(s.restarts for s in self._slots),
+                "crashes_detected": sum(s.crashes for s in self._slots),
+                "hangs_detected": sum(s.hangs for s in self._slots),
+                "parked": [s.parked for s in self._slots],
+                "by_worker": {
+                    f"w{i}": {
+                        "restarts": s.restarts,
+                        "crashes": s.crashes,
+                        "hangs": s.hangs,
+                        "parked": s.parked,
+                    }
+                    for i, s in enumerate(self._slots)
+                },
+            }
+
+    # -- observability ------------------------------------------------------
+    def collect_samples(self) -> Iterable[Sample]:
+        """Registry-collector compatible supervisor series."""
+        with self._lock:
+            checks = self._checks
+            slots = [(f"w{i}", s.restarts, s.crashes, s.hangs, s.parked)
+                     for i, s in enumerate(self._slots)]
+        yield Sample("supervisor_checks_total", checks, kind="counter",
+                     help="Health sweeps performed")
+        yield Sample("supervisor_restarts_total",
+                     sum(r for _, r, _, _, _ in slots), kind="counter",
+                     help="Worker restarts performed by the supervisor")
+        yield Sample("supervisor_crashes_detected_total",
+                     sum(c for _, _, c, _, _ in slots), kind="counter",
+                     help="Dead-worker detections")
+        yield Sample("supervisor_hangs_detected_total",
+                     sum(h for _, _, _, h, _ in slots), kind="counter",
+                     help="Hung-worker detections (alive but mute)")
+        for name, restarts, _, _, parked in slots:
+            yield Sample("worker_restarts_total", restarts,
+                         (("worker", name),), kind="counter",
+                         help="Supervisor restarts per worker slot")
+            yield Sample("worker_parked", int(parked), (("worker", name),),
+                         help="Circuit breaker open for this slot")

@@ -1,0 +1,307 @@
+"""Fault injection for the multi-process serving tier.
+
+A :class:`ChaosPolicy` is a timed schedule of worker faults —
+``kill`` (SIGKILL), ``hang`` (the worker stops draining its pipe),
+``delay`` (a bounded recv-loop stall), ``crash_after`` (``os._exit``
+on the N-th subsequent request) — injected into a live
+:class:`~repro.engine.pool.WorkerPool` while traffic replays through
+the :class:`~repro.engine.router.Router` on top of it.  Schedules are
+seeded (:meth:`ChaosPolicy.seeded`), so a chaos run replays the exact
+same fault sequence every time: CI gates on deterministic scenarios,
+not on luck.
+
+For every *disruptive* fault (everything but ``delay``) the run probes
+the slot until it holds a **new** live process that answers pings —
+that span is the recovery time the chaos report aggregates (p50/p99).
+A slot that never recovers inside ``recovery_timeout_s`` counts as
+lost, which fails the bench gate.
+
+Typical use (see ``benchmarks/bench_serving.py``)::
+
+    policy = ChaosPolicy.seeded(7, num_workers=2, horizon_s=3.0, kills=2)
+    with WorkerPool(2, store) as pool:
+        router = Router(pool, max_retries=3)
+        run = policy.start(pool)
+        report = replay(router, stream, collect_results=True)
+        chaos = run.finish()
+    assert report.failed == 0 and chaos.lost == 0
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.pool import WorkerError, WorkerPool
+from ..obs.clock import monotonic_s
+
+#: fault kinds the worker loop understands (see ``pool._worker_main``).
+CHAOS_KINDS = ("kill", "hang", "delay", "crash_after")
+#: kinds that take the worker out (and should therefore recover).
+DISRUPTIVE_KINDS = ("kill", "hang", "crash_after")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: at ``at_s`` into the run, hit ``worker``.
+
+    ``arg`` parameterizes the kind: hang duration (None = forever),
+    delay seconds, or the crash countdown for ``crash_after``.
+    """
+
+    at_s: float
+    worker: int
+    kind: str
+    arg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"kind must be one of {CHAOS_KINDS}, got {self.kind!r}"
+            )
+
+    @property
+    def disruptive(self) -> bool:
+        return self.kind in DISRUPTIVE_KINDS
+
+
+def seeded_schedule(
+    rng: np.random.Generator,
+    num_workers: int,
+    horizon_s: float,
+    *,
+    count: int = 2,
+    kinds: Sequence[str] = ("kill",),
+    window: Tuple[float, float] = (0.2, 0.8),
+) -> List[ChaosEvent]:
+    """Draw ``count`` events uniformly inside ``window`` of the horizon.
+
+    Events spread over workers round-robin from a random offset so a
+    2-event schedule on 2 workers hits both; times sort ascending.
+    Deterministic for a given generator state — pass a freshly seeded
+    ``np.random.default_rng(seed)`` for replayable schedules.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be > 0")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    lo, hi = window
+    if not 0 <= lo < hi <= 1:
+        raise ValueError("window must satisfy 0 <= lo < hi <= 1")
+    times = np.sort(rng.uniform(lo * horizon_s, hi * horizon_s, size=count))
+    offset = int(rng.integers(num_workers))
+    return [
+        ChaosEvent(
+            at_s=float(t),
+            worker=(offset + i) % num_workers,
+            kind=kinds[i % len(kinds)],
+        )
+        for i, t in enumerate(times)
+    ]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run, aggregated for gates and artifacts."""
+
+    events: List[Dict[str, object]]
+    injected: int
+    skipped: int
+    disruptive: int
+    recovered: int
+    recovery_times_s: List[float]
+
+    @property
+    def lost(self) -> int:
+        """Disruptive faults whose slot never came back — must be 0."""
+        return self.disruptive - self.recovered
+
+    def recovery_percentile(self, q: float) -> float:
+        if not self.recovery_times_s:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.recovery_times_s), q))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "injected": self.injected,
+            "skipped": self.skipped,
+            "disruptive": self.disruptive,
+            "recovered": self.recovered,
+            "lost": self.lost,
+            "recovery_p50_s": self.recovery_percentile(50.0),
+            "recovery_p99_s": self.recovery_percentile(99.0),
+            "events": list(self.events),
+        }
+
+
+class ChaosPolicy:
+    """A replayable fault schedule plus the recovery-probe parameters."""
+
+    def __init__(
+        self,
+        events: Sequence[ChaosEvent],
+        *,
+        recovery_timeout_s: float = 30.0,
+        probe_interval_s: float = 0.02,
+    ) -> None:
+        if recovery_timeout_s <= 0:
+            raise ValueError("recovery_timeout_s must be > 0")
+        if probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be > 0")
+        self.events = sorted(events, key=lambda e: e.at_s)
+        self.recovery_timeout_s = recovery_timeout_s
+        self.probe_interval_s = probe_interval_s
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_workers: int,
+        horizon_s: float,
+        *,
+        count: int = 2,
+        kinds: Sequence[str] = ("kill",),
+        window: Tuple[float, float] = (0.2, 0.8),
+        recovery_timeout_s: float = 30.0,
+    ) -> "ChaosPolicy":
+        """Deterministic schedule from a seed (same seed → same faults)."""
+        rng = np.random.default_rng(seed)
+        return cls(
+            seeded_schedule(
+                rng, num_workers, horizon_s,
+                count=count, kinds=kinds, window=window,
+            ),
+            recovery_timeout_s=recovery_timeout_s,
+        )
+
+    @staticmethod
+    def inject(pool: WorkerPool, event: ChaosEvent) -> None:
+        """Apply one fault to the pool right now.
+
+        ``kill`` SIGKILLs the slot's process; the other kinds ride the
+        pool's chaos wire op.  Raises :class:`WorkerError` when the
+        target slot is already dead (nothing to disturb).
+        """
+        if event.kind == "kill":
+            if not pool.alive()[event.worker]:
+                raise WorkerError(f"worker w{event.worker} is not alive")
+            pool.kill(event.worker)
+        else:
+            pool.inject(event.worker, event.kind, event.arg)
+
+    def start(self, pool: WorkerPool) -> "ChaosRun":
+        """Begin injecting this schedule against ``pool`` (background)."""
+        return ChaosRun(self, pool)
+
+
+class ChaosRun:
+    """One in-flight execution of a :class:`ChaosPolicy` against a pool."""
+
+    def __init__(self, policy: ChaosPolicy, pool: WorkerPool) -> None:
+        self.policy = policy
+        self.pool = pool
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, object]] = []
+        self._recovery_times: List[float] = []
+        self._probes: List[threading.Thread] = []
+        self._counts = {"injected": 0, "skipped": 0,
+                        "disruptive": 0, "recovered": 0}
+        self._start = monotonic_s()
+        self._injector = threading.Thread(
+            target=self._inject_loop, name="repro-chaos-injector", daemon=True
+        )
+        self._injector.start()
+
+    def _inject_loop(self) -> None:
+        for event in self.policy.events:
+            delay = self._start + event.at_s - monotonic_s()
+            if delay > 0:
+                time.sleep(delay)
+            if self.pool.closed:
+                break
+            old_pid = self.pool.pids()[event.worker]
+            entry: Dict[str, object] = {
+                "at_s": event.at_s, "worker": f"w{event.worker}",
+                "kind": event.kind, "arg": event.arg,
+            }
+            try:
+                ChaosPolicy.inject(self.pool, event)
+            except WorkerError:
+                entry["status"] = "skipped"  # slot already down
+                with self._lock:
+                    self._counts["skipped"] += 1
+                    self._events.append(entry)
+                continue
+            entry["status"] = "injected"
+            with self._lock:
+                self._counts["injected"] += 1
+                if event.disruptive:
+                    self._counts["disruptive"] += 1
+                self._events.append(entry)
+            if event.disruptive:
+                probe = threading.Thread(
+                    target=self._probe_recovery,
+                    args=(event, old_pid, entry, monotonic_s()),
+                    name=f"repro-chaos-probe-w{event.worker}", daemon=True,
+                )
+                probe.start()
+                with self._lock:
+                    self._probes.append(probe)
+
+    def _probe_recovery(self, event: ChaosEvent, old_pid: Optional[int],
+                        entry: Dict[str, object], injected_at: float) -> None:
+        """Wait for the slot to hold a *new*, live, pingable process.
+
+        Uniform recovery signal across kill / hang / crash_after: the
+        supervisor replaces the process (pid changes) and the
+        replacement answers a ping.  The measured span is what the
+        ``fault_recovery`` bench section reports as recovery time.
+        """
+        deadline = injected_at + self.policy.recovery_timeout_s
+        while monotonic_s() < deadline and not self.pool.closed:
+            pid = self.pool.pids()[event.worker]
+            if (pid is not None and pid != old_pid
+                    and self.pool.alive()[event.worker]
+                    and self.pool.ping_one(event.worker, timeout=1.0)
+                    is not None):
+                elapsed = monotonic_s() - injected_at
+                with self._lock:
+                    self._counts["recovered"] += 1
+                    self._recovery_times.append(elapsed)
+                    entry["recovered_s"] = elapsed
+                return
+            time.sleep(self.policy.probe_interval_s)
+        entry["recovered_s"] = None  # lost: slot never came back
+
+    def finish(self, timeout: Optional[float] = None) -> ChaosReport:
+        """Join the injector and every recovery probe; build the report.
+
+        Call after the traffic replay completes — the recovery probes
+        bound themselves by ``recovery_timeout_s``, so this returns even
+        when a slot is genuinely lost.
+        """
+        budget = (self.policy.recovery_timeout_s + 5.0
+                  if timeout is None else timeout)
+        deadline = monotonic_s() + budget
+        self._injector.join(budget)
+        with self._lock:
+            probes = list(self._probes)
+        for probe in probes:
+            probe.join(max(0.0, deadline - monotonic_s()))
+        with self._lock:
+            return ChaosReport(
+                events=[dict(e) for e in self._events],
+                injected=self._counts["injected"],
+                skipped=self._counts["skipped"],
+                disruptive=self._counts["disruptive"],
+                recovered=self._counts["recovered"],
+                recovery_times_s=list(self._recovery_times),
+            )

@@ -261,6 +261,13 @@ class ReplayReport:
     completed_by_tenant: Dict[str, int] = field(default_factory=dict)
     shed_by_class: Dict[str, int] = field(default_factory=dict)
     deadline_misses: int = 0
+    #: execution failures by exception class name (chaos/differential
+    #: runs gate on "zero client-visible errors" per failure type)
+    failures: Dict[str, int] = field(default_factory=dict)
+    #: per-request outputs in stream order (only with
+    #: ``replay(..., collect_results=True)``); non-completed slots are
+    #: None — this is what bitwise differential comparisons consume
+    results: Optional[List[object]] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -300,6 +307,7 @@ class ReplayReport:
             "by_tenant": by_tenant,
             "shed_by_class": dict(self.shed_by_class),
             "deadline_misses": self.deadline_misses,
+            "failures": dict(self.failures),
         }
 
 
@@ -309,6 +317,7 @@ def replay(
     *,
     mode: str = "auto",
     offered_rps: Optional[float] = None,
+    collect_results: bool = False,
 ) -> ReplayReport:
     """Submit a timed request stream; block until every future resolves.
 
@@ -326,6 +335,11 @@ def replay(
     measured from the *scheduled arrival* to future completion, so
     queueing delay — including time spent waiting for a micro-batch
     window — is part of the number, exactly as a client would see it.
+
+    ``collect_results=True`` additionally keeps every completed
+    request's outputs (in stream order, None where not completed) on
+    ``report.results`` so chaos/differential runs can compare replayed
+    outputs bitwise against an undisturbed reference replay.
     """
     if not requests:
         raise ValueError("need at least one request to replay")
@@ -340,6 +354,10 @@ def replay(
     latencies_by_tenant: Dict[str, List[float]] = {}
     completed_by_tenant: Dict[str, int] = {}
     shed_by_class: Dict[str, int] = {}
+    failures: Dict[str, int] = {}
+    results: Optional[List[object]] = (
+        [None] * len(requests) if collect_results else None
+    )
     pending: List = []
 
     # One monotonic clock for the whole repo (repro.obs.clock): replay
@@ -348,7 +366,8 @@ def replay(
     # lines up with the serving stats it produced.
     start = monotonic_s()
 
-    def on_done(arrival_abs: float, request: TrafficRequest, future) -> None:
+    def on_done(arrival_abs: float, index: int,
+                request: TrafficRequest, future) -> None:
         latency = monotonic_s() - arrival_abs
         tenant = request.tenant if request.tenant is not None else "default"
         with lock:
@@ -361,6 +380,8 @@ def replay(
                 completed_by_tenant[tenant] = completed_by_tenant.get(tenant, 0) + 1
                 if request.deadline_s is not None and latency > request.deadline_s:
                     outcomes["deadline_misses"] += 1
+                if results is not None:
+                    results[index] = future.result()
             elif isinstance(error, AdmissionError):
                 # admitted then evicted by the shed policy: still a shed,
                 # not an execution failure
@@ -369,8 +390,10 @@ def replay(
                 shed_by_class[cls] = shed_by_class.get(cls, 0) + 1
             else:
                 outcomes["failed"] += 1
+                name = type(error).__name__
+                failures[name] = failures.get(name, 0) + 1
 
-    for request in requests:
+    for index, request in enumerate(requests):
         now = monotonic_s() - start
         if request.arrival_s > now:
             time.sleep(request.arrival_s - now)
@@ -388,7 +411,7 @@ def replay(
                 shed_by_class[cls] = shed_by_class.get(cls, 0) + 1
             continue
         future.add_done_callback(
-            lambda f, a=arrival_abs, r=request: on_done(a, r, f)
+            lambda f, a=arrival_abs, i=index, r=request: on_done(a, i, r, f)
         )
         pending.append(future)
 
@@ -416,6 +439,8 @@ def replay(
             completed_by_tenant=dict(completed_by_tenant),
             shed_by_class=dict(shed_by_class),
             deadline_misses=outcomes["deadline_misses"],
+            failures=dict(failures),
+            results=list(results) if results is not None else None,
         )
 
 

@@ -372,6 +372,21 @@ class MetricsRegistry:
         with self._lock:
             self._collectors.append(collector)
 
+    def unregister_collector(
+        self, collector: Callable[[], Iterable[Sample]]
+    ) -> bool:
+        """Detach a collector; returns False when it was not registered.
+
+        Lets a closed component (a router's degraded engine, a stopped
+        supervisor) stop contributing stale series to future scrapes.
+        """
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                return False
+            return True
+
     def instruments(self) -> Dict[str, object]:
         with self._lock:
             return dict(self._instruments)

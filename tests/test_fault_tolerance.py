@@ -1,0 +1,410 @@
+"""Fault-tolerance tests: supervisor, in-flight retry, hangs, chaos harness.
+
+Deterministic by construction: the supervisor is driven through
+``check_once()`` (no background thread, no sleeps deciding outcomes),
+hangs/delays/crashes are injected through the pool's chaos wire op, and
+pipe ordering guarantees an injected fault lands before any probe sent
+after it.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Cascade, Reduction
+from repro.engine import (
+    DeadlineExceededError,
+    Engine,
+    PlanStore,
+    RequestSerializationError,
+    RetriesExhaustedError,
+    Router,
+    RouterStats,
+    Supervisor,
+    SupervisorConfig,
+    WorkerError,
+    WorkerPool,
+    cascade_signature,
+)
+from repro.harness import ChaosEvent, ChaosPolicy, seeded_schedule
+from repro.symbolic import const, exp, var
+
+
+def softmax_cascade(scale: float = 1.0) -> Cascade:
+    x, m = var("x"), var("m")
+    return Cascade(
+        "softmax",
+        ("x",),
+        (
+            Reduction("m", "max", x * const(scale)),
+            Reduction("t", "sum", exp(x * const(scale) - m)),
+        ),
+    )
+
+
+def assert_outputs_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key])
+
+
+def seed_store(tmp_path, cascade, inputs):
+    store = PlanStore(tmp_path)
+    engine = Engine(plan_store=store)
+    reference = engine.run(cascade, inputs)
+    engine.close()
+    return store, reference
+
+
+def wait_dead(pool, index, timeout=10.0):
+    """Block until the reader thread has registered the slot's death."""
+    handle = pool._handle(index)
+    handle.process.join(timeout)
+    handle.reader.join(timeout)
+    assert not handle.alive
+
+
+#: manual-drive supervisor config: no backoff, fast hang detection
+FAST = SupervisorConfig(
+    interval_s=0.05, ping_timeout_s=0.5,
+    backoff_base_s=0.0, backoff_max_s=0.0,
+    breaker_threshold=3, breaker_window_s=60.0, breaker_reset_s=60.0,
+    restart_timeout_s=10.0,
+)
+
+
+class TestSupervisor:
+    def test_check_once_restarts_crashed_worker_warm(self, tmp_path):
+        cascade = softmax_cascade(1.5)
+        inputs = {"x": np.arange(8.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            supervisor = Supervisor(pool, FAST)
+            pool.submit_to(0, cascade, inputs).result(timeout=60)
+            old_pid = pool.pids()[0]
+            pool.kill(0)
+            wait_dead(pool, 0)
+            actions = supervisor.check_once()
+            assert actions == ["restarted"]
+            assert pool.alive() == [True]
+            assert pool.pids()[0] != old_pid
+            out = pool.submit_to(0, cascade, inputs).result(timeout=60)
+            assert_outputs_equal(out, reference)
+            assert pool.fusion_compiles() == 0  # warm from the store
+            assert supervisor.describe()["crashes_detected"] == 1
+
+    def test_check_once_restarts_hung_worker(self, tmp_path):
+        # satellite: a worker that stops draining its pipe is alive but
+        # must fail ping() and be recycled exactly like a crash
+        cascade = softmax_cascade(2.0)
+        inputs = {"x": np.arange(8.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            supervisor = Supervisor(pool, FAST)
+            pool.submit_to(0, cascade, inputs).result(timeout=60)
+            old_pid = pool.pids()[0]
+            pool.inject(0, "hang")  # stops draining; process stays alive
+            assert pool.alive() == [True]
+            assert pool.ping_one(0, timeout=0.3) is None  # mute, not dead
+            actions = supervisor.check_once()
+            assert actions == ["restarted"]
+            assert pool.pids()[0] != old_pid
+            out = pool.submit_to(0, cascade, inputs).result(timeout=60)
+            assert_outputs_equal(out, reference)
+            assert supervisor.describe()["hangs_detected"] == 1
+
+    def test_healthy_workers_untouched(self, tmp_path):
+        cascade = softmax_cascade()
+        inputs = {"x": np.arange(4.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(2, store) as pool:
+            supervisor = Supervisor(pool, FAST)
+            pids = pool.pids()
+            assert supervisor.check_once() == [None, None]
+            assert pool.pids() == pids
+
+    def test_circuit_breaker_parks_crash_loop_then_half_opens(self, tmp_path):
+        cascade = softmax_cascade(0.75)
+        inputs = {"x": np.arange(8.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        cfg = SupervisorConfig(
+            interval_s=0.05, ping_timeout_s=0.5,
+            backoff_base_s=0.0, backoff_max_s=0.0,
+            breaker_threshold=2, breaker_window_s=60.0,
+            breaker_reset_s=0.0,  # half-open immediately on the next sweep
+            restart_timeout_s=10.0,
+        )
+        with WorkerPool(2, store) as pool:
+            router = Router(pool, supervise=True, supervisor_config=cfg,
+                            imbalance=64)
+            supervisor = router.supervisor
+            supervisor.stop()  # drive every sweep by hand
+            home = int(cascade_signature(cascade)[:8], 16) % 2
+            # two crashes restart; the third trips the breaker
+            for expected in ("restarted", "restarted", "parked"):
+                pool.kill(home)
+                wait_dead(pool, home)
+                actions = supervisor.check_once()
+                assert actions[home] == expected
+            assert supervisor.parked()[home]
+            # traffic reroutes off the parked slot
+            out = router.submit(cascade, inputs).result(timeout=60)
+            assert_outputs_equal(out, reference)
+            snap = router.stats.snapshot()
+            assert snap["by_worker"][f"w{1 - home}"] == 1
+            # breaker_reset_s elapsed: probation restart heals the slot
+            actions = supervisor.check_once()
+            assert actions[home] == "restarted"
+            assert not supervisor.parked()[home]
+            assert pool.alive() == [True, True]
+            assert pool.fusion_compiles() == 0
+
+    def test_background_thread_heals_killed_worker(self, tmp_path):
+        # end to end through the real thread: no manual sweeps at all
+        cascade = softmax_cascade(1.25)
+        inputs = {"x": np.arange(8.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            with Router(pool, supervisor_config=FAST) as router:
+                old_pid = pool.pids()[0]
+                pool.kill(0)
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if pool.alive() == [True] and pool.pids()[0] != old_pid:
+                        break
+                    time.sleep(0.05)
+                assert pool.alive() == [True]
+                assert pool.pids()[0] != old_pid
+                out = router.submit(cascade, inputs).result(timeout=60)
+                assert_outputs_equal(out, reference)
+
+
+class TestInFlightRecovery:
+    def test_pending_requests_retry_onto_live_worker(self, tmp_path):
+        cascade = softmax_cascade(3.0)
+        inputs = {"x": np.arange(16.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(2, store) as pool:
+            router = Router(pool, supervise=False, max_retries=2,
+                            imbalance=64)
+            home = int(cascade_signature(cascade)[:8], 16) % 2
+            # stall the home worker's recv loop so the next submits sit
+            # in its pipe, then kill it: those requests die in flight
+            pool.inject(home, "delay", 1.0)
+            futures = [router.submit(cascade, inputs) for _ in range(4)]
+            assert pool.outstanding()[home] == 4
+            pool.kill(home)
+            for future in futures:
+                assert_outputs_equal(future.result(timeout=60), reference)
+            snap = router.stats.snapshot()
+            assert snap["retries"] == 4  # every in-flight request retried
+            assert snap["retries_exhausted"] == 0
+            assert snap["by_worker"][f"w{1 - home}"] == 4
+
+    def test_retry_budget_exhausted_surfaces_typed_error(self, tmp_path):
+        cascade = softmax_cascade(0.5)
+        inputs = {"x": np.arange(8.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            router = Router(pool, supervise=False, degraded_fallback=False,
+                            max_retries=0)
+            pool.inject(0, "delay", 1.0)
+            future = router.submit(cascade, inputs)
+            pool.kill(0)
+            with pytest.raises(RetriesExhaustedError) as err:
+                future.result(timeout=60)
+            assert isinstance(err.value.__cause__, WorkerError)
+            assert router.stats.snapshot()["retries_exhausted"] == 1
+
+    def test_per_request_max_retries_overrides_router_default(self, tmp_path):
+        cascade = softmax_cascade(0.5)
+        inputs = {"x": np.arange(8.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            router = Router(pool, supervise=False, degraded_fallback=False,
+                            max_retries=5)
+            pool.inject(0, "delay", 1.0)
+            future = router.submit(cascade, inputs, max_retries=0)
+            pool.kill(0)
+            with pytest.raises(RetriesExhaustedError):
+                future.result(timeout=60)
+            with pytest.raises(ValueError):
+                router.submit(cascade, inputs, max_retries=-1)
+
+    def test_client_deadline_reaps_future_on_hung_worker(self, tmp_path):
+        cascade = softmax_cascade(2.5)
+        inputs = {"x": np.arange(8.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            router = Router(pool, supervise=False, deadline_grace_s=0.2)
+            pool.inject(0, "hang")  # results will never drain
+            future = router.submit(cascade, inputs, deadline_s=0.3)
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)
+            assert time.monotonic() - start < 10.0  # reaped, not hung
+            assert router.stats.snapshot()["timeouts"] == 1
+            pool.kill(0)  # reclaim the wedged slot: close() joins fast
+
+
+class TestDegradedMode:
+    def test_all_workers_dead_falls_back_in_process(self, tmp_path):
+        cascade = softmax_cascade(1.75)
+        inputs = {"x": np.arange(12.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            router = Router(pool, supervise=False)
+            pool.kill(0)
+            wait_dead(pool, 0)
+            out = router.submit(cascade, inputs).result(timeout=60)
+            assert_outputs_equal(out, reference)
+            assert router.degraded
+            snap = router.stats.snapshot()
+            assert snap["degraded"] == 1
+            scrape = router.render_prometheus()
+            assert "router_degraded_mode 1" in scrape
+            # a healed worker clears degraded mode on the next request
+            pool.restart(0, drain=False)
+            out = router.submit(cascade, inputs).result(timeout=60)
+            assert_outputs_equal(out, reference)
+            assert not router.degraded
+            router.close()
+
+    def test_fallback_disabled_raises_like_closed_runtime(self, tmp_path):
+        cascade = softmax_cascade(1.75)
+        inputs = {"x": np.arange(12.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            router = Router(pool, supervise=False, degraded_fallback=False)
+            pool.kill(0)
+            wait_dead(pool, 0)
+            with pytest.raises(WorkerError):
+                router.submit(cascade, inputs)
+
+
+class TestRequestSerialization:
+    def test_unpicklable_payload_spares_the_worker(self, tmp_path):
+        # satellite: a request-level pickling error must not condemn the
+        # (healthy) worker slot
+        cascade = softmax_cascade()
+        good = {"x": np.arange(4.0)}
+        bad = {"x": threading.Lock()}  # locks cannot pickle
+        store, _ = seed_store(tmp_path, cascade, good)
+        with WorkerPool(1, store) as pool:
+            pool.submit_to(0, cascade, good).result(timeout=60)
+            with pytest.raises(RequestSerializationError):
+                pool.submit_to(0, cascade, bad)
+            assert pool.alive() == [True]
+            assert pool.outstanding() == [0]  # no leaked pending entry
+            pool.submit_to(0, cascade, good).result(timeout=60)
+
+    def test_router_raises_synchronously_without_failover(self, tmp_path):
+        cascade = softmax_cascade()
+        good = {"x": np.arange(4.0)}
+        store, _ = seed_store(tmp_path, cascade, good)
+        with WorkerPool(2, store) as pool:
+            router = Router(pool, supervise=False)
+            with pytest.raises(RequestSerializationError):
+                router.submit(cascade, {"x": threading.Lock()})
+            assert pool.alive() == [True, True]
+            snap = router.stats.snapshot()
+            assert snap["failover"] == 0
+            assert all(n == 0 for n in snap["failover_by_worker"].values())
+
+
+class TestDrainBudget:
+    def test_drain_timeout_is_shared_not_per_worker(self, tmp_path):
+        # satellite: two hung workers must cost ~1x the budget, not 2x
+        cascade = softmax_cascade()
+        inputs = {"x": np.arange(4.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(2, store) as pool:
+            pool.inject(0, "hang")
+            pool.inject(1, "hang")
+            start = time.monotonic()
+            ok = pool.drain(timeout=1.0)
+            elapsed = time.monotonic() - start
+            assert ok is False
+            assert 0.9 <= elapsed < 1.8
+            pool.kill(0)  # reclaim the wedged slots: close() joins fast
+            pool.kill(1)
+
+    def test_drain_returns_true_when_everything_empties(self, tmp_path):
+        cascade = softmax_cascade()
+        inputs = {"x": np.arange(4.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(2, store) as pool:
+            pool.submit_to(0, cascade, inputs)
+            pool.submit_to(1, cascade, inputs)
+            assert pool.drain(timeout=60.0) is True
+
+
+class TestRouterStatsAccounting:
+    def test_per_worker_failover_counters(self):
+        stats = RouterStats(2)
+        stats.note_failover_from(1)
+        stats.note_failover_from(1)
+        stats.note_retry()
+        stats.note_timeout()
+        stats.note_degraded()
+        snap = stats.snapshot()
+        assert snap["failover_by_worker"] == {"w0": 0, "w1": 2}
+        assert snap["retries"] == 1
+        assert snap["timeouts"] == 1
+        assert snap["degraded"] == 1
+        assert snap["retries_exhausted"] == 0
+
+
+class TestChaosHarness:
+    def test_seeded_schedule_is_deterministic(self):
+        a = seeded_schedule(np.random.default_rng(9), 2, 4.0, count=3)
+        b = seeded_schedule(np.random.default_rng(9), 2, 4.0, count=3)
+        assert a == b
+        assert all(0.8 <= e.at_s <= 3.2 for e in a)
+        assert {e.worker for e in a} == {0, 1}
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(at_s=-1.0, worker=0, kind="kill")
+        with pytest.raises(ValueError):
+            ChaosEvent(at_s=0.0, worker=0, kind="meteor")
+        assert ChaosEvent(0.0, 0, "kill").disruptive
+        assert not ChaosEvent(0.0, 0, "delay").disruptive
+
+    def test_kill_schedule_recovers_under_supervisor(self, tmp_path):
+        cascade = softmax_cascade(1.1)
+        inputs = {"x": np.arange(8.0)}
+        store, reference = seed_store(tmp_path, cascade, inputs)
+        policy = ChaosPolicy(
+            [ChaosEvent(at_s=0.1, worker=0, kind="kill")],
+            recovery_timeout_s=15.0,
+        )
+        with WorkerPool(1, store) as pool:
+            with Router(pool, supervisor_config=FAST) as router:
+                run = policy.start(pool)
+                report = run.finish()
+                assert report.injected == 1
+                assert report.disruptive == 1
+                assert report.recovered == 1
+                assert report.lost == 0
+                assert report.recovery_percentile(99.0) < 15.0
+                out = router.submit(cascade, inputs).result(timeout=60)
+                assert_outputs_equal(out, reference)
+
+    def test_injection_on_dead_worker_is_skipped(self, tmp_path):
+        cascade = softmax_cascade()
+        inputs = {"x": np.arange(4.0)}
+        store, _ = seed_store(tmp_path, cascade, inputs)
+        with WorkerPool(1, store) as pool:
+            pool.kill(0)
+            wait_dead(pool, 0)
+            policy = ChaosPolicy(
+                [ChaosEvent(at_s=0.0, worker=0, kind="kill")],
+                recovery_timeout_s=2.0,
+            )
+            report = policy.start(pool).finish()
+            assert report.injected == 0
+            assert report.skipped == 1
+            assert report.lost == 0

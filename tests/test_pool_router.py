@@ -205,7 +205,10 @@ class TestRouter:
         engine.close()
         home = int(cascade_signature(cascade)[:8], 16) % 2
         with WorkerPool(2, store) as pool:
-            router = Router(pool)
+            # supervise=False: this test exercises the manual
+            # check_workers() path; the background supervisor would race
+            # it to the restart
+            router = Router(pool, supervise=False)
             pool._handle(home).process.kill()
             pool._handle(home).process.join(10)
             pool._handle(home).reader.join(10)
